@@ -1,0 +1,44 @@
+//! Criterion micro-bench behind **Figure 10**: scalar vs vectorized
+//! kernels (the SIMD half of the paper's platform optimizations).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use slide_kernels::{axpy, dot, softmax_in_place, KernelMode};
+
+fn bench(c: &mut Criterion) {
+    let n = 4096usize;
+    let a: Vec<f32> = (0..n).map(|i| (i as f32 * 0.13).sin()).collect();
+    let b: Vec<f32> = (0..n).map(|i| (i as f32 * 0.29).cos()).collect();
+
+    let mut group = c.benchmark_group("fig10_kernels");
+    for mode in [KernelMode::Scalar, KernelMode::Vectorized] {
+        group.bench_with_input(BenchmarkId::new("dot_4096", mode), &mode, |bch, &mode| {
+            bch.iter(|| dot(std::hint::black_box(&a), std::hint::black_box(&b), mode))
+        });
+        group.bench_with_input(BenchmarkId::new("axpy_4096", mode), &mode, |bch, &mode| {
+            let mut y = b.clone();
+            bch.iter(|| {
+                axpy(0.5, std::hint::black_box(&a), &mut y, mode);
+                y[0]
+            })
+        });
+        group.bench_with_input(
+            BenchmarkId::new("softmax_1024", mode),
+            &mode,
+            |bch, &mode| {
+                bch.iter(|| {
+                    let mut x: Vec<f32> = a[..1024].to_vec();
+                    softmax_in_place(&mut x, mode);
+                    x[0]
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,84 @@
+//! Criterion micro-bench behind **Figure 4 / Figure 12**: per-query cost
+//! of the three sampling strategies.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use slide_data::rng::{Rng, Xoshiro256PlusPlus};
+use slide_lsh::family::HashFamily;
+use slide_lsh::sampling::{sample, SamplerScratch, SamplingStrategy};
+use slide_lsh::simhash::SimHash;
+use slide_lsh::table::{LshTables, TableConfig};
+
+struct Setup {
+    tables: LshTables,
+    query_codes: Vec<u32>,
+    scratch: SamplerScratch,
+    rng: Xoshiro256PlusPlus,
+}
+
+fn setup(neurons: usize) -> Setup {
+    let (k, l, dim) = (9usize, 50usize, 128usize);
+    let mut rng = Xoshiro256PlusPlus::seed_from_u64(42);
+    let family = SimHash::new(dim, k, l, 1.0 / 3.0, &mut rng);
+    let mut tables = LshTables::new(
+        TableConfig::new(k, l).with_table_bits(12).with_bucket_capacity(128),
+    );
+    let mut codes = vec![0u32; family.num_codes()];
+    let mut w = vec![0.0f32; dim];
+    for id in 0..neurons as u32 {
+        for x in w.iter_mut() {
+            *x = rng.next_normal() as f32;
+        }
+        family.hash_dense(&w, &mut codes);
+        tables.insert(id, &codes, &mut rng);
+    }
+    for x in w.iter_mut() {
+        *x = rng.next_normal() as f32;
+    }
+    let mut query_codes = vec![0u32; family.num_codes()];
+    family.hash_dense(&w, &mut query_codes);
+    Setup {
+        tables,
+        query_codes,
+        scratch: SamplerScratch::new(neurons),
+        rng,
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let mut s = setup(20_000);
+    let mut out = Vec::new();
+    let mut group = c.benchmark_group("fig4_sampling");
+    for budget in [1000usize, 3000] {
+        for strategy in [
+            SamplingStrategy::Vanilla { budget },
+            SamplingStrategy::TopK { budget },
+            SamplingStrategy::HardThreshold { min_count: 2 },
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(strategy.name(), budget),
+                &strategy,
+                |b, &strategy| {
+                    b.iter(|| {
+                        sample(
+                            &s.tables,
+                            &s.query_codes,
+                            strategy,
+                            &mut s.scratch,
+                            &mut s.rng,
+                            &mut out,
+                        );
+                        out.len()
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench
+}
+criterion_main!(benches);

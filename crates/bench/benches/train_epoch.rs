@@ -1,0 +1,71 @@
+//! End-to-end epoch cost: SLIDE vs dense vs sampled softmax on a small
+//! synthetic task (the per-iteration cost behind Figures 5/7/8), plus the
+//! rebuild-schedule ablation (exponential decay vs aggressive fixed
+//! rebuilds).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use slide_core::{
+    DenseTrainer, LshLayerConfig, NetworkConfig, RebuildSchedule, SampledSoftmaxTrainer,
+    SlideTrainer, TrainOptions,
+};
+use slide_data::synth::{generate, SyntheticConfig};
+
+fn bench(c: &mut Criterion) {
+    let mut cfg = SyntheticConfig::tiny();
+    cfg.feature_dim = 5_000;
+    cfg.label_dim = 2_000;
+    cfg.train_size = 1_000;
+    cfg.test_size = 1;
+    let data = generate(&cfg.with_seed(9));
+    let net = NetworkConfig::builder(data.train.feature_dim(), data.train.label_dim())
+        .hidden(64)
+        .output_lsh(LshLayerConfig::simhash(7, 30))
+        .seed(17)
+        .build()
+        .unwrap();
+    let opts = TrainOptions::new(1).batch_size(128).threads(4).seed(1);
+
+    let mut group = c.benchmark_group("train_epoch");
+    group.bench_function("slide", |b| {
+        b.iter(|| {
+            let mut t = SlideTrainer::new(net.clone()).unwrap();
+            t.train(&data.train, &opts).iterations
+        })
+    });
+    group.bench_function("dense", |b| {
+        b.iter(|| {
+            let mut t = DenseTrainer::new(net.clone()).unwrap();
+            t.train(&data.train, &opts).iterations
+        })
+    });
+    group.bench_function("sampled_softmax_20pct", |b| {
+        b.iter(|| {
+            let mut t = SampledSoftmaxTrainer::new(net.clone(), 400).unwrap();
+            t.train(&data.train, &opts).iterations
+        })
+    });
+
+    // Ablation: rebuild schedule. Aggressive fixed rebuilds (every batch)
+    // vs the paper's exponential decay.
+    for (name, schedule) in [
+        ("rebuild_decay_default", RebuildSchedule::default()),
+        ("rebuild_fixed_every_2", RebuildSchedule::fixed(2)),
+    ] {
+        let mut net2 = net.clone();
+        net2.layers.last_mut().unwrap().lsh.as_mut().unwrap().rebuild = schedule;
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut t = SlideTrainer::new(net2.clone()).unwrap();
+                t.train(&data.train, &opts).iterations
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(5)).warm_up_time(std::time::Duration::from_secs(1));
+    targets = bench
+}
+criterion_main!(benches);

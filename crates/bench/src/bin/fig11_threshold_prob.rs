@@ -1,0 +1,33 @@
+//! **Figure 11** — theoretical hard-threshold selection probability
+//! `Pr(selected)` vs per-hash collision probability `p`, for thresholds
+//! m ∈ {1, 3, 5, 7, 9} with L = 10 tables (paper eqn. 3, exact
+//! closed form — no simulation needed).
+//!
+//! ```sh
+//! cargo run -p slide-bench --release --bin fig11_threshold_prob [--csv]
+//! ```
+
+use slide_bench::{ExpArgs, TablePrinter};
+use slide_lsh::prob::fig11_curves;
+
+fn main() {
+    let args = ExpArgs::parse();
+    println!("Figure 11: hard-threshold selection probability (L = 10, K = 1)\n");
+    let ps: Vec<f64> = (1..=9).map(|i| i as f64 / 10.0).collect();
+    let ms = [1usize, 3, 5, 7, 9];
+    let curves = fig11_curves(&ps, &ms);
+
+    let mut headers = vec!["p".to_string()];
+    headers.extend(ms.iter().map(|m| format!("m={m}")));
+    let mut table = TablePrinter::new(headers, args.csv);
+    for (i, &p) in ps.iter().enumerate() {
+        let mut row = vec![format!("{p:.1}")];
+        for (_, curve) in &curves {
+            row.push(format!("{:.4}", curve[i]));
+        }
+        table.row(row);
+    }
+    table.print();
+
+    println!("\npaper checkpoints: m=9 needs p>0.8 for Pr>0.5; m=1 collects p=0.2 neurons with Pr>0.8.");
+}

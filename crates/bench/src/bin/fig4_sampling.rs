@@ -1,0 +1,97 @@
+//! **Figure 4 / Figure 12** — time per query of the three active-neuron
+//! sampling strategies as the number of retrieved samples grows.
+//!
+//! Paper shape: Vanilla ≪ TopK (which sorts, `O(n log n)`); Hard
+//! Thresholding sits just above Vanilla.
+//!
+//! ```sh
+//! cargo run -p slide-bench --release --bin fig4_sampling [-- smoke|medium|full] [--csv]
+//! ```
+
+use slide_bench::{timed, ExpArgs, TablePrinter};
+use slide_data::rng::{Rng, Xoshiro256PlusPlus};
+use slide_lsh::family::HashFamily;
+use slide_lsh::sampling::{sample, SamplerScratch, SamplingStrategy};
+use slide_lsh::simhash::SimHash;
+use slide_lsh::table::{LshTables, TableConfig};
+
+fn main() {
+    let args = ExpArgs::parse();
+    // Paper setting: K=9, L=50 SimHash tables over the output layer of
+    // Delicious (205K neurons); scaled here.
+    let neurons: usize = match args.scale {
+        slide_bench::Scale::Smoke => 20_000,
+        slide_bench::Scale::Medium => 80_000,
+        slide_bench::Scale::Full => 205_443,
+    };
+    // K=6 instead of the paper's K=9: with the scaled-down neuron count a
+    // K=9 meta-hash leaves too few matches per bucket to ever reach the
+    // 7000-sample end of the sweep (the paper has 205K neurons to draw
+    // from). Bucket capacity is raised accordingly.
+    let (k, l, dim) = (6usize, 50usize, 128usize);
+    let queries = 200usize;
+
+    let mut rng = Xoshiro256PlusPlus::seed_from_u64(args.seed ^ 0xF16_4);
+    let family = SimHash::new(dim, k, l, 1.0 / 3.0, &mut rng);
+    let mut tables = LshTables::new(
+        TableConfig::new(k, l).with_table_bits(10).with_bucket_capacity(512),
+    );
+    println!("building tables over {neurons} neurons (K={k}, L={l}) ...");
+    let mut codes = vec![0u32; family.num_codes()];
+    let mut weights = vec![0.0f32; dim];
+    for id in 0..neurons as u32 {
+        for w in weights.iter_mut() {
+            *w = rng.next_normal() as f32;
+        }
+        family.hash_dense(&weights, &mut codes);
+        tables.insert(id, &codes, &mut rng);
+    }
+
+    // Pre-hash the query inputs.
+    let query_codes: Vec<Vec<u32>> = (0..queries)
+        .map(|_| {
+            for w in weights.iter_mut() {
+                *w = rng.next_normal() as f32;
+            }
+            let mut c = vec![0u32; family.num_codes()];
+            family.hash_dense(&weights, &mut c);
+            c
+        })
+        .collect();
+
+    println!("Figure 4: sampling time (seconds per {queries} queries)\n");
+    let mut table = TablePrinter::new(
+        vec!["samples", "vanilla_s", "topk_s", "hard_thresh_s", "vanilla_got", "topk_got", "ht_got"],
+        args.csv,
+    );
+    let mut scratch = SamplerScratch::new(neurons);
+    let mut out = Vec::new();
+    for &budget in &[2000usize, 3000, 4000, 5000, 6000, 7000] {
+        let mut run = |strategy: SamplingStrategy, rng: &mut Xoshiro256PlusPlus| {
+            let mut got = 0usize;
+            let (_, secs) = timed(|| {
+                for qc in &query_codes {
+                    sample(&tables, qc, strategy, &mut scratch, rng, &mut out);
+                    got += out.len();
+                }
+            });
+            (secs, got / queries)
+        };
+        // Hard threshold m chosen so the expected yield is comparable.
+        let (v_s, v_n) = run(SamplingStrategy::Vanilla { budget }, &mut rng);
+        let (t_s, t_n) = run(SamplingStrategy::TopK { budget }, &mut rng);
+        let (h_s, h_n) = run(SamplingStrategy::HardThreshold { min_count: 2 }, &mut rng);
+        table.row(vec![
+            budget.to_string(),
+            format!("{v_s:.4}"),
+            format!("{t_s:.4}"),
+            format!("{h_s:.4}"),
+            v_n.to_string(),
+            t_n.to_string(),
+            h_n.to_string(),
+        ]);
+    }
+    table.print();
+    println!("\npaper shape: vanilla fastest; topk costs an order of magnitude more (sorting);");
+    println!("hard thresholding slightly above vanilla.");
+}

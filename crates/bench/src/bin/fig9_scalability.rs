@@ -1,0 +1,72 @@
+//! **Figure 9 / Figure 13** — time to a fixed accuracy vs CPU core count,
+//! SLIDE vs the dense baseline; plus the Figure 13 ratio to the best
+//! (all-cores) time.
+//!
+//! Paper shape: SLIDE's convergence time drops steeply (near-perfect
+//! scaling); dense scaling flattens beyond ~16 cores; the crossover where
+//! SLIDE beats dense happens at a small core count.
+//!
+//! ```sh
+//! cargo run -p slide-bench --release --bin fig9_scalability [-- smoke|medium|full] [--csv]
+//! ```
+
+use slide_bench::{thread_sweep, ExpArgs, TablePrinter};
+use slide_core::{DenseTrainer, NetworkConfig, SlideTrainer, TrainOptions};
+use slide_data::synth::{generate, SyntheticConfig};
+
+fn main() {
+    let args = ExpArgs::parse();
+    println!("Figure 9: convergence time vs cores (scale = {})\n", args.scale);
+    let data = generate(&SyntheticConfig::delicious_like(args.scale));
+    let epochs = match args.scale {
+        slide_bench::Scale::Smoke => 3,
+        _ => 2,
+    };
+    let net = NetworkConfig::builder(data.train.feature_dim(), data.train.label_dim())
+        .hidden(128)
+        .output_lsh(slide_bench::scaled_lsh(true, args.scale, data.train.label_dim()))
+        .learning_rate(1e-3)
+        .seed(args.seed ^ 0xF19)
+        .build()
+        .expect("valid config");
+
+    let threads = thread_sweep();
+    let mut slide_times = Vec::new();
+    let mut dense_times = Vec::new();
+    let mut table = TablePrinter::new(
+        vec!["cores", "slide_s", "dense_s", "slide_p1", "dense_p1"],
+        args.csv,
+    );
+    for &t in &threads {
+        let options = TrainOptions::new(epochs).batch_size(128).threads(t).seed(args.seed);
+        let mut slide = SlideTrainer::new(net.clone()).expect("valid network");
+        let rs = slide.train(&data.train, &options);
+        let mut dense = DenseTrainer::new(net.clone()).expect("valid network");
+        let rd = dense.train(&data.train, &options);
+        slide_times.push(rs.seconds);
+        dense_times.push(rd.seconds);
+        table.row(vec![
+            t.to_string(),
+            format!("{:.3}", rs.seconds),
+            format!("{:.3}", rd.seconds),
+            format!("{:.3}", slide.evaluate_n(&data.test, 300)),
+            format!("{:.3}", dense.evaluate_n(&data.test, 300)),
+        ]);
+    }
+    table.print();
+
+    // Figure 13: ratio to the best (max-cores) time.
+    println!("\nFigure 13: time ratio to the all-cores run");
+    let mut ratio = TablePrinter::new(vec!["cores", "slide_ratio", "dense_ratio"], args.csv);
+    let s_min = slide_times.last().copied().unwrap_or(1.0);
+    let d_min = dense_times.last().copied().unwrap_or(1.0);
+    for (i, &t) in threads.iter().enumerate() {
+        ratio.row(vec![
+            t.to_string(),
+            format!("{:.2}", slide_times[i] / s_min.max(1e-9)),
+            format!("{:.2}", dense_times[i] / d_min.max(1e-9)),
+        ]);
+    }
+    ratio.print();
+    println!("\npaper shape: SLIDE's ratio drops steeply with cores; dense plateaus past 16.");
+}

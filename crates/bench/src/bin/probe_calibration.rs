@@ -1,0 +1,75 @@
+//! Diagnostic (not a paper figure): is SLIDE's full-argmax evaluation
+//! polluted by never-trained neurons keeping their random init?
+//! Compares full-scoring P@1 vs LSH-retrieval P@1 and logit statistics.
+
+use slide_core::{LshLayerConfig, NetworkConfig, OutputMode, SlideTrainer, TrainOptions};
+use slide_data::synth::{generate, SyntheticConfig};
+
+fn main() {
+    let mut synth = SyntheticConfig::delicious_like(slide_data::synth::Scale::Smoke);
+    synth.label_dim = 2_500;
+    synth.feature_dim = 5_000;
+    synth.train_size = 4_000;
+    synth.test_size = 500;
+    synth.zipf_exponent = 0.5;
+    let data = generate(&synth);
+    let net = NetworkConfig::builder(data.train.feature_dim(), data.train.label_dim())
+        .hidden(128)
+        .output_lsh(
+            LshLayerConfig::simhash(5, 50)
+                .with_strategy(slide_lsh::SamplingStrategy::Vanilla { budget: 125 }),
+        )
+        .learning_rate(2e-3)
+        .seed(0xF17)
+        .build()
+        .unwrap();
+    let mut trainer = SlideTrainer::new(net).unwrap();
+    trainer.train(&data.train, &TrainOptions::new(10).batch_size(128).seed(0));
+
+    let network = trainer.network();
+    let mut ws = network.workspace(1);
+    let mut full_hits = 0;
+    let mut lsh_hits = 0;
+    let mut label_logit = 0.0f64;
+    let mut max_logit = 0.0f64;
+    let n = 300;
+    for ex in data.test.iter().take(n) {
+        let logits = network.predict_logits(&mut ws, &ex.features);
+        let top = logits
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0 as u32;
+        full_hits += ex.labels.binary_search(&top).is_ok() as usize;
+        label_logit += logits[ex.labels[0] as usize] as f64;
+        max_logit += logits[top as usize] as f64;
+
+        // LSH-retrieval inference: argmax over the sampled active set.
+        network.forward(&mut ws, &ex.features, None, OutputMode::Lsh);
+        if let Some((id, _)) = ws
+            .output()
+            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+        {
+            lsh_hits += ex.labels.binary_search(&id).is_ok() as usize;
+        }
+    }
+    // Winner identity: sibling (same cluster) vs unrelated class.
+    let mut sib = 0; let mut unrelated = 0; let mut correct = 0;
+    {
+        let mut ws2 = network.workspace(2);
+        for ex in data.test.iter().take(n) {
+            let logits = network.predict_logits(&mut ws2, &ex.features);
+            let top = logits.iter().enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap()).unwrap().0 as u32;
+            if ex.labels.binary_search(&top).is_ok() { correct += 1; }
+            else if ex.labels.iter().any(|&l| l / 8 == top / 8) { sib += 1; }
+            else { unrelated += 1; }
+        }
+    }
+    println!("winners: correct {correct}, sibling {sib}, unrelated {unrelated}");
+    println!("full-argmax  P@1 = {:.3}", full_hits as f64 / n as f64);
+    println!("lsh-argmax   P@1 = {:.3}", lsh_hits as f64 / n as f64);
+    println!("mean label logit = {:.3}", label_logit / n as f64);
+    println!("mean top logit   = {:.3}", max_logit / n as f64);
+}

@@ -1,0 +1,45 @@
+//! Diagnostic: long-horizon SLIDE vs equal-budget static sampling —
+//! where is the Figure 7 crossover?
+
+use slide_core::{NetworkConfig, SampledSoftmaxTrainer, SlideTrainer, TrainOptions};
+use slide_data::synth::{generate, Scale, SyntheticConfig};
+
+fn main() {
+    let mut synth = SyntheticConfig::delicious_like(Scale::Smoke);
+    synth.label_dim = 2_500;
+    synth.feature_dim = 5_000;
+    synth.train_size = 4_000;
+    synth.test_size = 500;
+    synth.zipf_exponent = 0.5;
+    let data = generate(&synth);
+    let net = NetworkConfig::builder(data.train.feature_dim(), data.train.label_dim())
+        .hidden(128)
+        .output_lsh(
+            slide_core::LshLayerConfig::simhash(5, 50)
+                .with_strategy(slide_lsh::SamplingStrategy::TopK { budget: 125 }),
+        )
+        .learning_rate(2e-3)
+        .seed(0xF17)
+        .build()
+        .unwrap();
+    let opts = TrainOptions::new(40)
+        .batch_size(128)
+        .eval_every(125)
+        .eval_examples(400)
+        .seed(0);
+
+    let mut slide = SlideTrainer::new(net.clone()).unwrap();
+    let rs = slide.train_with_eval(&data.train, &data.test, &opts);
+    let mut ssm = SampledSoftmaxTrainer::new(net, 125).unwrap();
+    let rq = ssm.train_with_eval(&data.train, &data.test, &opts);
+
+    println!("iter  slide_p1  ssm_p1");
+    for (a, b) in rs.history.iter().zip(&rq.history) {
+        println!("{:>5}  {:.3}     {:.3}", a.iteration, a.p_at_1, b.p_at_1);
+    }
+    println!(
+        "final: slide {:.3}  ssm {:.3}",
+        slide.evaluate_n(&data.test, 500),
+        ssm.evaluate_n(&data.test, 500)
+    );
+}

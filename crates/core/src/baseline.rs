@@ -1,0 +1,252 @@
+//! The paper's comparison systems, sharing the SLIDE engine verbatim.
+//!
+//! Both baselines run the *same* network, optimizer, HOGWILD parallelism
+//! and batch loop as SLIDE — exactly the paper's methodology ("the
+//! comparison is between the same tasks, with the exact same architecture
+//! ... the optimizer and the learning hyperparameters were also the
+//! same") — differing only in how the output layer selects active
+//! neurons:
+//!
+//! * [`DenseTrainer`] — every neuron active (full softmax), the stand-in
+//!   for TF-CPU / TF-GPU (see DESIGN.md substitution #2);
+//! * [`SampledSoftmaxTrainer`] — a *static* uniform sample of classes
+//!   plus the true labels (§5.1's sampled-softmax comparison; Figure 7).
+
+use slide_data::Dataset;
+
+use crate::config::NetworkConfig;
+use crate::error::ConfigError;
+use crate::network::{Network, OutputMode};
+use crate::trainer::{run, TrainOptions, TrainReport};
+
+/// Full-softmax baseline: dense forward/backward on every layer.
+#[derive(Debug)]
+pub struct DenseTrainer {
+    network: Network,
+}
+
+impl DenseTrainer {
+    /// Builds the dense twin of `config`: same architecture and seed, all
+    /// LSH machinery stripped (no tables are built, so construction and
+    /// timing are fair).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] on an inconsistent configuration.
+    pub fn new(config: NetworkConfig) -> Result<Self, ConfigError> {
+        Ok(Self {
+            network: Network::new(config.without_lsh())?,
+        })
+    }
+
+    /// The underlying network.
+    pub fn network(&self) -> &Network {
+        &self.network
+    }
+
+    /// Trains without periodic evaluation.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid options or an empty dataset.
+    pub fn train(&mut self, train: &Dataset, options: &TrainOptions) -> TrainReport {
+        self.try_train(train, None, options).expect("invalid training setup")
+    }
+
+    /// Trains with periodic evaluation.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid options or an empty dataset.
+    pub fn train_with_eval(
+        &mut self,
+        train: &Dataset,
+        test: &Dataset,
+        options: &TrainOptions,
+    ) -> TrainReport {
+        self.try_train(train, Some(test), options)
+            .expect("invalid training setup")
+    }
+
+    /// Fallible training entry point.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] for invalid options or an empty dataset.
+    pub fn try_train(
+        &mut self,
+        train: &Dataset,
+        test: Option<&Dataset>,
+        options: &TrainOptions,
+    ) -> Result<TrainReport, ConfigError> {
+        run(&mut self.network, train, test, options, OutputMode::Dense)
+    }
+
+    /// Mean P@1 over at most `max_examples` test examples.
+    pub fn evaluate_n(&self, test: &Dataset, max_examples: usize) -> f64 {
+        self.network.evaluate(test, max_examples)
+    }
+}
+
+/// Static sampled-softmax baseline (Jean et al. 2015 as shipped in TF).
+#[derive(Debug)]
+pub struct SampledSoftmaxTrainer {
+    network: Network,
+    sample_count: usize,
+}
+
+impl SampledSoftmaxTrainer {
+    /// Builds the baseline sampling `sample_count` random classes per
+    /// example (plus the true labels). LSH configs are stripped.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if the configuration is inconsistent or
+    /// `sample_count` is zero.
+    pub fn new(config: NetworkConfig, sample_count: usize) -> Result<Self, ConfigError> {
+        if sample_count == 0 {
+            return Err(ConfigError::InvalidOption {
+                message: "sample_count must be positive".into(),
+            });
+        }
+        Ok(Self {
+            network: Network::new(config.without_lsh())?,
+            sample_count,
+        })
+    }
+
+    /// The underlying network.
+    pub fn network(&self) -> &Network {
+        &self.network
+    }
+
+    /// Classes sampled per example.
+    pub fn sample_count(&self) -> usize {
+        self.sample_count
+    }
+
+    /// Trains without periodic evaluation.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid options or an empty dataset.
+    pub fn train(&mut self, train: &Dataset, options: &TrainOptions) -> TrainReport {
+        self.try_train(train, None, options).expect("invalid training setup")
+    }
+
+    /// Trains with periodic evaluation.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid options or an empty dataset.
+    pub fn train_with_eval(
+        &mut self,
+        train: &Dataset,
+        test: &Dataset,
+        options: &TrainOptions,
+    ) -> TrainReport {
+        self.try_train(train, Some(test), options)
+            .expect("invalid training setup")
+    }
+
+    /// Fallible training entry point.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] for invalid options or an empty dataset.
+    pub fn try_train(
+        &mut self,
+        train: &Dataset,
+        test: Option<&Dataset>,
+        options: &TrainOptions,
+    ) -> Result<TrainReport, ConfigError> {
+        run(
+            &mut self.network,
+            train,
+            test,
+            options,
+            OutputMode::StaticSample {
+                count: self.sample_count,
+            },
+        )
+    }
+
+    /// Mean P@1 over at most `max_examples` test examples.
+    pub fn evaluate_n(&self, test: &Dataset, max_examples: usize) -> f64 {
+        self.network.evaluate(test, max_examples)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::LshLayerConfig;
+    use slide_data::synth::{generate, SyntheticConfig};
+
+    fn data() -> slide_data::synth::SyntheticData {
+        generate(&SyntheticConfig::tiny().with_seed(9))
+    }
+
+    fn config(d: &slide_data::synth::SyntheticData) -> NetworkConfig {
+        NetworkConfig::builder(d.train.feature_dim(), d.train.label_dim())
+            .hidden(24)
+            .output_lsh(LshLayerConfig::simhash(3, 10))
+            .learning_rate(2e-3)
+            .seed(5)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn dense_trainer_strips_lsh() {
+        let d = data();
+        let t = DenseTrainer::new(config(&d)).unwrap();
+        assert!(t.network().layers().iter().all(|l| l.lsh().is_none()));
+    }
+
+    #[test]
+    fn dense_trainer_learns() {
+        let d = data();
+        let mut t = DenseTrainer::new(config(&d)).unwrap();
+        t.train(
+            &d.train,
+            &TrainOptions::new(3).batch_size(32).threads(2),
+        );
+        let p1 = t.evaluate_n(&d.test, 100);
+        assert!(p1 > 0.25, "dense baseline P@1 {p1}");
+    }
+
+    #[test]
+    fn sampled_softmax_learns_but_uses_static_sampling() {
+        let d = data();
+        let mut t = SampledSoftmaxTrainer::new(config(&d), 10).unwrap();
+        assert_eq!(t.sample_count(), 10);
+        let report = t.train(
+            &d.train,
+            &TrainOptions::new(3).batch_size(32).threads(2),
+        );
+        // Active output ≈ sample_count + labels.
+        assert!(report.telemetry.avg_active_output < 14.0);
+        let p1 = t.evaluate_n(&d.test, 100);
+        assert!(p1 > 0.1, "sampled softmax P@1 {p1}");
+    }
+
+    #[test]
+    fn zero_sample_count_rejected() {
+        let d = data();
+        assert!(SampledSoftmaxTrainer::new(config(&d), 0).is_err());
+    }
+
+    #[test]
+    fn dense_iterations_match_slide_iterations() {
+        // Identical batch structure: the Figure 5 "iterations" axis is
+        // comparable across systems.
+        let d = data();
+        let opts = TrainOptions::new(1).batch_size(64).threads(2).no_shuffle();
+        let mut dense = DenseTrainer::new(config(&d)).unwrap();
+        let rd = dense.train(&d.train, &opts);
+        let mut slide = crate::trainer::SlideTrainer::new(config(&d)).unwrap();
+        let rs = slide.train(&d.train, &opts);
+        assert_eq!(rd.iterations, rs.iterations);
+    }
+}

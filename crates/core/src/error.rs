@@ -1,0 +1,64 @@
+//! Error types for network construction and training.
+
+use std::fmt;
+
+/// Error returned when a [`crate::config::NetworkConfig`] is inconsistent.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigError {
+    /// A dimension (input, layer units, output) was zero.
+    ZeroDimension {
+        /// Which dimension was zero.
+        what: &'static str,
+    },
+    /// The network has no layers.
+    NoLayers,
+    /// An LSH parameter was invalid for its layer.
+    InvalidLsh {
+        /// Index of the offending layer.
+        layer: usize,
+        /// Explanation.
+        message: String,
+    },
+    /// A training option was invalid.
+    InvalidOption {
+        /// Explanation.
+        message: String,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::ZeroDimension { what } => write!(f, "{what} must be positive"),
+            ConfigError::NoLayers => write!(f, "network needs at least one layer"),
+            ConfigError::InvalidLsh { layer, message } => {
+                write!(f, "invalid LSH config on layer {layer}: {message}")
+            }
+            ConfigError::InvalidOption { message } => write!(f, "invalid option: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = ConfigError::ZeroDimension { what: "input_dim" };
+        assert_eq!(e.to_string(), "input_dim must be positive");
+        let e = ConfigError::InvalidLsh {
+            layer: 2,
+            message: "k must be positive".into(),
+        };
+        assert!(e.to_string().contains("layer 2"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync + std::error::Error>() {}
+        assert_send_sync::<ConfigError>();
+    }
+}

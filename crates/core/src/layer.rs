@@ -1,0 +1,448 @@
+//! One fully connected layer with optional LSH sampling machinery.
+
+use rayon::prelude::*;
+use slide_data::rng::{Rng, Xoshiro256PlusPlus};
+use slide_kernels::{adam_step, AdamParams, KernelMode};
+use slide_lsh::dwta::DwtaHash;
+use slide_lsh::family::HashFamily;
+use slide_lsh::minhash::DophHash;
+use slide_lsh::simhash::SimHash;
+use slide_lsh::table::{LshTables, TableConfig};
+use slide_lsh::wta::WtaHash;
+use slide_lsh::SamplingStrategy;
+
+use crate::config::{Activation, FamilySpec, LayerConfig, LshLayerConfig};
+use crate::hogwild::{HogwildArray, HogwildMatrix};
+use crate::schedule::RebuildState;
+
+/// LSH state attached to a layer: the hash family, the `L` tables over the
+/// layer's neurons, and the rebuild schedule tracker.
+pub struct LayerLsh {
+    pub(crate) family: Box<dyn HashFamily>,
+    pub(crate) tables: LshTables,
+    pub(crate) strategy: SamplingStrategy,
+    pub(crate) rebuild: RebuildState,
+    rebuild_count: u64,
+    rng_base: Xoshiro256PlusPlus,
+}
+
+impl std::fmt::Debug for LayerLsh {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LayerLsh")
+            .field("family", &self.family.kind())
+            .field("k", &self.family.k())
+            .field("l", &self.family.l())
+            .field("strategy", &self.strategy)
+            .field("rebuild_count", &self.rebuild_count)
+            .finish()
+    }
+}
+
+impl LayerLsh {
+    /// The sampling strategy with its budget resolved.
+    pub fn strategy(&self) -> SamplingStrategy {
+        self.strategy
+    }
+
+    /// Number of table rebuilds performed (including the initial build).
+    pub fn rebuild_count(&self) -> u64 {
+        self.rebuild_count
+    }
+
+    /// The hash tables (read-only).
+    pub fn tables(&self) -> &LshTables {
+        &self.tables
+    }
+
+    /// The hash family.
+    pub fn family(&self) -> &dyn HashFamily {
+        self.family.as_ref()
+    }
+}
+
+/// A fully connected layer: `units` neurons over `fan_in` inputs, with
+/// HOGWILD-shared weights, Adam moments and optional [`LayerLsh`].
+#[derive(Debug)]
+pub struct Layer {
+    units: usize,
+    fan_in: usize,
+    activation: Activation,
+    pub(crate) weights: HogwildMatrix,
+    pub(crate) biases: HogwildArray,
+    w_m: HogwildMatrix,
+    w_v: HogwildMatrix,
+    b_m: HogwildArray,
+    b_v: HogwildArray,
+    pub(crate) lsh: Option<LayerLsh>,
+}
+
+impl Layer {
+    /// Builds the layer with Glorot-uniform weights and, if configured,
+    /// its LSH family and (initially built) hash tables.
+    pub(crate) fn new(fan_in: usize, config: &LayerConfig, rng: &mut Xoshiro256PlusPlus) -> Self {
+        let units = config.units;
+        let bound = (6.0 / (fan_in + units) as f64).sqrt() as f32;
+        let mut values = vec![0.0f32; units * fan_in];
+        for v in &mut values {
+            *v = (rng.next_f32() * 2.0 - 1.0) * bound;
+        }
+        let weights = HogwildMatrix::from_values(units, fan_in, &values);
+        let biases = HogwildArray::zeroed(units);
+        let lsh = config.lsh.as_ref().map(|cfg| {
+            let family = build_family(cfg, fan_in, rng);
+            let table_config = TableConfig::new(cfg.k, cfg.l)
+                .with_table_bits(cfg.table_bits)
+                .with_bucket_capacity(cfg.bucket_capacity)
+                .with_policy(cfg.policy);
+            let strategy = resolve_strategy(cfg.strategy, units);
+            LayerLsh {
+                family,
+                tables: LshTables::new(table_config),
+                strategy,
+                rebuild: cfg.rebuild.start(),
+                rebuild_count: 0,
+                rng_base: Xoshiro256PlusPlus::seed_from_u64(rng.next_u64()),
+            }
+        });
+        let mut layer = Self {
+            units,
+            fan_in,
+            activation: config.activation,
+            weights,
+            biases,
+            w_m: HogwildMatrix::zeroed(units, fan_in),
+            w_v: HogwildMatrix::zeroed(units, fan_in),
+            b_m: HogwildArray::zeroed(units),
+            b_v: HogwildArray::zeroed(units),
+            lsh: None,
+        };
+        layer.lsh = lsh;
+        if layer.lsh.is_some() {
+            layer.rebuild_tables();
+        }
+        layer
+    }
+
+    /// Number of neurons.
+    #[inline]
+    pub fn units(&self) -> usize {
+        self.units
+    }
+
+    /// Fan-in (previous layer size).
+    #[inline]
+    pub fn fan_in(&self) -> usize {
+        self.fan_in
+    }
+
+    /// The nonlinearity.
+    #[inline]
+    pub fn activation(&self) -> Activation {
+        self.activation
+    }
+
+    /// LSH state, if this layer is sampled.
+    pub fn lsh(&self) -> Option<&LayerLsh> {
+        self.lsh.as_ref()
+    }
+
+    /// The weight matrix (`units × fan_in`).
+    pub fn weights(&self) -> &HogwildMatrix {
+        &self.weights
+    }
+
+    /// The bias vector.
+    pub fn biases(&self) -> &HogwildArray {
+        &self.biases
+    }
+
+    /// Pre-activation of neuron `j` for a sparse input given as parallel
+    /// `(ids, values)` slices: `b_j + Σᵢ w[j][idᵢ]·valᵢ`.
+    ///
+    /// `KernelMode::Vectorized` breaks the accumulation dependency chain
+    /// with four independent accumulators (the paper's SIMD/ILP
+    /// optimization, §5.4); `Scalar` is the strict sequential loop.
+    #[inline]
+    pub(crate) fn neuron_z(&self, j: u32, ids: &[u32], vals: &[f32], mode: KernelMode) -> f32 {
+        let row = j as usize * self.fan_in;
+        let flat = self.weights.flat();
+        let bias = self.biases.get(j as usize);
+        match mode {
+            KernelMode::Scalar => {
+                let mut z = bias;
+                for (&id, &v) in ids.iter().zip(vals) {
+                    z += flat.get(row + id as usize) * v;
+                }
+                z
+            }
+            KernelMode::Vectorized => {
+                let mut acc = [0.0f32; 4];
+                let chunks = ids.len() / 4;
+                for c in 0..chunks {
+                    let i = c * 4;
+                    for lane in 0..4 {
+                        acc[lane] += flat.get(row + ids[i + lane] as usize) * vals[i + lane];
+                    }
+                }
+                let mut z = bias + acc.iter().sum::<f32>();
+                for i in chunks * 4..ids.len() {
+                    z += flat.get(row + ids[i] as usize) * vals[i];
+                }
+                z
+            }
+        }
+    }
+
+    /// Prefetches the start of neuron `j`'s weight row (software
+    /// pipelining, paper Appendix D).
+    #[inline]
+    pub(crate) fn prefetch_row(&self, j: u32) {
+        let row = j as usize * self.fan_in;
+        let flat = self.weights.flat();
+        // One hint per cache line across the row head (most rows are a
+        // few lines long; prefetching the first 4 covers 64 floats).
+        for line in 0..4 {
+            flat.prefetch(row + line * 16);
+        }
+    }
+
+    /// One HOGWILD Adam update of weight `(j, i)` with gradient `g`.
+    #[inline]
+    pub(crate) fn update_weight(&self, j: u32, i: u32, g: f32, adam: &AdamParams, clr: f32) {
+        let idx = self.weights.index(j as usize, i as usize);
+        let w = self.weights.flat().get(idx);
+        let m = self.w_m.flat().get(idx);
+        let v = self.w_v.flat().get(idx);
+        let (w2, m2, v2) = adam_step(w, m, v, g, adam, clr);
+        self.weights.flat().set(idx, w2);
+        self.w_m.flat().set(idx, m2);
+        self.w_v.flat().set(idx, v2);
+    }
+
+    /// One HOGWILD Adam update of bias `j` with gradient `g`.
+    #[inline]
+    pub(crate) fn update_bias(&self, j: u32, g: f32, adam: &AdamParams, clr: f32) {
+        let j = j as usize;
+        let (b2, m2, v2) = adam_step(
+            self.biases.get(j),
+            self.b_m.get(j),
+            self.b_v.get(j),
+            g,
+            adam,
+            clr,
+        );
+        self.biases.set(j, b2);
+        self.b_m.set(j, m2);
+        self.b_v.set(j, v2);
+    }
+
+    /// Recomputes every neuron's hash codes from the current weights and
+    /// rebuilds all tables (paper §3.1 "Update Hash Tables after Weight
+    /// Updates"; parallelized over neurons for hashing and over tables for
+    /// insertion, so no locks are needed).
+    ///
+    /// No-op for dense layers.
+    pub fn rebuild_tables(&mut self) {
+        let Some(lsh) = self.lsh.as_mut() else {
+            return;
+        };
+        let num_codes = lsh.family.num_codes();
+        let k = lsh.tables.config().k;
+        let policy = lsh.tables.config().policy;
+        let units = self.units;
+        let fan_in = self.fan_in;
+        let weights = &self.weights;
+        let family = lsh.family.as_ref();
+
+        // Phase 1: hash every neuron's weight row (parallel over neurons).
+        let mut codes = vec![0u32; units * num_codes];
+        codes
+            .par_chunks_mut(num_codes)
+            .enumerate()
+            .for_each_init(
+                || vec![0.0f32; fan_in],
+                |row_buf, (j, out)| {
+                    weights.read_row_into(j, row_buf);
+                    family.hash_dense(row_buf, out);
+                },
+            );
+
+        // Phase 2: insert ids (parallel over tables; each table is owned
+        // by exactly one task).
+        lsh.rebuild_count += 1;
+        let rebuild_count = lsh.rebuild_count;
+        let rng_base = lsh.rng_base.clone();
+        lsh.tables.clear();
+        lsh.tables
+            .tables_mut()
+            .par_iter_mut()
+            .enumerate()
+            .for_each(|(t, table)| {
+                let mut rng = rng_base.stream(rebuild_count * 1_000_003 + t as u64);
+                for j in 0..units {
+                    let group = &codes[j * num_codes + t * k..j * num_codes + t * k + k];
+                    table.insert(j as u32, group, policy, &mut rng);
+                }
+            });
+    }
+
+    /// Checks the rebuild schedule after `iteration` and rebuilds if due.
+    /// Returns `true` if a rebuild happened.
+    pub fn maintain(&mut self, iteration: u64) -> bool {
+        let due = match self.lsh.as_mut() {
+            Some(lsh) => lsh.rebuild.should_rebuild(iteration),
+            None => false,
+        };
+        if due {
+            self.rebuild_tables();
+        }
+        due
+    }
+}
+
+fn resolve_strategy(strategy: SamplingStrategy, units: usize) -> SamplingStrategy {
+    match strategy {
+        SamplingStrategy::Vanilla { budget } => SamplingStrategy::Vanilla {
+            budget: LshLayerConfig::resolve_budget(budget, units),
+        },
+        SamplingStrategy::TopK { budget } => SamplingStrategy::TopK {
+            budget: LshLayerConfig::resolve_budget(budget, units),
+        },
+        other => other,
+    }
+}
+
+fn build_family(
+    cfg: &LshLayerConfig,
+    fan_in: usize,
+    rng: &mut Xoshiro256PlusPlus,
+) -> Box<dyn HashFamily> {
+    match cfg.family {
+        FamilySpec::SimHash { sparsity } => {
+            Box::new(SimHash::new(fan_in, cfg.k, cfg.l, sparsity, rng))
+        }
+        FamilySpec::Wta { m } => Box::new(WtaHash::new(fan_in, cfg.k, cfg.l, m, rng)),
+        FamilySpec::Dwta { m } => Box::new(DwtaHash::new(fan_in, cfg.k, cfg.l, m, rng)),
+        FamilySpec::Doph { bin_width, top_t } => {
+            Box::new(DophHash::new(fan_in, cfg.k, cfg.l, bin_width, top_t, rng))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Activation;
+
+    fn relu_layer(fan_in: usize, units: usize, lsh: Option<LshLayerConfig>) -> Layer {
+        let cfg = LayerConfig {
+            units,
+            activation: Activation::Relu,
+            lsh,
+        };
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(1);
+        Layer::new(fan_in, &cfg, &mut rng)
+    }
+
+    #[test]
+    fn dense_layer_has_no_lsh() {
+        let mut layer = relu_layer(10, 4, None);
+        assert!(layer.lsh().is_none());
+        assert_eq!(layer.units(), 4);
+        assert_eq!(layer.fan_in(), 10);
+        assert!(!layer.maintain(1000));
+    }
+
+    #[test]
+    fn weights_initialized_in_glorot_range() {
+        let layer = relu_layer(100, 50, None);
+        let bound = (6.0f32 / 150.0).sqrt();
+        for j in 0..50 {
+            for i in 0..100 {
+                let w = layer.weights().get(j, i);
+                assert!(w.abs() <= bound, "w[{j}][{i}] = {w}");
+            }
+        }
+        // Not all zero.
+        let sum: f32 = (0..50).map(|j| layer.weights().get(j, 0).abs()).sum();
+        assert!(sum > 0.0);
+    }
+
+    #[test]
+    fn lsh_layer_builds_tables_on_construction() {
+        let layer = relu_layer(32, 100, Some(LshLayerConfig::simhash(3, 6)));
+        let lsh = layer.lsh().unwrap();
+        assert_eq!(lsh.rebuild_count(), 1);
+        let stats = lsh.tables().stats();
+        // Every neuron is inserted into every table (capacity permitting).
+        assert!(stats.total_items > 0);
+        assert!(stats.total_items <= 100 * 6);
+    }
+
+    #[test]
+    fn neuron_z_matches_manual_dot() {
+        let layer = relu_layer(5, 3, None);
+        layer.biases.set(1, 0.5);
+        let ids = [0u32, 3];
+        let vals = [2.0f32, -1.0];
+        let expect = 0.5 + layer.weights().get(1, 0) * 2.0 + layer.weights().get(1, 3) * (-1.0);
+        for mode in [KernelMode::Scalar, KernelMode::Vectorized] {
+            assert!((layer.neuron_z(1, &ids, &vals, mode) - expect).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn self_retrieval_after_rebuild() {
+        // A neuron queried with its own weight vector must appear in at
+        // least one of its buckets — the fundamental LSH invariant the
+        // whole system rests on.
+        let mut layer = relu_layer(16, 50, Some(LshLayerConfig::simhash(4, 10)));
+        layer.rebuild_tables();
+        let lsh = layer.lsh().unwrap();
+        let mut row = vec![0.0f32; 16];
+        let mut codes = vec![0u32; lsh.family().num_codes()];
+        let mut found_any = 0;
+        for j in 0..50u32 {
+            layer.weights().read_row_into(j as usize, &mut row);
+            lsh.family().hash_dense(&row, &mut codes);
+            let hit = (0..10).any(|t| lsh.tables().bucket(t, &codes).contains(&j));
+            found_any += hit as usize;
+        }
+        assert!(found_any >= 45, "only {found_any}/50 neurons self-retrieve");
+    }
+
+    #[test]
+    fn maintain_follows_schedule() {
+        let lsh_cfg = LshLayerConfig::simhash(2, 3)
+            .with_rebuild(crate::schedule::RebuildSchedule::fixed(10));
+        let mut layer = relu_layer(8, 20, Some(lsh_cfg));
+        assert_eq!(layer.lsh().unwrap().rebuild_count(), 1);
+        assert!(!layer.maintain(5));
+        assert!(layer.maintain(10));
+        assert_eq!(layer.lsh().unwrap().rebuild_count(), 2);
+        assert!(!layer.maintain(11));
+        assert!(layer.maintain(25)); // past 20
+    }
+
+    #[test]
+    fn update_weight_moves_toward_negative_gradient() {
+        let layer = relu_layer(4, 2, None);
+        let adam = AdamParams::with_lr(0.01);
+        let before = layer.weights().get(0, 0);
+        let clr = adam.corrected_lr(1);
+        layer.update_weight(0, 0, 1.0, &adam, clr); // positive gradient
+        assert!(layer.weights().get(0, 0) < before);
+        let b_before = layer.biases().get(1);
+        layer.update_bias(1, -1.0, &adam, clr); // negative gradient
+        assert!(layer.biases().get(1) > b_before);
+    }
+
+    #[test]
+    fn budget_resolved_at_construction() {
+        let layer = relu_layer(8, 10_000, Some(LshLayerConfig::simhash(2, 3)));
+        match layer.lsh().unwrap().strategy() {
+            SamplingStrategy::Vanilla { budget } => assert_eq!(budget, 50),
+            other => panic!("unexpected strategy {other:?}"),
+        }
+    }
+}

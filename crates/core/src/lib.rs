@@ -1,0 +1,59 @@
+//! # slide-core
+//!
+//! The SLIDE training engine (Chen et al., *SLIDE: In Defense of Smart
+//! Algorithms over Hardware Acceleration for Large-Scale Deep Learning
+//! Systems*, MLSys 2020), reproduced in Rust.
+//!
+//! The engine trains fully connected networks by **adaptive sparsity**:
+//! layers flagged with LSH keep `(K, L)` hash tables over their neuron
+//! weight vectors; each input is hashed and only the retrieved neurons are
+//! activated, forward and backward, so per-example work scales with the
+//! *active* fraction (<1%) rather than the layer width. Batch elements run
+//! on parallel threads and push gradient updates into the shared weights
+//! HOGWILD-style with no synchronization.
+//!
+//! * [`config`] — network/LSH configuration with a builder;
+//! * [`network`] — sparse forward, message-passing backward, evaluation;
+//! * [`trainer`] — the batch-parallel loop and [`trainer::SlideTrainer`];
+//! * [`baseline`] — the paper's comparison systems (full softmax and
+//!   static sampled softmax) running on the identical engine;
+//! * [`hogwild`] — relaxed-atomic shared parameter storage;
+//! * [`schedule`] — exponential-decay hash-table rebuild scheduling;
+//! * [`telemetry`] — utilization and memory-traffic counters (the VTune
+//!   substitute).
+//!
+//! ## Example
+//!
+//! ```
+//! use slide_core::config::{LshLayerConfig, NetworkConfig};
+//! use slide_core::trainer::{SlideTrainer, TrainOptions};
+//! use slide_data::synth::{generate, SyntheticConfig};
+//!
+//! let data = generate(&SyntheticConfig::tiny().with_seed(1));
+//! let config = NetworkConfig::builder(data.train.feature_dim(), data.train.label_dim())
+//!     .hidden(16)
+//!     .output_lsh(LshLayerConfig::simhash(3, 8))
+//!     .seed(7)
+//!     .build()?;
+//! let mut trainer = SlideTrainer::new(config)?;
+//! let report = trainer.train(&data.train, &TrainOptions::new(1).batch_size(64));
+//! assert!(report.iterations > 0);
+//! # Ok::<(), slide_core::error::ConfigError>(())
+//! ```
+
+pub mod baseline;
+pub mod config;
+pub mod error;
+pub mod hogwild;
+pub mod layer;
+pub mod network;
+pub mod schedule;
+pub mod telemetry;
+pub mod trainer;
+
+pub use baseline::{DenseTrainer, SampledSoftmaxTrainer};
+pub use config::{Activation, FamilySpec, LayerConfig, LshLayerConfig, NetworkConfig};
+pub use error::ConfigError;
+pub use network::{Network, OutputMode, Workspace};
+pub use schedule::{RebuildSchedule, RebuildState};
+pub use trainer::{Checkpoint, SlideTrainer, TrainOptions, TrainReport};

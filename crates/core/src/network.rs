@@ -1,0 +1,625 @@
+//! The SLIDE network: sparse forward pass, sparse message-passing
+//! backpropagation, and HOGWILD parameter updates (paper §3.1, Alg. 1).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use rayon::prelude::*;
+use slide_data::rng::{Rng, Xoshiro256PlusPlus};
+use slide_data::{Dataset, SparseVector};
+use slide_lsh::sampling::{sample, SamplerScratch};
+
+use crate::config::{Activation, NetworkConfig};
+use crate::error::ConfigError;
+use crate::layer::Layer;
+
+/// How the output layer selects active neurons — the switch that turns
+/// one engine into the paper's three systems.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OutputMode {
+    /// LSH adaptive sampling (SLIDE). Layers without LSH run dense.
+    Lsh,
+    /// Every neuron active in every layer (the TF-CPU/GPU stand-in).
+    Dense,
+    /// Static uniform sampling of `count` output neurons plus the true
+    /// labels (the sampled-softmax baseline of §5.1).
+    StaticSample {
+        /// Sampled classes per example.
+        count: usize,
+    },
+}
+
+/// Per-thread scratch for one example's forward/backward pass.
+///
+/// Mirrors the paper's per-neuron activation/gradient arrays indexed by
+/// batch slot (§3.1): each thread owns one workspace, so "the gradient
+/// computation is independent across different instances in the batch".
+#[derive(Debug)]
+pub struct Workspace {
+    /// Active neuron ids per layer.
+    pub(crate) active: Vec<Vec<u32>>,
+    /// Activation per active neuron, parallel to `active`.
+    pub(crate) acts: Vec<Vec<f32>>,
+    /// Error signal per active neuron, parallel to `active`.
+    pub(crate) deltas: Vec<Vec<f32>>,
+    /// Hash-code buffer per layer (empty when no LSH).
+    codes: Vec<Vec<u32>>,
+    /// Sampler scratch per layer (None when no LSH).
+    scratch: Vec<Option<SamplerScratch>>,
+    rng: Xoshiro256PlusPlus,
+    /// Reusable pair buffer for building LSH queries.
+    query: Vec<(u32, f32)>,
+}
+
+impl Workspace {
+    /// Active output neurons of the last forward pass (ids, probability),
+    /// for inspecting predictions.
+    pub fn output(&self) -> impl Iterator<Item = (u32, f32)> + '_ {
+        let last = self.active.len() - 1;
+        self.active[last]
+            .iter()
+            .copied()
+            .zip(self.acts[last].iter().copied())
+    }
+
+    /// Number of active neurons per layer in the last pass.
+    pub fn active_counts(&self) -> Vec<usize> {
+        self.active.iter().map(|a| a.len()).collect()
+    }
+}
+
+/// The network: layers plus the shared optimizer step counter.
+#[derive(Debug)]
+pub struct Network {
+    config: NetworkConfig,
+    layers: Vec<Layer>,
+    step: AtomicU64,
+}
+
+impl Network {
+    /// Builds the network: initializes weights, constructs hash families
+    /// and performs the initial table build (paper: "this construction of
+    /// LSH hash tables in each layer is a one-time operation").
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if the configuration is inconsistent.
+    pub fn new(config: NetworkConfig) -> Result<Self, ConfigError> {
+        config.validate()?;
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(config.seed);
+        let mut layers = Vec::with_capacity(config.layers.len());
+        let mut fan_in = config.input_dim;
+        for layer_cfg in &config.layers {
+            layers.push(Layer::new(fan_in, layer_cfg, &mut rng));
+            fan_in = layer_cfg.units;
+        }
+        Ok(Self {
+            config,
+            layers,
+            step: AtomicU64::new(0),
+        })
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &NetworkConfig {
+        &self.config
+    }
+
+    /// The layers, input-to-output.
+    pub fn layers(&self) -> &[Layer] {
+        &self.layers
+    }
+
+    /// Mutable layer access (rebuilds, inspection).
+    pub fn layers_mut(&mut self) -> &mut [Layer] {
+        &mut self.layers
+    }
+
+    /// Output dimension (classes).
+    pub fn output_dim(&self) -> usize {
+        self.layers.last().expect("validated nonempty").units()
+    }
+
+    /// Optimizer steps taken so far.
+    pub fn steps(&self) -> u64 {
+        self.step.load(Ordering::Relaxed)
+    }
+
+    /// Starts one optimizer step (one batch): bumps the shared step
+    /// counter and returns the bias-corrected Adam step size.
+    pub fn begin_step(&self) -> f32 {
+        let t = self.step.fetch_add(1, Ordering::Relaxed) + 1;
+        self.config.adam.corrected_lr(t)
+    }
+
+    /// Allocates a per-thread workspace.
+    pub fn workspace(&self, seed: u64) -> Workspace {
+        let n = self.layers.len();
+        let mut codes = Vec::with_capacity(n);
+        let mut scratch = Vec::with_capacity(n);
+        for layer in &self.layers {
+            match layer.lsh() {
+                Some(lsh) => {
+                    codes.push(vec![0u32; lsh.family().num_codes()]);
+                    scratch.push(Some(SamplerScratch::new(layer.units())));
+                }
+                None => {
+                    codes.push(Vec::new());
+                    scratch.push(None);
+                }
+            }
+        }
+        Workspace {
+            active: vec![Vec::new(); n],
+            acts: vec![Vec::new(); n],
+            deltas: vec![Vec::new(); n],
+            codes,
+            scratch,
+            rng: Xoshiro256PlusPlus::seed_from_u64(0x570C_1D3A ^ seed),
+            query: Vec::new(),
+        }
+    }
+
+    /// Sparse forward pass (paper Alg. 1 lines 9–13). Fills the
+    /// workspace's active sets and activations; returns the cross-entropy
+    /// loss when `labels` are supplied (training) or 0.0 otherwise.
+    ///
+    /// During training the true labels are always added to the output
+    /// active set so the loss is defined (as in the reference SLIDE
+    /// implementation).
+    pub fn forward(
+        &self,
+        ws: &mut Workspace,
+        features: &SparseVector,
+        labels: Option<&[u32]>,
+        mode: OutputMode,
+    ) -> f32 {
+        let n = self.layers.len();
+        for l in 0..n {
+            let layer = &self.layers[l];
+            let mut active = std::mem::take(&mut ws.active[l]);
+            let mut acts = std::mem::take(&mut ws.acts[l]);
+
+            // 1. Select the active set.
+            self.select_active(ws, l, features, labels, mode, &mut active);
+
+            // 2. Compute pre-activations of active neurons only.
+            acts.clear();
+            acts.resize(active.len(), 0.0);
+            {
+                let (prev_ids, prev_vals): (&[u32], &[f32]) = if l == 0 {
+                    (features.indices(), features.values())
+                } else {
+                    (&ws.active[l - 1], &ws.acts[l - 1])
+                };
+                let mode = self.config.kernel_mode;
+                for (slot, &j) in active.iter().enumerate() {
+                    if mode == slide_kernels::KernelMode::Vectorized {
+                        if let Some(&next) = active.get(slot + 1) {
+                            layer.prefetch_row(next);
+                        }
+                    }
+                    acts[slot] = layer.neuron_z(j, prev_ids, prev_vals, mode);
+                }
+            }
+
+            // 3. Nonlinearity.
+            match layer.activation() {
+                Activation::Relu => {
+                    slide_kernels::relu_in_place(&mut acts, self.config.kernel_mode)
+                }
+                Activation::Softmax => {
+                    slide_kernels::softmax_in_place(&mut acts, self.config.kernel_mode)
+                }
+            }
+            ws.active[l] = active;
+            ws.acts[l] = acts;
+        }
+
+        // Cross-entropy against the uniform distribution over the true
+        // labels (multi-label extreme classification).
+        match labels {
+            Some(labels) if !labels.is_empty() => {
+                let last = n - 1;
+                let y = 1.0 / labels.len() as f32;
+                let mut loss = 0.0f32;
+                for (&j, &p) in ws.active[last].iter().zip(&ws.acts[last]) {
+                    if labels.binary_search(&j).is_ok() {
+                        loss -= y * p.max(1e-30).ln();
+                    }
+                }
+                loss
+            }
+            _ => 0.0,
+        }
+    }
+
+    fn select_active(
+        &self,
+        ws: &mut Workspace,
+        l: usize,
+        features: &SparseVector,
+        labels: Option<&[u32]>,
+        mode: OutputMode,
+        active: &mut Vec<u32>,
+    ) {
+        let layer = &self.layers[l];
+        let is_last = l == self.layers.len() - 1;
+        active.clear();
+
+        let dense = |active: &mut Vec<u32>| {
+            active.extend(0..layer.units() as u32);
+        };
+
+        match (mode, is_last) {
+            (OutputMode::Dense, _) => dense(active),
+            (OutputMode::StaticSample { count }, true) => {
+                // Static sampled softmax: uniform classes + true labels.
+                let count = count.min(layer.units());
+                let picks = ws.rng.sample_distinct(layer.units(), count);
+                active.extend(picks.into_iter().map(|i| i as u32));
+            }
+            _ => match layer.lsh() {
+                Some(lsh) => {
+                    // Hash the layer input and sample from the tables
+                    // (Alg. 2).
+                    if l == 0 {
+                        lsh.family().hash_sparse(features, &mut ws.codes[l]);
+                    } else {
+                        ws.query.clear();
+                        ws.query.extend(
+                            ws.active[l - 1]
+                                .iter()
+                                .copied()
+                                .zip(ws.acts[l - 1].iter().copied()),
+                        );
+                        let query = SparseVector::from_pairs(ws.query.drain(..));
+                        lsh.family().hash_sparse(&query, &mut ws.codes[l]);
+                    }
+                    let scratch = ws.scratch[l].as_mut().expect("lsh layer has scratch");
+                    sample(
+                        lsh.tables(),
+                        &ws.codes[l],
+                        lsh.strategy(),
+                        scratch,
+                        &mut ws.rng,
+                        active,
+                    );
+                }
+                None => dense(active),
+            },
+        }
+
+        // Training: force the true labels into the output active set.
+        if is_last && mode != OutputMode::Dense {
+            if let Some(labels) = labels {
+                for &label in labels {
+                    if !active.contains(&label) {
+                        active.push(label);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Sparse backpropagation with immediate asynchronous updates (paper
+    /// Alg. 1 lines 14–16; §3.1 "Sparse Backpropagation or Gradient
+    /// Update"). Must be called right after [`Network::forward`] with the
+    /// same workspace and labels.
+    ///
+    /// `corrected_lr` comes from [`Network::begin_step`].
+    pub fn backward(
+        &self,
+        ws: &mut Workspace,
+        features: &SparseVector,
+        labels: &[u32],
+        corrected_lr: f32,
+    ) {
+        let n = self.layers.len();
+        let adam = &self.config.adam;
+
+        // Output delta: ∂CE/∂z = p − y over the active set.
+        {
+            let last = n - 1;
+            let y = if labels.is_empty() {
+                0.0
+            } else {
+                1.0 / labels.len() as f32
+            };
+            let active = &ws.active[last];
+            let acts = &ws.acts[last];
+            let deltas = &mut ws.deltas[last];
+            deltas.clear();
+            deltas.resize(active.len(), 0.0);
+            for (slot, (&j, &p)) in active.iter().zip(acts.iter()).enumerate() {
+                let target = if labels.binary_search(&j).is_ok() { y } else { 0.0 };
+                deltas[slot] = p - target;
+            }
+        }
+
+        // Layer-by-layer message passing, touching only active neurons and
+        // the weights connecting them ("we never access any non-active
+        // neuron or any non-active weight").
+        for l in (0..n).rev() {
+            let layer = &self.layers[l];
+            // Split the workspace around layer l so we can read layer
+            // l−1's state while writing its delta.
+            let (below, at) = ws.deltas.split_at_mut(l);
+            let delta_l = &at[0];
+            let mut prev_delta = if l > 0 { std::mem::take(&mut below[l - 1]) } else { Vec::new() };
+
+            let (prev_ids, prev_vals): (&[u32], &[f32]) = if l == 0 {
+                (features.indices(), features.values())
+            } else {
+                (&ws.active[l - 1], &ws.acts[l - 1])
+            };
+            if l > 0 {
+                prev_delta.clear();
+                prev_delta.resize(prev_ids.len(), 0.0);
+            }
+
+            let flat = layer.weights.flat();
+            let fan_in = layer.fan_in();
+            for (slot, &j) in ws.active[l].iter().enumerate() {
+                let d = delta_l[slot];
+                if d == 0.0 {
+                    continue;
+                }
+                layer.update_bias(j, d, adam, corrected_lr);
+                let row = j as usize * fan_in;
+                for (pslot, (&pid, &pval)) in prev_ids.iter().zip(prev_vals).enumerate() {
+                    let idx = row + pid as usize;
+                    if l > 0 {
+                        // Propagate error through the *pre-update* weight.
+                        prev_delta[pslot] += d * flat.get(idx);
+                    }
+                    layer.update_weight(j, pid, d * pval, adam, corrected_lr);
+                }
+            }
+
+            if l > 0 {
+                // ReLU gate: zero the error where the unit was inactive.
+                for (pd, &a) in prev_delta.iter_mut().zip(&ws.acts[l - 1]) {
+                    if a <= 0.0 {
+                        *pd = 0.0;
+                    }
+                }
+                below[l - 1] = prev_delta;
+            }
+        }
+    }
+
+    /// Forward + backward for one training example. Returns the loss.
+    pub fn train_example(
+        &self,
+        ws: &mut Workspace,
+        features: &SparseVector,
+        labels: &[u32],
+        mode: OutputMode,
+        corrected_lr: f32,
+    ) -> f32 {
+        let loss = self.forward(ws, features, Some(labels), mode);
+        self.backward(ws, features, labels, corrected_lr);
+        loss
+    }
+
+    /// Full dense scoring of one example: the logit of every output class
+    /// (evaluation path; no sampling, no label leakage).
+    pub fn predict_logits(&self, ws: &mut Workspace, features: &SparseVector) -> Vec<f32> {
+        self.forward(ws, features, None, OutputMode::Dense);
+        let last = self.layers.len() - 1;
+        ws.acts[last].clone()
+    }
+
+    /// Top-1 class of one example under full dense scoring.
+    pub fn predict_top1(&self, ws: &mut Workspace, features: &SparseVector) -> u32 {
+        let logits = self.predict_logits(ws, features);
+        logits
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .map(|(i, _)| i as u32)
+            .unwrap_or(0)
+    }
+
+    /// Mean P@1 over (at most `max_examples` of) a dataset, in parallel,
+    /// with full dense scoring.
+    pub fn evaluate(&self, dataset: &Dataset, max_examples: usize) -> f64 {
+        let n = dataset.len().min(max_examples);
+        if n == 0 {
+            return 0.0;
+        }
+        let hits: usize = dataset.examples()[..n]
+            .par_iter()
+            .map_init(
+                || self.workspace(0xEA11),
+                |ws, ex| {
+                    let top = self.predict_top1(ws, &ex.features);
+                    ex.labels.binary_search(&top).is_ok() as usize
+                },
+            )
+            .sum();
+        hits as f64 / n as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{LshLayerConfig, NetworkConfig};
+    use slide_data::synth::{generate, SyntheticConfig};
+
+    fn tiny_network(lsh: bool, seed: u64) -> Network {
+        let b = NetworkConfig::builder(64, 40).hidden(16).seed(seed);
+        let b = if lsh {
+            b.output_lsh(
+                LshLayerConfig::simhash(3, 8)
+                    .with_strategy(slide_lsh::SamplingStrategy::Vanilla { budget: 12 }),
+            )
+        } else {
+            b
+        };
+        Network::new(b.build().unwrap()).unwrap()
+    }
+
+    fn example(seed: u64) -> (SparseVector, Vec<u32>) {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(seed);
+        let features = SparseVector::from_pairs(
+            (0..8).map(|_| (rng.gen_range(0, 64) as u32, rng.next_f32() + 0.1)),
+        );
+        let labels = vec![rng.gen_range(0, 40) as u32];
+        (features, labels)
+    }
+
+    #[test]
+    fn dense_forward_activates_everything() {
+        let net = tiny_network(false, 1);
+        let mut ws = net.workspace(1);
+        let (x, y) = example(2);
+        let loss = net.forward(&mut ws, &x, Some(&y), OutputMode::Dense);
+        assert_eq!(ws.active_counts(), vec![16, 40]);
+        assert!(loss > 0.0);
+        // Softmax output sums to 1.
+        let total: f32 = ws.acts[1].iter().sum();
+        assert!((total - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn lsh_forward_is_sparse_and_contains_labels() {
+        let net = tiny_network(true, 3);
+        let mut ws = net.workspace(2);
+        let (x, y) = example(4);
+        net.forward(&mut ws, &x, Some(&y), OutputMode::Lsh);
+        let counts = ws.active_counts();
+        assert_eq!(counts[0], 16, "hidden layer is dense");
+        assert!(counts[1] < 40, "output layer must be sparse, got {counts:?}");
+        for label in &y {
+            assert!(ws.active[1].contains(label), "label missing from active set");
+        }
+    }
+
+    #[test]
+    fn static_sample_mode_respects_count() {
+        let net = tiny_network(false, 5);
+        let mut ws = net.workspace(3);
+        let (x, y) = example(6);
+        net.forward(&mut ws, &x, Some(&y), OutputMode::StaticSample { count: 10 });
+        let out = ws.active_counts()[1];
+        assert!((10..=11).contains(&out), "got {out} active outputs");
+    }
+
+    #[test]
+    fn inference_does_not_leak_labels() {
+        let net = tiny_network(true, 7);
+        let mut ws = net.workspace(4);
+        let (x, _) = example(8);
+        net.forward(&mut ws, &x, None, OutputMode::Lsh);
+        // Without labels the active set is purely LSH-sampled; just check
+        // it is within budget + no crash.
+        assert!(ws.active_counts()[1] <= 13);
+    }
+
+    #[test]
+    fn backward_changes_touched_weights_only() {
+        let net = tiny_network(true, 9);
+        let mut ws = net.workspace(5);
+        let (x, y) = example(10);
+        net.forward(&mut ws, &x, Some(&y), OutputMode::Lsh);
+        let active_out: Vec<u32> = ws.active[1].clone();
+        let inactive: Vec<u32> =
+            (0..40u32).filter(|j| !active_out.contains(j)).collect();
+        assert!(!inactive.is_empty());
+
+        let out_layer = &net.layers()[1];
+        let before_inactive: Vec<f32> =
+            inactive.iter().map(|&j| out_layer.weights().get(j as usize, 0)).collect();
+        let label_bias_before = out_layer.biases().get(y[0] as usize);
+
+        let clr = net.begin_step();
+        net.backward(&mut ws, &x, &y, clr);
+
+        for (&j, &before) in inactive.iter().zip(&before_inactive) {
+            assert_eq!(
+                out_layer.weights().get(j as usize, 0),
+                before,
+                "inactive neuron {j} was touched"
+            );
+        }
+        // The label neuron's delta is p − 1/|labels| ≠ 0, so its bias
+        // must move.
+        assert_ne!(out_layer.biases().get(y[0] as usize), label_bias_before);
+    }
+
+    #[test]
+    fn training_reduces_loss_on_fixed_example() {
+        let net = tiny_network(false, 11);
+        let mut ws = net.workspace(6);
+        let (x, y) = example(12);
+        let first = net.forward(&mut ws, &x, Some(&y), OutputMode::Dense);
+        for _ in 0..300 {
+            let clr = net.begin_step();
+            net.train_example(&mut ws, &x, &y, OutputMode::Dense, clr);
+        }
+        let last = net.forward(&mut ws, &x, Some(&y), OutputMode::Dense);
+        assert!(
+            last < first * 0.5,
+            "loss did not drop: {first} -> {last}"
+        );
+    }
+
+    #[test]
+    fn lsh_training_reduces_loss_too() {
+        let net = tiny_network(true, 13);
+        let mut ws = net.workspace(7);
+        let (x, y) = example(14);
+        let first = net.forward(&mut ws, &x, Some(&y), OutputMode::Dense);
+        for _ in 0..60 {
+            let clr = net.begin_step();
+            net.train_example(&mut ws, &x, &y, OutputMode::Lsh, clr);
+        }
+        let last = net.forward(&mut ws, &x, Some(&y), OutputMode::Dense);
+        assert!(last < first, "loss did not drop: {first} -> {last}");
+    }
+
+    #[test]
+    fn evaluate_beats_chance_after_training() {
+        let data = generate(&SyntheticConfig::tiny().with_seed(5));
+        let cfg = NetworkConfig::builder(data.train.feature_dim(), data.train.label_dim())
+            .hidden(24)
+            .learning_rate(2e-3)
+            .seed(21)
+            .build()
+            .unwrap();
+        let net = Network::new(cfg).unwrap();
+        let mut ws = net.workspace(8);
+        for _epoch in 0..3 {
+            for ex in data.train.iter() {
+                let clr = net.begin_step();
+                net.train_example(&mut ws, &ex.features, &ex.labels, OutputMode::Dense, clr);
+            }
+        }
+        let p1 = net.evaluate(&data.test, 100);
+        // Chance ≈ 1/50 = 2%; trained must be far above.
+        assert!(p1 > 0.2, "P@1 {p1} too low");
+    }
+
+    #[test]
+    fn steps_counter_increments() {
+        let net = tiny_network(false, 15);
+        assert_eq!(net.steps(), 0);
+        let _ = net.begin_step();
+        let _ = net.begin_step();
+        assert_eq!(net.steps(), 2);
+    }
+
+    #[test]
+    fn workspace_output_iterator() {
+        let net = tiny_network(false, 17);
+        let mut ws = net.workspace(9);
+        let (x, y) = example(18);
+        net.forward(&mut ws, &x, Some(&y), OutputMode::Dense);
+        let out: Vec<(u32, f32)> = ws.output().collect();
+        assert_eq!(out.len(), 40);
+        let total: f32 = out.iter().map(|(_, p)| p).sum();
+        assert!((total - 1.0).abs() < 1e-5);
+    }
+}

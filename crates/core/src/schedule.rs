@@ -1,0 +1,152 @@
+//! Hash-table rebuild scheduling (paper §4.2, heuristic 1).
+//!
+//! Recomputing every neuron's hash codes after every gradient update would
+//! dominate the runtime. SLIDE instead rebuilds the tables on a schedule
+//! with **exponentially decaying frequency**: the `t`-th rebuild happens at
+//! iteration `Σ_{i=0}^{t-1} N₀·e^{λi}` — frequent early (when gradients
+//! are large and neuron codes move) and rare near convergence.
+
+/// When to rebuild a layer's hash tables.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RebuildSchedule {
+    /// Iterations before the first rebuild (the paper's `N₀`, default 50).
+    pub initial_period: u64,
+    /// Decay constant λ ≥ 0; `0` gives a fixed period (the ablation
+    /// baseline).
+    pub decay: f64,
+}
+
+impl Default for RebuildSchedule {
+    fn default() -> Self {
+        Self {
+            initial_period: 50,
+            decay: 0.05,
+        }
+    }
+}
+
+impl RebuildSchedule {
+    /// Exponential-decay schedule with the paper's default `N₀ = 50`.
+    pub fn exponential(decay: f64) -> Self {
+        Self {
+            initial_period: 50,
+            decay,
+        }
+    }
+
+    /// Fixed-period schedule (ablation baseline).
+    pub fn fixed(period: u64) -> Self {
+        Self {
+            initial_period: period,
+            decay: 0.0,
+        }
+    }
+
+    /// Creates the runtime tracker.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `initial_period == 0` or `decay < 0`.
+    pub fn start(&self) -> RebuildState {
+        assert!(self.initial_period > 0, "initial_period must be positive");
+        assert!(self.decay >= 0.0, "decay must be nonnegative");
+        RebuildState {
+            schedule: *self,
+            next_at: self.initial_period as f64,
+            rebuilds: 0,
+        }
+    }
+}
+
+/// Tracks rebuild points across training iterations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RebuildState {
+    schedule: RebuildSchedule,
+    next_at: f64,
+    rebuilds: u64,
+}
+
+impl RebuildState {
+    /// Returns `true` iff the tables should be rebuilt after iteration
+    /// `iteration` (1-based), advancing the internal schedule.
+    pub fn should_rebuild(&mut self, iteration: u64) -> bool {
+        if (iteration as f64) < self.next_at {
+            return false;
+        }
+        self.rebuilds += 1;
+        // Next gap: N₀ · e^{λ·t} where t = rebuilds done so far.
+        let gap =
+            self.schedule.initial_period as f64 * (self.schedule.decay * self.rebuilds as f64).exp();
+        self.next_at += gap;
+        true
+    }
+
+    /// Number of rebuilds triggered so far.
+    pub fn rebuilds(&self) -> u64 {
+        self.rebuilds
+    }
+
+    /// The iteration at/after which the next rebuild fires.
+    pub fn next_at(&self) -> u64 {
+        self.next_at.ceil() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rebuild_points(schedule: RebuildSchedule, horizon: u64) -> Vec<u64> {
+        let mut st = schedule.start();
+        (1..=horizon).filter(|&it| st.should_rebuild(it)).collect()
+    }
+
+    #[test]
+    fn fixed_schedule_is_periodic() {
+        let pts = rebuild_points(RebuildSchedule::fixed(10), 55);
+        assert_eq!(pts, vec![10, 20, 30, 40, 50]);
+    }
+
+    #[test]
+    fn decaying_schedule_gaps_grow_exponentially() {
+        let pts = rebuild_points(RebuildSchedule { initial_period: 50, decay: 0.3 }, 3000);
+        assert!(pts.len() >= 4, "got {pts:?}");
+        let gaps: Vec<u64> = pts.windows(2).map(|w| w[1] - w[0]).collect();
+        for w in gaps.windows(2) {
+            assert!(w[1] > w[0], "gaps must grow: {gaps:?}");
+        }
+        // First gap ≈ N0 * e^λ = 50 * 1.35 ≈ 67.
+        assert!((gaps[0] as i64 - 67).abs() <= 2, "first gap {}", gaps[0]);
+    }
+
+    #[test]
+    fn first_rebuild_at_initial_period() {
+        let mut st = RebuildSchedule { initial_period: 50, decay: 0.1 }.start();
+        for it in 1..50 {
+            assert!(!st.should_rebuild(it));
+        }
+        assert!(st.should_rebuild(50));
+        assert_eq!(st.rebuilds(), 1);
+    }
+
+    #[test]
+    fn zero_decay_matches_paper_formula() {
+        // With λ = 0, Σ N0·e^0 = t·N0.
+        let pts = rebuild_points(RebuildSchedule::fixed(7), 30);
+        assert_eq!(pts, vec![7, 14, 21, 28]);
+    }
+
+    #[test]
+    fn next_at_reports_upcoming() {
+        let mut st = RebuildSchedule::fixed(10).start();
+        assert_eq!(st.next_at(), 10);
+        st.should_rebuild(10);
+        assert_eq!(st.next_at(), 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "initial_period must be positive")]
+    fn zero_period_panics() {
+        let _ = RebuildSchedule { initial_period: 0, decay: 0.0 }.start();
+    }
+}

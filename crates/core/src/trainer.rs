@@ -1,0 +1,546 @@
+//! The batch-parallel HOGWILD training loop and the SLIDE trainer.
+//!
+//! Mirrors the paper's §3.1 "OpenMP Parallelization across a Batch": every
+//! example in a batch runs on its own thread with a private workspace;
+//! gradient updates go straight into the shared weights with no
+//! synchronization; hash tables are rebuilt between batches on the decay
+//! schedule.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use rayon::prelude::*;
+use slide_data::rng::{Rng, Xoshiro256PlusPlus};
+use slide_data::Dataset;
+
+use crate::config::NetworkConfig;
+use crate::error::ConfigError;
+use crate::network::{Network, OutputMode, Workspace};
+use crate::telemetry::{Telemetry, TelemetryReport};
+
+/// Options for a training run. Builder-style setters.
+///
+/// # Example
+///
+/// ```
+/// use slide_core::trainer::TrainOptions;
+///
+/// let opts = TrainOptions::new(5).batch_size(256).threads(4);
+/// assert_eq!(opts.epochs, 5);
+/// assert_eq!(opts.batch_size, 256);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainOptions {
+    /// Passes over the training set.
+    pub epochs: usize,
+    /// Examples per batch (paper: 128 for Delicious, 256 for Amazon).
+    pub batch_size: usize,
+    /// Shuffle example order each epoch.
+    pub shuffle: bool,
+    /// Worker threads; `None` uses the global rayon pool.
+    pub threads: Option<usize>,
+    /// Evaluate every this many iterations (needs a test set).
+    pub eval_every: Option<u64>,
+    /// Max test examples per evaluation.
+    pub eval_examples: usize,
+    /// Hard iteration cap (for experiments); `None` runs all epochs.
+    pub max_iterations: Option<u64>,
+    /// Seed for shuffling and per-thread RNG streams.
+    pub seed: u64,
+}
+
+impl TrainOptions {
+    /// Creates options for `epochs` passes with paper-style defaults.
+    pub fn new(epochs: usize) -> Self {
+        Self {
+            epochs,
+            batch_size: 128,
+            shuffle: true,
+            threads: None,
+            eval_every: None,
+            eval_examples: 500,
+            max_iterations: None,
+            seed: 0,
+        }
+    }
+
+    /// Sets the batch size.
+    pub fn batch_size(mut self, batch_size: usize) -> Self {
+        self.batch_size = batch_size;
+        self
+    }
+
+    /// Pins the worker thread count.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads);
+        self
+    }
+
+    /// Enables periodic evaluation (requires `train_with_eval`).
+    pub fn eval_every(mut self, iterations: u64) -> Self {
+        self.eval_every = Some(iterations);
+        self
+    }
+
+    /// Caps evaluated test examples.
+    pub fn eval_examples(mut self, n: usize) -> Self {
+        self.eval_examples = n;
+        self
+    }
+
+    /// Caps total iterations.
+    pub fn max_iterations(mut self, n: u64) -> Self {
+        self.max_iterations = Some(n);
+        self
+    }
+
+    /// Disables per-epoch shuffling (deterministic batch order).
+    pub fn no_shuffle(mut self) -> Self {
+        self.shuffle = false;
+        self
+    }
+
+    /// Sets the shuffle/thread RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    fn validate(&self) -> Result<(), ConfigError> {
+        if self.epochs == 0 {
+            return Err(ConfigError::InvalidOption {
+                message: "epochs must be positive".into(),
+            });
+        }
+        if self.batch_size == 0 {
+            return Err(ConfigError::InvalidOption {
+                message: "batch_size must be positive".into(),
+            });
+        }
+        if self.threads == Some(0) {
+            return Err(ConfigError::InvalidOption {
+                message: "threads must be positive".into(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// One evaluation checkpoint along a run — a point on the paper's
+/// time-vs-accuracy and iteration-vs-accuracy curves (Figure 5).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Checkpoint {
+    /// Iterations (batches) completed.
+    pub iteration: u64,
+    /// Cumulative *training* seconds (evaluation time excluded).
+    pub seconds: f64,
+    /// P@1 on the test subset.
+    pub p_at_1: f64,
+    /// Mean training loss since the previous checkpoint.
+    pub train_loss: f64,
+}
+
+/// Result of a training run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainReport {
+    /// Total iterations (batches).
+    pub iterations: u64,
+    /// Total training seconds (excluding evaluations).
+    pub seconds: f64,
+    /// Evaluation checkpoints (empty without `eval_every`/test set).
+    pub history: Vec<Checkpoint>,
+    /// Thread utilization and traffic counters.
+    pub telemetry: TelemetryReport,
+    /// Mean training loss over the final epoch.
+    pub final_loss: f64,
+}
+
+/// Runs the shared training loop; the three public trainers are thin
+/// wrappers selecting `mode`.
+pub(crate) fn run(
+    network: &mut Network,
+    train: &Dataset,
+    test: Option<&Dataset>,
+    options: &TrainOptions,
+    mode: OutputMode,
+) -> Result<TrainReport, ConfigError> {
+    options.validate()?;
+    if train.is_empty() {
+        return Err(ConfigError::InvalidOption {
+            message: "training set is empty".into(),
+        });
+    }
+    let pool = match options.threads {
+        Some(n) => Some(
+            rayon::ThreadPoolBuilder::new()
+                .num_threads(n)
+                .build()
+                .map_err(|e| ConfigError::InvalidOption {
+                    message: format!("thread pool: {e}"),
+                })?,
+        ),
+        None => None,
+    };
+    let threads = options
+        .threads
+        .unwrap_or_else(rayon::current_num_threads);
+    let telemetry = Telemetry::new(threads);
+    let ws_seed = AtomicU64::new(options.seed);
+    let mut order: Vec<u32> = (0..train.len() as u32).collect();
+    let mut shuffle_rng = Xoshiro256PlusPlus::seed_from_u64(options.seed ^ 0x5F0F);
+
+    let mut iteration: u64 = 0;
+    let mut train_seconds = 0.0f64;
+    let mut history = Vec::new();
+    let mut loss_acc = 0.0f64;
+    let mut loss_count: u64 = 0;
+    let mut epoch_loss = 0.0f64;
+
+    'epochs: for _epoch in 0..options.epochs {
+        if options.shuffle {
+            shuffle_rng.shuffle(&mut order);
+        }
+        let mut epoch_loss_acc = 0.0f64;
+        let mut epoch_examples: u64 = 0;
+
+        for batch in order.chunks(options.batch_size) {
+            let clr = network.begin_step();
+            let t0 = Instant::now();
+
+            // One thread per batch element; asynchronous HOGWILD updates.
+            let net_ref = &*network;
+            let tel = &telemetry;
+            let seed_ref = &ws_seed;
+            let batch_loss: f64 = {
+                let work = || {
+                    batch
+                        .par_iter()
+                        .map_init(
+                            || {
+                                let s = seed_ref.fetch_add(1, Ordering::Relaxed);
+                                net_ref.workspace(s)
+                            },
+                            |ws, &idx| {
+                                let ex = &train.examples()[idx as usize];
+                                let e0 = Instant::now();
+                                let loss = net_ref.train_example(
+                                    ws,
+                                    &ex.features,
+                                    &ex.labels,
+                                    mode,
+                                    clr,
+                                );
+                                let (touch, ops) = traffic(ws, ex.features.nnz());
+                                tel.add_busy(
+                                    rayon::current_thread_index().unwrap_or(0),
+                                    e0.elapsed().as_nanos() as u64,
+                                );
+                                let out_active =
+                                    ws.active_counts().last().copied().unwrap_or(0);
+                                tel.record_example(out_active, touch, ops);
+                                loss as f64
+                            },
+                        )
+                        .sum()
+                };
+                match &pool {
+                    Some(p) => p.install(work),
+                    None => work(),
+                }
+            };
+            train_seconds += t0.elapsed().as_secs_f64();
+            iteration += 1;
+            loss_acc += batch_loss;
+            loss_count += batch.len() as u64;
+            epoch_loss_acc += batch_loss;
+            epoch_examples += batch.len() as u64;
+
+            // Hash-table maintenance on the decay schedule (SLIDE only).
+            if mode == OutputMode::Lsh {
+                let m0 = Instant::now();
+                for layer in network.layers_mut() {
+                    layer.maintain(iteration);
+                }
+                train_seconds += m0.elapsed().as_secs_f64();
+            }
+
+            // Periodic evaluation (clock paused).
+            if let (Some(every), Some(test)) = (options.eval_every, test) {
+                if iteration % every == 0 {
+                    let p1 = eval_in_pool(&pool, network, test, options.eval_examples);
+                    history.push(Checkpoint {
+                        iteration,
+                        seconds: train_seconds,
+                        p_at_1: p1,
+                        train_loss: if loss_count == 0 {
+                            0.0
+                        } else {
+                            loss_acc / loss_count as f64
+                        },
+                    });
+                    loss_acc = 0.0;
+                    loss_count = 0;
+                }
+            }
+
+            if let Some(cap) = options.max_iterations {
+                if iteration >= cap {
+                    epoch_loss = safe_div(epoch_loss_acc, epoch_examples);
+                    break 'epochs;
+                }
+            }
+        }
+        epoch_loss = safe_div(epoch_loss_acc, epoch_examples);
+    }
+
+    Ok(TrainReport {
+        iterations: iteration,
+        seconds: train_seconds,
+        history,
+        telemetry: telemetry.snapshot(train_seconds),
+        final_loss: epoch_loss,
+    })
+}
+
+fn safe_div(num: f64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num / den as f64
+    }
+}
+
+fn eval_in_pool(
+    pool: &Option<rayon::ThreadPool>,
+    network: &Network,
+    test: &Dataset,
+    max: usize,
+) -> f64 {
+    match pool {
+        Some(p) => p.install(|| network.evaluate(test, max)),
+        None => network.evaluate(test, max),
+    }
+}
+
+/// Approximate memory/compute volume of one example's pass, derived from
+/// the workspace's active counts: forward + backward touch
+/// `|active_l| × |prev_l|` weights each.
+fn traffic(ws: &Workspace, input_nnz: usize) -> (u64, u64) {
+    let counts = ws.active_counts();
+    let mut prev = input_nnz as u64;
+    let mut touches = 0u64;
+    for &c in &counts {
+        let c = c as u64;
+        touches += c * prev;
+        prev = c;
+    }
+    // Forward read + backward read/update ⇒ ~3 touches per weight, 2
+    // multiply-adds.
+    (touches * 3, touches * 2)
+}
+
+/// The SLIDE trainer: LSH adaptive sampling + HOGWILD Adam.
+///
+/// See the crate-level docs for a complete example.
+#[derive(Debug)]
+pub struct SlideTrainer {
+    network: Network,
+}
+
+impl SlideTrainer {
+    /// Builds the network (including initial hash tables).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] on an inconsistent configuration.
+    pub fn new(config: NetworkConfig) -> Result<Self, ConfigError> {
+        Ok(Self {
+            network: Network::new(config)?,
+        })
+    }
+
+    /// The underlying network.
+    pub fn network(&self) -> &Network {
+        &self.network
+    }
+
+    /// Mutable network access.
+    pub fn network_mut(&mut self) -> &mut Network {
+        &mut self.network
+    }
+
+    /// Trains without periodic evaluation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the options are invalid or the dataset is empty; use
+    /// [`SlideTrainer::try_train`] for a fallible version.
+    pub fn train(&mut self, train: &Dataset, options: &TrainOptions) -> TrainReport {
+        self.try_train(train, None, options).expect("invalid training setup")
+    }
+
+    /// Trains with periodic evaluation on `test`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the options are invalid or the dataset is empty.
+    pub fn train_with_eval(
+        &mut self,
+        train: &Dataset,
+        test: &Dataset,
+        options: &TrainOptions,
+    ) -> TrainReport {
+        self.try_train(train, Some(test), options)
+            .expect("invalid training setup")
+    }
+
+    /// Fallible training entry point.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] for invalid options or an empty dataset.
+    pub fn try_train(
+        &mut self,
+        train: &Dataset,
+        test: Option<&Dataset>,
+        options: &TrainOptions,
+    ) -> Result<TrainReport, ConfigError> {
+        run(&mut self.network, train, test, options, OutputMode::Lsh)
+    }
+
+    /// Mean P@1 over up to 10 000 test examples (full dense scoring).
+    pub fn evaluate(&self, test: &Dataset) -> f64 {
+        self.network.evaluate(test, 10_000)
+    }
+
+    /// Mean P@1 over at most `max_examples` test examples.
+    pub fn evaluate_n(&self, test: &Dataset, max_examples: usize) -> f64 {
+        self.network.evaluate(test, max_examples)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::LshLayerConfig;
+    use slide_data::synth::{generate, SyntheticConfig};
+
+    fn tiny_data() -> slide_data::synth::SyntheticData {
+        generate(&SyntheticConfig::tiny().with_seed(3))
+    }
+
+    fn slide_config(data: &slide_data::synth::SyntheticData) -> NetworkConfig {
+        NetworkConfig::builder(data.train.feature_dim(), data.train.label_dim())
+            .hidden(24)
+            .output_lsh(
+                LshLayerConfig::simhash(3, 10)
+                    .with_strategy(slide_lsh::SamplingStrategy::Vanilla { budget: 10 }),
+            )
+            .learning_rate(2e-3)
+            .seed(11)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn options_validation() {
+        assert!(TrainOptions::new(0).validate().is_err());
+        assert!(TrainOptions::new(1).batch_size(0).validate().is_err());
+        let mut o = TrainOptions::new(1);
+        o.threads = Some(0);
+        assert!(o.validate().is_err());
+        assert!(TrainOptions::new(1).validate().is_ok());
+    }
+
+    #[test]
+    fn slide_trainer_learns_tiny_task() {
+        let data = tiny_data();
+        let mut trainer = SlideTrainer::new(slide_config(&data)).unwrap();
+        let before = trainer.evaluate_n(&data.test, 100);
+        let report = trainer.train(
+            &data.train,
+            &TrainOptions::new(4).batch_size(32).threads(2).seed(1),
+        );
+        let after = trainer.evaluate_n(&data.test, 100);
+        assert!(report.iterations > 0);
+        assert!(report.seconds > 0.0);
+        assert!(
+            after > before + 0.15,
+            "P@1 {before:.3} -> {after:.3} (no learning)"
+        );
+        // Output layer stayed sparse: active ≪ 50 classes.
+        assert!(report.telemetry.avg_active_output < 20.0);
+    }
+
+    #[test]
+    fn eval_history_is_recorded() {
+        let data = tiny_data();
+        let mut trainer = SlideTrainer::new(slide_config(&data)).unwrap();
+        let report = trainer.train_with_eval(
+            &data.train,
+            &data.test,
+            &TrainOptions::new(2)
+                .batch_size(32)
+                .threads(2)
+                .eval_every(5)
+                .eval_examples(50),
+        );
+        assert!(!report.history.is_empty());
+        for w in report.history.windows(2) {
+            assert!(w[1].iteration > w[0].iteration);
+            assert!(w[1].seconds >= w[0].seconds);
+        }
+    }
+
+    #[test]
+    fn max_iterations_caps_run() {
+        let data = tiny_data();
+        let mut trainer = SlideTrainer::new(slide_config(&data)).unwrap();
+        let report = trainer.train(
+            &data.train,
+            &TrainOptions::new(100).batch_size(16).threads(2).max_iterations(7),
+        );
+        assert_eq!(report.iterations, 7);
+    }
+
+    #[test]
+    fn empty_dataset_is_an_error() {
+        let data = tiny_data();
+        let mut trainer = SlideTrainer::new(slide_config(&data)).unwrap();
+        let empty = slide_data::Dataset::new(
+            data.train.feature_dim(),
+            data.train.label_dim(),
+        );
+        assert!(trainer
+            .try_train(&empty, None, &TrainOptions::new(1))
+            .is_err());
+    }
+
+    #[test]
+    fn tables_are_rebuilt_on_schedule() {
+        let data = tiny_data();
+        let mut cfg = slide_config(&data);
+        // Rebuild every 5 iterations, fixed.
+        if let Some(lsh) = &mut cfg.layers.last_mut().unwrap().lsh {
+            lsh.rebuild = crate::schedule::RebuildSchedule::fixed(5);
+        }
+        let mut trainer = SlideTrainer::new(cfg).unwrap();
+        trainer.train(
+            &data.train,
+            &TrainOptions::new(1).batch_size(32).threads(2).max_iterations(16),
+        );
+        let rebuilds = trainer.network().layers()[1].lsh().unwrap().rebuild_count();
+        // Initial build + 3 scheduled (at 5, 10, 15).
+        assert_eq!(rebuilds, 4);
+    }
+
+    #[test]
+    fn deterministic_iteration_count() {
+        let data = tiny_data();
+        let opts = TrainOptions::new(2).batch_size(50).threads(1).no_shuffle();
+        let mut t1 = SlideTrainer::new(slide_config(&data)).unwrap();
+        let r1 = t1.train(&data.train, &opts);
+        // 600 examples / 50 = 12 batches × 2 epochs.
+        assert_eq!(r1.iterations, 24);
+    }
+}

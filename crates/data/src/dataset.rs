@@ -1,0 +1,347 @@
+//! Multi-label datasets and mini-batching.
+
+use crate::sparse::SparseVector;
+
+/// One training or test instance: a sparse feature vector plus one or more
+/// label ids (extreme classification is multi-label).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Example {
+    /// Sparse input features.
+    pub features: SparseVector,
+    /// Sorted, deduplicated label ids.
+    pub labels: Vec<u32>,
+}
+
+impl Example {
+    /// Creates an example, sorting and deduplicating `labels`.
+    pub fn new(features: SparseVector, mut labels: Vec<u32>) -> Self {
+        labels.sort_unstable();
+        labels.dedup();
+        Self { features, labels }
+    }
+}
+
+/// Summary statistics in the shape of the paper's Table 1.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DatasetStats {
+    /// Number of examples.
+    pub size: usize,
+    /// Feature dimension.
+    pub feature_dim: usize,
+    /// Label dimension (number of classes).
+    pub label_dim: usize,
+    /// Mean number of nonzero features per example.
+    pub avg_feature_nnz: f64,
+    /// Mean feature density: `avg_feature_nnz / feature_dim`.
+    pub feature_sparsity: f64,
+    /// Mean number of labels per example.
+    pub avg_labels: f64,
+}
+
+/// A multi-label dataset with a fixed feature and label dimensionality.
+///
+/// # Example
+///
+/// ```
+/// use slide_data::{Dataset, Example, SparseVector};
+///
+/// let mut ds = Dataset::new(10, 4);
+/// ds.push(Example::new(SparseVector::from_pairs([(1, 1.0)]), vec![2]));
+/// assert_eq!(ds.len(), 1);
+/// assert_eq!(ds.stats().label_dim, 4);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dataset {
+    feature_dim: usize,
+    label_dim: usize,
+    examples: Vec<Example>,
+}
+
+impl Dataset {
+    /// Creates an empty dataset with the given dimensions.
+    pub fn new(feature_dim: usize, label_dim: usize) -> Self {
+        Self {
+            feature_dim,
+            label_dim,
+            examples: Vec::new(),
+        }
+    }
+
+    /// Appends an example.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any feature index or label is out of range for the
+    /// dataset's declared dimensions.
+    pub fn push(&mut self, example: Example) {
+        assert!(
+            example.features.min_dim() <= self.feature_dim,
+            "feature index out of range: {} > {}",
+            example.features.min_dim(),
+            self.feature_dim
+        );
+        if let Some(&max) = example.labels.last() {
+            assert!(
+                (max as usize) < self.label_dim,
+                "label {max} out of range for label_dim {}",
+                self.label_dim
+            );
+        }
+        self.examples.push(example);
+    }
+
+    /// Feature dimension.
+    #[inline]
+    pub fn feature_dim(&self) -> usize {
+        self.feature_dim
+    }
+
+    /// Number of classes.
+    #[inline]
+    pub fn label_dim(&self) -> usize {
+        self.label_dim
+    }
+
+    /// Number of examples.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.examples.len()
+    }
+
+    /// Whether the dataset holds no examples.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.examples.is_empty()
+    }
+
+    /// The examples in insertion order.
+    #[inline]
+    pub fn examples(&self) -> &[Example] {
+        &self.examples
+    }
+
+    /// Example at `index`.
+    pub fn get(&self, index: usize) -> Option<&Example> {
+        self.examples.get(index)
+    }
+
+    /// Iterator over the examples.
+    pub fn iter(&self) -> std::slice::Iter<'_, Example> {
+        self.examples.iter()
+    }
+
+    /// Computes Table-1-style statistics.
+    pub fn stats(&self) -> DatasetStats {
+        let n = self.examples.len().max(1) as f64;
+        let total_nnz: usize = self.examples.iter().map(|e| e.features.nnz()).sum();
+        let total_labels: usize = self.examples.iter().map(|e| e.labels.len()).sum();
+        let avg_nnz = total_nnz as f64 / n;
+        DatasetStats {
+            size: self.examples.len(),
+            feature_dim: self.feature_dim,
+            label_dim: self.label_dim,
+            avg_feature_nnz: avg_nnz,
+            feature_sparsity: if self.feature_dim == 0 {
+                0.0
+            } else {
+                avg_nnz / self.feature_dim as f64
+            },
+            avg_labels: total_labels as f64 / n,
+        }
+    }
+
+    /// Splits off the last `test_size` examples into a second dataset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `test_size > self.len()`.
+    pub fn split_off(&mut self, test_size: usize) -> Dataset {
+        assert!(test_size <= self.len(), "test_size exceeds dataset size");
+        let at = self.len() - test_size;
+        let tail = self.examples.split_off(at);
+        Dataset {
+            feature_dim: self.feature_dim,
+            label_dim: self.label_dim,
+            examples: tail,
+        }
+    }
+
+    /// Iterator over contiguous mini-batches of at most `batch_size`
+    /// examples (the final batch may be smaller).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch_size == 0`.
+    pub fn batches(&self, batch_size: usize) -> Batches<'_> {
+        assert!(batch_size > 0, "batch_size must be positive");
+        Batches {
+            examples: &self.examples,
+            batch_size,
+            cursor: 0,
+        }
+    }
+
+    /// Shuffles example order in place with the provided RNG.
+    pub fn shuffle<R: crate::rng::Rng>(&mut self, rng: &mut R) {
+        rng.shuffle(&mut self.examples);
+    }
+}
+
+impl Extend<Example> for Dataset {
+    fn extend<T: IntoIterator<Item = Example>>(&mut self, iter: T) {
+        for e in iter {
+            self.push(e);
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a Dataset {
+    type Item = &'a Example;
+    type IntoIter = std::slice::Iter<'a, Example>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.examples.iter()
+    }
+}
+
+/// Iterator produced by [`Dataset::batches`].
+#[derive(Debug, Clone)]
+pub struct Batches<'a> {
+    examples: &'a [Example],
+    batch_size: usize,
+    cursor: usize,
+}
+
+impl<'a> Iterator for Batches<'a> {
+    type Item = &'a [Example];
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.cursor >= self.examples.len() {
+            return None;
+        }
+        let end = (self.cursor + self.batch_size).min(self.examples.len());
+        let out = &self.examples[self.cursor..end];
+        self.cursor = end;
+        Some(out)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let remaining = self.examples.len().saturating_sub(self.cursor);
+        let n = remaining.div_ceil(self.batch_size);
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for Batches<'_> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Xoshiro256PlusPlus;
+
+    fn example(idx: u32, label: u32) -> Example {
+        Example::new(SparseVector::from_pairs([(idx, 1.0)]), vec![label])
+    }
+
+    fn dataset(n: usize) -> Dataset {
+        let mut ds = Dataset::new(100, 10);
+        for i in 0..n {
+            ds.push(example(i as u32 % 100, i as u32 % 10));
+        }
+        ds
+    }
+
+    #[test]
+    fn example_dedups_labels() {
+        let e = Example::new(SparseVector::new(), vec![3, 1, 3, 2, 1]);
+        assert_eq!(e.labels, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn push_validates_ranges() {
+        let mut ds = Dataset::new(10, 4);
+        ds.push(example(9, 3));
+        assert_eq!(ds.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "label 4 out of range")]
+    fn push_rejects_bad_label() {
+        let mut ds = Dataset::new(10, 4);
+        ds.push(example(0, 4));
+    }
+
+    #[test]
+    #[should_panic(expected = "feature index out of range")]
+    fn push_rejects_bad_feature() {
+        let mut ds = Dataset::new(10, 4);
+        ds.push(example(10, 0));
+    }
+
+    #[test]
+    fn stats_computed_correctly() {
+        let mut ds = Dataset::new(1000, 50);
+        ds.push(Example::new(
+            SparseVector::from_pairs([(0, 1.0), (1, 1.0)]),
+            vec![0, 1],
+        ));
+        ds.push(Example::new(SparseVector::from_pairs([(2, 1.0)]), vec![3]));
+        let s = ds.stats();
+        assert_eq!(s.size, 2);
+        assert!((s.avg_feature_nnz - 1.5).abs() < 1e-9);
+        assert!((s.feature_sparsity - 0.0015).abs() < 1e-9);
+        assert!((s.avg_labels - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn batches_cover_all_examples_once() {
+        let ds = dataset(10);
+        let batches: Vec<_> = ds.batches(3).collect();
+        assert_eq!(batches.len(), 4);
+        assert_eq!(batches[0].len(), 3);
+        assert_eq!(batches[3].len(), 1);
+        let total: usize = batches.iter().map(|b| b.len()).sum();
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn batches_exact_size_iterator() {
+        let ds = dataset(10);
+        let it = ds.batches(4);
+        assert_eq!(it.len(), 3);
+    }
+
+    #[test]
+    fn batches_on_empty_dataset() {
+        let ds = Dataset::new(10, 10);
+        assert_eq!(ds.batches(4).count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "batch_size must be positive")]
+    fn batches_zero_panics() {
+        let _ = dataset(3).batches(0);
+    }
+
+    #[test]
+    fn split_off_partitions() {
+        let mut ds = dataset(10);
+        let test = ds.split_off(3);
+        assert_eq!(ds.len(), 7);
+        assert_eq!(test.len(), 3);
+        assert_eq!(test.feature_dim(), 100);
+    }
+
+    #[test]
+    fn shuffle_preserves_multiset() {
+        let mut ds = dataset(50);
+        let before: Vec<_> = ds.iter().cloned().collect();
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(5);
+        ds.shuffle(&mut rng);
+        let mut a = before;
+        let mut b: Vec<_> = ds.iter().cloned().collect();
+        let key = |e: &Example| (e.features.indices().to_vec(), e.labels.clone());
+        a.sort_by_key(key);
+        b.sort_by_key(key);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,35 @@
+//! # slide-data
+//!
+//! Data substrate for the SLIDE reproduction: deterministic random number
+//! generation, sparse feature vectors, extreme-classification datasets
+//! (both a parser for the Extreme Classification Repository text format and
+//! a synthetic generator with planted label structure), mini-batching and
+//! ranking metrics.
+//!
+//! Everything in this crate is seed-deterministic: two runs with the same
+//! seed produce bit-identical datasets, which makes every experiment in the
+//! benchmark harness reproducible.
+//!
+//! ## Example
+//!
+//! ```
+//! use slide_data::synth::{SyntheticConfig, generate};
+//!
+//! let cfg = SyntheticConfig::tiny().with_seed(7);
+//! let data = generate(&cfg);
+//! assert_eq!(data.train.len(), cfg.train_size);
+//! let stats = data.train.stats();
+//! assert!(stats.avg_feature_nnz > 0.0);
+//! ```
+
+pub mod dataset;
+pub mod metrics;
+pub mod rng;
+pub mod sparse;
+pub mod svmlight;
+pub mod synth;
+
+pub use dataset::{Dataset, DatasetStats, Example};
+pub use metrics::{precision_at_k, PrecisionTracker};
+pub use rng::{Rng, SplitMix64, Xoshiro256PlusPlus};
+pub use sparse::SparseVector;

@@ -1,0 +1,172 @@
+//! Ranking metrics for extreme classification.
+//!
+//! The paper reports accuracy as precision@1 ("P@1"): the fraction of test
+//! examples whose top-scored class is one of the true labels. We provide
+//! P@k for general k plus a streaming tracker used by the trainers.
+
+/// Computes precision@k for one example.
+///
+/// `scores` are `(class, score)` pairs for the classes the model scored
+/// (not necessarily all classes); `true_labels` must be sorted. Returns the
+/// fraction of the top-`k` scored classes that are true labels.
+///
+/// # Panics
+///
+/// Panics if `k == 0`.
+///
+/// # Example
+///
+/// ```
+/// use slide_data::metrics::precision_at_k;
+///
+/// let scores = [(7u32, 0.9f32), (2, 0.5), (4, 0.1)];
+/// assert_eq!(precision_at_k(&scores, &[7], 1), 1.0);
+/// assert_eq!(precision_at_k(&scores, &[2, 4], 2), 0.5);
+/// ```
+pub fn precision_at_k(scores: &[(u32, f32)], true_labels: &[u32], k: usize) -> f64 {
+    assert!(k > 0, "k must be positive");
+    if scores.is_empty() {
+        return 0.0;
+    }
+    let k = k.min(scores.len());
+    // Partial selection of the top-k by score; ties broken by class id for
+    // determinism.
+    let mut top: Vec<(u32, f32)> = scores.to_vec();
+    top.select_nth_unstable_by(k - 1, |a, b| {
+        b.1.partial_cmp(&a.1)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.0.cmp(&b.0))
+    });
+    let hits = top[..k]
+        .iter()
+        .filter(|(c, _)| true_labels.binary_search(c).is_ok())
+        .count();
+    hits as f64 / k as f64
+}
+
+/// Streaming accumulator for mean precision@1 across a stream of examples.
+///
+/// # Example
+///
+/// ```
+/// use slide_data::metrics::PrecisionTracker;
+///
+/// let mut t = PrecisionTracker::new();
+/// t.record(&[(3, 1.0), (1, 0.2)], &[3]);
+/// t.record(&[(0, 1.0)], &[5]);
+/// assert_eq!(t.mean(), 0.5);
+/// assert_eq!(t.count(), 2);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PrecisionTracker {
+    sum: f64,
+    count: usize,
+}
+
+impl PrecisionTracker {
+    /// Creates an empty tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one example's P@1.
+    pub fn record(&mut self, scores: &[(u32, f32)], true_labels: &[u32]) {
+        self.sum += precision_at_k(scores, true_labels, 1);
+        self.count += 1;
+    }
+
+    /// Records an already-computed precision value.
+    pub fn record_value(&mut self, p: f64) {
+        self.sum += p;
+        self.count += 1;
+    }
+
+    /// Mean precision over everything recorded so far (0.0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Number of recorded examples.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Merges another tracker into this one.
+    pub fn merge(&mut self, other: &PrecisionTracker) {
+        self.sum += other.sum;
+        self.count += other.count;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn p_at_1_hit_and_miss() {
+        let scores = [(0u32, 0.1f32), (5, 0.9), (9, 0.5)];
+        assert_eq!(precision_at_k(&scores, &[5], 1), 1.0);
+        assert_eq!(precision_at_k(&scores, &[9], 1), 0.0);
+    }
+
+    #[test]
+    fn p_at_k_counts_fraction() {
+        let scores = [(0u32, 0.9f32), (1, 0.8), (2, 0.7), (3, 0.6)];
+        assert_eq!(precision_at_k(&scores, &[0, 2], 3), 2.0 / 3.0);
+    }
+
+    #[test]
+    fn k_larger_than_scores_is_clamped() {
+        let scores = [(0u32, 1.0f32)];
+        assert_eq!(precision_at_k(&scores, &[0], 5), 1.0);
+    }
+
+    #[test]
+    fn empty_scores_is_zero() {
+        assert_eq!(precision_at_k(&[], &[1], 1), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be positive")]
+    fn zero_k_panics() {
+        let _ = precision_at_k(&[(0, 1.0)], &[0], 0);
+    }
+
+    #[test]
+    fn deterministic_tie_break_by_class_id() {
+        // Two classes with identical scores: the smaller id wins the top
+        // slot, so P@1 against label 1 with a tie at {1, 2} is a hit.
+        let scores = [(2u32, 0.5f32), (1, 0.5)];
+        assert_eq!(precision_at_k(&scores, &[1], 1), 1.0);
+        assert_eq!(precision_at_k(&scores, &[2], 1), 0.0);
+    }
+
+    #[test]
+    fn tracker_accumulates_and_merges() {
+        let mut a = PrecisionTracker::new();
+        a.record(&[(1, 1.0)], &[1]);
+        let mut b = PrecisionTracker::new();
+        b.record(&[(1, 1.0)], &[2]);
+        b.record(&[(3, 1.0)], &[3]);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert!((a.mean() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tracker_empty_mean_is_zero() {
+        assert_eq!(PrecisionTracker::new().mean(), 0.0);
+    }
+
+    #[test]
+    fn nan_scores_do_not_panic() {
+        let scores = [(0u32, f32::NAN), (1, 0.5)];
+        // Must not panic; result is implementation-defined but finite.
+        let p = precision_at_k(&scores, &[1], 1);
+        assert!((0.0..=1.0).contains(&p));
+    }
+}

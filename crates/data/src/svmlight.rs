@@ -1,0 +1,270 @@
+//! Parser and writer for the Extreme Classification Repository text format.
+//!
+//! The paper's datasets (Delicious-200K, Amazon-670K) are distributed in an
+//! SVMLight-like format:
+//!
+//! ```text
+//! <num_examples> <feature_dim> <label_dim>
+//! <label>,<label>,... <feature>:<value> <feature>:<value> ...
+//! ```
+//!
+//! The first header line is mandatory. Lines may have an empty label list
+//! (a leading space). This module lets real XC-repository files be dropped
+//! into the benchmark harness in place of the synthetic datasets.
+
+use std::fmt;
+use std::io::{BufRead, Write};
+
+use crate::dataset::{Dataset, Example};
+use crate::sparse::SparseVector;
+
+/// Error produced while reading the XC text format.
+#[derive(Debug)]
+pub enum SvmlightError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Structural problem with the text, with a 1-based line number.
+    Parse {
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// Explanation of what was malformed.
+        message: String,
+    },
+}
+
+impl fmt::Display for SvmlightError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SvmlightError::Io(e) => write!(f, "i/o error: {e}"),
+            SvmlightError::Parse { line, message } => {
+                write!(f, "parse error on line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SvmlightError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SvmlightError::Io(e) => Some(e),
+            SvmlightError::Parse { .. } => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for SvmlightError {
+    fn from(e: std::io::Error) -> Self {
+        SvmlightError::Io(e)
+    }
+}
+
+fn parse_err(line: usize, message: impl Into<String>) -> SvmlightError {
+    SvmlightError::Parse {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Reads a dataset in the XC repository format.
+///
+/// # Errors
+///
+/// Returns [`SvmlightError`] on I/O failure, on a malformed header or
+/// record, or when an index exceeds the header's declared dimensions.
+///
+/// # Example
+///
+/// ```
+/// let text = "2 5 3\n0,2 1:0.5 3:1.0\n1 0:2.0\n";
+/// let ds = slide_data::svmlight::read(text.as_bytes())?;
+/// assert_eq!(ds.len(), 2);
+/// assert_eq!(ds.feature_dim(), 5);
+/// # Ok::<(), slide_data::svmlight::SvmlightError>(())
+/// ```
+pub fn read<R: BufRead>(reader: R) -> Result<Dataset, SvmlightError> {
+    let mut lines = reader.lines();
+    let header = lines
+        .next()
+        .ok_or_else(|| parse_err(1, "missing header line"))??;
+    let mut parts = header.split_whitespace();
+    let mut next_num = |name: &str| -> Result<usize, SvmlightError> {
+        parts
+            .next()
+            .ok_or_else(|| parse_err(1, format!("header missing {name}")))?
+            .parse::<usize>()
+            .map_err(|e| parse_err(1, format!("bad {name}: {e}")))
+    };
+    let declared_examples = next_num("num_examples")?;
+    let feature_dim = next_num("feature_dim")?;
+    let label_dim = next_num("label_dim")?;
+
+    let mut ds = Dataset::new(feature_dim, label_dim);
+    for (lineno, line) in lines.enumerate() {
+        let lineno = lineno + 2; // 1-based, after the header
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let example = parse_record(&line, lineno, feature_dim, label_dim)?;
+        ds.push(example);
+    }
+    if ds.len() != declared_examples {
+        return Err(parse_err(
+            1,
+            format!(
+                "header declared {declared_examples} examples but file contains {}",
+                ds.len()
+            ),
+        ));
+    }
+    Ok(ds)
+}
+
+fn parse_record(
+    line: &str,
+    lineno: usize,
+    feature_dim: usize,
+    label_dim: usize,
+) -> Result<Example, SvmlightError> {
+    // Records look like "l1,l2 f:v f:v"; a record with no labels starts
+    // with a space.
+    let (label_part, feature_part) = match line.find(' ') {
+        Some(pos) => (&line[..pos], &line[pos + 1..]),
+        None => (line, ""),
+    };
+    let mut labels = Vec::new();
+    if !label_part.is_empty() {
+        for tok in label_part.split(',') {
+            let label: u32 = tok
+                .trim()
+                .parse()
+                .map_err(|e| parse_err(lineno, format!("bad label {tok:?}: {e}")))?;
+            if label as usize >= label_dim {
+                return Err(parse_err(
+                    lineno,
+                    format!("label {label} out of range (label_dim {label_dim})"),
+                ));
+            }
+            labels.push(label);
+        }
+    }
+    let mut pairs = Vec::new();
+    for tok in feature_part.split_whitespace() {
+        let (idx, val) = tok
+            .split_once(':')
+            .ok_or_else(|| parse_err(lineno, format!("feature token {tok:?} missing ':'")))?;
+        let idx: u32 = idx
+            .parse()
+            .map_err(|e| parse_err(lineno, format!("bad feature index {idx:?}: {e}")))?;
+        if idx as usize >= feature_dim {
+            return Err(parse_err(
+                lineno,
+                format!("feature index {idx} out of range (feature_dim {feature_dim})"),
+            ));
+        }
+        let val: f32 = val
+            .parse()
+            .map_err(|e| parse_err(lineno, format!("bad feature value {val:?}: {e}")))?;
+        pairs.push((idx, val));
+    }
+    Ok(Example::new(SparseVector::from_pairs(pairs), labels))
+}
+
+/// Writes a dataset in the XC repository format.
+///
+/// # Errors
+///
+/// Propagates any I/O error from `writer`.
+pub fn write<W: Write>(dataset: &Dataset, mut writer: W) -> Result<(), std::io::Error> {
+    writeln!(
+        writer,
+        "{} {} {}",
+        dataset.len(),
+        dataset.feature_dim(),
+        dataset.label_dim()
+    )?;
+    for ex in dataset.iter() {
+        let labels: Vec<String> = ex.labels.iter().map(|l| l.to_string()).collect();
+        write!(writer, "{}", labels.join(","))?;
+        for (i, v) in ex.features.iter() {
+            write!(writer, " {i}:{v}")?;
+        }
+        writeln!(writer)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_basic_file() {
+        let text = "3 10 5\n0,1 2:0.5 7:1.5\n4 0:1.0\n 3:2.0\n";
+        let ds = read(text.as_bytes()).unwrap();
+        assert_eq!(ds.len(), 3);
+        assert_eq!(ds.get(0).unwrap().labels, vec![0, 1]);
+        assert_eq!(ds.get(0).unwrap().features.get(7), 1.5);
+        // Third record has no labels.
+        assert!(ds.get(2).unwrap().labels.is_empty());
+        assert_eq!(ds.get(2).unwrap().features.get(3), 2.0);
+    }
+
+    #[test]
+    fn roundtrip_through_writer() {
+        let text = "2 8 4\n1,3 0:0.25 5:4\n2 7:1\n";
+        let ds = read(text.as_bytes()).unwrap();
+        let mut buf = Vec::new();
+        write(&ds, &mut buf).unwrap();
+        let ds2 = read(buf.as_slice()).unwrap();
+        assert_eq!(ds, ds2);
+    }
+
+    #[test]
+    fn rejects_missing_header() {
+        let err = read("".as_bytes()).unwrap_err();
+        assert!(matches!(err, SvmlightError::Parse { line: 1, .. }));
+    }
+
+    #[test]
+    fn rejects_wrong_example_count() {
+        let err = read("5 10 5\n0 1:1\n".as_bytes()).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("declared 5 examples"), "{msg}");
+    }
+
+    #[test]
+    fn rejects_out_of_range_label() {
+        let err = read("1 10 5\n9 1:1\n".as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("label 9 out of range"));
+    }
+
+    #[test]
+    fn rejects_out_of_range_feature() {
+        let err = read("1 10 5\n0 12:1\n".as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("feature index 12 out of range"));
+    }
+
+    #[test]
+    fn rejects_malformed_feature_token() {
+        let err = read("1 10 5\n0 nocolon\n".as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("missing ':'"));
+    }
+
+    #[test]
+    fn skips_blank_lines() {
+        let text = "1 4 2\n\n0 1:1\n\n";
+        let ds = read(text.as_bytes()).unwrap();
+        assert_eq!(ds.len(), 1);
+    }
+
+    #[test]
+    fn error_reports_line_number() {
+        let text = "2 4 2\n0 1:1\n0 bad:token:x\n";
+        let err = read(text.as_bytes()).unwrap_err();
+        match err {
+            SvmlightError::Parse { line, .. } => assert_eq!(line, 3),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,483 @@
+//! Synthetic extreme-classification dataset generator.
+//!
+//! Substitute for the paper's Delicious-200K and Amazon-670K datasets
+//! (multi-GB downloads, unavailable offline). The generator plants the
+//! structure that the paper's experiments rely on:
+//!
+//! * **sparse high-dimensional features** — documents have a few dozen
+//!   nonzeros out of a feature dimension in the tens or hundreds of
+//!   thousands (Table 1 reports 0.038%–0.055% density);
+//! * **huge multi-label output space** with a power-law label prior
+//!   (a handful of head labels, a long tail);
+//! * **planted label→feature correlation** — every label owns a prototype
+//!   set of characteristic features; a document's features are drawn mostly
+//!   from its labels' prototypes plus uniform noise. This is what makes
+//!   *input-adaptive* neuron sampling (SLIDE) converge to higher accuracy
+//!   than *static* sampling (sampled softmax), the mechanism behind
+//!   Figures 5 and 7.
+
+use crate::dataset::{Dataset, Example};
+use crate::rng::{Rng, Xoshiro256PlusPlus};
+use crate::sparse::SparseVector;
+
+/// Configuration for [`generate`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SyntheticConfig {
+    /// Feature dimension (paper: 782,585 for Delicious, 135,909 for Amazon).
+    pub feature_dim: usize,
+    /// Label dimension (paper: 205,443 / 670,091).
+    pub label_dim: usize,
+    /// Number of training examples.
+    pub train_size: usize,
+    /// Number of test examples.
+    pub test_size: usize,
+    /// Average nonzero features per document (Delicious: ~75).
+    pub doc_nnz: usize,
+    /// Mean labels per document.
+    pub avg_labels: f64,
+    /// Features in each label's prototype.
+    pub prototype_nnz: usize,
+    /// Fraction of document features drawn uniformly at random instead of
+    /// from label prototypes, in `[0, 1]`.
+    pub noise: f64,
+    /// Zipf exponent of the label popularity distribution (0 = uniform).
+    pub zipf_exponent: f64,
+    /// Labels per confusability cluster. Sibling labels share
+    /// `cluster_overlap` of their prototype features, mirroring real
+    /// extreme-classification data (e.g. related products / co-occurring
+    /// tags). `1` disables clustering.
+    pub cluster_size: usize,
+    /// Fraction of each prototype drawn from the cluster's shared pool,
+    /// in `[0, 1)`. Higher = more confusable siblings.
+    pub cluster_overlap: f64,
+    /// RNG seed; same seed ⇒ identical dataset.
+    pub seed: u64,
+}
+
+impl SyntheticConfig {
+    /// A very small instance for unit tests and doc examples.
+    pub fn tiny() -> Self {
+        Self {
+            feature_dim: 500,
+            label_dim: 50,
+            train_size: 600,
+            test_size: 200,
+            doc_nnz: 12,
+            avg_labels: 1.3,
+            prototype_nnz: 10,
+            noise: 0.15,
+            zipf_exponent: 0.8,
+            cluster_size: 5,
+            cluster_overlap: 0.5,
+            seed: 0,
+        }
+    }
+
+    /// Scaled-down analogue of Delicious-200K: wide sparse features,
+    /// ~0.04% density, moderate label dimension.
+    pub fn delicious_like(scale: Scale) -> Self {
+        let s = scale.factor();
+        Self {
+            feature_dim: (200_000.0 * s) as usize,
+            label_dim: (50_000.0 * s) as usize,
+            train_size: (50_000.0 * s) as usize,
+            test_size: (10_000.0 * s) as usize,
+            doc_nnz: 75,
+            avg_labels: 2.0,
+            prototype_nnz: 30,
+            noise: 0.2,
+            zipf_exponent: 1.0,
+            cluster_size: 8,
+            cluster_overlap: 0.5,
+            seed: 0xDE11C,
+        }
+    }
+
+    /// Scaled-down analogue of Amazon-670K: narrower features but a much
+    /// larger label space.
+    pub fn amazon_like(scale: Scale) -> Self {
+        let s = scale.factor();
+        Self {
+            feature_dim: (40_000.0 * s) as usize,
+            label_dim: (160_000.0 * s) as usize,
+            train_size: (120_000.0 * s) as usize,
+            test_size: (30_000.0 * s) as usize,
+            doc_nnz: 75,
+            avg_labels: 1.5,
+            prototype_nnz: 25,
+            noise: 0.2,
+            zipf_exponent: 1.0,
+            cluster_size: 8,
+            cluster_overlap: 0.5,
+            seed: 0xA3A204,
+        }
+    }
+
+    /// Overrides the seed (builder style).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Overrides train/test sizes (builder style).
+    pub fn with_sizes(mut self, train: usize, test: usize) -> Self {
+        self.train_size = train;
+        self.test_size = test;
+        self
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first violated
+    /// constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.feature_dim == 0 || self.label_dim == 0 {
+            return Err("feature_dim and label_dim must be positive".into());
+        }
+        if self.prototype_nnz == 0 || self.prototype_nnz > self.feature_dim {
+            return Err(format!(
+                "prototype_nnz {} out of range (1..={})",
+                self.prototype_nnz, self.feature_dim
+            ));
+        }
+        if self.doc_nnz == 0 || self.doc_nnz > self.feature_dim {
+            return Err(format!(
+                "doc_nnz {} out of range (1..={})",
+                self.doc_nnz, self.feature_dim
+            ));
+        }
+        if !(0.0..=1.0).contains(&self.noise) {
+            return Err(format!("noise {} outside [0, 1]", self.noise));
+        }
+        if self.avg_labels < 1.0 {
+            return Err(format!("avg_labels {} must be >= 1", self.avg_labels));
+        }
+        if self.cluster_size == 0 {
+            return Err("cluster_size must be positive".into());
+        }
+        if !(0.0..1.0).contains(&self.cluster_overlap) {
+            return Err(format!("cluster_overlap {} outside [0, 1)", self.cluster_overlap));
+        }
+        Ok(())
+    }
+}
+
+/// Problem-size presets used throughout the benchmark harness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Scale {
+    /// ~1% of the paper-shaped size; seconds to train. CI default.
+    Smoke,
+    /// ~10%; minutes to train. Used by the figure binaries by default.
+    Medium,
+    /// Paper-shaped sizes; expect long runtimes on a laptop.
+    Full,
+}
+
+impl Scale {
+    fn factor(self) -> f64 {
+        match self {
+            Scale::Smoke => 0.01,
+            Scale::Medium => 0.1,
+            Scale::Full => 1.0,
+        }
+    }
+
+    /// Parses `"smoke" | "medium" | "full"` (case-insensitive).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.to_ascii_lowercase().as_str() {
+            "smoke" => Some(Scale::Smoke),
+            "medium" => Some(Scale::Medium),
+            "full" => Some(Scale::Full),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for Scale {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Scale::Smoke => write!(f, "smoke"),
+            Scale::Medium => write!(f, "medium"),
+            Scale::Full => write!(f, "full"),
+        }
+    }
+}
+
+/// A generated train/test pair together with the config that produced it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SyntheticData {
+    /// Training split.
+    pub train: Dataset,
+    /// Held-out test split.
+    pub test: Dataset,
+    /// Generator configuration (for provenance in experiment output).
+    pub config: SyntheticConfig,
+}
+
+/// Precomputed cumulative Zipf distribution for label sampling.
+struct ZipfSampler {
+    cumulative: Vec<f64>,
+}
+
+impl ZipfSampler {
+    fn new(n: usize, exponent: f64) -> Self {
+        let mut cumulative = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for rank in 0..n {
+            acc += 1.0 / ((rank + 1) as f64).powf(exponent);
+            cumulative.push(acc);
+        }
+        Self { cumulative }
+    }
+
+    fn sample<R: Rng>(&self, rng: &mut R) -> usize {
+        let total = *self.cumulative.last().expect("nonempty distribution");
+        let u = rng.next_f64() * total;
+        self.cumulative.partition_point(|&c| c < u)
+    }
+}
+
+/// Generates a synthetic dataset according to `config`.
+///
+/// Deterministic in `config.seed`.
+///
+/// # Panics
+///
+/// Panics if `config.validate()` fails; call it first to handle the error
+/// gracefully.
+pub fn generate(config: &SyntheticConfig) -> SyntheticData {
+    config
+        .validate()
+        .unwrap_or_else(|e| panic!("invalid SyntheticConfig: {e}"));
+    let root = Xoshiro256PlusPlus::seed_from_u64(config.seed);
+
+    // 1. Label prototypes. Labels are grouped into clusters of
+    //    `cluster_size`; siblings draw `cluster_overlap` of their
+    //    prototype from a pool shared by the cluster, so siblings are
+    //    genuinely confusable (the hard negatives adaptive sampling
+    //    exploits), and the rest from label-unique features.
+    let mut proto_rng = root.stream(1);
+    let shared_nnz = ((config.prototype_nnz as f64) * config.cluster_overlap).round() as usize;
+    let unique_nnz = config.prototype_nnz - shared_nnz;
+    // Shared pools: 2× the shared prototype size, one per cluster.
+    let num_clusters = config.label_dim.div_ceil(config.cluster_size);
+    let pools: Vec<Vec<u32>> = (0..num_clusters)
+        .map(|_| {
+            proto_rng
+                .sample_distinct(config.feature_dim, (2 * shared_nnz).max(1))
+                .into_iter()
+                .map(|i| i as u32)
+                .collect()
+        })
+        .collect();
+    let prototypes: Vec<(Vec<u32>, Vec<f32>)> = (0..config.label_dim)
+        .map(|label| {
+            let pool = &pools[label / config.cluster_size];
+            let mut idx: Vec<u32> = Vec::with_capacity(config.prototype_nnz);
+            if shared_nnz > 0 {
+                let picks = proto_rng.sample_distinct(pool.len(), shared_nnz.min(pool.len()));
+                idx.extend(picks.into_iter().map(|i| pool[i]));
+            }
+            while idx.len() < shared_nnz + unique_nnz {
+                let f = proto_rng.gen_range(0, config.feature_dim) as u32;
+                if !idx.contains(&f) {
+                    idx.push(f);
+                }
+            }
+            let weights: Vec<f32> = (0..idx.len())
+                .map(|_| 0.5 + proto_rng.next_f32())
+                .collect();
+            (idx, weights)
+        })
+        .collect();
+
+    let zipf = ZipfSampler::new(config.label_dim, config.zipf_exponent);
+    let gen_split = |mut rng: Xoshiro256PlusPlus, size: usize| -> Dataset {
+        let mut ds = Dataset::new(config.feature_dim, config.label_dim);
+        for _ in 0..size {
+            ds.push(gen_example(config, &prototypes, &zipf, &mut rng));
+        }
+        ds
+    };
+
+    let train = gen_split(root.stream(2), config.train_size);
+    let test = gen_split(root.stream(3), config.test_size);
+    SyntheticData {
+        train,
+        test,
+        config: config.clone(),
+    }
+}
+
+fn gen_example<R: Rng>(
+    config: &SyntheticConfig,
+    prototypes: &[(Vec<u32>, Vec<f32>)],
+    zipf: &ZipfSampler,
+    rng: &mut R,
+) -> Example {
+    // Number of labels: 1 + Poisson-ish tail so the mean is avg_labels.
+    let extra_p = (config.avg_labels - 1.0).clamp(0.0, 0.95);
+    let mut n_labels = 1;
+    while n_labels < 8 && rng.gen_bool(extra_p / n_labels as f64) {
+        n_labels += 1;
+    }
+    let mut labels = Vec::with_capacity(n_labels);
+    while labels.len() < n_labels {
+        let l = zipf.sample(rng) as u32;
+        if !labels.contains(&l) {
+            labels.push(l);
+        }
+    }
+
+    // Features: mostly from the labels' prototypes, the rest uniform noise.
+    let signal_nnz = ((config.doc_nnz as f64) * (1.0 - config.noise)).round() as usize;
+    let mut pairs: Vec<(u32, f32)> = Vec::with_capacity(config.doc_nnz);
+    for k in 0..signal_nnz {
+        let &label = &labels[k % labels.len()];
+        let (proto_idx, proto_w) = &prototypes[label as usize];
+        let j = rng.gen_range(0, proto_idx.len());
+        // Jitter the prototype weight so values are not constant.
+        let jitter = 0.8 + 0.4 * rng.next_f32();
+        pairs.push((proto_idx[j], proto_w[j] * jitter));
+    }
+    while pairs.len() < config.doc_nnz {
+        let f = rng.gen_range(0, config.feature_dim) as u32;
+        pairs.push((f, 0.25 + 0.5 * rng.next_f32()));
+    }
+    Example::new(SparseVector::from_pairs(pairs), labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_config_is_valid() {
+        assert!(SyntheticConfig::tiny().validate().is_ok());
+        assert!(SyntheticConfig::delicious_like(Scale::Smoke).validate().is_ok());
+        assert!(SyntheticConfig::amazon_like(Scale::Smoke).validate().is_ok());
+    }
+
+    #[test]
+    fn validate_catches_bad_configs() {
+        let mut c = SyntheticConfig::tiny();
+        c.noise = 1.5;
+        assert!(c.validate().is_err());
+        let mut c = SyntheticConfig::tiny();
+        c.prototype_nnz = 0;
+        assert!(c.validate().is_err());
+        let mut c = SyntheticConfig::tiny();
+        c.doc_nnz = c.feature_dim + 1;
+        assert!(c.validate().is_err());
+        let mut c = SyntheticConfig::tiny();
+        c.avg_labels = 0.5;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn generates_requested_sizes() {
+        let cfg = SyntheticConfig::tiny();
+        let data = generate(&cfg);
+        assert_eq!(data.train.len(), cfg.train_size);
+        assert_eq!(data.test.len(), cfg.test_size);
+        assert_eq!(data.train.feature_dim(), cfg.feature_dim);
+        assert_eq!(data.train.label_dim(), cfg.label_dim);
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let cfg = SyntheticConfig::tiny().with_seed(42);
+        let a = generate(&cfg);
+        let b = generate(&cfg);
+        assert_eq!(a.train, b.train);
+        assert_eq!(a.test, b.test);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generate(&SyntheticConfig::tiny().with_seed(1));
+        let b = generate(&SyntheticConfig::tiny().with_seed(2));
+        assert_ne!(a.train, b.train);
+    }
+
+    #[test]
+    fn stats_match_config_targets() {
+        let cfg = SyntheticConfig::tiny();
+        let data = generate(&cfg);
+        let stats = data.train.stats();
+        // Every example has exactly doc_nnz draws; duplicates can merge, so
+        // the average nnz is close to but at most doc_nnz.
+        assert!(stats.avg_feature_nnz <= cfg.doc_nnz as f64 + 1e-9);
+        assert!(stats.avg_feature_nnz > cfg.doc_nnz as f64 * 0.7);
+        assert!(stats.avg_labels >= 1.0);
+        assert!(stats.avg_labels < cfg.avg_labels + 0.5);
+    }
+
+    #[test]
+    fn zipf_head_labels_are_more_popular() {
+        let cfg = SyntheticConfig::tiny().with_sizes(2000, 0);
+        let data = generate(&cfg);
+        let mut counts = vec![0usize; cfg.label_dim];
+        for ex in data.train.iter() {
+            for &l in &ex.labels {
+                counts[l as usize] += 1;
+            }
+        }
+        let head: usize = counts[..5].iter().sum();
+        let tail: usize = counts[cfg.label_dim - 5..].iter().sum();
+        assert!(
+            head > tail * 2,
+            "power-law prior violated: head {head} vs tail {tail}"
+        );
+    }
+
+    #[test]
+    fn planted_structure_is_learnable() {
+        // Nearest-prototype classification on the generated data should
+        // beat random chance by a wide margin; otherwise the accuracy
+        // curves in the figure experiments would be meaningless.
+        let cfg = SyntheticConfig::tiny();
+        let data = generate(&cfg);
+        let prototypes: Vec<SparseVector> = {
+            // Re-derive prototypes by averaging training examples per label.
+            let mut sums: Vec<std::collections::HashMap<u32, f32>> =
+                vec![std::collections::HashMap::new(); cfg.label_dim];
+            for ex in data.train.iter() {
+                for &l in &ex.labels {
+                    for (i, v) in ex.features.iter() {
+                        *sums[l as usize].entry(i).or_insert(0.0) += v;
+                    }
+                }
+            }
+            sums.into_iter()
+                .map(|m| SparseVector::from_pairs(m.into_iter()))
+                .collect()
+        };
+        let mut hits = 0;
+        for ex in data.test.iter().take(50) {
+            let best = (0..cfg.label_dim)
+                .max_by(|&a, &b| {
+                    let sa = ex.features.dot_sparse(&prototypes[a]);
+                    let sb = ex.features.dot_sparse(&prototypes[b]);
+                    sa.partial_cmp(&sb).unwrap_or(std::cmp::Ordering::Equal)
+                })
+                .unwrap() as u32;
+            if ex.labels.contains(&best) {
+                hits += 1;
+            }
+        }
+        // Chance would be ~ avg_labels/label_dim ≈ 2.6%; require far more.
+        assert!(hits >= 15, "only {hits}/50 nearest-prototype hits");
+    }
+
+    #[test]
+    fn scale_parsing() {
+        assert_eq!(Scale::parse("smoke"), Some(Scale::Smoke));
+        assert_eq!(Scale::parse("MEDIUM"), Some(Scale::Medium));
+        assert_eq!(Scale::parse("full"), Some(Scale::Full));
+        assert_eq!(Scale::parse("paper"), None);
+        assert_eq!(Scale::Smoke.to_string(), "smoke");
+    }
+}

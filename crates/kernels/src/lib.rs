@@ -1,0 +1,24 @@
+//! # slide-kernels
+//!
+//! Numeric kernels for the SLIDE reproduction, in two flavours selected by
+//! [`KernelMode`]:
+//!
+//! * [`KernelMode::Scalar`] — straightforward element-at-a-time loops, the
+//!   "plain SLIDE" of the paper's Figure 10;
+//! * [`KernelMode::Vectorized`] — 8-lane unrolled loops written so the
+//!   compiler's auto-vectorizer emits SIMD, standing in for the paper's
+//!   hand-written Intel AVX kernels (§5.4, Appendix D), plus explicit
+//!   x86 prefetch hints where available (the paper's software pipelining).
+//!
+//! The [`aligned`] module provides cache-line-aligned, padded allocations
+//! — the paper's fix for false sharing between OpenMP threads
+//! ("carefully allocating data structures and aligning them on cache line
+//! boundaries"; Appendix D).
+
+pub mod aligned;
+pub mod ops;
+
+pub use aligned::{AlignedVec, CachePadded, CACHE_LINE_BYTES};
+pub use ops::{
+    adam_step, axpy, dot, relu_in_place, softmax_in_place, AdamParams, KernelMode,
+};

@@ -1,0 +1,249 @@
+//! Fixed-capacity hash-table buckets.
+
+use slide_data::rng::Rng;
+
+use crate::policy::InsertionPolicy;
+
+/// Result of inserting into a [`Bucket`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InsertOutcome {
+    /// Stored in a free slot.
+    Stored,
+    /// Stored by evicting the returned item.
+    Replaced(u32),
+    /// Dropped by the reservoir coin flip.
+    Rejected,
+}
+
+/// A fixed-capacity bucket of neuron ids with a replacement policy.
+///
+/// # Example
+///
+/// ```
+/// use slide_lsh::{bucket::Bucket, policy::InsertionPolicy};
+/// use slide_data::rng::SplitMix64;
+///
+/// let mut b = Bucket::new(2);
+/// let mut rng = SplitMix64::new(1);
+/// b.insert(10, InsertionPolicy::Fifo, &mut rng);
+/// b.insert(11, InsertionPolicy::Fifo, &mut rng);
+/// b.insert(12, InsertionPolicy::Fifo, &mut rng); // evicts 10
+/// assert_eq!(b.items().len(), 2);
+/// assert!(b.items().contains(&12));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bucket {
+    items: Vec<u32>,
+    capacity: usize,
+    /// Total insertion attempts ever made (drives the reservoir
+    /// probability).
+    attempts: u64,
+    /// Next eviction slot for FIFO.
+    head: usize,
+}
+
+impl Bucket {
+    /// Creates an empty bucket with the given capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "bucket capacity must be positive");
+        Self {
+            items: Vec::new(),
+            capacity,
+            attempts: 0,
+            head: 0,
+        }
+    }
+
+    /// Inserts `id` under `policy`, using `rng` for reservoir coin flips.
+    pub fn insert<R: Rng>(
+        &mut self,
+        id: u32,
+        policy: InsertionPolicy,
+        rng: &mut R,
+    ) -> InsertOutcome {
+        self.attempts += 1;
+        if self.items.len() < self.capacity {
+            self.items.push(id);
+            return InsertOutcome::Stored;
+        }
+        match policy {
+            InsertionPolicy::Reservoir => {
+                // Vitter's algorithm R: keep the new item with probability
+                // capacity / attempts, in a uniformly random slot.
+                let j = rng.gen_range(0, self.attempts as usize);
+                if j < self.capacity {
+                    let old = std::mem::replace(&mut self.items[j], id);
+                    InsertOutcome::Replaced(old)
+                } else {
+                    InsertOutcome::Rejected
+                }
+            }
+            InsertionPolicy::Fifo => {
+                let old = std::mem::replace(&mut self.items[self.head], id);
+                self.head = (self.head + 1) % self.capacity;
+                InsertOutcome::Replaced(old)
+            }
+        }
+    }
+
+    /// The stored ids, in unspecified order.
+    #[inline]
+    pub fn items(&self) -> &[u32] {
+        &self.items
+    }
+
+    /// Number of stored ids.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the bucket is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Capacity limit.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Total insertion attempts ever made.
+    #[inline]
+    pub fn attempts(&self) -> u64 {
+        self.attempts
+    }
+
+    /// Removes everything and resets policy state.
+    pub fn clear(&mut self) {
+        self.items.clear();
+        self.attempts = 0;
+        self.head = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slide_data::rng::Xoshiro256PlusPlus;
+
+    fn rng(seed: u64) -> Xoshiro256PlusPlus {
+        Xoshiro256PlusPlus::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn fills_to_capacity_under_both_policies() {
+        for policy in [InsertionPolicy::Reservoir, InsertionPolicy::Fifo] {
+            let mut b = Bucket::new(4);
+            let mut r = rng(1);
+            for i in 0..4 {
+                assert_eq!(b.insert(i, policy, &mut r), InsertOutcome::Stored);
+            }
+            assert_eq!(b.len(), 4);
+        }
+    }
+
+    #[test]
+    fn fifo_evicts_oldest_in_order() {
+        let mut b = Bucket::new(3);
+        let mut r = rng(2);
+        for i in 0..3 {
+            b.insert(i, InsertionPolicy::Fifo, &mut r);
+        }
+        assert_eq!(
+            b.insert(100, InsertionPolicy::Fifo, &mut r),
+            InsertOutcome::Replaced(0)
+        );
+        assert_eq!(
+            b.insert(101, InsertionPolicy::Fifo, &mut r),
+            InsertOutcome::Replaced(1)
+        );
+        assert_eq!(
+            b.insert(102, InsertionPolicy::Fifo, &mut r),
+            InsertOutcome::Replaced(2)
+        );
+        // Ring wraps: next eviction is 100.
+        assert_eq!(
+            b.insert(103, InsertionPolicy::Fifo, &mut r),
+            InsertOutcome::Replaced(100)
+        );
+    }
+
+    #[test]
+    fn fifo_always_stores_new_item() {
+        let mut b = Bucket::new(2);
+        let mut r = rng(3);
+        for i in 0..100 {
+            b.insert(i, InsertionPolicy::Fifo, &mut r);
+        }
+        assert!(b.items().contains(&99));
+    }
+
+    #[test]
+    fn reservoir_keeps_uniform_sample() {
+        // Insert 0..1000 into a capacity-10 reservoir many times; each
+        // item should survive with probability 10/1000, so the mean of the
+        // survivors should be close to 500.
+        let mut total = 0.0;
+        let mut n = 0;
+        for seed in 0..200 {
+            let mut b = Bucket::new(10);
+            let mut r = rng(seed);
+            for i in 0..1000 {
+                b.insert(i, InsertionPolicy::Reservoir, &mut r);
+            }
+            for &x in b.items() {
+                total += x as f64;
+                n += 1;
+            }
+        }
+        let mean = total / n as f64;
+        assert!(
+            (mean - 499.5).abs() < 30.0,
+            "reservoir sample biased: mean {mean}"
+        );
+    }
+
+    #[test]
+    fn reservoir_rejection_rate_matches_theory() {
+        let mut b = Bucket::new(5);
+        let mut r = rng(7);
+        let mut rejected = 0;
+        let total = 10_000;
+        for i in 0..total {
+            if b.insert(i, InsertionPolicy::Reservoir, &mut r) == InsertOutcome::Rejected {
+                rejected += 1;
+            }
+        }
+        // Expected acceptances ≈ 5 + 5·ln(10000/5) ≈ 43, so the vast
+        // majority must be rejections.
+        assert!(rejected > total - 100, "only {rejected} rejections");
+    }
+
+    #[test]
+    fn clear_resets_state() {
+        let mut b = Bucket::new(2);
+        let mut r = rng(9);
+        b.insert(1, InsertionPolicy::Fifo, &mut r);
+        b.insert(2, InsertionPolicy::Fifo, &mut r);
+        b.insert(3, InsertionPolicy::Fifo, &mut r);
+        b.clear();
+        assert!(b.is_empty());
+        assert_eq!(b.attempts(), 0);
+        // After clear, FIFO starts from slot 0 again.
+        b.insert(7, InsertionPolicy::Fifo, &mut r);
+        assert_eq!(b.items(), &[7]);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        let _ = Bucket::new(0);
+    }
+}

@@ -1,0 +1,291 @@
+//! Densified Winner-Takes-All hashing (Chen & Shrivastava 2018; paper
+//! §3.2 and Appendix A).
+//!
+//! Plain WTA degrades on very sparse inputs: most bins see only zeros and
+//! the argmax is meaningless. DWTA fixes this two ways:
+//!
+//! 1. **Sparse evaluation** — instead of scanning every bin coordinate, it
+//!    loops over the input's nonzeros and updates only the bins that
+//!    contain them: `O(nnz · K·L·m / d)` comparisons (paper: "significantly
+//!    more efficient than simply applying WTA hash to sparse input").
+//! 2. **Densification** — bins left empty borrow the code of a nonempty
+//!    bin chosen by universal probing, preserving the LSH property.
+
+use slide_data::rng::{mix64, Rng};
+use slide_data::SparseVector;
+
+use crate::family::{check_args, HashFamily, HashFamilyKind};
+use crate::wta::WtaHash;
+
+/// The DWTA hash family.
+///
+/// # Example
+///
+/// ```
+/// use slide_lsh::{family::HashFamily, dwta::DwtaHash};
+/// use slide_data::{rng::Xoshiro256PlusPlus, SparseVector};
+///
+/// let h = DwtaHash::new(1000, 3, 5, 8, &mut Xoshiro256PlusPlus::seed_from_u64(1));
+/// let v = SparseVector::from_pairs([(3, 1.0), (500, 2.0), (999, 0.5)]);
+/// let mut codes = vec![0u32; h.num_codes()];
+/// h.hash_sparse(&v, &mut codes);
+/// assert!(codes.iter().all(|&c| c < 8));
+/// ```
+#[derive(Debug, Clone)]
+pub struct DwtaHash {
+    inner: WtaHash,
+    /// `(feature, code, slot)` triples sorted by feature, for the sparse
+    /// path: feature → which bins contain it and at which slot.
+    membership: Vec<(u32, u32, u32)>,
+    /// Salt for the densification probe sequence.
+    salt: u64,
+}
+
+impl DwtaHash {
+    /// Creates the family; parameters as in [`WtaHash::new`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if any parameter is zero or `m > dim`.
+    pub fn new<R: Rng>(dim: usize, k: usize, l: usize, m: usize, rng: &mut R) -> Self {
+        let inner = WtaHash::new(dim, k, l, m, rng);
+        let mut membership = Vec::with_capacity(k * l * m);
+        for (code, bin) in inner.bins().iter().enumerate() {
+            for (slot, &feature) in bin.iter().enumerate() {
+                membership.push((feature, code as u32, slot as u32));
+            }
+        }
+        membership.sort_unstable();
+        Self {
+            inner,
+            membership,
+            salt: rng.next_u64(),
+        }
+    }
+
+    /// Bin size `m` (the code range).
+    pub fn m(&self) -> usize {
+        self.inner.m()
+    }
+
+    /// All `(code, slot)` bins containing `feature`.
+    fn bins_of(&self, feature: u32) -> &[(u32, u32, u32)] {
+        let lo = self.membership.partition_point(|&(f, _, _)| f < feature);
+        let hi = self.membership.partition_point(|&(f, _, _)| f <= feature);
+        &self.membership[lo..hi]
+    }
+
+    /// Densification: fill codes of empty bins by probing other bins with
+    /// a universal hash sequence (Chen & Shrivastava 2018).
+    fn densify(&self, filled: &[bool], out: &mut [u32]) {
+        const MAX_ATTEMPTS: u64 = 100;
+        let n = out.len() as u64;
+        for j in 0..out.len() {
+            if filled[j] {
+                continue;
+            }
+            let mut donor = None;
+            for attempt in 1..=MAX_ATTEMPTS {
+                let probe = (mix64(self.salt ^ ((j as u64) << 32) ^ attempt) % n) as usize;
+                if filled[probe] {
+                    donor = Some(probe);
+                    break;
+                }
+            }
+            // All-empty input (or pathological probing): default to 0.
+            out[j] = donor.map_or(0, |d| out[d]);
+        }
+    }
+}
+
+impl HashFamily for DwtaHash {
+    fn k(&self) -> usize {
+        self.inner.k()
+    }
+
+    fn l(&self) -> usize {
+        self.inner.l()
+    }
+
+    fn code_range(&self) -> u32 {
+        self.inner.code_range()
+    }
+
+    fn dim(&self) -> usize {
+        self.inner.dim()
+    }
+
+    fn kind(&self) -> HashFamilyKind {
+        HashFamilyKind::Dwta
+    }
+
+    fn hash_dense(&self, input: &[f32], out: &mut [u32]) {
+        // Dense inputs have no empty bins (all coordinates present); plain
+        // WTA semantics apply. Zero entries still participate, matching
+        // the sparse path's treatment of explicit zeros... WTA over dense
+        // data is the degenerate case of DWTA.
+        self.inner.hash_dense(input, out);
+    }
+
+    fn hash_sparse(&self, input: &SparseVector, out: &mut [u32]) {
+        check_args(self.dim(), self.dim(), self.num_codes(), out.len());
+        let mut best_val = vec![f32::NEG_INFINITY; out.len()];
+        let mut filled = vec![false; out.len()];
+        for o in out.iter_mut() {
+            *o = 0;
+        }
+        // Paper: "DWTA loops through all the nonzero indices of the sparse
+        // input [and updates] the current maximum of the corresponding
+        // bins".
+        for (feature, value) in input.iter() {
+            assert!(
+                (feature as usize) < self.dim(),
+                "feature {feature} out of range for dim {}",
+                self.dim()
+            );
+            for &(_, code, slot) in self.bins_of(feature) {
+                let c = code as usize;
+                if value > best_val[c] {
+                    best_val[c] = value;
+                    out[c] = slot;
+                    filled[c] = true;
+                }
+            }
+        }
+        self.densify(&filled, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use slide_data::rng::Rng;
+    use slide_data::rng::Xoshiro256PlusPlus;
+
+    fn rng(seed: u64) -> Xoshiro256PlusPlus {
+        Xoshiro256PlusPlus::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn sparse_agrees_with_dense_wta_on_positive_dense_vector() {
+        // When every coordinate is present and positive, the sparse path
+        // must reduce to plain WTA.
+        let dim = 48;
+        let h = DwtaHash::new(dim, 2, 4, 6, &mut rng(1));
+        let mut r = rng(2);
+        let dense: Vec<f32> = (0..dim).map(|_| r.next_f32() + 0.1).collect();
+        let sv = SparseVector::from_dense(&dense);
+        let mut cs = vec![0u32; h.num_codes()];
+        let mut cd = vec![0u32; h.num_codes()];
+        h.hash_sparse(&sv, &mut cs);
+        h.hash_dense(&dense, &mut cd);
+        assert_eq!(cs, cd);
+    }
+
+    #[test]
+    fn codes_in_range_on_sparse_input() {
+        let h = DwtaHash::new(10_000, 3, 5, 8, &mut rng(3));
+        let v = SparseVector::from_pairs([(17, 1.0), (4000, 3.0), (9999, 2.0)]);
+        let mut codes = vec![0u32; h.num_codes()];
+        h.hash_sparse(&v, &mut codes);
+        assert!(codes.iter().all(|&c| c < 8));
+    }
+
+    #[test]
+    fn empty_input_yields_zero_codes_without_panic() {
+        let h = DwtaHash::new(100, 2, 2, 4, &mut rng(4));
+        let v = SparseVector::new();
+        let mut codes = vec![7u32; h.num_codes()];
+        h.hash_sparse(&v, &mut codes);
+        assert!(codes.iter().all(|&c| c == 0));
+    }
+
+    #[test]
+    fn densification_is_deterministic() {
+        let h = DwtaHash::new(5_000, 4, 6, 8, &mut rng(5));
+        let v = SparseVector::from_pairs([(12, 2.0), (999, -1.0)]);
+        let mut a = vec![0u32; h.num_codes()];
+        let mut b = vec![0u32; h.num_codes()];
+        h.hash_sparse(&v, &mut a);
+        h.hash_sparse(&v, &mut b);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn similar_sparse_vectors_collide_more() {
+        let dim = 2_000;
+        let h = DwtaHash::new(dim, 1, 400, 8, &mut rng(6));
+        let mut r = rng(7);
+        let base: Vec<(u32, f32)> = (0..40)
+            .map(|_| (r.gen_range(0, dim) as u32, r.next_f32() + 0.5))
+            .collect();
+        let a = SparseVector::from_pairs(base.clone());
+        // Similar: same support, slightly jittered values.
+        let similar = SparseVector::from_pairs(
+            base.iter()
+                .map(|&(i, v)| (i, v * (1.0 + 0.05 * (r.next_f32() - 0.5)))),
+        );
+        // Dissimilar: disjoint support.
+        let dissimilar = SparseVector::from_pairs(
+            (0..40).map(|_| (r.gen_range(0, dim) as u32, r.next_f32() + 0.5)),
+        );
+        let mut ca = vec![0u32; h.num_codes()];
+        let mut cb = vec![0u32; h.num_codes()];
+        let mut cc = vec![0u32; h.num_codes()];
+        h.hash_sparse(&a, &mut ca);
+        h.hash_sparse(&similar, &mut cb);
+        h.hash_sparse(&dissimilar, &mut cc);
+        let agree = |x: &[u32], y: &[u32]| x.iter().zip(y).filter(|(a, b)| a == b).count();
+        let sim_agree = agree(&ca, &cb);
+        let dis_agree = agree(&ca, &cc);
+        assert!(
+            sim_agree > dis_agree + 20,
+            "similar {sim_agree} vs dissimilar {dis_agree} of {}",
+            h.num_codes()
+        );
+    }
+
+    #[test]
+    fn membership_covers_all_bins() {
+        let h = DwtaHash::new(64, 2, 3, 4, &mut rng(8));
+        let mut bin_counts = vec![0usize; h.num_codes()];
+        for &(_, code, _) in &h.membership {
+            bin_counts[code as usize] += 1;
+        }
+        assert!(bin_counts.iter().all(|&c| c == 4));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_codes_in_range(
+            seed in 0u64..500,
+            pairs in proptest::collection::btree_map(0u32..300, 0.01f32..5.0, 1..20),
+        ) {
+            let h = DwtaHash::new(300, 2, 3, 5, &mut rng(seed));
+            let v = SparseVector::from_pairs(pairs.into_iter());
+            let mut codes = vec![0u32; h.num_codes()];
+            h.hash_sparse(&v, &mut codes);
+            prop_assert!(codes.iter().all(|&c| c < h.code_range()));
+        }
+
+        #[test]
+        fn prop_positive_scale_invariant(
+            seed in 0u64..200,
+            pairs in proptest::collection::btree_map(0u32..200, 0.01f32..5.0, 1..15),
+            scale in 0.1f32..10.0,
+        ) {
+            // DWTA depends only on value ranks, so positive scaling of a
+            // sparse vector leaves codes unchanged.
+            let h = DwtaHash::new(200, 2, 2, 4, &mut rng(seed));
+            let v = SparseVector::from_pairs(pairs.into_iter());
+            let mut scaled = v.clone();
+            scaled.scale(scale);
+            let mut a = vec![0u32; h.num_codes()];
+            let mut b = vec![0u32; h.num_codes()];
+            h.hash_sparse(&v, &mut a);
+            h.hash_sparse(&scaled, &mut b);
+            prop_assert_eq!(a, b);
+        }
+    }
+}

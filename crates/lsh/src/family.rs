@@ -1,0 +1,115 @@
+//! The [`HashFamily`] trait: a source of `K × L` randomized hash codes.
+//!
+//! A family instance is constructed once per layer (paper §3.1: "K × L LSH
+//! hash functions are initialized along with L hash tables for each of the
+//! layers") and then queried with either a dense vector (a neuron's weight
+//! row, a dense layer input) or a sparse vector (the raw input features).
+
+use slide_data::SparseVector;
+
+/// Identifies one of the four supported hash families.
+///
+/// Used in network configuration; see the paper's §3.2 for when each is
+/// appropriate (SimHash for cosine similarity, WTA/DWTA for rank
+/// correlation on dense/sparse data, DOPH for binary/min-wise similarity).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum HashFamilyKind {
+    /// Signed random projection (cosine similarity).
+    SimHash,
+    /// Winner-takes-all (rank correlation, dense inputs).
+    Wta,
+    /// Densified winner-takes-all (rank correlation, sparse inputs).
+    Dwta,
+    /// Densified one-permutation minwise hashing over binarized inputs.
+    Doph,
+}
+
+impl std::fmt::Display for HashFamilyKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HashFamilyKind::SimHash => write!(f, "simhash"),
+            HashFamilyKind::Wta => write!(f, "wta"),
+            HashFamilyKind::Dwta => write!(f, "dwta"),
+            HashFamilyKind::Doph => write!(f, "doph"),
+        }
+    }
+}
+
+/// A family of `K × L` locality-sensitive hash functions over `R^dim`.
+///
+/// Codes are written into a caller-provided `&mut [u32]` of length
+/// [`HashFamily::num_codes`] laid out as `L` consecutive groups of `K`
+/// codes — group `t` feeds hash table `t`. Each code lies in
+/// `[0, code_range())`.
+///
+/// Implementations must be deterministic: hashing the same vector twice
+/// yields the same codes (collision randomness comes from function
+/// construction, not evaluation).
+pub trait HashFamily: Send + Sync {
+    /// Number of hash functions per table (the paper's `K`).
+    fn k(&self) -> usize;
+
+    /// Number of tables (the paper's `L`).
+    fn l(&self) -> usize;
+
+    /// Total codes produced per input: `K × L`.
+    fn num_codes(&self) -> usize {
+        self.k() * self.l()
+    }
+
+    /// Exclusive upper bound of each code value.
+    fn code_range(&self) -> u32;
+
+    /// Input dimensionality this family was constructed for.
+    fn dim(&self) -> usize;
+
+    /// Which family this is (for reporting).
+    fn kind(&self) -> HashFamilyKind;
+
+    /// Hashes a dense vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input.len() != self.dim()` or
+    /// `out.len() != self.num_codes()`.
+    fn hash_dense(&self, input: &[f32], out: &mut [u32]);
+
+    /// Hashes a sparse vector (indices must be `< self.dim()`).
+    ///
+    /// The default implementation densifies; families with a native sparse
+    /// path (SimHash, DWTA, DOPH) override it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != self.num_codes()` or an index is out of
+    /// range.
+    fn hash_sparse(&self, input: &SparseVector, out: &mut [u32]) {
+        let dense = input.to_dense(self.dim());
+        self.hash_dense(&dense, out);
+    }
+}
+
+/// Validates the common `hash_*` preconditions; shared by implementations.
+pub(crate) fn check_args(dim: usize, input_len: usize, num_codes: usize, out_len: usize) {
+    assert!(
+        input_len == dim,
+        "input length {input_len} does not match family dim {dim}"
+    );
+    assert!(
+        out_len == num_codes,
+        "output buffer length {out_len} does not match num_codes {num_codes}"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_display() {
+        assert_eq!(HashFamilyKind::SimHash.to_string(), "simhash");
+        assert_eq!(HashFamilyKind::Dwta.to_string(), "dwta");
+        assert_eq!(HashFamilyKind::Wta.to_string(), "wta");
+        assert_eq!(HashFamilyKind::Doph.to_string(), "doph");
+    }
+}

@@ -1,0 +1,270 @@
+//! Densified One-Permutation Hashing (DOPH; Shrivastava & Li 2014b, paper
+//! Appendix A).
+//!
+//! DOPH is a minwise hash for *binary* inputs. Real-valued vectors are
+//! first binarized by keeping their top-`t` coordinates by value (the
+//! paper's thresholding heuristic, implemented with an `O(d)` partial
+//! selection rather than the paper's `O(d log t)` priority queue). The
+//! binary set is then hashed with a single "permutation" — a universal
+//! hash over the feature universe — split into `K·L` bins; each bin keeps
+//! its minimum permuted value, and empty bins are densified by probing.
+
+use slide_data::rng::{mix64, Rng};
+use slide_data::SparseVector;
+
+use crate::family::{check_args, HashFamily, HashFamilyKind};
+
+/// The DOPH hash family.
+///
+/// # Example
+///
+/// ```
+/// use slide_lsh::{family::HashFamily, minhash::DophHash};
+/// use slide_data::rng::Xoshiro256PlusPlus;
+///
+/// let h = DophHash::new(256, 2, 4, 16, 8, &mut Xoshiro256PlusPlus::seed_from_u64(3));
+/// let input: Vec<f32> = (0..256).map(|i| (i % 17) as f32).collect();
+/// let mut codes = vec![0u32; h.num_codes()];
+/// h.hash_dense(&input, &mut codes);
+/// assert!(codes.iter().all(|&c| c < 16));
+/// ```
+#[derive(Debug, Clone)]
+pub struct DophHash {
+    dim: usize,
+    k: usize,
+    l: usize,
+    /// Values per bin; the code range.
+    bin_width: u32,
+    /// Number of coordinates kept by the binarization threshold.
+    top_t: usize,
+    /// Seed of the universal "permutation" hash.
+    perm_seed: u64,
+    /// Salt for densification probing.
+    salt: u64,
+}
+
+impl DophHash {
+    /// Creates the family.
+    ///
+    /// * `bin_width` — permuted values per bin (code range);
+    /// * `top_t` — how many of the largest coordinates form the binary set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any parameter is zero or `top_t > dim`.
+    pub fn new<R: Rng>(
+        dim: usize,
+        k: usize,
+        l: usize,
+        bin_width: u32,
+        top_t: usize,
+        rng: &mut R,
+    ) -> Self {
+        assert!(
+            dim > 0 && k > 0 && l > 0 && bin_width > 0 && top_t > 0,
+            "parameters must be positive"
+        );
+        assert!(top_t <= dim, "top_t {top_t} exceeds dim {dim}");
+        Self {
+            dim,
+            k,
+            l,
+            bin_width,
+            top_t,
+            perm_seed: rng.next_u64(),
+            salt: rng.next_u64(),
+        }
+    }
+
+    /// Indices of the `top_t` largest values of a dense vector
+    /// (`O(d)` average via partial selection).
+    fn binarize_dense(&self, input: &[f32]) -> Vec<u32> {
+        let mut idx: Vec<u32> = (0..self.dim as u32).collect();
+        let t = self.top_t.min(idx.len());
+        if t < idx.len() {
+            idx.select_nth_unstable_by(t - 1, |&a, &b| {
+                input[b as usize]
+                    .partial_cmp(&input[a as usize])
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(a.cmp(&b))
+            });
+            idx.truncate(t);
+        }
+        idx
+    }
+
+    /// For sparse inputs the nonzero support *is* the natural binary set;
+    /// if it exceeds `top_t`, keep the `top_t` largest values.
+    fn binarize_sparse(&self, input: &SparseVector) -> Vec<u32> {
+        if input.nnz() <= self.top_t {
+            return input.indices().to_vec();
+        }
+        let mut pairs: Vec<(u32, f32)> = input.iter().collect();
+        pairs.select_nth_unstable_by(self.top_t - 1, |a, b| {
+            b.1.partial_cmp(&a.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.0.cmp(&b.0))
+        });
+        pairs.truncate(self.top_t);
+        pairs.into_iter().map(|(i, _)| i).collect()
+    }
+
+    /// One-permutation hashing of a binary feature set into codes.
+    fn hash_set(&self, set: &[u32], out: &mut [u32]) {
+        let num_bins = self.num_codes() as u64;
+        let span = num_bins * self.bin_width as u64;
+        let mut best = vec![u64::MAX; out.len()];
+        for &feature in set {
+            debug_assert!((feature as usize) < self.dim);
+            // Universal hash stands in for a random permutation position.
+            let pos = mix64(self.perm_seed ^ feature as u64) % span;
+            let bin = (pos / self.bin_width as u64) as usize;
+            best[bin] = best[bin].min(pos);
+        }
+        for (o, &b) in out.iter_mut().zip(&best) {
+            *o = if b == u64::MAX {
+                u32::MAX // sentinel: empty, densified below
+            } else {
+                (b % self.bin_width as u64) as u32
+            };
+        }
+        // Densification by universal probing (Shrivastava & Li 2014b).
+        const MAX_ATTEMPTS: u64 = 100;
+        for j in 0..out.len() {
+            if out[j] != u32::MAX {
+                continue;
+            }
+            let mut donor = None;
+            for attempt in 1..=MAX_ATTEMPTS {
+                let probe = (mix64(self.salt ^ ((j as u64) << 32) ^ attempt) % num_bins) as usize;
+                if out[probe] != u32::MAX {
+                    donor = Some(out[probe]);
+                    break;
+                }
+            }
+            out[j] = donor.unwrap_or(0);
+        }
+    }
+}
+
+impl HashFamily for DophHash {
+    fn k(&self) -> usize {
+        self.k
+    }
+
+    fn l(&self) -> usize {
+        self.l
+    }
+
+    fn code_range(&self) -> u32 {
+        self.bin_width
+    }
+
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn kind(&self) -> HashFamilyKind {
+        HashFamilyKind::Doph
+    }
+
+    fn hash_dense(&self, input: &[f32], out: &mut [u32]) {
+        check_args(self.dim, input.len(), self.num_codes(), out.len());
+        let set = self.binarize_dense(input);
+        self.hash_set(&set, out);
+    }
+
+    fn hash_sparse(&self, input: &SparseVector, out: &mut [u32]) {
+        assert_eq!(out.len(), self.num_codes(), "bad output buffer length");
+        let set = self.binarize_sparse(input);
+        self.hash_set(&set, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slide_data::rng::Xoshiro256PlusPlus;
+
+    fn rng(seed: u64) -> Xoshiro256PlusPlus {
+        Xoshiro256PlusPlus::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn codes_in_range() {
+        let h = DophHash::new(500, 3, 4, 16, 20, &mut rng(1));
+        let v = SparseVector::from_pairs((0..30).map(|i| (i * 16, 1.0 + i as f32)));
+        let mut codes = vec![0u32; h.num_codes()];
+        h.hash_sparse(&v, &mut codes);
+        assert!(codes.iter().all(|&c| c < 16));
+    }
+
+    #[test]
+    fn binarize_dense_keeps_largest() {
+        let h = DophHash::new(10, 1, 1, 4, 3, &mut rng(2));
+        let input = [0.0, 9.0, 1.0, 8.0, 2.0, 7.0, 3.0, 0.5, 0.1, 0.2];
+        let mut top = h.binarize_dense(&input);
+        top.sort_unstable();
+        assert_eq!(top, vec![1, 3, 5]);
+    }
+
+    #[test]
+    fn sparse_binarization_caps_at_top_t() {
+        let h = DophHash::new(100, 1, 1, 4, 3, &mut rng(3));
+        let v = SparseVector::from_pairs([(1, 5.0), (2, 1.0), (3, 4.0), (4, 3.0), (5, 2.0)]);
+        let mut set = h.binarize_sparse(&v);
+        set.sort_unstable();
+        assert_eq!(set, vec![1, 3, 4]);
+    }
+
+    #[test]
+    fn identical_sets_identical_codes() {
+        let h = DophHash::new(1000, 2, 8, 8, 32, &mut rng(4));
+        let v = SparseVector::from_pairs((0..20).map(|i| (i * 37, 1.0)));
+        let mut a = vec![0u32; h.num_codes()];
+        let mut b = vec![0u32; h.num_codes()];
+        h.hash_sparse(&v, &mut a);
+        h.hash_sparse(&v, &mut b);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn jaccard_similarity_drives_collisions() {
+        // Two sets with 90% overlap should agree on far more codes than
+        // two disjoint sets.
+        let h = DophHash::new(10_000, 1, 512, 8, 64, &mut rng(5));
+        let a: Vec<(u32, f32)> = (0..50).map(|i| (i * 100, 1.0)).collect();
+        let mut b = a.clone();
+        for item in b.iter_mut().take(5) {
+            item.0 += 1; // replace 10% of the support
+        }
+        let c: Vec<(u32, f32)> = (0..50).map(|i| (i * 100 + 50, 1.0)).collect();
+        let va = SparseVector::from_pairs(a);
+        let vb = SparseVector::from_pairs(b);
+        let vc = SparseVector::from_pairs(c);
+        let mut ca = vec![0u32; h.num_codes()];
+        let mut cb = vec![0u32; h.num_codes()];
+        let mut cc = vec![0u32; h.num_codes()];
+        h.hash_sparse(&va, &mut ca);
+        h.hash_sparse(&vb, &mut cb);
+        h.hash_sparse(&vc, &mut cc);
+        let agree = |x: &[u32], y: &[u32]| x.iter().zip(y).filter(|(p, q)| p == q).count();
+        let sim = agree(&ca, &cb);
+        let dis = agree(&ca, &cc);
+        assert!(sim > dis + 50, "similar {sim} vs disjoint {dis}");
+    }
+
+    #[test]
+    fn empty_input_densifies_to_zero() {
+        let h = DophHash::new(100, 2, 2, 8, 10, &mut rng(6));
+        let mut codes = vec![9u32; h.num_codes()];
+        h.hash_sparse(&SparseVector::new(), &mut codes);
+        assert!(codes.iter().all(|&c| c == 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "top_t 20 exceeds dim 10")]
+    fn rejects_top_t_over_dim() {
+        let _ = DophHash::new(10, 1, 1, 4, 20, &mut rng(7));
+    }
+}

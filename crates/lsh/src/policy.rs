@@ -1,0 +1,63 @@
+//! Bucket replacement policies (paper §4.2, Table 3).
+//!
+//! Buckets have fixed capacity ("the number of entries is limited to a
+//! fixed bucket size [which] helps with the memory usage and also balances
+//! the load on threads"). When a full bucket receives a new neuron id, the
+//! policy decides what happens:
+//!
+//! * [`InsertionPolicy::Reservoir`] — Vitter's reservoir sampling, which
+//!   provably keeps a uniform sample of everything ever inserted and
+//!   therefore "retains the adaptive sampling property of LSH tables";
+//! * [`InsertionPolicy::Fifo`] — the simpler alternative the paper also
+//!   ships (and uses in its experiments): evict the oldest entry.
+
+/// How a full bucket treats a new insertion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum InsertionPolicy {
+    /// Vitter reservoir sampling: the new item replaces a random slot with
+    /// probability `capacity / items_seen`, otherwise it is dropped.
+    Reservoir,
+    /// First-in-first-out ring replacement: always stored, evicting the
+    /// oldest item. The paper's experimental default.
+    #[default]
+    Fifo,
+}
+
+impl InsertionPolicy {
+    /// Parses `"reservoir"` or `"fifo"` (case-insensitive).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.to_ascii_lowercase().as_str() {
+            "reservoir" => Some(InsertionPolicy::Reservoir),
+            "fifo" => Some(InsertionPolicy::Fifo),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for InsertionPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            InsertionPolicy::Reservoir => write!(f, "reservoir"),
+            InsertionPolicy::Fifo => write!(f, "fifo"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_roundtrip() {
+        for p in [InsertionPolicy::Reservoir, InsertionPolicy::Fifo] {
+            assert_eq!(InsertionPolicy::parse(&p.to_string()), Some(p));
+        }
+        assert_eq!(InsertionPolicy::parse("LRU"), None);
+        assert_eq!(InsertionPolicy::parse("FIFO"), Some(InsertionPolicy::Fifo));
+    }
+
+    #[test]
+    fn default_is_fifo_like_the_paper() {
+        assert_eq!(InsertionPolicy::default(), InsertionPolicy::Fifo);
+    }
+}

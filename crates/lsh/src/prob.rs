@@ -1,0 +1,228 @@
+//! Closed-form LSH collision and selection probabilities.
+//!
+//! These formulas come straight from the paper:
+//!
+//! * SimHash collision probability `p = 1 − θ/π` (Appendix B);
+//! * candidate probability under (K, L) tables: `1 − (1 − p^K)^L` (§2.1);
+//! * vanilla-sampling selection probability
+//!   `(p^K)^τ (1 − p^K)^{L−τ}` (§4.1);
+//! * hard-threshold selection probability (eqn. 3)
+//!   `Σ_{i=m}^{L} C(L, i) (p^K)^i (1 − p^K)^{L−i}`, the function plotted
+//!   in Figure 11.
+
+/// SimHash collision probability for two vectors with cosine similarity
+/// `cos_sim ∈ [−1, 1]`: `1 − arccos(cos)/π`.
+///
+/// # Panics
+///
+/// Panics if `cos_sim` is outside `[−1, 1]` (beyond f32 rounding slack).
+pub fn simhash_collision_prob(cos_sim: f64) -> f64 {
+    assert!(
+        (-1.0 - 1e-6..=1.0 + 1e-6).contains(&cos_sim),
+        "cosine similarity {cos_sim} outside [-1, 1]"
+    );
+    1.0 - cos_sim.clamp(-1.0, 1.0).acos() / std::f64::consts::PI
+}
+
+/// Probability that an item lands in the queried bucket of at least one of
+/// the `L` tables: `1 − (1 − p^K)^L` (the classic LSH candidate
+/// probability, §2.1).
+pub fn candidate_prob(p: f64, k: usize, l: usize) -> f64 {
+    check_p(p);
+    let pk = p.powi(k as i32);
+    1.0 - (1.0 - pk).powi(l as i32)
+}
+
+/// Vanilla-sampling selection probability after probing `tau` of the `L`
+/// tables (paper §4.1): `(p^K)^τ (1 − p^K)^{L−τ}`.
+///
+/// # Panics
+///
+/// Panics if `tau > l` or `p ∉ [0, 1]`.
+pub fn vanilla_selection_prob(p: f64, k: usize, tau: usize, l: usize) -> f64 {
+    check_p(p);
+    assert!(tau <= l, "tau {tau} exceeds L {l}");
+    let pk = p.powi(k as i32);
+    pk.powi(tau as i32) * (1.0 - pk).powi((l - tau) as i32)
+}
+
+/// Hard-threshold selection probability (paper eqn. 3): the chance that a
+/// neuron with per-table collision probability `p^K` appears in at least
+/// `m` of the `L` buckets.
+///
+/// # Panics
+///
+/// Panics if `m > l` or `p ∉ [0, 1]`.
+pub fn hard_threshold_selection_prob(p: f64, k: usize, l: usize, m: usize) -> f64 {
+    check_p(p);
+    assert!(m <= l, "m {m} exceeds L {l}");
+    let pk = p.powi(k as i32);
+    (m..=l).map(|i| binomial_pmf(l, i, pk)).sum()
+}
+
+/// Binomial probability mass `C(n, k) q^k (1 − q)^{n−k}`.
+///
+/// Exact for the small `n ≤ 64` used by SLIDE configurations; computed
+/// with a multiplicative binomial coefficient to avoid factorial overflow.
+pub fn binomial_pmf(n: usize, k: usize, q: f64) -> f64 {
+    assert!(k <= n, "k {k} exceeds n {n}");
+    check_p(q);
+    // C(n, k) via the symmetric multiplicative form, exact in f64 for the
+    // small n used here.
+    let kk = k.min(n - k);
+    let mut coeff = 1.0f64;
+    for i in 1..=kk {
+        coeff = coeff * ((n - kk + i) as f64) / i as f64;
+    }
+    coeff * q.powi(k as i32) * (1.0 - q).powi((n - k) as i32)
+}
+
+/// One point of the Figure 11 sweep: selection probability `Pr` as a
+/// function of collision probability `p` for threshold `m`, with `K = 1`
+/// and `L = 10` as in the figure.
+pub fn fig11_point(p: f64, m: usize) -> f64 {
+    hard_threshold_selection_prob(p, 1, 10, m)
+}
+
+/// The full Figure 11 sweep: for each `m` in `ms`, the curve of
+/// `hard_threshold_selection_prob` over the given collision probabilities.
+pub fn fig11_curves(ps: &[f64], ms: &[usize]) -> Vec<(usize, Vec<f64>)> {
+    ms.iter()
+        .map(|&m| (m, ps.iter().map(|&p| fig11_point(p, m)).collect()))
+        .collect()
+}
+
+fn check_p(p: f64) {
+    assert!((0.0..=1.0).contains(&p), "probability {p} outside [0, 1]");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn simhash_prob_endpoints() {
+        assert!((simhash_collision_prob(1.0) - 1.0).abs() < 1e-12);
+        assert!((simhash_collision_prob(-1.0) - 0.0).abs() < 1e-12);
+        assert!((simhash_collision_prob(0.0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn simhash_prob_monotone() {
+        let mut last = 0.0;
+        for i in 0..=100 {
+            let cos = -1.0 + 2.0 * i as f64 / 100.0;
+            let p = simhash_collision_prob(cos);
+            assert!(p >= last - 1e-12);
+            last = p;
+        }
+    }
+
+    #[test]
+    fn binomial_pmf_sums_to_one() {
+        for &q in &[0.1, 0.5, 0.9] {
+            let total: f64 = (0..=10).map(|i| binomial_pmf(10, i, q)).sum();
+            assert!((total - 1.0).abs() < 1e-10, "q={q}: total {total}");
+        }
+    }
+
+    #[test]
+    fn binomial_pmf_known_values() {
+        // C(4,2) 0.5^4 = 6/16.
+        assert!((binomial_pmf(4, 2, 0.5) - 0.375).abs() < 1e-12);
+        assert!((binomial_pmf(3, 0, 0.25) - 0.421875).abs() < 1e-12);
+        assert!((binomial_pmf(3, 3, 0.5) - 0.125).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hard_threshold_extremes() {
+        // m = 0 ⇒ probability 1 (every neuron trivially appears ≥ 0 times).
+        assert!((hard_threshold_selection_prob(0.3, 2, 10, 0) - 1.0).abs() < 1e-12);
+        // p = 1 ⇒ appears in all L buckets ⇒ any m ≤ L selected surely.
+        assert!((hard_threshold_selection_prob(1.0, 3, 10, 10) - 1.0).abs() < 1e-12);
+        // p = 0 ⇒ never appears ⇒ m ≥ 1 impossible.
+        assert!(hard_threshold_selection_prob(0.0, 3, 10, 1) < 1e-12);
+    }
+
+    #[test]
+    fn hard_threshold_monotone_in_p_and_m() {
+        // Increasing p increases selection; increasing m decreases it.
+        for m in [1, 3, 5, 7, 9] {
+            let mut last = 0.0;
+            for i in 1..=9 {
+                let p = i as f64 / 10.0;
+                let pr = fig11_point(p, m);
+                assert!(pr >= last - 1e-12, "not monotone in p at m={m}");
+                last = pr;
+            }
+        }
+        for i in 1..=9 {
+            let p = i as f64 / 10.0;
+            let mut last = 1.0;
+            for m in 1..=10 {
+                let pr = fig11_point(p, m);
+                assert!(pr <= last + 1e-12, "not monotone in m at p={p}");
+                last = pr;
+            }
+        }
+    }
+
+    #[test]
+    fn fig11_reproduces_paper_shape() {
+        // Paper: "for a high threshold like m = 9, only the neurons with
+        // p > 0.8 have more than Pr > 0.5 chance of retrieval".
+        assert!(fig11_point(0.8, 9) < 0.5);
+        assert!(fig11_point(0.9, 9) > 0.5);
+        // "for a low threshold like m = 1 ... bad neurons with p < 0.2 are
+        // also collected with Pr > 0.8".
+        assert!(fig11_point(0.2, 1) > 0.8);
+    }
+
+    #[test]
+    fn candidate_prob_increases_with_l_decreases_with_k() {
+        assert!(candidate_prob(0.5, 2, 20) > candidate_prob(0.5, 2, 5));
+        assert!(candidate_prob(0.5, 2, 10) > candidate_prob(0.5, 6, 10));
+    }
+
+    #[test]
+    fn vanilla_prob_formula() {
+        // τ = 0: (1 - p^K)^L.
+        let p: f64 = 0.6;
+        let expect = (1.0 - p * p).powi(8);
+        assert!((vanilla_selection_prob(p, 2, 0, 8) - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 1]")]
+    fn rejects_bad_probability() {
+        let _ = candidate_prob(1.5, 2, 3);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_hard_threshold_is_binomial_tail(
+            p in 0.0f64..1.0,
+            k in 1usize..5,
+            l in 1usize..20,
+        ) {
+            // Tail sum from m=0 is always 1.
+            let total = hard_threshold_selection_prob(p, k, l, 0);
+            prop_assert!((total - 1.0).abs() < 1e-9);
+        }
+
+        #[test]
+        fn prop_probabilities_in_unit_interval(
+            p in 0.0f64..1.0,
+            k in 1usize..6,
+            l in 1usize..30,
+            m in 0usize..30,
+        ) {
+            prop_assume!(m <= l);
+            let pr = hard_threshold_selection_prob(p, k, l, m);
+            prop_assert!((-1e-12..=1.0 + 1e-12).contains(&pr));
+            let cp = candidate_prob(p, k, l);
+            prop_assert!((-1e-12..=1.0 + 1e-12).contains(&cp));
+        }
+    }
+}

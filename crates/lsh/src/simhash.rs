@@ -1,0 +1,388 @@
+//! SimHash — signed sparse random projection (paper §3.2, Appendix A).
+//!
+//! Each hash function is a random hyperplane with entries in `{+1, 0, −1}`;
+//! the code is the sign bit of the projection. Following the paper (and
+//! Li et al. 2006, "very sparse random projections") the planes are kept
+//! sparse — only a `sparsity` fraction of the `dim` components is nonzero —
+//! and stored as index lists split by sign, so projecting costs additions
+//! only, no multiplications.
+//!
+//! The module also implements the paper's §4.2(3) optimization: because
+//! backpropagation updates only the weights of *active* neurons, the
+//! projections `w·x` can be **memoized** per neuron and updated in
+//! `O(d′)` when only `d′ ≪ d` weight components changed, instead of
+//! recomputed in `O(d)`. See [`ProjectionState`].
+
+use slide_data::rng::Rng;
+use slide_data::SparseVector;
+
+use crate::family::{check_args, HashFamily, HashFamilyKind};
+
+/// One sparse signed random hyperplane.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Plane {
+    /// Feature indices with coefficient +1 (sorted).
+    plus: Vec<u32>,
+    /// Feature indices with coefficient −1 (sorted).
+    minus: Vec<u32>,
+}
+
+impl Plane {
+    fn project_dense(&self, input: &[f32]) -> f32 {
+        let mut acc = 0.0f32;
+        for &i in &self.plus {
+            acc += input[i as usize];
+        }
+        for &i in &self.minus {
+            acc -= input[i as usize];
+        }
+        acc
+    }
+
+    /// Coefficient of feature `i`: +1, −1 or 0.
+    fn coeff(&self, i: u32) -> f32 {
+        if self.plus.binary_search(&i).is_ok() {
+            1.0
+        } else if self.minus.binary_search(&i).is_ok() {
+            -1.0
+        } else {
+            0.0
+        }
+    }
+}
+
+/// The SimHash family: `K × L` sparse signed random projections.
+///
+/// # Example
+///
+/// ```
+/// use slide_lsh::{family::HashFamily, simhash::SimHash};
+/// use slide_data::rng::Xoshiro256PlusPlus;
+///
+/// let mut rng = Xoshiro256PlusPlus::seed_from_u64(0);
+/// let h = SimHash::new(64, 6, 10, 1.0 / 3.0, &mut rng);
+/// assert_eq!(h.num_codes(), 60);
+/// assert_eq!(h.code_range(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SimHash {
+    dim: usize,
+    k: usize,
+    l: usize,
+    planes: Vec<Plane>,
+}
+
+impl SimHash {
+    /// Creates `k × l` planes over `R^dim`, each with `⌈sparsity · dim⌉`
+    /// nonzero ±1 entries (paper default: 1/3).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim`, `k` or `l` is zero, or `sparsity ∉ (0, 1]`.
+    pub fn new<R: Rng>(dim: usize, k: usize, l: usize, sparsity: f64, rng: &mut R) -> Self {
+        assert!(dim > 0 && k > 0 && l > 0, "dim, k, l must be positive");
+        assert!(
+            sparsity > 0.0 && sparsity <= 1.0,
+            "sparsity {sparsity} outside (0, 1]"
+        );
+        let nnz = ((dim as f64 * sparsity).ceil() as usize).clamp(1, dim);
+        let planes = (0..k * l)
+            .map(|_| {
+                let mut idx = rng.sample_distinct(dim, nnz);
+                idx.sort_unstable();
+                let mut plus = Vec::with_capacity(nnz / 2 + 1);
+                let mut minus = Vec::with_capacity(nnz / 2 + 1);
+                for i in idx {
+                    if rng.gen_bool(0.5) {
+                        plus.push(i as u32);
+                    } else {
+                        minus.push(i as u32);
+                    }
+                }
+                Plane { plus, minus }
+            })
+            .collect();
+        Self { dim, k, l, planes }
+    }
+
+    /// Raw projections `w·x` for all planes (used by [`ProjectionState`]).
+    pub fn project_dense(&self, input: &[f32], out: &mut [f32]) {
+        check_args(self.dim, input.len(), self.num_codes(), out.len());
+        for (o, p) in out.iter_mut().zip(&self.planes) {
+            *o = p.project_dense(input);
+        }
+    }
+
+    /// Converts memoized projections into hash codes.
+    pub fn codes_from_projections(&self, projections: &[f32], out: &mut [u32]) {
+        assert_eq!(projections.len(), self.num_codes());
+        assert_eq!(out.len(), self.num_codes());
+        for (o, &p) in out.iter_mut().zip(projections) {
+            *o = (p >= 0.0) as u32;
+        }
+    }
+}
+
+impl HashFamily for SimHash {
+    fn k(&self) -> usize {
+        self.k
+    }
+
+    fn l(&self) -> usize {
+        self.l
+    }
+
+    fn code_range(&self) -> u32 {
+        2
+    }
+
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn kind(&self) -> HashFamilyKind {
+        HashFamilyKind::SimHash
+    }
+
+    fn hash_dense(&self, input: &[f32], out: &mut [u32]) {
+        check_args(self.dim, input.len(), self.num_codes(), out.len());
+        for (o, p) in out.iter_mut().zip(&self.planes) {
+            *o = (p.project_dense(input) >= 0.0) as u32;
+        }
+    }
+
+    fn hash_sparse(&self, input: &SparseVector, out: &mut [u32]) {
+        assert_eq!(out.len(), self.num_codes(), "bad output buffer length");
+        // Native sparse path: for each plane accumulate only the input's
+        // nonzeros. Cost O(nnz · planes) with binary search per lookup;
+        // faster than densifying when nnz ≪ dim.
+        for (o, plane) in out.iter_mut().zip(&self.planes) {
+            let mut acc = 0.0f32;
+            for (i, v) in input.iter() {
+                debug_assert!((i as usize) < self.dim, "index {i} out of range");
+                acc += plane.coeff(i) * v;
+            }
+            *o = (acc >= 0.0) as u32;
+        }
+    }
+}
+
+/// Memoized projections of one vector under a [`SimHash`] family, with
+/// `O(d′ · K · L)` incremental updates after a sparse weight change
+/// (paper §4.2 heuristic 3).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProjectionState {
+    projections: Vec<f32>,
+}
+
+impl ProjectionState {
+    /// Computes the full projections of `input` (one-time `O(d)` cost).
+    pub fn new(family: &SimHash, input: &[f32]) -> Self {
+        let mut projections = vec![0.0; family.num_codes()];
+        family.project_dense(input, &mut projections);
+        Self { projections }
+    }
+
+    /// Applies a sparse delta `Δw` to the memoized projections:
+    /// `proj += plane · Δw` for every plane, touching only the planes'
+    /// coefficients at the delta's indices.
+    pub fn apply_delta(&mut self, family: &SimHash, delta: &SparseVector) {
+        for (proj, plane) in self.projections.iter_mut().zip(&family.planes) {
+            for (i, v) in delta.iter() {
+                *proj += plane.coeff(i) * v;
+            }
+        }
+    }
+
+    /// Current hash codes from the memoized projections.
+    pub fn codes(&self, family: &SimHash, out: &mut [u32]) {
+        family.codes_from_projections(&self.projections, out);
+    }
+
+    /// The raw memoized projections.
+    pub fn projections(&self) -> &[f32] {
+        &self.projections
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use slide_data::rng::Rng;
+    use slide_data::rng::Xoshiro256PlusPlus;
+
+    fn rng(seed: u64) -> Xoshiro256PlusPlus {
+        Xoshiro256PlusPlus::seed_from_u64(seed)
+    }
+
+    fn random_vec(rng: &mut Xoshiro256PlusPlus, dim: usize) -> Vec<f32> {
+        (0..dim).map(|_| rng.next_normal() as f32).collect()
+    }
+
+    #[test]
+    fn construction_validates() {
+        let h = SimHash::new(100, 3, 5, 0.3, &mut rng(1));
+        assert_eq!(h.k(), 3);
+        assert_eq!(h.l(), 5);
+        assert_eq!(h.num_codes(), 15);
+        assert_eq!(h.dim(), 100);
+        assert_eq!(h.kind(), HashFamilyKind::SimHash);
+    }
+
+    #[test]
+    #[should_panic(expected = "sparsity")]
+    fn rejects_bad_sparsity() {
+        let _ = SimHash::new(10, 1, 1, 0.0, &mut rng(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn rejects_zero_dim() {
+        let _ = SimHash::new(0, 1, 1, 0.5, &mut rng(1));
+    }
+
+    #[test]
+    fn codes_are_binary() {
+        let h = SimHash::new(50, 4, 6, 0.5, &mut rng(2));
+        let mut r = rng(3);
+        let v = random_vec(&mut r, 50);
+        let mut codes = vec![99u32; h.num_codes()];
+        h.hash_dense(&v, &mut codes);
+        assert!(codes.iter().all(|&c| c < 2));
+    }
+
+    #[test]
+    fn deterministic() {
+        let h = SimHash::new(50, 4, 6, 0.5, &mut rng(2));
+        let mut r = rng(3);
+        let v = random_vec(&mut r, 50);
+        let mut a = vec![0u32; h.num_codes()];
+        let mut b = vec![0u32; h.num_codes()];
+        h.hash_dense(&v, &mut a);
+        h.hash_dense(&v, &mut b);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn sparse_and_dense_agree() {
+        let h = SimHash::new(80, 3, 7, 0.4, &mut rng(4));
+        let mut r = rng(5);
+        let pairs: Vec<(u32, f32)> = (0..12)
+            .map(|_| (r.gen_range(0, 80) as u32, r.next_normal() as f32))
+            .collect();
+        let sv = SparseVector::from_pairs(pairs);
+        let dense = sv.to_dense(80);
+        let mut cs = vec![0u32; h.num_codes()];
+        let mut cd = vec![0u32; h.num_codes()];
+        h.hash_sparse(&sv, &mut cs);
+        h.hash_dense(&dense, &mut cd);
+        assert_eq!(cs, cd);
+    }
+
+    #[test]
+    fn scale_invariance() {
+        // Sign of a projection is invariant to positive scaling — the
+        // defining property of a cosine-similarity LSH.
+        let h = SimHash::new(60, 5, 5, 1.0, &mut rng(6));
+        let mut r = rng(7);
+        let v = random_vec(&mut r, 60);
+        let scaled: Vec<f32> = v.iter().map(|x| x * 7.5).collect();
+        let mut a = vec![0u32; h.num_codes()];
+        let mut b = vec![0u32; h.num_codes()];
+        h.hash_dense(&v, &mut a);
+        h.hash_dense(&scaled, &mut b);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn collision_rate_tracks_cosine_similarity() {
+        // Empirical collision probability of a single-bit SimHash should
+        // approximate 1 − θ/π (paper Appendix B). Use many planes as
+        // independent trials.
+        let dim = 128;
+        let h = SimHash::new(dim, 1, 2000, 1.0, &mut rng(8));
+        let mut r = rng(9);
+        let a = random_vec(&mut r, dim);
+        // b = a rotated slightly: high similarity.
+        let mut b = a.clone();
+        for x in b.iter_mut().take(16) {
+            *x += r.next_normal() as f32 * 0.5;
+        }
+        let dot: f32 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
+        let na: f32 = a.iter().map(|x| x * x).sum::<f32>().sqrt();
+        let nb: f32 = b.iter().map(|x| x * x).sum::<f32>().sqrt();
+        let cos = (dot / (na * nb)).clamp(-1.0, 1.0) as f64;
+        let expected = crate::prob::simhash_collision_prob(cos);
+
+        let mut ca = vec![0u32; h.num_codes()];
+        let mut cb = vec![0u32; h.num_codes()];
+        h.hash_dense(&a, &mut ca);
+        h.hash_dense(&b, &mut cb);
+        let collisions = ca.iter().zip(&cb).filter(|(x, y)| x == y).count();
+        let rate = collisions as f64 / h.num_codes() as f64;
+        assert!(
+            (rate - expected).abs() < 0.05,
+            "rate {rate:.3} vs expected {expected:.3}"
+        );
+    }
+
+    #[test]
+    fn projection_state_delta_matches_recompute() {
+        let dim = 64;
+        let h = SimHash::new(dim, 4, 8, 0.5, &mut rng(10));
+        let mut r = rng(11);
+        let mut w = random_vec(&mut r, dim);
+        let mut state = ProjectionState::new(&h, &w);
+
+        // Sparse update: change 5 of 64 components.
+        let delta = SparseVector::from_pairs([
+            (3u32, 0.7f32),
+            (10, -1.2),
+            (31, 0.05),
+            (40, 2.0),
+            (63, -0.3),
+        ]);
+        for (i, v) in delta.iter() {
+            w[i as usize] += v;
+        }
+        state.apply_delta(&h, &delta);
+
+        let recomputed = ProjectionState::new(&h, &w);
+        for (a, b) in state.projections().iter().zip(recomputed.projections()) {
+            assert!((a - b).abs() < 1e-4, "{a} vs {b}");
+        }
+        let mut c1 = vec![0u32; h.num_codes()];
+        let mut c2 = vec![0u32; h.num_codes()];
+        state.codes(&h, &mut c1);
+        h.hash_dense(&w, &mut c2);
+        assert_eq!(c1, c2);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_sparse_dense_agree(
+            seed in 0u64..1000,
+            pairs in proptest::collection::btree_map(0u32..40, -5.0f32..5.0, 1..10),
+        ) {
+            let h = SimHash::new(40, 3, 4, 0.5, &mut rng(seed));
+            let sv = SparseVector::from_pairs(pairs.into_iter());
+            let dense = sv.to_dense(40);
+            let mut cs = vec![0u32; h.num_codes()];
+            let mut cd = vec![0u32; h.num_codes()];
+            h.hash_sparse(&sv, &mut cs);
+            h.hash_dense(&dense, &mut cd);
+            prop_assert_eq!(cs, cd);
+        }
+
+        #[test]
+        fn prop_codes_binary(seed in 0u64..1000) {
+            let h = SimHash::new(30, 2, 3, 1.0, &mut rng(seed));
+            let mut r = rng(seed + 1);
+            let v = random_vec(&mut r, 30);
+            let mut codes = vec![0u32; h.num_codes()];
+            h.hash_dense(&v, &mut codes);
+            prop_assert!(codes.iter().all(|&c| c < h.code_range()));
+        }
+    }
+}

@@ -1,0 +1,189 @@
+//! Winner-Takes-All hashing (Yagnik et al. 2011; paper Appendix A).
+//!
+//! Each hash code looks at `m` randomly chosen coordinates (a *bin* carved
+//! out of a random permutation) and outputs the position of the maximum —
+//! a rank-correlation-preserving LSH. Following the paper's memory
+//! optimization, we do not store `K·L` full permutations of `[0, dim)`:
+//! we generate only as many permutations as needed to carve `K·L` bins of
+//! `m` indices each, for `O(K·L·m)` space and hashing time.
+
+use slide_data::rng::Rng;
+
+use crate::family::{check_args, HashFamily, HashFamilyKind};
+
+/// The WTA hash family for dense inputs.
+///
+/// # Example
+///
+/// ```
+/// use slide_lsh::{family::HashFamily, wta::WtaHash};
+/// use slide_data::rng::Xoshiro256PlusPlus;
+///
+/// let h = WtaHash::new(32, 2, 4, 8, &mut Xoshiro256PlusPlus::seed_from_u64(1));
+/// let mut codes = vec![0u32; h.num_codes()];
+/// let input: Vec<f32> = (0..32).map(|i| i as f32).collect();
+/// h.hash_dense(&input, &mut codes);
+/// assert!(codes.iter().all(|&c| c < 8));
+/// ```
+#[derive(Debug, Clone)]
+pub struct WtaHash {
+    dim: usize,
+    k: usize,
+    l: usize,
+    m: usize,
+    /// `k*l` bins, each a list of `m` distinct coordinates.
+    bins: Vec<Vec<u32>>,
+}
+
+impl WtaHash {
+    /// Creates the family with bins of `m` coordinates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any parameter is zero or `m > dim`.
+    pub fn new<R: Rng>(dim: usize, k: usize, l: usize, m: usize, rng: &mut R) -> Self {
+        assert!(dim > 0 && k > 0 && l > 0 && m > 0, "parameters must be positive");
+        assert!(m <= dim, "bin size m={m} exceeds dim={dim}");
+        let num_bins = k * l;
+        let bins_per_perm = dim / m; // bins carved from one permutation
+        let mut bins: Vec<Vec<u32>> = Vec::with_capacity(num_bins);
+        let mut perm: Vec<u32> = (0..dim as u32).collect();
+        while bins.len() < num_bins {
+            rng.shuffle(&mut perm);
+            for chunk in perm.chunks_exact(m).take(bins_per_perm) {
+                if bins.len() == num_bins {
+                    break;
+                }
+                bins.push(chunk.to_vec());
+            }
+            if bins_per_perm == 0 {
+                // m == dim: a single bin per permutation.
+                bins.push(perm[..m].to_vec());
+            }
+        }
+        Self { dim, k, l, m, bins }
+    }
+
+    /// Bin size `m` (the code range).
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// Read-only access to the carved bins (used by DWTA's tests).
+    pub(crate) fn bins(&self) -> &[Vec<u32>] {
+        &self.bins
+    }
+}
+
+impl HashFamily for WtaHash {
+    fn k(&self) -> usize {
+        self.k
+    }
+
+    fn l(&self) -> usize {
+        self.l
+    }
+
+    fn code_range(&self) -> u32 {
+        self.m as u32
+    }
+
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn kind(&self) -> HashFamilyKind {
+        HashFamilyKind::Wta
+    }
+
+    fn hash_dense(&self, input: &[f32], out: &mut [u32]) {
+        check_args(self.dim, input.len(), self.num_codes(), out.len());
+        for (o, bin) in out.iter_mut().zip(&self.bins) {
+            let mut best = 0u32;
+            let mut best_val = f32::NEG_INFINITY;
+            for (slot, &idx) in bin.iter().enumerate() {
+                let v = input[idx as usize];
+                if v > best_val {
+                    best_val = v;
+                    best = slot as u32;
+                }
+            }
+            *o = best;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slide_data::rng::Xoshiro256PlusPlus;
+
+    fn rng(seed: u64) -> Xoshiro256PlusPlus {
+        Xoshiro256PlusPlus::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn bins_have_distinct_indices() {
+        let h = WtaHash::new(64, 3, 5, 8, &mut rng(1));
+        for bin in h.bins() {
+            assert_eq!(bin.len(), 8);
+            let set: std::collections::HashSet<_> = bin.iter().collect();
+            assert_eq!(set.len(), 8, "bin has duplicate coordinates");
+            assert!(bin.iter().all(|&i| (i as usize) < 64));
+        }
+        assert_eq!(h.bins().len(), 15);
+    }
+
+    #[test]
+    fn codes_in_range_and_deterministic() {
+        let h = WtaHash::new(40, 2, 3, 5, &mut rng(2));
+        let input: Vec<f32> = (0..40).map(|i| ((i * 7) % 13) as f32).collect();
+        let mut a = vec![0u32; h.num_codes()];
+        let mut b = vec![0u32; h.num_codes()];
+        h.hash_dense(&input, &mut a);
+        h.hash_dense(&input, &mut b);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|&c| c < 5));
+    }
+
+    #[test]
+    fn rank_preservation_monotone_transform() {
+        // WTA codes depend only on the ordering of values, so any strictly
+        // monotone transform leaves codes unchanged.
+        let h = WtaHash::new(30, 4, 4, 6, &mut rng(3));
+        let mut r = rng(4);
+        let input: Vec<f32> = (0..30).map(|_| r.next_f32() * 10.0).collect();
+        let transformed: Vec<f32> = input.iter().map(|&x| x.exp() + 3.0).collect();
+        let mut a = vec![0u32; h.num_codes()];
+        let mut b = vec![0u32; h.num_codes()];
+        h.hash_dense(&input, &mut a);
+        h.hash_dense(&transformed, &mut b);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn m_equals_dim_works() {
+        let h = WtaHash::new(6, 1, 2, 6, &mut rng(5));
+        let input = [0.0, 5.0, 1.0, 2.0, 3.0, 4.0];
+        let mut codes = vec![0u32; 2];
+        h.hash_dense(&input, &mut codes);
+        // The max element (index 1, value 5.0) wins in every bin.
+        for (code, bin) in codes.iter().zip(h.bins()) {
+            assert_eq!(bin[*code as usize], 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds dim")]
+    fn rejects_m_bigger_than_dim() {
+        let _ = WtaHash::new(4, 1, 1, 5, &mut rng(6));
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match family dim")]
+    fn rejects_wrong_input_len() {
+        let h = WtaHash::new(10, 1, 1, 2, &mut rng(7));
+        let mut codes = vec![0u32; 1];
+        h.hash_dense(&[1.0; 5], &mut codes);
+    }
+}

@@ -1,0 +1,253 @@
+//! Set-associative LRU cache model.
+
+/// Cache geometry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub capacity_bytes: usize,
+    /// Line size in bytes (64 on x86-64).
+    pub line_bytes: usize,
+    /// Ways per set.
+    pub associativity: usize,
+    /// Hit latency in cycles (for the stall model).
+    pub hit_cycles: u64,
+}
+
+impl CacheConfig {
+    /// 32 KiB 8-way L1D, 4-cycle hit.
+    pub fn l1d() -> Self {
+        Self {
+            capacity_bytes: 32 << 10,
+            line_bytes: 64,
+            associativity: 8,
+            hit_cycles: 4,
+        }
+    }
+
+    /// 1 MiB 16-way L2, 14-cycle hit.
+    pub fn l2() -> Self {
+        Self {
+            capacity_bytes: 1 << 20,
+            line_bytes: 64,
+            associativity: 16,
+            hit_cycles: 14,
+        }
+    }
+
+    /// 32 MiB 16-way last-level cache, 42-cycle hit.
+    pub fn llc() -> Self {
+        Self {
+            capacity_bytes: 32 << 20,
+            line_bytes: 64,
+            associativity: 16,
+            hit_cycles: 42,
+        }
+    }
+
+    fn num_sets(&self) -> usize {
+        (self.capacity_bytes / self.line_bytes / self.associativity).max(1)
+    }
+}
+
+/// Hit/miss counters for one cache level.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups performed at this level.
+    pub accesses: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Miss rate in `[0, 1]`; zero when nothing was accessed.
+    pub fn miss_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses as f64
+        }
+    }
+}
+
+/// A set-associative LRU cache.
+///
+/// # Example
+///
+/// ```
+/// use slide_memsim::cache::{Cache, CacheConfig};
+///
+/// let mut l1 = Cache::new(CacheConfig::l1d());
+/// assert!(!l1.access(0));   // cold miss
+/// assert!(l1.access(63));   // same 64-byte line
+/// assert!(!l1.access(64));  // next line
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cache {
+    config: CacheConfig,
+    sets: Vec<Vec<(u64, u64)>>,
+    tick: u64,
+    stats: CacheStats,
+}
+
+impl Cache {
+    /// Creates an empty cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is degenerate (zero sizes, line not a power
+    /// of two).
+    pub fn new(config: CacheConfig) -> Self {
+        assert!(
+            config.capacity_bytes > 0 && config.line_bytes > 0 && config.associativity > 0,
+            "cache geometry must be positive"
+        );
+        assert!(
+            config.line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
+        Self {
+            sets: vec![Vec::new(); config.num_sets()],
+            config,
+            tick: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    /// Accesses the line containing `addr`; returns `true` on a hit and
+    /// inserts the line on a miss.
+    pub fn access(&mut self, addr: u64) -> bool {
+        self.tick += 1;
+        self.stats.accesses += 1;
+        let line = addr / self.config.line_bytes as u64;
+        let set_idx = (line % self.sets.len() as u64) as usize;
+        let set = &mut self.sets[set_idx];
+        if let Some(entry) = set.iter_mut().find(|(l, _)| *l == line) {
+            entry.1 = self.tick;
+            return true;
+        }
+        self.stats.misses += 1;
+        if set.len() == self.config.associativity {
+            let lru = set
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, (_, t))| *t)
+                .map(|(i, _)| i)
+                .expect("nonempty set");
+            set.swap_remove(lru);
+        }
+        set.push((line, self.tick));
+        false
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Clears contents and counters.
+    pub fn reset(&mut self) {
+        for s in &mut self.sets {
+            s.clear();
+        }
+        self.tick = 0;
+        self.stats = CacheStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_line_hits() {
+        let mut c = Cache::new(CacheConfig::l1d());
+        assert!(!c.access(128));
+        assert!(c.access(129));
+        assert!(c.access(191));
+        assert!(!c.access(192));
+        assert_eq!(c.stats().misses, 2);
+    }
+
+    #[test]
+    fn sequential_scan_miss_rate_is_one_per_line() {
+        let mut c = Cache::new(CacheConfig::l1d());
+        // Touch every 4 bytes across 64 KiB: 16 accesses per 64-byte line.
+        for a in (0..65_536u64).step_by(4) {
+            c.access(a);
+        }
+        let rate = c.stats().miss_rate();
+        assert!((rate - 1.0 / 16.0).abs() < 0.001, "rate {rate}");
+    }
+
+    #[test]
+    fn working_set_within_capacity_hits_after_warmup() {
+        let mut c = Cache::new(CacheConfig::l1d()); // 32 KiB
+        let lines: Vec<u64> = (0..256).map(|i| i * 64).collect(); // 16 KiB
+        for &a in &lines {
+            c.access(a);
+        }
+        let warm = c.stats().misses;
+        for _ in 0..5 {
+            for &a in &lines {
+                c.access(a);
+            }
+        }
+        assert_eq!(c.stats().misses, warm);
+    }
+
+    #[test]
+    fn thrashing_set_conflicts() {
+        // Hammer addresses that all map to set 0 of L1 (stride = sets ×
+        // line = 64 sets × 64 B = 4096): 9 distinct lines in an 8-way set
+        // always miss.
+        let mut c = Cache::new(CacheConfig::l1d());
+        for round in 0..10 {
+            for i in 0..9u64 {
+                let hit = c.access(i * 4096);
+                if round > 0 {
+                    assert!(!hit, "round {round} line {i} should conflict-miss");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn larger_cache_has_fewer_misses() {
+        let mut l1 = Cache::new(CacheConfig::l1d());
+        let mut l2 = Cache::new(CacheConfig::l2());
+        // Random-ish walk over 256 KiB (fits L2, thrashes L1).
+        let mut addr = 1u64;
+        for _ in 0..200_000 {
+            addr = (addr.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407))
+                % (256 << 10);
+            l1.access(addr);
+            l2.access(addr);
+        }
+        assert!(l2.stats().miss_rate() < l1.stats().miss_rate());
+    }
+
+    #[test]
+    fn reset_clears() {
+        let mut c = Cache::new(CacheConfig::l2());
+        c.access(0);
+        c.reset();
+        assert_eq!(c.stats(), CacheStats::default());
+        assert!(!c.access(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two_line() {
+        let _ = Cache::new(CacheConfig {
+            capacity_bytes: 1024,
+            line_bytes: 48,
+            associativity: 2,
+            hit_cycles: 1,
+        });
+    }
+}

@@ -1,0 +1,49 @@
+//! # slide-memsim
+//!
+//! A small memory-hierarchy simulator substituting for the hardware
+//! performance counters the paper reads with Intel VTune and `perf`
+//! (Tables 2 and 4, Figure 6, Appendix D).
+//!
+//! The paper's micro-architecture claims are about *address streams*: how
+//! many distinct pages the training loop touches (TLB pressure, page-walk
+//! cycles, page faults with and without Transparent Hugepages) and how
+//! cache-friendly the per-thread access pattern is (memory-bound pipeline
+//! stalls). We cannot read CPU counters portably, so we record the address
+//! stream of the real Rust training loop and replay it through:
+//!
+//! * [`tlb::Tlb`] — a set-associative LRU TLB with configurable page size
+//!   (4 KB normal pages, 2 MB / 1 GB hugepages), plus a radix page-walk
+//!   cost model and a first-touch (minor) page-fault model;
+//! * [`cache::Cache`] — set-associative LRU caches composable into a
+//!   [`hierarchy::MemoryHierarchy`] (L1/L2/LLC) that yields stall-cycle
+//!   estimates and the memory-bound fraction of Figure 6.
+//!
+//! The simulator is deliberately simple — in-order, one access at a time —
+//! because the paper's results are about *miss-rate direction and
+//! magnitude*, not absolute cycles.
+//!
+//! ## Example
+//!
+//! ```
+//! use slide_memsim::{hierarchy::MemoryHierarchy, tlb::PageSize};
+//!
+//! let mut sim = MemoryHierarchy::typical_server(PageSize::Kb4);
+//! // A strided walk over 8 MiB touches many pages and lines.
+//! for i in 0..100_000u64 {
+//!     sim.access(i * 83);
+//! }
+//! let r = sim.report(100_000);
+//! assert!(r.dtlb_miss_rate >= 0.0);
+//! ```
+
+pub mod cache;
+pub mod hierarchy;
+pub mod multicore;
+pub mod tlb;
+pub mod trace;
+
+pub use cache::{Cache, CacheConfig};
+pub use hierarchy::{MemoryHierarchy, MemReport};
+pub use multicore::{MultiCoreHierarchy, MultiCoreReport};
+pub use tlb::{PageSize, Tlb, TlbConfig};
+pub use trace::AccessTrace;

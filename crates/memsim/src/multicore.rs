@@ -1,0 +1,237 @@
+//! Multi-core memory hierarchy: per-core TLB + L1 + L2, shared LLC.
+//!
+//! Used for the Figure 6 replay, where the paper's thread trends come
+//! from aggregate-cache effects: adding cores adds private L1/L2 capacity
+//! (which helps a workload with a small, hot per-thread working set like
+//! SLIDE) while the shared LLC is contended by everyone (which hurts a
+//! streaming workload like the dense baseline).
+
+use crate::cache::{Cache, CacheConfig};
+use crate::tlb::{PageSize, Tlb, TlbConfig};
+
+/// RAM latency in cycles (matches [`crate::hierarchy`]).
+const RAM_CYCLES: u64 = 200;
+
+/// Per-core private state.
+#[derive(Debug, Clone)]
+struct Core {
+    tlb: Tlb,
+    l1: Cache,
+    l2: Cache,
+    stall_cycles: u64,
+    accesses: u64,
+}
+
+/// A `cores × (TLB + L1 + L2)` + shared-LLC hierarchy.
+///
+/// # Example
+///
+/// ```
+/// use slide_memsim::multicore::MultiCoreHierarchy;
+/// use slide_memsim::tlb::PageSize;
+///
+/// let mut sim = MultiCoreHierarchy::typical_server(4, PageSize::Kb4);
+/// sim.access(0, 0x1000);
+/// sim.access(3, 0x2000);
+/// assert!(sim.report(100).memory_bound_fraction > 0.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MultiCoreHierarchy {
+    cores: Vec<Core>,
+    llc: Cache,
+    page_size: PageSize,
+    touched_pages: std::collections::HashSet<u64>,
+}
+
+/// Aggregate report across cores.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MultiCoreReport {
+    /// Mean dTLB miss rate across cores.
+    pub dtlb_miss_rate: f64,
+    /// Shared-LLC miss rate.
+    pub llc_miss_rate: f64,
+    /// Total stall cycles / (stall + compute).
+    pub memory_bound_fraction: f64,
+    /// Total simulated accesses.
+    pub accesses: u64,
+}
+
+impl MultiCoreHierarchy {
+    /// `cores` cores with Broadwell-class private caches and a shared
+    /// 32 MiB LLC.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores == 0`.
+    pub fn typical_server(cores: usize, page_size: PageSize) -> Self {
+        assert!(cores > 0, "at least one core required");
+        let core = Core {
+            tlb: Tlb::new(TlbConfig::typical_dtlb(page_size)),
+            l1: Cache::new(CacheConfig::l1d()),
+            l2: Cache::new(CacheConfig::l2()),
+            stall_cycles: 0,
+            accesses: 0,
+        };
+        Self {
+            cores: vec![core; cores],
+            llc: Cache::new(CacheConfig::llc()),
+            page_size,
+            touched_pages: std::collections::HashSet::new(),
+        }
+    }
+
+    /// Number of cores.
+    pub fn num_cores(&self) -> usize {
+        self.cores.len()
+    }
+
+    /// One data access by `core` at `vaddr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core >= num_cores()`.
+    pub fn access(&mut self, core: usize, vaddr: u64) {
+        let page = vaddr >> self.page_size.shift();
+        let c = &mut self.cores[core];
+        c.accesses += 1;
+        if !c.tlb.access(vaddr) {
+            // Page walk: charge one L2-latency lookup per level plus RAM
+            // when the walk entry is cold in the LLC.
+            if self.touched_pages.insert(page) {
+                c.stall_cycles += 1500; // minor fault
+            }
+            for level in 0..self.page_size.walk_levels() {
+                let pte = 0x8000_0000_0000u64
+                    ^ (page << 6).rotate_left(level * 9)
+                    ^ ((level as u64) << 40);
+                c.stall_cycles += c.l2.config().hit_cycles as u64;
+                if !self.llc.access(pte) {
+                    c.stall_cycles += RAM_CYCLES;
+                }
+            }
+        }
+        // Private L1 → private L2 → shared LLC → RAM.
+        let mut cycles = c.l1.config().hit_cycles;
+        if !c.l1.access(vaddr) {
+            cycles += c.l2.config().hit_cycles;
+            if !c.l2.access(vaddr) {
+                cycles += self.llc.config().hit_cycles;
+                if !self.llc.access(vaddr) {
+                    cycles += RAM_CYCLES;
+                }
+            }
+        }
+        c.stall_cycles += cycles;
+    }
+
+    /// Aggregate report with `compute_cycles` of useful work.
+    pub fn report(&self, compute_cycles: u64) -> MultiCoreReport {
+        let stalls: u64 = self.cores.iter().map(|c| c.stall_cycles).sum();
+        let accesses: u64 = self.cores.iter().map(|c| c.accesses).sum();
+        let total = stalls + compute_cycles;
+        let dtlb = self
+            .cores
+            .iter()
+            .map(|c| c.tlb.stats().miss_rate())
+            .sum::<f64>()
+            / self.cores.len() as f64;
+        MultiCoreReport {
+            dtlb_miss_rate: dtlb,
+            llc_miss_rate: self.llc.stats().miss_rate(),
+            memory_bound_fraction: if total == 0 {
+                0.0
+            } else {
+                stalls as f64 / total as f64
+            },
+            accesses,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn private_caches_isolate_cores() {
+        let mut sim = MultiCoreHierarchy::typical_server(2, PageSize::Kb4);
+        // Core 0 warms a line; core 1's first access to it must still miss
+        // its private L1 (it can hit the shared LLC).
+        sim.access(0, 0x4000);
+        let before = sim.cores[1].stall_cycles;
+        sim.access(1, 0x4000);
+        let c1_cost = sim.cores[1].stall_cycles - before;
+        // L1(4) + L2(14) + LLC hit(42) = 60 — more than a pure L1 hit.
+        assert!(c1_cost >= 42, "core 1 got a free private hit: {c1_cost}");
+    }
+
+    #[test]
+    fn more_cores_help_partitioned_hot_sets() {
+        // A workload whose hot set fits the aggregate L2 of 8 cores but
+        // not of 1 core: per-access stalls must drop with more cores.
+        // 2 MB pages neutralize TLB effects so the test isolates the
+        // private-cache capacity effect.
+        let hot_bytes: u64 = 4 << 20; // 4 MiB > one 1 MiB L2
+        let per_core = |cores: usize| {
+            let mut sim = MultiCoreHierarchy::typical_server(cores, PageSize::Mb2);
+            let slice = hot_bytes / cores as u64;
+            for _round in 0..16 {
+                for c in 0..cores {
+                    let base = c as u64 * slice;
+                    let mut a = base;
+                    while a < base + slice {
+                        sim.access(c, a);
+                        a += 64;
+                    }
+                }
+            }
+            let r = sim.report(0);
+            sim.cores.iter().map(|c| c.stall_cycles).sum::<u64>() as f64 / r.accesses as f64
+        };
+        let one = per_core(1);
+        let eight = per_core(8);
+        assert!(
+            eight < one * 0.6,
+            "aggregate cache effect missing: 1 core {one:.1} vs 8 cores {eight:.1} cycles/access"
+        );
+    }
+
+    #[test]
+    fn shared_llc_is_contended() {
+        // Streams that individually fit the LLC but together exceed it.
+        let stream = 20u64 << 20; // 20 MiB each; 2 streams > 32 MiB LLC
+        let miss_rate = |cores: usize| {
+            let mut sim = MultiCoreHierarchy::typical_server(cores, PageSize::Kb4);
+            for _round in 0..2 {
+                for c in 0..cores {
+                    let base = (c as u64) << 36;
+                    let mut a = 0;
+                    while a < stream {
+                        sim.access(c, base + a);
+                        a += 64;
+                    }
+                }
+            }
+            sim.report(0).llc_miss_rate
+        };
+        assert!(miss_rate(2) > miss_rate(1) + 0.2);
+    }
+
+    #[test]
+    fn report_sane() {
+        let mut sim = MultiCoreHierarchy::typical_server(4, PageSize::Mb2);
+        for i in 0..10_000u64 {
+            sim.access((i % 4) as usize, i * 128);
+        }
+        let r = sim.report(50_000);
+        assert_eq!(r.accesses, 10_000);
+        assert!((0.0..=1.0).contains(&r.memory_bound_fraction));
+        assert!((0.0..=1.0).contains(&r.dtlb_miss_rate));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one core")]
+    fn zero_cores_panics() {
+        let _ = MultiCoreHierarchy::typical_server(0, PageSize::Kb4);
+    }
+}

@@ -1,0 +1,81 @@
+//! End-to-end extreme classification: SLIDE vs dense vs sampled softmax
+//! on a Delicious-like synthetic workload, with time-vs-accuracy
+//! checkpoints (a miniature of the paper's Figure 5 / Figure 7).
+//!
+//! ```sh
+//! cargo run --release --example extreme_classification [-- <scale>]
+//! ```
+//!
+//! `<scale>` is `smoke` (default), `medium` or `full`.
+
+use slide::prelude::*;
+
+fn print_history(name: &str, history: &[slide::core::Checkpoint], final_p1: f64) {
+    println!("\n{name} checkpoints (iteration, seconds, P@1):");
+    for c in history {
+        println!(
+            "  iter {:>5}  t={:>7.2}s  P@1={:.3}  loss={:.3}",
+            c.iteration, c.seconds, c.p_at_1, c.train_loss
+        );
+    }
+    println!("  final P@1 = {final_p1:.3}");
+}
+
+fn main() {
+    let scale = std::env::args()
+        .nth(1)
+        .and_then(|s| Scale::parse(&s))
+        .unwrap_or(Scale::Smoke);
+    println!("scale: {scale}");
+    let data = generate(&SyntheticConfig::delicious_like(scale));
+    let stats = data.train.stats();
+    println!(
+        "delicious-like: {} train, {} features, {} labels, {:.1} nnz/doc",
+        stats.size, stats.feature_dim, stats.label_dim, stats.avg_feature_nnz
+    );
+
+    let config = NetworkConfig::builder(data.train.feature_dim(), data.train.label_dim())
+        .hidden(128)
+        .output_lsh(LshLayerConfig::simhash(9, 50))
+        .learning_rate(1e-3)
+        .seed(3)
+        .build()
+        .expect("valid config");
+    // Checkpoint four times per epoch regardless of dataset size.
+    let eval_every = ((data.train.len() / 128).max(4) / 4).max(1) as u64;
+    let options = TrainOptions::new(3)
+        .batch_size(128)
+        .eval_every(eval_every)
+        .eval_examples(300)
+        .seed(1);
+
+    // SLIDE with input-adaptive LSH sampling.
+    let mut slide = SlideTrainer::new(config.clone()).expect("valid network");
+    let r_slide = slide.train_with_eval(&data.train, &data.test, &options);
+    print_history("SLIDE", &r_slide.history, slide.evaluate_n(&data.test, 1000));
+
+    // Dense full softmax.
+    let mut dense = DenseTrainer::new(config.clone()).expect("valid network");
+    let r_dense = dense.train_with_eval(&data.train, &data.test, &options);
+    print_history("Dense", &r_dense.history, dense.evaluate_n(&data.test, 1000));
+
+    // Static sampled softmax with 20% of the classes (the paper found
+    // anything less gives poor accuracy).
+    let sample = data.train.label_dim() / 5;
+    let mut ssm = SampledSoftmaxTrainer::new(config, sample).expect("valid network");
+    let r_ssm = ssm.train_with_eval(&data.train, &data.test, &options);
+    print_history(
+        &format!("SampledSoftmax({sample})"),
+        &r_ssm.history,
+        ssm.evaluate_n(&data.test, 1000),
+    );
+
+    println!(
+        "\ntotal training seconds — SLIDE {:.1}, Dense {:.1}, SampledSoftmax {:.1}",
+        r_slide.seconds, r_dense.seconds, r_ssm.seconds
+    );
+    println!(
+        "SLIDE touched {:.2}% of output neurons per example on average",
+        100.0 * r_slide.telemetry.avg_active_output / data.train.label_dim() as f64
+    );
+}

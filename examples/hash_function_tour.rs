@@ -1,0 +1,122 @@
+//! A tour of the four LSH families: collision behaviour as a function of
+//! similarity, and how (K, L) shape retrieval (paper §2 and Appendix A).
+//!
+//! ```sh
+//! cargo run --release --example hash_function_tour
+//! ```
+
+use slide::data::rng::{Rng, Xoshiro256PlusPlus};
+use slide::data::SparseVector;
+use slide::lsh::dwta::DwtaHash;
+use slide::lsh::family::HashFamily;
+use slide::lsh::minhash::DophHash;
+use slide::lsh::prob;
+use slide::lsh::simhash::SimHash;
+use slide::lsh::wta::WtaHash;
+
+const DIM: usize = 256;
+const TRIALS: usize = 400;
+
+/// Empirical single-code collision rate between `a` and a noisy copy.
+fn collision_rate(family: &dyn HashFamily, a: &[f32], b: &[f32]) -> f64 {
+    let mut ca = vec![0u32; family.num_codes()];
+    let mut cb = vec![0u32; family.num_codes()];
+    family.hash_dense(a, &mut ca);
+    family.hash_dense(b, &mut cb);
+    let hits = ca.iter().zip(&cb).filter(|(x, y)| x == y).count();
+    hits as f64 / family.num_codes() as f64
+}
+
+fn cosine(a: &[f32], b: &[f32]) -> f64 {
+    let dot: f32 = a.iter().zip(b).map(|(x, y)| x * y).sum();
+    let na: f32 = a.iter().map(|x| x * x).sum::<f32>().sqrt();
+    let nb: f32 = b.iter().map(|x| x * x).sum::<f32>().sqrt();
+    (dot / (na * nb)) as f64
+}
+
+fn main() {
+    let mut rng = Xoshiro256PlusPlus::seed_from_u64(99);
+    // K=1 with many tables ⇒ each code is an independent collision trial.
+    let simhash = SimHash::new(DIM, 1, TRIALS, 1.0, &mut rng);
+    let wta = WtaHash::new(DIM, 1, TRIALS, 8, &mut rng);
+    let dwta = DwtaHash::new(DIM, 1, TRIALS, 8, &mut rng);
+    let doph = DophHash::new(DIM, 1, TRIALS, 16, 32, &mut rng);
+
+    println!("collision rate vs noise level (dense input, {DIM} dims):");
+    println!(
+        "{:>8} {:>8} {:>10} {:>8} {:>8} {:>8} {:>8}",
+        "noise", "cosine", "1-θ/π", "simhash", "wta", "dwta", "doph"
+    );
+    let base: Vec<f32> = (0..DIM).map(|_| rng.next_normal() as f32).collect();
+    for &noise in &[0.0f32, 0.1, 0.3, 0.6, 1.0, 2.0] {
+        let noisy: Vec<f32> = base
+            .iter()
+            .map(|&x| x + noise * rng.next_normal() as f32)
+            .collect();
+        let cos = cosine(&base, &noisy);
+        println!(
+            "{:>8.2} {:>8.3} {:>10.3} {:>8.3} {:>8.3} {:>8.3} {:>8.3}",
+            noise,
+            cos,
+            prob::simhash_collision_prob(cos),
+            collision_rate(&simhash, &base, &noisy),
+            collision_rate(&wta, &base, &noisy),
+            collision_rate(&dwta, &base, &noisy),
+            collision_rate(&doph, &base, &noisy),
+        );
+    }
+
+    // DWTA's reason to exist: sparse inputs.
+    println!("\nsparse inputs (30/{DIM} nonzero), same-support jitter vs disjoint support:");
+    let support: Vec<u32> = rng
+        .sample_distinct(DIM, 30)
+        .into_iter()
+        .map(|i| i as u32)
+        .collect();
+    let sv = |idx: &[u32], rng: &mut Xoshiro256PlusPlus| {
+        SparseVector::from_pairs(idx.iter().map(|&i| (i, rng.next_f32() + 0.5)))
+    };
+    let a = sv(&support, &mut rng);
+    let jittered = {
+        let mut pairs: Vec<(u32, f32)> = a.iter().collect();
+        for p in pairs.iter_mut() {
+            p.1 *= 1.0 + 0.05 * (rng.next_f32() - 0.5);
+        }
+        SparseVector::from_pairs(pairs)
+    };
+    let disjoint_support: Vec<u32> = (0..DIM as u32)
+        .filter(|i| !support.contains(i))
+        .take(30)
+        .collect();
+    let disjoint = sv(&disjoint_support, &mut rng);
+
+    for (name, family) in [("dwta", &dwta as &dyn HashFamily), ("doph", &doph)] {
+        let mut ca = vec![0u32; family.num_codes()];
+        let mut cb = vec![0u32; family.num_codes()];
+        let mut cc = vec![0u32; family.num_codes()];
+        family.hash_sparse(&a, &mut ca);
+        family.hash_sparse(&jittered, &mut cb);
+        family.hash_sparse(&disjoint, &mut cc);
+        let rate = |x: &[u32], y: &[u32]| {
+            x.iter().zip(y).filter(|(p, q)| p == q).count() as f64 / x.len() as f64
+        };
+        println!(
+            "  {name:>6}: similar {:.3}, disjoint {:.3}",
+            rate(&ca, &cb),
+            rate(&ca, &cc)
+        );
+    }
+
+    // The (K, L) trade-off in closed form (paper §2.1).
+    println!("\ncandidate probability 1-(1-p^K)^L for p = 0.8:");
+    println!("{:>6} {:>8} {:>8} {:>8}", "K", "L=10", "L=50", "L=200");
+    for k in [1usize, 3, 6, 9, 12] {
+        println!(
+            "{:>6} {:>8.3} {:>8.3} {:>8.3}",
+            k,
+            prob::candidate_prob(0.8, k, 10),
+            prob::candidate_prob(0.8, k, 50),
+            prob::candidate_prob(0.8, k, 200),
+        );
+    }
+}

@@ -1,0 +1,153 @@
+//! Convergence-shape integration tests: miniature versions of the claims
+//! behind Figures 5 and 7.
+
+use slide::prelude::*;
+
+fn data() -> slide::data::synth::SyntheticData {
+    let mut cfg = SyntheticConfig::tiny();
+    cfg.train_size = 1200;
+    cfg.test_size = 300;
+    generate(&cfg.with_seed(77))
+}
+
+fn config(d: &slide::data::synth::SyntheticData) -> NetworkConfig {
+    NetworkConfig::builder(d.train.feature_dim(), d.train.label_dim())
+        .hidden(24)
+        .output_lsh(
+            LshLayerConfig::simhash(3, 10)
+                .with_strategy(slide::lsh::SamplingStrategy::Vanilla { budget: 12 }),
+        )
+        .learning_rate(2e-3)
+        .seed(55)
+        .build()
+        .unwrap()
+}
+
+/// Figure 5's iteration-wise claim: SLIDE's adaptive sampling converges
+/// like the full softmax per iteration (within a tolerance at this tiny
+/// scale), while computing a fraction of the neurons.
+#[test]
+fn slide_tracks_dense_convergence_per_iteration() {
+    let d = data();
+    let opts = TrainOptions::new(6).batch_size(64).threads(4).seed(1);
+
+    let mut slide = SlideTrainer::new(config(&d)).unwrap();
+    let rs = slide.train(&d.train, &opts);
+    let p_slide = slide.evaluate_n(&d.test, 300);
+
+    let mut dense = DenseTrainer::new(config(&d)).unwrap();
+    let rd = dense.train(&d.train, &opts);
+    let p_dense = dense.evaluate_n(&d.test, 300);
+
+    assert_eq!(rs.iterations, rd.iterations);
+    assert!(
+        p_slide > p_dense - 0.15,
+        "SLIDE {p_slide:.3} vs dense {p_dense:.3}: adaptive sampling broke convergence"
+    );
+    // And it did so while activating a small fraction of the output layer.
+    assert!(
+        rs.telemetry.avg_active_output < 0.5 * d.train.label_dim() as f64,
+        "not sparse: {} of {}",
+        rs.telemetry.avg_active_output,
+        d.train.label_dim()
+    );
+}
+
+/// Figure 7's regime: adaptive LSH sampling vs static sampling at equal
+/// budget. The paper's decisive static-sampling failure needs a label
+/// space orders of magnitude larger than the sample (205K–670K classes);
+/// at this test's scale the two are statistically close, so we assert
+/// competitiveness plus the structural properties that distinguish them.
+/// See EXPERIMENTS.md ("Figure 7") for the full discussion.
+#[test]
+fn adaptive_sampling_is_competitive_with_static_at_equal_budget() {
+    let mut scfg = SyntheticConfig::tiny();
+    scfg.label_dim = 300;
+    scfg.feature_dim = 1500;
+    scfg.train_size = 2000;
+    scfg.test_size = 300;
+    let d = generate(&scfg.with_seed(88));
+    let cfg = || {
+        NetworkConfig::builder(d.train.feature_dim(), d.train.label_dim())
+            .hidden(24)
+            .output_lsh(
+                LshLayerConfig::simhash(4, 12)
+                    .with_strategy(slide::lsh::SamplingStrategy::Vanilla { budget: 12 }),
+            )
+            .learning_rate(2e-3)
+            .seed(55)
+            .build()
+            .unwrap()
+    };
+    let opts = TrainOptions::new(4).batch_size(64).threads(4).seed(2);
+
+    let mut slide = SlideTrainer::new(cfg()).unwrap();
+    let rs = slide.train(&d.train, &opts);
+    let p_slide = slide.evaluate_n(&d.test, 300);
+
+    // Static sampling with MORE sampled classes than SLIDE's budget.
+    let mut ssm = SampledSoftmaxTrainer::new(cfg(), 16).unwrap();
+    let rm = ssm.train(&d.train, &opts);
+    let p_ssm = ssm.evaluate_n(&d.test, 300);
+
+    assert!(
+        rm.telemetry.avg_active_output >= rs.telemetry.avg_active_output - 2.0,
+        "static baseline used fewer neurons ({} vs {}), unfair comparison",
+        rm.telemetry.avg_active_output,
+        rs.telemetry.avg_active_output
+    );
+    assert!(
+        p_slide > p_ssm - 0.06,
+        "SLIDE {p_slide:.3} fell far behind static sampling {p_ssm:.3}"
+    );
+    // And SLIDE achieved it with adaptive, input-dependent active sets
+    // (the structural difference; adaptivity itself is asserted in
+    // end_to_end::lsh_active_set_is_adaptive_not_static).
+    assert!(rs.telemetry.avg_active_output < 40.0);
+}
+
+/// Training loss must decrease across epochs for all three systems.
+#[test]
+fn loss_decreases_for_all_systems() {
+    let d = data();
+    let probe = |history: &[slide::core::Checkpoint]| {
+        assert!(history.len() >= 2);
+        let first = history.first().unwrap().train_loss;
+        let last = history.last().unwrap().train_loss;
+        assert!(
+            last < first,
+            "loss rose across training: {first:.3} -> {last:.3}"
+        );
+    };
+    let opts = TrainOptions::new(5)
+        .batch_size(64)
+        .threads(2)
+        .eval_every(10)
+        .eval_examples(50)
+        .seed(3);
+
+    let mut s = SlideTrainer::new(config(&d)).unwrap();
+    probe(&s.train_with_eval(&d.train, &d.test, &opts).history);
+    let mut de = DenseTrainer::new(config(&d)).unwrap();
+    probe(&de.train_with_eval(&d.train, &d.test, &opts).history);
+    let mut ss = SampledSoftmaxTrainer::new(config(&d), 16).unwrap();
+    probe(&ss.train_with_eval(&d.train, &d.test, &opts).history);
+}
+
+/// More threads must not break convergence (the HOGWILD claim).
+#[test]
+fn hogwild_parallelism_preserves_accuracy() {
+    let d = data();
+    let mut single = SlideTrainer::new(config(&d)).unwrap();
+    single.train(&d.train, &TrainOptions::new(4).batch_size(64).threads(1).seed(4));
+    let p1_single = single.evaluate_n(&d.test, 300);
+
+    let mut many = SlideTrainer::new(config(&d)).unwrap();
+    many.train(&d.train, &TrainOptions::new(4).batch_size(64).threads(8).seed(4));
+    let p1_many = many.evaluate_n(&d.test, 300);
+
+    assert!(
+        (p1_single - p1_many).abs() < 0.12,
+        "1-thread {p1_single:.3} vs 8-thread {p1_many:.3}"
+    );
+}

@@ -1,0 +1,170 @@
+//! Cross-crate integration: data → LSH → training engine, end to end.
+
+use slide::prelude::*;
+use slide_core::OutputMode;
+
+fn tiny_data(seed: u64) -> slide::data::synth::SyntheticData {
+    generate(&SyntheticConfig::tiny().with_seed(seed))
+}
+
+fn slide_config(data: &slide::data::synth::SyntheticData, seed: u64) -> NetworkConfig {
+    NetworkConfig::builder(data.train.feature_dim(), data.train.label_dim())
+        .hidden(24)
+        .output_lsh(LshLayerConfig::simhash(3, 10))
+        .learning_rate(2e-3)
+        .seed(seed)
+        .build()
+        .unwrap()
+}
+
+#[test]
+fn slide_end_to_end_beats_chance_by_far() {
+    let data = tiny_data(1);
+    let mut trainer = SlideTrainer::new(slide_config(&data, 2)).unwrap();
+    let report = trainer.train(
+        &data.train,
+        &TrainOptions::new(5).batch_size(64).threads(4).seed(3),
+    );
+    let p1 = trainer.evaluate_n(&data.test, 200);
+    // Chance on 50 labels ≈ 2–4%; require an order of magnitude more.
+    assert!(p1 > 0.35, "P@1 = {p1}");
+    assert!(report.iterations >= 5 * (600 / 64) as u64);
+    assert!(report.telemetry.utilization > 0.0);
+}
+
+#[test]
+fn all_four_hash_families_train() {
+    let data = tiny_data(4);
+    for lsh in [
+        LshLayerConfig::simhash(3, 8),
+        LshLayerConfig::wta(2, 8),
+        LshLayerConfig::dwta(2, 8),
+        // DOPH's default top-32 binarization exceeds the 16-unit hidden
+        // fan-in here; use top-8.
+        LshLayerConfig {
+            family: slide::core::FamilySpec::Doph { bin_width: 16, top_t: 8 },
+            ..LshLayerConfig::doph(2, 8)
+        },
+    ] {
+        let kind = lsh.family.kind();
+        let cfg = NetworkConfig::builder(data.train.feature_dim(), data.train.label_dim())
+            .hidden(16)
+            .output_lsh(lsh)
+            .learning_rate(2e-3)
+            .seed(9)
+            .build()
+            .unwrap();
+        let mut trainer = SlideTrainer::new(cfg).unwrap();
+        let report = trainer.train(
+            &data.train,
+            &TrainOptions::new(2).batch_size(64).threads(2),
+        );
+        let p1 = trainer.evaluate_n(&data.test, 100);
+        assert!(p1 > 0.15, "{kind}: P@1 = {p1}");
+        assert!(report.final_loss.is_finite(), "{kind}: loss diverged");
+    }
+}
+
+#[test]
+fn all_three_sampling_strategies_train() {
+    use slide::lsh::SamplingStrategy;
+    let data = tiny_data(5);
+    for strategy in [
+        SamplingStrategy::Vanilla { budget: 12 },
+        SamplingStrategy::TopK { budget: 12 },
+        SamplingStrategy::HardThreshold { min_count: 2 },
+    ] {
+        let cfg = NetworkConfig::builder(data.train.feature_dim(), data.train.label_dim())
+            .hidden(16)
+            .output_lsh(LshLayerConfig::simhash(3, 10).with_strategy(strategy))
+            .learning_rate(2e-3)
+            .seed(13)
+            .build()
+            .unwrap();
+        let mut trainer = SlideTrainer::new(cfg).unwrap();
+        trainer.train(&data.train, &TrainOptions::new(2).batch_size(64).threads(2));
+        let p1 = trainer.evaluate_n(&data.test, 100);
+        assert!(p1 > 0.15, "{strategy}: P@1 = {p1}");
+    }
+}
+
+#[test]
+fn svmlight_roundtrip_feeds_training() {
+    // Generate → serialize → parse → train: the full data pipeline.
+    let data = tiny_data(6);
+    let mut buf = Vec::new();
+    slide::data::svmlight::write(&data.train, &mut buf).unwrap();
+    let parsed = slide::data::svmlight::read(buf.as_slice()).unwrap();
+    assert_eq!(parsed.len(), data.train.len());
+    assert_eq!(parsed.stats(), data.train.stats());
+
+    let mut trainer = SlideTrainer::new(slide_config(&data, 21)).unwrap();
+    let report = trainer.train(&parsed, &TrainOptions::new(1).batch_size(64).threads(2));
+    assert!(report.iterations > 0);
+}
+
+#[test]
+fn both_insertion_policies_work_in_training() {
+    use slide::lsh::InsertionPolicy;
+    let data = tiny_data(7);
+    for policy in [InsertionPolicy::Reservoir, InsertionPolicy::Fifo] {
+        let cfg = NetworkConfig::builder(data.train.feature_dim(), data.train.label_dim())
+            .hidden(16)
+            .output_lsh(LshLayerConfig::simhash(3, 10).with_policy(policy))
+            .seed(17)
+            .build()
+            .unwrap();
+        let mut trainer = SlideTrainer::new(cfg).unwrap();
+        let report = trainer.train(
+            &data.train,
+            &TrainOptions::new(1).batch_size(64).threads(2),
+        );
+        assert!(report.iterations > 0, "{policy} failed");
+    }
+}
+
+#[test]
+fn lsh_active_set_is_adaptive_not_static() {
+    // Different inputs must retrieve different active sets (the defining
+    // property vs sampled softmax).
+    let data = tiny_data(8);
+    let cfg = slide_config(&data, 23);
+    let trainer = SlideTrainer::new(cfg).unwrap();
+    let net = trainer.network();
+    let mut ws = net.workspace(1);
+    let mut sets = Vec::new();
+    for ex in data.test.iter().take(10) {
+        net.forward(&mut ws, &ex.features, None, OutputMode::Lsh);
+        let mut ids: Vec<u32> = ws.output().map(|(id, _)| id).collect();
+        ids.sort_unstable();
+        sets.push(ids);
+    }
+    let distinct: std::collections::HashSet<_> = sets.iter().collect();
+    assert!(distinct.len() > 5, "active sets look static: {distinct:?}");
+}
+
+#[test]
+fn deeper_networks_train_too() {
+    // Two hidden layers, LSH on the second hidden layer and the output.
+    let data = tiny_data(9);
+    let cfg = NetworkConfig::builder(data.train.feature_dim(), data.train.label_dim())
+        .hidden(32)
+        .hidden_lsh(
+            64,
+            LshLayerConfig::simhash(3, 8)
+                .with_strategy(slide::lsh::SamplingStrategy::Vanilla { budget: 24 }),
+        )
+        .output_lsh(LshLayerConfig::simhash(3, 10))
+        .learning_rate(2e-3)
+        .seed(31)
+        .build()
+        .unwrap();
+    let mut trainer = SlideTrainer::new(cfg).unwrap();
+    let report = trainer.train(
+        &data.train,
+        &TrainOptions::new(3).batch_size(64).threads(2),
+    );
+    assert!(report.final_loss.is_finite());
+    let p1 = trainer.evaluate_n(&data.test, 100);
+    assert!(p1 > 0.1, "deep SLIDE P@1 = {p1}");
+}
