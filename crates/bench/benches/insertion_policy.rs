@@ -61,7 +61,9 @@ fn bench(c: &mut Criterion) {
     group.bench_function("full_insertion_fifo", |b| {
         b.iter(|| {
             let mut tables = LshTables::new(
-                TableConfig::new(K, L).with_table_bits(12).with_bucket_capacity(128),
+                TableConfig::new(K, L)
+                    .with_table_bits(12)
+                    .with_bucket_capacity(128),
             );
             let mut rng = Xoshiro256PlusPlus::seed_from_u64(13);
             let mut w = vec![0.0f32; DIM];

@@ -20,7 +20,9 @@ fn setup(neurons: usize) -> Setup {
     let mut rng = Xoshiro256PlusPlus::seed_from_u64(42);
     let family = SimHash::new(dim, k, l, 1.0 / 3.0, &mut rng);
     let mut tables = LshTables::new(
-        TableConfig::new(k, l).with_table_bits(12).with_bucket_capacity(128),
+        TableConfig::new(k, l)
+            .with_table_bits(12)
+            .with_bucket_capacity(128),
     );
     let mut codes = vec![0u32; family.num_codes()];
     let mut w = vec![0.0f32; dim];

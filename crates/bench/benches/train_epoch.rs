@@ -52,7 +52,13 @@ fn bench(c: &mut Criterion) {
         ("rebuild_fixed_every_2", RebuildSchedule::fixed(2)),
     ] {
         let mut net2 = net.clone();
-        net2.layers.last_mut().unwrap().lsh.as_mut().unwrap().rebuild = schedule;
+        net2.layers
+            .last_mut()
+            .unwrap()
+            .lsh
+            .as_mut()
+            .unwrap()
+            .rebuild = schedule;
         group.bench_function(name, |b| {
             b.iter(|| {
                 let mut t = SlideTrainer::new(net2.clone()).unwrap();

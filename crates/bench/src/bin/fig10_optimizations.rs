@@ -17,7 +17,10 @@ use slide_kernels::KernelMode;
 
 fn main() {
     let args = ExpArgs::parse();
-    println!("Figure 10: plain vs optimized SLIDE (scale = {})\n", args.scale);
+    println!(
+        "Figure 10: plain vs optimized SLIDE (scale = {})\n",
+        args.scale
+    );
     let epochs = match args.scale {
         slide_bench::Scale::Smoke => 4,
         _ => 2,

@@ -29,5 +29,7 @@ fn main() {
     }
     table.print();
 
-    println!("\npaper checkpoints: m=9 needs p>0.8 for Pr>0.5; m=1 collects p=0.2 neurons with Pr>0.8.");
+    println!(
+        "\npaper checkpoints: m=9 needs p>0.8 for Pr>0.5; m=1 collects p=0.2 neurons with Pr>0.8."
+    );
 }

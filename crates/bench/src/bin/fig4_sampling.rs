@@ -31,10 +31,12 @@ fn main() {
     let (k, l, dim) = (6usize, 50usize, 128usize);
     let queries = 200usize;
 
-    let mut rng = Xoshiro256PlusPlus::seed_from_u64(args.seed ^ 0xF16_4);
+    let mut rng = Xoshiro256PlusPlus::seed_from_u64(args.seed ^ 0xF164);
     let family = SimHash::new(dim, k, l, 1.0 / 3.0, &mut rng);
     let mut tables = LshTables::new(
-        TableConfig::new(k, l).with_table_bits(10).with_bucket_capacity(512),
+        TableConfig::new(k, l)
+            .with_table_bits(10)
+            .with_bucket_capacity(512),
     );
     println!("building tables over {neurons} neurons (K={k}, L={l}) ...");
     let mut codes = vec![0u32; family.num_codes()];
@@ -61,7 +63,15 @@ fn main() {
 
     println!("Figure 4: sampling time (seconds per {queries} queries)\n");
     let mut table = TablePrinter::new(
-        vec!["samples", "vanilla_s", "topk_s", "hard_thresh_s", "vanilla_got", "topk_got", "ht_got"],
+        vec![
+            "samples",
+            "vanilla_s",
+            "topk_s",
+            "hard_thresh_s",
+            "vanilla_got",
+            "topk_got",
+            "ht_got",
+        ],
         args.csv,
     );
     let mut scratch = SamplerScratch::new(neurons);

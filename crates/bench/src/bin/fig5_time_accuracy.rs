@@ -12,10 +12,18 @@
 //! ```
 
 use slide_bench::{ExpArgs, TablePrinter};
-use slide_core::{DenseTrainer, LshLayerConfig, NetworkConfig, SlideTrainer, TrainOptions, TrainReport};
+use slide_core::{
+    DenseTrainer, LshLayerConfig, NetworkConfig, SlideTrainer, TrainOptions, TrainReport,
+};
 use slide_data::synth::{generate, SyntheticConfig};
 
-fn run_dataset(name: &str, cfg: SyntheticConfig, lsh: LshLayerConfig, batch: usize, args: &ExpArgs) {
+fn run_dataset(
+    name: &str,
+    cfg: SyntheticConfig,
+    lsh: LshLayerConfig,
+    batch: usize,
+    args: &ExpArgs,
+) {
     let data = generate(&cfg);
     let epochs = match args.scale {
         slide_bench::Scale::Smoke => 6,
@@ -35,7 +43,11 @@ fn run_dataset(name: &str, cfg: SyntheticConfig, lsh: LshLayerConfig, batch: usi
         .eval_examples(400)
         .seed(args.seed);
 
-    println!("\n=== {name}: {} train, {} labels ===", data.train.len(), data.train.label_dim());
+    println!(
+        "\n=== {name}: {} train, {} labels ===",
+        data.train.len(),
+        data.train.label_dim()
+    );
     let mut slide = SlideTrainer::new(net.clone()).expect("valid network");
     let rs = slide.train_with_eval(&data.train, &data.test, &options);
     let mut dense = DenseTrainer::new(net).expect("valid network");
@@ -74,7 +86,10 @@ fn run_dataset(name: &str, cfg: SyntheticConfig, lsh: LshLayerConfig, batch: usi
 
 fn main() {
     let args = ExpArgs::parse();
-    println!("Figure 5: SLIDE vs dense full softmax (scale = {})", args.scale);
+    println!(
+        "Figure 5: SLIDE vs dense full softmax (scale = {})",
+        args.scale
+    );
     let deli = SyntheticConfig::delicious_like(args.scale);
     let deli_lsh = slide_bench::scaled_lsh(true, args.scale, deli.label_dim);
     run_dataset("delicious-like", deli, deli_lsh, 128, &args);

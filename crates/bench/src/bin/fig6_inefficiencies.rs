@@ -20,7 +20,7 @@
 //! ```
 
 use slide_bench::{ExpArgs, TablePrinter};
-use slide_core::{NetworkConfig, OutputMode, SlideTrainer, TrainOptions};
+use slide_core::{LshSelector, NetworkConfig, SlideTrainer, TrainOptions};
 use slide_data::synth::{generate, SyntheticConfig};
 use slide_memsim::{MultiCoreHierarchy, PageSize};
 
@@ -73,7 +73,9 @@ fn main() {
             // The paper's 0.5% active fraction: the per-core hot set must
             // be small enough that added private cache capacity matters.
             slide_core::LshLayerConfig::simhash(5, 50).with_strategy(
-                slide_lsh::SamplingStrategy::Vanilla { budget: labels / 200 },
+                slide_lsh::SamplingStrategy::Vanilla {
+                    budget: labels / 200,
+                },
             ),
         )
         .seed(args.seed ^ 0xF16)
@@ -82,7 +84,10 @@ fn main() {
     let mut trainer = SlideTrainer::new(net).expect("valid network");
     trainer.train(
         &data.train,
-        &TrainOptions::new(1).batch_size(128).max_iterations(10).seed(args.seed),
+        &TrainOptions::new(1)
+            .batch_size(128)
+            .max_iterations(10)
+            .seed(args.seed),
     );
 
     // Harvest output-layer active sets (with labels, as during training).
@@ -93,17 +98,14 @@ fn main() {
         .iter()
         .take(96)
         .map(|ex| {
-            network.forward(&mut ws, &ex.features, Some(&ex.labels), OutputMode::Lsh);
+            network.forward(&LshSelector, &mut ws, &ex.features, Some(&ex.labels));
             ws.output().map(|(id, _)| id).collect()
         })
         .collect();
     let all_rows: Vec<u32> = (0..labels as u32).collect();
     let dense_rows: Vec<Vec<u32>> = vec![all_rows; 8];
 
-    let mut table = TablePrinter::new(
-        vec!["cores", "dense_membound", "slide_membound"],
-        args.csv,
-    );
+    let mut table = TablePrinter::new(vec!["cores", "dense_membound", "slide_membound"], args.csv);
     for &t in &[8usize, 16, 32] {
         let d = replay(&dense_rows, t, labels as u64, 1);
         let s = replay(&slide_rows, t, labels as u64, 8);
@@ -111,7 +113,9 @@ fn main() {
     }
     table.print();
     let avg_active = slide_rows.iter().map(Vec::len).sum::<usize>() / slide_rows.len().max(1);
-    println!("\nSLIDE touches ~{avg_active} of {labels} output rows per example; dense touches all.");
+    println!(
+        "\nSLIDE touches ~{avg_active} of {labels} output rows per example; dense touches all."
+    );
     println!("paper shape: memory-bound dominates both; rises with cores for the dense");
     println!("baseline, falls for SLIDE (private caches absorb its hot rows).");
 }

@@ -16,7 +16,10 @@ use slide_data::synth::{generate, SyntheticConfig};
 
 fn main() {
     let args = ExpArgs::parse();
-    println!("Figure 7: SLIDE vs static sampled softmax (scale = {})", args.scale);
+    println!(
+        "Figure 7: SLIDE vs static sampled softmax (scale = {})",
+        args.scale
+    );
     // The adaptive-vs-static contrast needs a label space that is large
     // relative to the sampling budget and not dominated by a handful of
     // head classes (the paper has 205K–670K labels). Keep the
@@ -66,10 +69,7 @@ fn main() {
     let mut ssm = SampledSoftmaxTrainer::new(net, ssm_count).expect("valid network");
     let rm = ssm.train_with_eval(&data.train, &data.test, &options);
 
-    let mut table = TablePrinter::new(
-        vec!["system", "iteration", "seconds", "p_at_1"],
-        args.csv,
-    );
+    let mut table = TablePrinter::new(vec!["system", "iteration", "seconds", "p_at_1"], args.csv);
     for (label, r) in [
         ("SLIDE", &rs),
         ("SSM(equal-budget)", &rq),

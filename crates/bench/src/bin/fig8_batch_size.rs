@@ -14,7 +14,10 @@ use slide_data::synth::{generate, SyntheticConfig};
 
 fn main() {
     let args = ExpArgs::parse();
-    println!("Figure 8: batch-size sweep on amazon-like (scale = {})\n", args.scale);
+    println!(
+        "Figure 8: batch-size sweep on amazon-like (scale = {})\n",
+        args.scale
+    );
     let data = generate(&SyntheticConfig::amazon_like(args.scale));
     let labels = data.train.label_dim();
     let epochs = match args.scale {
@@ -30,7 +33,16 @@ fn main() {
         .expect("valid config");
 
     let mut table = TablePrinter::new(
-        vec!["batch", "slide_s", "dense_s", "ssm_s", "slide_p1", "dense_p1", "ssm_p1", "gap_dense/slide"],
+        vec![
+            "batch",
+            "slide_s",
+            "dense_s",
+            "ssm_s",
+            "slide_p1",
+            "dense_p1",
+            "ssm_p1",
+            "gap_dense/slide",
+        ],
         args.csv,
     );
     for &batch in &[64usize, 128, 256] {
@@ -41,8 +53,8 @@ fn main() {
         let mut dense = DenseTrainer::new(net.clone()).expect("valid network");
         let rd = dense.train(&data.train, &options);
         let pd = dense.evaluate_n(&data.test, 500);
-        let mut ssm = SampledSoftmaxTrainer::new(net.clone(), (labels / 5).max(1))
-            .expect("valid network");
+        let mut ssm =
+            SampledSoftmaxTrainer::new(net.clone(), (labels / 5).max(1)).expect("valid network");
         let rm = ssm.train(&data.train, &options);
         let pm = ssm.evaluate_n(&data.test, 500);
         table.row(vec![

@@ -16,7 +16,10 @@ use slide_data::synth::{generate, SyntheticConfig};
 
 fn main() {
     let args = ExpArgs::parse();
-    println!("Figure 9: convergence time vs cores (scale = {})\n", args.scale);
+    println!(
+        "Figure 9: convergence time vs cores (scale = {})\n",
+        args.scale
+    );
     let data = generate(&SyntheticConfig::delicious_like(args.scale));
     let epochs = match args.scale {
         slide_bench::Scale::Smoke => 3,
@@ -24,7 +27,11 @@ fn main() {
     };
     let net = NetworkConfig::builder(data.train.feature_dim(), data.train.label_dim())
         .hidden(128)
-        .output_lsh(slide_bench::scaled_lsh(true, args.scale, data.train.label_dim()))
+        .output_lsh(slide_bench::scaled_lsh(
+            true,
+            args.scale,
+            data.train.label_dim(),
+        ))
         .learning_rate(1e-3)
         .seed(args.seed ^ 0xF19)
         .build()
@@ -38,7 +45,10 @@ fn main() {
         args.csv,
     );
     for &t in &threads {
-        let options = TrainOptions::new(epochs).batch_size(128).threads(t).seed(args.seed);
+        let options = TrainOptions::new(epochs)
+            .batch_size(128)
+            .threads(t)
+            .seed(args.seed);
         let mut slide = SlideTrainer::new(net.clone()).expect("valid network");
         let rs = slide.train(&data.train, &options);
         let mut dense = DenseTrainer::new(net.clone()).expect("valid network");

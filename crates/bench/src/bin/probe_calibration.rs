@@ -2,7 +2,7 @@
 //! polluted by never-trained neurons keeping their random init?
 //! Compares full-scoring P@1 vs LSH-retrieval P@1 and logit statistics.
 
-use slide_core::{LshLayerConfig, NetworkConfig, OutputMode, SlideTrainer, TrainOptions};
+use slide_core::{LshLayerConfig, LshSelector, NetworkConfig, SlideTrainer, TrainOptions};
 use slide_data::synth::{generate, SyntheticConfig};
 
 fn main() {
@@ -46,25 +46,32 @@ fn main() {
         max_logit += logits[top as usize] as f64;
 
         // LSH-retrieval inference: argmax over the sampled active set.
-        network.forward(&mut ws, &ex.features, None, OutputMode::Lsh);
-        if let Some((id, _)) = ws
-            .output()
-            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
-        {
+        network.forward(&LshSelector, &mut ws, &ex.features, None);
+        if let Some((id, _)) = ws.output().max_by(|a, b| a.1.partial_cmp(&b.1).unwrap()) {
             lsh_hits += ex.labels.binary_search(&id).is_ok() as usize;
         }
     }
     // Winner identity: sibling (same cluster) vs unrelated class.
-    let mut sib = 0; let mut unrelated = 0; let mut correct = 0;
+    let mut sib = 0;
+    let mut unrelated = 0;
+    let mut correct = 0;
     {
         let mut ws2 = network.workspace(2);
         for ex in data.test.iter().take(n) {
             let logits = network.predict_logits(&mut ws2, &ex.features);
-            let top = logits.iter().enumerate()
-                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap()).unwrap().0 as u32;
-            if ex.labels.binary_search(&top).is_ok() { correct += 1; }
-            else if ex.labels.iter().any(|&l| l / 8 == top / 8) { sib += 1; }
-            else { unrelated += 1; }
+            let top = logits
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                .unwrap()
+                .0 as u32;
+            if ex.labels.binary_search(&top).is_ok() {
+                correct += 1;
+            } else if ex.labels.iter().any(|&l| l / 8 == top / 8) {
+                sib += 1;
+            } else {
+                unrelated += 1;
+            }
         }
     }
     println!("winners: correct {correct}, sibling {sib}, unrelated {unrelated}");

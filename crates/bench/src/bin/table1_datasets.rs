@@ -28,7 +28,10 @@ fn main() {
         args.csv,
     );
     for (name, cfg) in [
-        ("delicious-like", SyntheticConfig::delicious_like(args.scale)),
+        (
+            "delicious-like",
+            SyntheticConfig::delicious_like(args.scale),
+        ),
         ("amazon-like", SyntheticConfig::amazon_like(args.scale)),
     ] {
         let data = generate(&cfg);

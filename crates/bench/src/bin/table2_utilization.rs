@@ -20,15 +20,24 @@ fn main() {
     let data = generate(&SyntheticConfig::delicious_like(args.scale));
     let net = NetworkConfig::builder(data.train.feature_dim(), data.train.label_dim())
         .hidden(128)
-        .output_lsh(slide_bench::scaled_lsh(true, args.scale, data.train.label_dim()))
+        .output_lsh(slide_bench::scaled_lsh(
+            true,
+            args.scale,
+            data.train.label_dim(),
+        ))
         .seed(args.seed ^ 0x7AB2)
         .build()
         .expect("valid config");
-    let max = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let max = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
 
     let mut table = TablePrinter::new(vec!["threads", "dense_util", "slide_util"], args.csv);
     for &t in [8usize, 16, 32].iter().filter(|&&t| t <= max) {
-        let options = TrainOptions::new(1).batch_size(128).threads(t).seed(args.seed);
+        let options = TrainOptions::new(1)
+            .batch_size(128)
+            .threads(t)
+            .seed(args.seed);
         let mut dense = DenseTrainer::new(net.clone()).expect("valid network");
         let rd = dense.train(&data.train, &options);
         let mut slide = SlideTrainer::new(net.clone()).expect("valid network");

@@ -50,7 +50,13 @@ fn main() {
     trace.add_compute(trace.len() as u64 * 16 * 2);
 
     let mut table = TablePrinter::new(
-        vec!["metric", "without_hugepages_4KB", "with_hugepages_2MB", "paper_without", "paper_with"],
+        vec![
+            "metric",
+            "without_hugepages_4KB",
+            "with_hugepages_2MB",
+            "paper_without",
+            "paper_with",
+        ],
         args.csv,
     );
     let mut reports = Vec::new();

@@ -127,7 +127,14 @@ impl TablePrinter {
                 .join("  ")
         };
         println!("{}", fmt_row(&self.headers));
-        println!("{}", widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>().join("  "));
+        println!(
+            "{}",
+            widths
+                .iter()
+                .map(|w| "-".repeat(*w))
+                .collect::<Vec<_>>()
+                .join("  ")
+        );
         for r in &self.rows {
             println!("{}", fmt_row(r));
         }
@@ -141,13 +148,20 @@ pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
     (out, t0.elapsed().as_secs_f64())
 }
 
-/// Thread counts to sweep, bounded by the machine (paper: 2…44).
+/// Thread counts to sweep, bounded by the machine (paper: 2…44). Never
+/// empty: a single-core machine sweeps `[1]`.
 pub fn thread_sweep() -> Vec<usize> {
-    let max = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
-    [2usize, 4, 8, 16, 32, 44]
+    let max = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+    let mut sweep: Vec<usize> = [2usize, 4, 8, 16, 32, 44]
         .into_iter()
         .filter(|&t| t <= max)
-        .collect()
+        .collect();
+    if sweep.is_empty() {
+        sweep.push(max.max(1));
+    }
+    sweep
 }
 
 #[cfg(test)]

@@ -1,31 +1,94 @@
-//! The paper's comparison systems, sharing the SLIDE engine verbatim.
+//! The paper's comparison systems: baseline *selectors* plus thin trainer
+//! aliases. There is no second training loop here — both baselines are
+//! [`Trainer`] instantiations running the identical engine, optimizer,
+//! HOGWILD parallelism and batch loop as SLIDE (exactly the paper's
+//! methodology: "the comparison is between the same tasks, with the exact
+//! same architecture ... the optimizer and the learning hyperparameters
+//! were also the same"), differing only in the [`NeuronSelector`]:
 //!
-//! Both baselines run the *same* network, optimizer, HOGWILD parallelism
-//! and batch loop as SLIDE — exactly the paper's methodology ("the
-//! comparison is between the same tasks, with the exact same architecture
-//! ... the optimizer and the learning hyperparameters were also the
-//! same") — differing only in how the output layer selects active
-//! neurons:
-//!
-//! * [`DenseTrainer`] — every neuron active (full softmax), the stand-in
-//!   for TF-CPU / TF-GPU (see DESIGN.md substitution #2);
-//! * [`SampledSoftmaxTrainer`] — a *static* uniform sample of classes
-//!   plus the true labels (§5.1's sampled-softmax comparison; Figure 7).
+//! * [`DenseTrainer`] = `Trainer<DenseSelector>` — every neuron active
+//!   (full softmax), the stand-in for TF-CPU / TF-GPU;
+//! * [`SampledSoftmaxTrainer`] = `Trainer<StaticSampledSelector>` — a
+//!   *static* uniform sample of classes plus the true labels (§5.1's
+//!   sampled-softmax comparison; Figure 7).
 
-use slide_data::Dataset;
+use slide_data::rng::Rng;
 
 use crate::config::NetworkConfig;
 use crate::error::ConfigError;
-use crate::network::{Network, OutputMode};
-use crate::trainer::{run, TrainOptions, TrainReport};
+use crate::selector::{
+    ActiveSet, DenseSelector, NeuronSelector, SelectionContext, SelectorScratch,
+};
+use crate::trainer::Trainer;
 
-/// Full-softmax baseline: dense forward/backward on every layer.
-#[derive(Debug)]
-pub struct DenseTrainer {
-    network: Network,
+/// Sampled-softmax selection (Jean et al. 2015 as shipped in TF): a
+/// uniform random sample of `count` output classes per example — *static*
+/// in the sense that it ignores the input, unlike LSH's adaptive
+/// retrieval. Non-output layers run dense. The engine forces the true
+/// labels into the active set during training.
+#[derive(Debug, Clone, Copy)]
+pub struct StaticSampledSelector {
+    count: usize,
 }
 
-impl DenseTrainer {
+impl StaticSampledSelector {
+    /// Selector sampling `count` random classes per example.
+    pub fn new(count: usize) -> Self {
+        Self { count }
+    }
+
+    /// Classes sampled per example.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+}
+
+/// Reusable per-thread state for [`StaticSampledSelector`], stashed in
+/// [`SelectorScratch::ext`] so steady-state sampling allocates nothing.
+#[derive(Debug, Default)]
+struct StaticSampleScratch {
+    chosen: std::collections::HashSet<u32>,
+}
+
+impl NeuronSelector for StaticSampledSelector {
+    fn name(&self) -> &'static str {
+        "static_sampled"
+    }
+
+    fn select(
+        &self,
+        ctx: &SelectionContext<'_>,
+        scratch: &mut SelectorScratch,
+        active: &mut ActiveSet,
+    ) {
+        let units = ctx.layer.units();
+        if ctx.is_output {
+            let count = self.count.min(units);
+            // Floyd's algorithm for `count` distinct classes (the same
+            // draws as `Rng::sample_distinct`, minus its allocations).
+            let chosen = &mut scratch
+                .ext
+                .get_or_insert_with(|| Box::<StaticSampleScratch>::default())
+                .downcast_mut::<StaticSampleScratch>()
+                .expect("static sampler owns the scratch ext slot")
+                .chosen;
+            chosen.clear();
+            for j in (units - count)..units {
+                let t = scratch.rng.gen_range(0, j + 1) as u32;
+                let v = if chosen.contains(&t) { j as u32 } else { t };
+                chosen.insert(v);
+                active.push(v);
+            }
+        } else {
+            active.fill_dense(units);
+        }
+    }
+}
+
+/// Full-softmax baseline: dense forward/backward on every layer.
+pub type DenseTrainer = Trainer<DenseSelector>;
+
+impl Trainer<DenseSelector> {
     /// Builds the dense twin of `config`: same architecture and seed, all
     /// LSH machinery stripped (no tables are built, so construction and
     /// timing are fair).
@@ -34,68 +97,14 @@ impl DenseTrainer {
     ///
     /// Returns [`ConfigError`] on an inconsistent configuration.
     pub fn new(config: NetworkConfig) -> Result<Self, ConfigError> {
-        Ok(Self {
-            network: Network::new(config.without_lsh())?,
-        })
-    }
-
-    /// The underlying network.
-    pub fn network(&self) -> &Network {
-        &self.network
-    }
-
-    /// Trains without periodic evaluation.
-    ///
-    /// # Panics
-    ///
-    /// Panics on invalid options or an empty dataset.
-    pub fn train(&mut self, train: &Dataset, options: &TrainOptions) -> TrainReport {
-        self.try_train(train, None, options).expect("invalid training setup")
-    }
-
-    /// Trains with periodic evaluation.
-    ///
-    /// # Panics
-    ///
-    /// Panics on invalid options or an empty dataset.
-    pub fn train_with_eval(
-        &mut self,
-        train: &Dataset,
-        test: &Dataset,
-        options: &TrainOptions,
-    ) -> TrainReport {
-        self.try_train(train, Some(test), options)
-            .expect("invalid training setup")
-    }
-
-    /// Fallible training entry point.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`ConfigError`] for invalid options or an empty dataset.
-    pub fn try_train(
-        &mut self,
-        train: &Dataset,
-        test: Option<&Dataset>,
-        options: &TrainOptions,
-    ) -> Result<TrainReport, ConfigError> {
-        run(&mut self.network, train, test, options, OutputMode::Dense)
-    }
-
-    /// Mean P@1 over at most `max_examples` test examples.
-    pub fn evaluate_n(&self, test: &Dataset, max_examples: usize) -> f64 {
-        self.network.evaluate(test, max_examples)
+        Self::with_selector(config.without_lsh(), DenseSelector)
     }
 }
 
 /// Static sampled-softmax baseline (Jean et al. 2015 as shipped in TF).
-#[derive(Debug)]
-pub struct SampledSoftmaxTrainer {
-    network: Network,
-    sample_count: usize,
-}
+pub type SampledSoftmaxTrainer = Trainer<StaticSampledSelector>;
 
-impl SampledSoftmaxTrainer {
+impl Trainer<StaticSampledSelector> {
     /// Builds the baseline sampling `sample_count` random classes per
     /// example (plus the true labels). LSH configs are stripped.
     ///
@@ -109,71 +118,15 @@ impl SampledSoftmaxTrainer {
                 message: "sample_count must be positive".into(),
             });
         }
-        Ok(Self {
-            network: Network::new(config.without_lsh())?,
-            sample_count,
-        })
-    }
-
-    /// The underlying network.
-    pub fn network(&self) -> &Network {
-        &self.network
+        Self::with_selector(
+            config.without_lsh(),
+            StaticSampledSelector::new(sample_count),
+        )
     }
 
     /// Classes sampled per example.
     pub fn sample_count(&self) -> usize {
-        self.sample_count
-    }
-
-    /// Trains without periodic evaluation.
-    ///
-    /// # Panics
-    ///
-    /// Panics on invalid options or an empty dataset.
-    pub fn train(&mut self, train: &Dataset, options: &TrainOptions) -> TrainReport {
-        self.try_train(train, None, options).expect("invalid training setup")
-    }
-
-    /// Trains with periodic evaluation.
-    ///
-    /// # Panics
-    ///
-    /// Panics on invalid options or an empty dataset.
-    pub fn train_with_eval(
-        &mut self,
-        train: &Dataset,
-        test: &Dataset,
-        options: &TrainOptions,
-    ) -> TrainReport {
-        self.try_train(train, Some(test), options)
-            .expect("invalid training setup")
-    }
-
-    /// Fallible training entry point.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`ConfigError`] for invalid options or an empty dataset.
-    pub fn try_train(
-        &mut self,
-        train: &Dataset,
-        test: Option<&Dataset>,
-        options: &TrainOptions,
-    ) -> Result<TrainReport, ConfigError> {
-        run(
-            &mut self.network,
-            train,
-            test,
-            options,
-            OutputMode::StaticSample {
-                count: self.sample_count,
-            },
-        )
-    }
-
-    /// Mean P@1 over at most `max_examples` test examples.
-    pub fn evaluate_n(&self, test: &Dataset, max_examples: usize) -> f64 {
-        self.network.evaluate(test, max_examples)
+        self.selector().count()
     }
 }
 
@@ -181,6 +134,7 @@ impl SampledSoftmaxTrainer {
 mod tests {
     use super::*;
     use crate::config::LshLayerConfig;
+    use crate::trainer::TrainOptions;
     use slide_data::synth::{generate, SyntheticConfig};
 
     fn data() -> slide_data::synth::SyntheticData {
@@ -208,10 +162,7 @@ mod tests {
     fn dense_trainer_learns() {
         let d = data();
         let mut t = DenseTrainer::new(config(&d)).unwrap();
-        t.train(
-            &d.train,
-            &TrainOptions::new(3).batch_size(32).threads(2),
-        );
+        t.train(&d.train, &TrainOptions::new(3).batch_size(32).threads(2));
         let p1 = t.evaluate_n(&d.test, 100);
         assert!(p1 > 0.25, "dense baseline P@1 {p1}");
     }
@@ -221,10 +172,7 @@ mod tests {
         let d = data();
         let mut t = SampledSoftmaxTrainer::new(config(&d), 10).unwrap();
         assert_eq!(t.sample_count(), 10);
-        let report = t.train(
-            &d.train,
-            &TrainOptions::new(3).batch_size(32).threads(2),
-        );
+        let report = t.train(&d.train, &TrainOptions::new(3).batch_size(32).threads(2));
         // Active output ≈ sample_count + labels.
         assert!(report.telemetry.avg_active_output < 14.0);
         let p1 = t.evaluate_n(&d.test, 100);

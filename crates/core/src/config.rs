@@ -105,7 +105,9 @@ impl LshLayerConfig {
     /// rebuilds with `N₀ = 50`).
     pub fn simhash(k: usize, l: usize) -> Self {
         Self {
-            family: FamilySpec::SimHash { sparsity: 1.0 / 3.0 },
+            family: FamilySpec::SimHash {
+                sparsity: 1.0 / 3.0,
+            },
             k,
             l,
             table_bits: 12,
@@ -136,7 +138,10 @@ impl LshLayerConfig {
     /// DOPH configuration (bin width 16, top-32 binarization).
     pub fn doph(k: usize, l: usize) -> Self {
         Self {
-            family: FamilySpec::Doph { bin_width: 16, top_t: 32 },
+            family: FamilySpec::Doph {
+                bin_width: 16,
+                top_t: 32,
+            },
             ..Self::simhash(k, l)
         }
     }
@@ -172,7 +177,10 @@ impl LshLayerConfig {
             return Err(err("k and l must be positive".into()));
         }
         if !(1..=30).contains(&self.table_bits) {
-            return Err(err(format!("table_bits {} outside 1..=30", self.table_bits)));
+            return Err(err(format!(
+                "table_bits {} outside 1..=30",
+                self.table_bits
+            )));
         }
         if self.bucket_capacity == 0 {
             return Err(err("bucket_capacity must be positive".into()));
@@ -282,7 +290,9 @@ impl NetworkConfig {
         let mut fan_in = self.input_dim;
         for (i, layer) in self.layers.iter().enumerate() {
             if layer.units == 0 {
-                return Err(ConfigError::ZeroDimension { what: "layer units" });
+                return Err(ConfigError::ZeroDimension {
+                    what: "layer units",
+                });
             }
             if let Some(lsh) = &layer.lsh {
                 lsh.validate(i, fan_in, layer.units)?;

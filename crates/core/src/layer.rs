@@ -256,16 +256,13 @@ impl Layer {
 
         // Phase 1: hash every neuron's weight row (parallel over neurons).
         let mut codes = vec![0u32; units * num_codes];
-        codes
-            .par_chunks_mut(num_codes)
-            .enumerate()
-            .for_each_init(
-                || vec![0.0f32; fan_in],
-                |row_buf, (j, out)| {
-                    weights.read_row_into(j, row_buf);
-                    family.hash_dense(row_buf, out);
-                },
-            );
+        codes.par_chunks_mut(num_codes).enumerate().for_each_init(
+            || vec![0.0f32; fan_in],
+            |row_buf, (j, out)| {
+                weights.read_row_into(j, row_buf);
+                family.hash_dense(row_buf, out);
+            },
+        );
 
         // Phase 2: insert ids (parallel over tables; each table is owned
         // by exactly one task).
@@ -385,7 +382,7 @@ mod tests {
         layer.biases.set(1, 0.5);
         let ids = [0u32, 3];
         let vals = [2.0f32, -1.0];
-        let expect = 0.5 + layer.weights().get(1, 0) * 2.0 + layer.weights().get(1, 3) * (-1.0);
+        let expect = 0.5 + layer.weights().get(1, 0) * 2.0 + -layer.weights().get(1, 3);
         for mode in [KernelMode::Scalar, KernelMode::Vectorized] {
             assert!((layer.neuron_z(1, &ids, &vals, mode) - expect).abs() < 1e-6);
         }
@@ -413,8 +410,8 @@ mod tests {
 
     #[test]
     fn maintain_follows_schedule() {
-        let lsh_cfg = LshLayerConfig::simhash(2, 3)
-            .with_rebuild(crate::schedule::RebuildSchedule::fixed(10));
+        let lsh_cfg =
+            LshLayerConfig::simhash(2, 3).with_rebuild(crate::schedule::RebuildSchedule::fixed(10));
         let mut layer = relu_layer(8, 20, Some(lsh_cfg));
         assert_eq!(layer.lsh().unwrap().rebuild_count(), 1);
         assert!(!layer.maintain(5));

@@ -12,11 +12,21 @@
 //! on parallel threads and push gradient updates into the shared weights
 //! HOGWILD-style with no synchronization.
 //!
+//! Architecturally, *which* neurons activate is pluggable: the
+//! [`selector::NeuronSelector`] trait fills an [`selector::ActiveSet`]
+//! per layer and the engine ([`network::Network`]) runs the identical
+//! sparse pass over it. SLIDE and the paper's two baselines are the one
+//! generic [`trainer::Trainer`] under three selectors.
+//!
 //! * [`config`] — network/LSH configuration with a builder;
-//! * [`network`] — sparse forward, message-passing backward, evaluation;
-//! * [`trainer`] — the batch-parallel loop and [`trainer::SlideTrainer`];
+//! * [`selector`] — the [`selector::NeuronSelector`] trait,
+//!   [`selector::LshSelector`] and [`selector::DenseSelector`];
+//! * [`network`] — the selector-agnostic sparse execution engine:
+//!   forward, message-passing backward, evaluation, workspace pooling;
+//! * [`trainer`] — the batch-parallel loop, generic
+//!   [`trainer::Trainer`], and [`trainer::SlideTrainer`];
 //! * [`baseline`] — the paper's comparison systems (full softmax and
-//!   static sampled softmax) running on the identical engine;
+//!   static sampled softmax) as selectors + thin trainer aliases;
 //! * [`hogwild`] — relaxed-atomic shared parameter storage;
 //! * [`schedule`] — exponential-decay hash-table rebuild scheduling;
 //! * [`telemetry`] — utilization and memory-traffic counters (the VTune
@@ -48,12 +58,14 @@ pub mod hogwild;
 pub mod layer;
 pub mod network;
 pub mod schedule;
+pub mod selector;
 pub mod telemetry;
 pub mod trainer;
 
-pub use baseline::{DenseTrainer, SampledSoftmaxTrainer};
+pub use baseline::{DenseTrainer, SampledSoftmaxTrainer, StaticSampledSelector};
 pub use config::{Activation, FamilySpec, LayerConfig, LshLayerConfig, NetworkConfig};
 pub use error::ConfigError;
-pub use network::{Network, OutputMode, Workspace};
+pub use network::{Network, Workspace, WorkspacePool};
 pub use schedule::{RebuildSchedule, RebuildState};
-pub use trainer::{Checkpoint, SlideTrainer, TrainOptions, TrainReport};
+pub use selector::{ActiveSet, DenseSelector, LshSelector, NeuronSelector};
+pub use trainer::{Checkpoint, SlideTrainer, TrainOptions, TrainReport, Trainer};

@@ -1,53 +1,43 @@
-//! The SLIDE network: sparse forward pass, sparse message-passing
-//! backpropagation, and HOGWILD parameter updates (paper §3.1, Alg. 1).
+//! The sparse execution engine: selector-agnostic forward pass, sparse
+//! message-passing backpropagation, and HOGWILD parameter updates (paper
+//! §3.1, Alg. 1).
+//!
+//! The engine never decides *which* neurons run — a
+//! [`NeuronSelector`] fills an [`ActiveSet`] per layer and the engine
+//! computes forward and backward over exactly those neurons. SLIDE, the
+//! full-softmax baseline and sampled softmax are the same [`Network`]
+//! under different selectors.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
 use rayon::prelude::*;
-use slide_data::rng::{Rng, Xoshiro256PlusPlus};
 use slide_data::{Dataset, SparseVector};
-use slide_lsh::sampling::{sample, SamplerScratch};
 
 use crate::config::{Activation, NetworkConfig};
 use crate::error::ConfigError;
 use crate::layer::Layer;
-
-/// How the output layer selects active neurons — the switch that turns
-/// one engine into the paper's three systems.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum OutputMode {
-    /// LSH adaptive sampling (SLIDE). Layers without LSH run dense.
-    Lsh,
-    /// Every neuron active in every layer (the TF-CPU/GPU stand-in).
-    Dense,
-    /// Static uniform sampling of `count` output neurons plus the true
-    /// labels (the sampled-softmax baseline of §5.1).
-    StaticSample {
-        /// Sampled classes per example.
-        count: usize,
-    },
-}
+use crate::selector::{
+    ActiveSet, DenseSelector, NeuronSelector, SelectionContext, SelectorScratch,
+};
 
 /// Per-thread scratch for one example's forward/backward pass.
 ///
 /// Mirrors the paper's per-neuron activation/gradient arrays indexed by
 /// batch slot (§3.1): each thread owns one workspace, so "the gradient
 /// computation is independent across different instances in the batch".
+/// All buffers (including the selector scratch) are reused across
+/// examples; steady-state training performs no allocation here.
 #[derive(Debug)]
 pub struct Workspace {
-    /// Active neuron ids per layer.
-    pub(crate) active: Vec<Vec<u32>>,
+    /// Active neurons per layer.
+    pub(crate) active: Vec<ActiveSet>,
     /// Activation per active neuron, parallel to `active`.
     pub(crate) acts: Vec<Vec<f32>>,
     /// Error signal per active neuron, parallel to `active`.
     pub(crate) deltas: Vec<Vec<f32>>,
-    /// Hash-code buffer per layer (empty when no LSH).
-    codes: Vec<Vec<u32>>,
-    /// Sampler scratch per layer (None when no LSH).
-    scratch: Vec<Option<SamplerScratch>>,
-    rng: Xoshiro256PlusPlus,
-    /// Reusable pair buffer for building LSH queries.
-    query: Vec<(u32, f32)>,
+    /// Selection state (hash-code buffers, sampler scratch, RNG).
+    pub(crate) scratch: SelectorScratch,
 }
 
 impl Workspace {
@@ -56,6 +46,7 @@ impl Workspace {
     pub fn output(&self) -> impl Iterator<Item = (u32, f32)> + '_ {
         let last = self.active.len() - 1;
         self.active[last]
+            .ids()
             .iter()
             .copied()
             .zip(self.acts[last].iter().copied())
@@ -64,6 +55,99 @@ impl Workspace {
     /// Number of active neurons per layer in the last pass.
     pub fn active_counts(&self) -> Vec<usize> {
         self.active.iter().map(|a| a.len()).collect()
+    }
+
+    /// The active set of layer `l` in the last pass.
+    pub fn active_set(&self, l: usize) -> &ActiveSet {
+        &self.active[l]
+    }
+
+    /// The selection scratch (for custom selectors and tests).
+    pub fn scratch_mut(&mut self) -> &mut SelectorScratch {
+        &mut self.scratch
+    }
+}
+
+/// A lock-protected free list of [`Workspace`]s, shared by the worker
+/// threads of a training run so workspaces are created once and reused
+/// across examples, batches and epochs (the tentpole of the "no
+/// per-example heap allocation in the hot loop" claim).
+///
+/// With pooling disabled it degrades to fresh allocation per checkout —
+/// kept as a mode so tests can prove pooling is behavior-neutral.
+#[derive(Debug)]
+pub struct WorkspacePool {
+    free: Mutex<Vec<Workspace>>,
+    next_seed: AtomicU64,
+    base_seed: u64,
+    pooled: bool,
+}
+
+impl WorkspacePool {
+    /// Creates a pool whose workspaces draw RNG streams
+    /// `base_seed, base_seed + 1, …` in checkout order.
+    pub fn new(base_seed: u64, pooled: bool) -> Self {
+        Self {
+            free: Mutex::new(Vec::new()),
+            next_seed: AtomicU64::new(base_seed),
+            base_seed,
+            pooled,
+        }
+    }
+
+    /// Checks a workspace out of the pool (or builds one for `network`).
+    /// The workspace returns to the pool when the guard drops.
+    pub fn acquire<'p>(&'p self, network: &Network) -> PooledWorkspace<'p> {
+        let ws = self
+            .free
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .pop()
+            .unwrap_or_else(|| network.workspace(self.next_seed.fetch_add(1, Ordering::Relaxed)));
+        PooledWorkspace {
+            ws: Some(ws),
+            pool: self,
+        }
+    }
+
+    /// Workspaces created over the pool's lifetime.
+    pub fn created(&self) -> u64 {
+        self.next_seed.load(Ordering::Relaxed) - self.base_seed
+    }
+}
+
+/// Checkout guard for a pooled [`Workspace`]; dereferences to it.
+#[derive(Debug)]
+pub struct PooledWorkspace<'p> {
+    ws: Option<Workspace>,
+    pool: &'p WorkspacePool,
+}
+
+impl std::ops::Deref for PooledWorkspace<'_> {
+    type Target = Workspace;
+
+    fn deref(&self) -> &Workspace {
+        self.ws.as_ref().expect("workspace present until drop")
+    }
+}
+
+impl std::ops::DerefMut for PooledWorkspace<'_> {
+    fn deref_mut(&mut self) -> &mut Workspace {
+        self.ws.as_mut().expect("workspace present until drop")
+    }
+}
+
+impl Drop for PooledWorkspace<'_> {
+    fn drop(&mut self) {
+        if self.pool.pooled {
+            if let Some(ws) = self.ws.take() {
+                self.pool
+                    .free
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .push(ws);
+            }
+        }
     }
 }
 
@@ -85,7 +169,7 @@ impl Network {
     /// Returns [`ConfigError`] if the configuration is inconsistent.
     pub fn new(config: NetworkConfig) -> Result<Self, ConfigError> {
         config.validate()?;
-        let mut rng = Xoshiro256PlusPlus::seed_from_u64(config.seed);
+        let mut rng = slide_data::rng::Xoshiro256PlusPlus::seed_from_u64(config.seed);
         let mut layers = Vec::with_capacity(config.layers.len());
         let mut fan_in = config.input_dim;
         for layer_cfg in &config.layers {
@@ -131,56 +215,70 @@ impl Network {
         self.config.adam.corrected_lr(t)
     }
 
-    /// Allocates a per-thread workspace.
+    /// Allocates a per-thread workspace. The workspace carries scratch
+    /// for every built-in selector, so one workspace serves training and
+    /// dense evaluation alike.
     pub fn workspace(&self, seed: u64) -> Workspace {
         let n = self.layers.len();
-        let mut codes = Vec::with_capacity(n);
-        let mut scratch = Vec::with_capacity(n);
-        for layer in &self.layers {
-            match layer.lsh() {
-                Some(lsh) => {
-                    codes.push(vec![0u32; lsh.family().num_codes()]);
-                    scratch.push(Some(SamplerScratch::new(layer.units())));
-                }
-                None => {
-                    codes.push(Vec::new());
-                    scratch.push(None);
-                }
-            }
-        }
         Workspace {
-            active: vec![Vec::new(); n],
+            active: vec![ActiveSet::new(); n],
             acts: vec![Vec::new(); n],
             deltas: vec![Vec::new(); n],
-            codes,
-            scratch,
-            rng: Xoshiro256PlusPlus::seed_from_u64(0x570C_1D3A ^ seed),
-            query: Vec::new(),
+            scratch: SelectorScratch::new(&self.layers, seed),
         }
     }
 
-    /// Sparse forward pass (paper Alg. 1 lines 9–13). Fills the
-    /// workspace's active sets and activations; returns the cross-entropy
-    /// loss when `labels` are supplied (training) or 0.0 otherwise.
+    /// Sparse forward pass (paper Alg. 1 lines 9–13): `selector` picks
+    /// each layer's active set, the engine computes pre-activations and
+    /// nonlinearities over it. Returns the cross-entropy loss when
+    /// `labels` are supplied (training) or 0.0 otherwise.
     ///
-    /// During training the true labels are always added to the output
-    /// active set so the loss is defined (as in the reference SLIDE
-    /// implementation).
+    /// During training the true labels are forced into the output active
+    /// set (as in the reference SLIDE implementation) unless the selector
+    /// opts out via [`NeuronSelector::force_label_activation`].
     pub fn forward(
         &self,
+        selector: &dyn NeuronSelector,
         ws: &mut Workspace,
         features: &SparseVector,
         labels: Option<&[u32]>,
-        mode: OutputMode,
     ) -> f32 {
         let n = self.layers.len();
         for l in 0..n {
             let layer = &self.layers[l];
+            let is_output = l == n - 1;
             let mut active = std::mem::take(&mut ws.active[l]);
             let mut acts = std::mem::take(&mut ws.acts[l]);
 
             // 1. Select the active set.
-            self.select_active(ws, l, features, labels, mode, &mut active);
+            active.clear();
+            {
+                let prev = if l == 0 {
+                    None
+                } else {
+                    Some((ws.active[l - 1].ids(), ws.acts[l - 1].as_slice()))
+                };
+                let ctx = SelectionContext {
+                    layer_index: l,
+                    is_output,
+                    layer,
+                    features,
+                    prev,
+                    labels,
+                };
+                selector.select(&ctx, &mut ws.scratch, &mut active);
+            }
+            // Training: force the true labels into the output active set
+            // so the loss (and their gradient) is defined.
+            if is_output && selector.force_label_activation() {
+                if let Some(labels) = labels {
+                    for &label in labels {
+                        if !active.contains(label) {
+                            active.push(label);
+                        }
+                    }
+                }
+            }
 
             // 2. Compute pre-activations of active neurons only.
             acts.clear();
@@ -189,12 +287,12 @@ impl Network {
                 let (prev_ids, prev_vals): (&[u32], &[f32]) = if l == 0 {
                     (features.indices(), features.values())
                 } else {
-                    (&ws.active[l - 1], &ws.acts[l - 1])
+                    (ws.active[l - 1].ids(), &ws.acts[l - 1])
                 };
                 let mode = self.config.kernel_mode;
-                for (slot, &j) in active.iter().enumerate() {
+                for (slot, &j) in active.ids().iter().enumerate() {
                     if mode == slide_kernels::KernelMode::Vectorized {
-                        if let Some(&next) = active.get(slot + 1) {
+                        if let Some(&next) = active.ids().get(slot + 1) {
                             layer.prefetch_row(next);
                         }
                     }
@@ -222,7 +320,7 @@ impl Network {
                 let last = n - 1;
                 let y = 1.0 / labels.len() as f32;
                 let mut loss = 0.0f32;
-                for (&j, &p) in ws.active[last].iter().zip(&ws.acts[last]) {
+                for (&j, &p) in ws.active[last].ids().iter().zip(&ws.acts[last]) {
                     if labels.binary_search(&j).is_ok() {
                         loss -= y * p.max(1e-30).ln();
                     }
@@ -233,78 +331,11 @@ impl Network {
         }
     }
 
-    fn select_active(
-        &self,
-        ws: &mut Workspace,
-        l: usize,
-        features: &SparseVector,
-        labels: Option<&[u32]>,
-        mode: OutputMode,
-        active: &mut Vec<u32>,
-    ) {
-        let layer = &self.layers[l];
-        let is_last = l == self.layers.len() - 1;
-        active.clear();
-
-        let dense = |active: &mut Vec<u32>| {
-            active.extend(0..layer.units() as u32);
-        };
-
-        match (mode, is_last) {
-            (OutputMode::Dense, _) => dense(active),
-            (OutputMode::StaticSample { count }, true) => {
-                // Static sampled softmax: uniform classes + true labels.
-                let count = count.min(layer.units());
-                let picks = ws.rng.sample_distinct(layer.units(), count);
-                active.extend(picks.into_iter().map(|i| i as u32));
-            }
-            _ => match layer.lsh() {
-                Some(lsh) => {
-                    // Hash the layer input and sample from the tables
-                    // (Alg. 2).
-                    if l == 0 {
-                        lsh.family().hash_sparse(features, &mut ws.codes[l]);
-                    } else {
-                        ws.query.clear();
-                        ws.query.extend(
-                            ws.active[l - 1]
-                                .iter()
-                                .copied()
-                                .zip(ws.acts[l - 1].iter().copied()),
-                        );
-                        let query = SparseVector::from_pairs(ws.query.drain(..));
-                        lsh.family().hash_sparse(&query, &mut ws.codes[l]);
-                    }
-                    let scratch = ws.scratch[l].as_mut().expect("lsh layer has scratch");
-                    sample(
-                        lsh.tables(),
-                        &ws.codes[l],
-                        lsh.strategy(),
-                        scratch,
-                        &mut ws.rng,
-                        active,
-                    );
-                }
-                None => dense(active),
-            },
-        }
-
-        // Training: force the true labels into the output active set.
-        if is_last && mode != OutputMode::Dense {
-            if let Some(labels) = labels {
-                for &label in labels {
-                    if !active.contains(&label) {
-                        active.push(label);
-                    }
-                }
-            }
-        }
-    }
-
     /// Sparse backpropagation with immediate asynchronous updates (paper
     /// Alg. 1 lines 14–16; §3.1 "Sparse Backpropagation or Gradient
     /// Update"). Must be called right after [`Network::forward`] with the
-    /// same workspace and labels.
+    /// same workspace and labels; it touches exactly the active sets the
+    /// forward pass recorded, so it is selector-agnostic by construction.
     ///
     /// `corrected_lr` comes from [`Network::begin_step`].
     pub fn backward(
@@ -330,8 +361,12 @@ impl Network {
             let deltas = &mut ws.deltas[last];
             deltas.clear();
             deltas.resize(active.len(), 0.0);
-            for (slot, (&j, &p)) in active.iter().zip(acts.iter()).enumerate() {
-                let target = if labels.binary_search(&j).is_ok() { y } else { 0.0 };
+            for (slot, (&j, &p)) in active.ids().iter().zip(acts.iter()).enumerate() {
+                let target = if labels.binary_search(&j).is_ok() {
+                    y
+                } else {
+                    0.0
+                };
                 deltas[slot] = p - target;
             }
         }
@@ -345,12 +380,16 @@ impl Network {
             // l−1's state while writing its delta.
             let (below, at) = ws.deltas.split_at_mut(l);
             let delta_l = &at[0];
-            let mut prev_delta = if l > 0 { std::mem::take(&mut below[l - 1]) } else { Vec::new() };
+            let mut prev_delta = if l > 0 {
+                std::mem::take(&mut below[l - 1])
+            } else {
+                Vec::new()
+            };
 
             let (prev_ids, prev_vals): (&[u32], &[f32]) = if l == 0 {
                 (features.indices(), features.values())
             } else {
-                (&ws.active[l - 1], &ws.acts[l - 1])
+                (ws.active[l - 1].ids(), &ws.acts[l - 1])
             };
             if l > 0 {
                 prev_delta.clear();
@@ -359,7 +398,7 @@ impl Network {
 
             let flat = layer.weights.flat();
             let fan_in = layer.fan_in();
-            for (slot, &j) in ws.active[l].iter().enumerate() {
+            for (slot, &j) in ws.active[l].ids().iter().enumerate() {
                 let d = delta_l[slot];
                 if d == 0.0 {
                     continue;
@@ -391,13 +430,13 @@ impl Network {
     /// Forward + backward for one training example. Returns the loss.
     pub fn train_example(
         &self,
+        selector: &dyn NeuronSelector,
         ws: &mut Workspace,
         features: &SparseVector,
         labels: &[u32],
-        mode: OutputMode,
         corrected_lr: f32,
     ) -> f32 {
-        let loss = self.forward(ws, features, Some(labels), mode);
+        let loss = self.forward(selector, ws, features, Some(labels));
         self.backward(ws, features, labels, corrected_lr);
         loss
     }
@@ -405,7 +444,7 @@ impl Network {
     /// Full dense scoring of one example: the logit of every output class
     /// (evaluation path; no sampling, no label leakage).
     pub fn predict_logits(&self, ws: &mut Workspace, features: &SparseVector) -> Vec<f32> {
-        self.forward(ws, features, None, OutputMode::Dense);
+        self.forward(&DenseSelector, ws, features, None);
         let last = self.layers.len() - 1;
         ws.acts[last].clone()
     }
@@ -421,8 +460,8 @@ impl Network {
             .unwrap_or(0)
     }
 
-    /// Mean P@1 over (at most `max_examples` of) a dataset, in parallel,
-    /// with full dense scoring.
+    /// Mean P@1 over (at most `max_examples` of) a dataset, parallelized
+    /// over examples with one dense-scoring workspace per worker.
     pub fn evaluate(&self, dataset: &Dataset, max_examples: usize) -> f64 {
         let n = dataset.len().min(max_examples);
         if n == 0 {
@@ -445,7 +484,10 @@ impl Network {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::baseline::StaticSampledSelector;
     use crate::config::{LshLayerConfig, NetworkConfig};
+    use crate::selector::LshSelector;
+    use slide_data::rng::{Rng, Xoshiro256PlusPlus};
     use slide_data::synth::{generate, SyntheticConfig};
 
     fn tiny_network(lsh: bool, seed: u64) -> Network {
@@ -475,7 +517,7 @@ mod tests {
         let net = tiny_network(false, 1);
         let mut ws = net.workspace(1);
         let (x, y) = example(2);
-        let loss = net.forward(&mut ws, &x, Some(&y), OutputMode::Dense);
+        let loss = net.forward(&DenseSelector, &mut ws, &x, Some(&y));
         assert_eq!(ws.active_counts(), vec![16, 40]);
         assert!(loss > 0.0);
         // Softmax output sums to 1.
@@ -488,21 +530,27 @@ mod tests {
         let net = tiny_network(true, 3);
         let mut ws = net.workspace(2);
         let (x, y) = example(4);
-        net.forward(&mut ws, &x, Some(&y), OutputMode::Lsh);
+        net.forward(&LshSelector, &mut ws, &x, Some(&y));
         let counts = ws.active_counts();
         assert_eq!(counts[0], 16, "hidden layer is dense");
-        assert!(counts[1] < 40, "output layer must be sparse, got {counts:?}");
+        assert!(
+            counts[1] < 40,
+            "output layer must be sparse, got {counts:?}"
+        );
         for label in &y {
-            assert!(ws.active[1].contains(label), "label missing from active set");
+            assert!(
+                ws.active_set(1).contains(*label),
+                "label missing from active set"
+            );
         }
     }
 
     #[test]
-    fn static_sample_mode_respects_count() {
+    fn static_sample_selector_respects_count() {
         let net = tiny_network(false, 5);
         let mut ws = net.workspace(3);
         let (x, y) = example(6);
-        net.forward(&mut ws, &x, Some(&y), OutputMode::StaticSample { count: 10 });
+        net.forward(&StaticSampledSelector::new(10), &mut ws, &x, Some(&y));
         let out = ws.active_counts()[1];
         assert!((10..=11).contains(&out), "got {out} active outputs");
     }
@@ -512,7 +560,7 @@ mod tests {
         let net = tiny_network(true, 7);
         let mut ws = net.workspace(4);
         let (x, _) = example(8);
-        net.forward(&mut ws, &x, None, OutputMode::Lsh);
+        net.forward(&LshSelector, &mut ws, &x, None);
         // Without labels the active set is purely LSH-sampled; just check
         // it is within budget + no crash.
         assert!(ws.active_counts()[1] <= 13);
@@ -523,15 +571,16 @@ mod tests {
         let net = tiny_network(true, 9);
         let mut ws = net.workspace(5);
         let (x, y) = example(10);
-        net.forward(&mut ws, &x, Some(&y), OutputMode::Lsh);
-        let active_out: Vec<u32> = ws.active[1].clone();
-        let inactive: Vec<u32> =
-            (0..40u32).filter(|j| !active_out.contains(j)).collect();
+        net.forward(&LshSelector, &mut ws, &x, Some(&y));
+        let active_out: Vec<u32> = ws.active_set(1).ids().to_vec();
+        let inactive: Vec<u32> = (0..40u32).filter(|j| !active_out.contains(j)).collect();
         assert!(!inactive.is_empty());
 
         let out_layer = &net.layers()[1];
-        let before_inactive: Vec<f32> =
-            inactive.iter().map(|&j| out_layer.weights().get(j as usize, 0)).collect();
+        let before_inactive: Vec<f32> = inactive
+            .iter()
+            .map(|&j| out_layer.weights().get(j as usize, 0))
+            .collect();
         let label_bias_before = out_layer.biases().get(y[0] as usize);
 
         let clr = net.begin_step();
@@ -554,16 +603,13 @@ mod tests {
         let net = tiny_network(false, 11);
         let mut ws = net.workspace(6);
         let (x, y) = example(12);
-        let first = net.forward(&mut ws, &x, Some(&y), OutputMode::Dense);
+        let first = net.forward(&DenseSelector, &mut ws, &x, Some(&y));
         for _ in 0..300 {
             let clr = net.begin_step();
-            net.train_example(&mut ws, &x, &y, OutputMode::Dense, clr);
+            net.train_example(&DenseSelector, &mut ws, &x, &y, clr);
         }
-        let last = net.forward(&mut ws, &x, Some(&y), OutputMode::Dense);
-        assert!(
-            last < first * 0.5,
-            "loss did not drop: {first} -> {last}"
-        );
+        let last = net.forward(&DenseSelector, &mut ws, &x, Some(&y));
+        assert!(last < first * 0.5, "loss did not drop: {first} -> {last}");
     }
 
     #[test]
@@ -571,12 +617,12 @@ mod tests {
         let net = tiny_network(true, 13);
         let mut ws = net.workspace(7);
         let (x, y) = example(14);
-        let first = net.forward(&mut ws, &x, Some(&y), OutputMode::Dense);
+        let first = net.forward(&DenseSelector, &mut ws, &x, Some(&y));
         for _ in 0..60 {
             let clr = net.begin_step();
-            net.train_example(&mut ws, &x, &y, OutputMode::Lsh, clr);
+            net.train_example(&LshSelector, &mut ws, &x, &y, clr);
         }
-        let last = net.forward(&mut ws, &x, Some(&y), OutputMode::Dense);
+        let last = net.forward(&DenseSelector, &mut ws, &x, Some(&y));
         assert!(last < first, "loss did not drop: {first} -> {last}");
     }
 
@@ -594,7 +640,7 @@ mod tests {
         for _epoch in 0..3 {
             for ex in data.train.iter() {
                 let clr = net.begin_step();
-                net.train_example(&mut ws, &ex.features, &ex.labels, OutputMode::Dense, clr);
+                net.train_example(&DenseSelector, &mut ws, &ex.features, &ex.labels, clr);
             }
         }
         let p1 = net.evaluate(&data.test, 100);
@@ -616,10 +662,35 @@ mod tests {
         let net = tiny_network(false, 17);
         let mut ws = net.workspace(9);
         let (x, y) = example(18);
-        net.forward(&mut ws, &x, Some(&y), OutputMode::Dense);
+        net.forward(&DenseSelector, &mut ws, &x, Some(&y));
         let out: Vec<(u32, f32)> = ws.output().collect();
         assert_eq!(out.len(), 40);
         let total: f32 = out.iter().map(|(_, p)| p).sum();
         assert!((total - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn workspace_pool_reuses_workspaces() {
+        let net = tiny_network(false, 19);
+        let pool = WorkspacePool::new(0, true);
+        {
+            let _a = pool.acquire(&net);
+            let _b = pool.acquire(&net);
+        }
+        // Both returned; the next two checkouts create nothing new.
+        {
+            let _a = pool.acquire(&net);
+            let _b = pool.acquire(&net);
+        }
+        assert_eq!(pool.created(), 2);
+
+        let fresh = WorkspacePool::new(0, false);
+        {
+            let _a = fresh.acquire(&net);
+        }
+        {
+            let _a = fresh.acquire(&net);
+        }
+        assert_eq!(fresh.created(), 2, "unpooled mode must not reuse");
     }
 }

@@ -75,8 +75,8 @@ impl RebuildState {
         }
         self.rebuilds += 1;
         // Next gap: N₀ · e^{λ·t} where t = rebuilds done so far.
-        let gap =
-            self.schedule.initial_period as f64 * (self.schedule.decay * self.rebuilds as f64).exp();
+        let gap = self.schedule.initial_period as f64
+            * (self.schedule.decay * self.rebuilds as f64).exp();
         self.next_at += gap;
         true
     }
@@ -109,7 +109,13 @@ mod tests {
 
     #[test]
     fn decaying_schedule_gaps_grow_exponentially() {
-        let pts = rebuild_points(RebuildSchedule { initial_period: 50, decay: 0.3 }, 3000);
+        let pts = rebuild_points(
+            RebuildSchedule {
+                initial_period: 50,
+                decay: 0.3,
+            },
+            3000,
+        );
         assert!(pts.len() >= 4, "got {pts:?}");
         let gaps: Vec<u64> = pts.windows(2).map(|w| w[1] - w[0]).collect();
         for w in gaps.windows(2) {
@@ -121,7 +127,11 @@ mod tests {
 
     #[test]
     fn first_rebuild_at_initial_period() {
-        let mut st = RebuildSchedule { initial_period: 50, decay: 0.1 }.start();
+        let mut st = RebuildSchedule {
+            initial_period: 50,
+            decay: 0.1,
+        }
+        .start();
         for it in 1..50 {
             assert!(!st.should_rebuild(it));
         }
@@ -147,6 +157,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "initial_period must be positive")]
     fn zero_period_panics() {
-        let _ = RebuildSchedule { initial_period: 0, decay: 0.0 }.start();
+        let _ = RebuildSchedule {
+            initial_period: 0,
+            decay: 0.0,
+        }
+        .start();
     }
 }

@@ -44,8 +44,7 @@ impl Telemetry {
     /// Adds busy time for worker `slot` (wrapped modulo the slot count).
     #[inline]
     pub fn add_busy(&self, slot: usize, nanos: u64) {
-        self.busy_nanos[slot % self.busy_nanos.len()]
-            .fetch_add(nanos, Ordering::Relaxed);
+        self.busy_nanos[slot % self.busy_nanos.len()].fetch_add(nanos, Ordering::Relaxed);
     }
 
     /// Records one processed example with its output active-set size and

@@ -1,12 +1,18 @@
-//! The batch-parallel HOGWILD training loop and the SLIDE trainer.
+//! The single batch-parallel HOGWILD training loop, generic over the
+//! [`NeuronSelector`] — plus [`SlideTrainer`], the LSH instantiation.
 //!
 //! Mirrors the paper's §3.1 "OpenMP Parallelization across a Batch": every
-//! example in a batch runs on its own thread with a private workspace;
-//! gradient updates go straight into the shared weights with no
+//! example in a batch runs on its own thread with a pooled private
+//! workspace; gradient updates go straight into the shared weights with no
 //! synchronization; hash tables are rebuilt between batches on the decay
-//! schedule.
+//! schedule (only when the selector says it maintains tables).
+//!
+//! The paper's three systems are one [`Trainer`] with different type
+//! parameters: [`SlideTrainer`] (= `Trainer<LshSelector>`),
+//! [`crate::baseline::DenseTrainer`] and
+//! [`crate::baseline::SampledSoftmaxTrainer`]. Custom selectors get the
+//! identical loop through [`Trainer::with_selector`].
 
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 use rayon::prelude::*;
@@ -15,7 +21,8 @@ use slide_data::Dataset;
 
 use crate::config::NetworkConfig;
 use crate::error::ConfigError;
-use crate::network::{Network, OutputMode, Workspace};
+use crate::network::{Network, Workspace, WorkspacePool};
+use crate::selector::{LshSelector, NeuronSelector};
 use crate::telemetry::{Telemetry, TelemetryReport};
 
 /// Options for a training run. Builder-style setters.
@@ -28,6 +35,7 @@ use crate::telemetry::{Telemetry, TelemetryReport};
 /// let opts = TrainOptions::new(5).batch_size(256).threads(4);
 /// assert_eq!(opts.epochs, 5);
 /// assert_eq!(opts.batch_size, 256);
+/// assert!(opts.pooled_workspaces);
 /// ```
 #[derive(Debug, Clone, PartialEq)]
 pub struct TrainOptions {
@@ -47,6 +55,9 @@ pub struct TrainOptions {
     pub max_iterations: Option<u64>,
     /// Seed for shuffling and per-thread RNG streams.
     pub seed: u64,
+    /// Reuse per-thread workspaces across batches and epochs (default).
+    /// Disable only to prove pooling is behavior-neutral in tests.
+    pub pooled_workspaces: bool,
 }
 
 impl TrainOptions {
@@ -61,6 +72,7 @@ impl TrainOptions {
             eval_examples: 500,
             max_iterations: None,
             seed: 0,
+            pooled_workspaces: true,
         }
     }
 
@@ -103,6 +115,12 @@ impl TrainOptions {
     /// Sets the shuffle/thread RNG seed.
     pub fn seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Enables or disables workspace pooling.
+    pub fn workspace_pooling(mut self, enabled: bool) -> Self {
+        self.pooled_workspaces = enabled;
         self
     }
 
@@ -155,14 +173,13 @@ pub struct TrainReport {
     pub final_loss: f64,
 }
 
-/// Runs the shared training loop; the three public trainers are thin
-/// wrappers selecting `mode`.
-pub(crate) fn run(
+/// The shared batch-parallel loop all trainers run.
+fn run<S: NeuronSelector>(
     network: &mut Network,
+    selector: &S,
     train: &Dataset,
     test: Option<&Dataset>,
     options: &TrainOptions,
-    mode: OutputMode,
 ) -> Result<TrainReport, ConfigError> {
     options.validate()?;
     if train.is_empty() {
@@ -181,11 +198,12 @@ pub(crate) fn run(
         ),
         None => None,
     };
-    let threads = options
-        .threads
-        .unwrap_or_else(rayon::current_num_threads);
+    let threads = options.threads.unwrap_or_else(rayon::current_num_threads);
     let telemetry = Telemetry::new(threads);
-    let ws_seed = AtomicU64::new(options.seed);
+    // Per-thread workspaces are checked out of this pool and reused for
+    // the entire run — batches and epochs share them, so the hot loop
+    // performs no per-example allocation.
+    let workspaces = WorkspacePool::new(options.seed, options.pooled_workspaces);
     let mut order: Vec<u32> = (0..train.len() as u32).collect();
     let mut shuffle_rng = Xoshiro256PlusPlus::seed_from_u64(options.seed ^ 0x5F0F);
 
@@ -210,33 +228,28 @@ pub(crate) fn run(
             // One thread per batch element; asynchronous HOGWILD updates.
             let net_ref = &*network;
             let tel = &telemetry;
-            let seed_ref = &ws_seed;
+            let ws_pool = &workspaces;
             let batch_loss: f64 = {
                 let work = || {
                     batch
                         .par_iter()
                         .map_init(
-                            || {
-                                let s = seed_ref.fetch_add(1, Ordering::Relaxed);
-                                net_ref.workspace(s)
-                            },
+                            || ws_pool.acquire(net_ref),
                             |ws, &idx| {
                                 let ex = &train.examples()[idx as usize];
                                 let e0 = Instant::now();
                                 let loss = net_ref.train_example(
+                                    selector,
                                     ws,
                                     &ex.features,
                                     &ex.labels,
-                                    mode,
                                     clr,
                                 );
-                                let (touch, ops) = traffic(ws, ex.features.nnz());
+                                let (touch, ops, out_active) = traffic(ws, ex.features.nnz());
                                 tel.add_busy(
                                     rayon::current_thread_index().unwrap_or(0),
                                     e0.elapsed().as_nanos() as u64,
                                 );
-                                let out_active =
-                                    ws.active_counts().last().copied().unwrap_or(0);
                                 tel.record_example(out_active, touch, ops);
                                 loss as f64
                             },
@@ -255,8 +268,8 @@ pub(crate) fn run(
             epoch_loss_acc += batch_loss;
             epoch_examples += batch.len() as u64;
 
-            // Hash-table maintenance on the decay schedule (SLIDE only).
-            if mode == OutputMode::Lsh {
+            // Hash-table maintenance on the decay schedule (LSH only).
+            if selector.maintains_tables() {
                 let m0 = Instant::now();
                 for layer in network.layers_mut() {
                     layer.maintain(iteration);
@@ -266,7 +279,7 @@ pub(crate) fn run(
 
             // Periodic evaluation (clock paused).
             if let (Some(every), Some(test)) = (options.eval_every, test) {
-                if iteration % every == 0 {
+                if iteration.is_multiple_of(every) {
                     let p1 = eval_in_pool(&pool, network, test, options.eval_examples);
                     history.push(Checkpoint {
                         iteration,
@@ -325,37 +338,59 @@ fn eval_in_pool(
 /// Approximate memory/compute volume of one example's pass, derived from
 /// the workspace's active counts: forward + backward touch
 /// `|active_l| × |prev_l|` weights each.
-fn traffic(ws: &Workspace, input_nnz: usize) -> (u64, u64) {
-    let counts = ws.active_counts();
+fn traffic(ws: &Workspace, input_nnz: usize) -> (u64, u64, usize) {
     let mut prev = input_nnz as u64;
     let mut touches = 0u64;
-    for &c in &counts {
-        let c = c as u64;
+    let mut out_active = 0usize;
+    for active in &ws.active {
+        let c = active.len() as u64;
         touches += c * prev;
         prev = c;
+        out_active = active.len();
     }
     // Forward read + backward read/update ⇒ ~3 touches per weight, 2
     // multiply-adds.
-    (touches * 3, touches * 2)
+    (touches * 3, touches * 2, out_active)
+}
+
+/// The generic trainer: one network, one selector, the shared loop.
+///
+/// All of the paper's systems are instantiations — see the module docs.
+/// [`SlideTrainer::new`] and the baseline constructors are the convenient
+/// entry points; [`Trainer::with_selector`] accepts any custom selector.
+#[derive(Debug)]
+pub struct Trainer<S: NeuronSelector> {
+    network: Network,
+    selector: S,
 }
 
 /// The SLIDE trainer: LSH adaptive sampling + HOGWILD Adam.
 ///
 /// See the crate-level docs for a complete example.
-#[derive(Debug)]
-pub struct SlideTrainer {
-    network: Network,
-}
+pub type SlideTrainer = Trainer<LshSelector>;
 
-impl SlideTrainer {
-    /// Builds the network (including initial hash tables).
+impl Trainer<LshSelector> {
+    /// Builds the SLIDE network (including initial hash tables).
     ///
     /// # Errors
     ///
     /// Returns [`ConfigError`] on an inconsistent configuration.
     pub fn new(config: NetworkConfig) -> Result<Self, ConfigError> {
+        Self::with_selector(config, LshSelector)
+    }
+}
+
+impl<S: NeuronSelector> Trainer<S> {
+    /// Builds a trainer running `selector` on the network `config`
+    /// describes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] on an inconsistent configuration.
+    pub fn with_selector(config: NetworkConfig, selector: S) -> Result<Self, ConfigError> {
         Ok(Self {
             network: Network::new(config)?,
+            selector,
         })
     }
 
@@ -369,14 +404,20 @@ impl SlideTrainer {
         &mut self.network
     }
 
+    /// The selector driving this trainer.
+    pub fn selector(&self) -> &S {
+        &self.selector
+    }
+
     /// Trains without periodic evaluation.
     ///
     /// # Panics
     ///
     /// Panics if the options are invalid or the dataset is empty; use
-    /// [`SlideTrainer::try_train`] for a fallible version.
+    /// [`Trainer::try_train`] for a fallible version.
     pub fn train(&mut self, train: &Dataset, options: &TrainOptions) -> TrainReport {
-        self.try_train(train, None, options).expect("invalid training setup")
+        self.try_train(train, None, options)
+            .expect("invalid training setup")
     }
 
     /// Trains with periodic evaluation on `test`.
@@ -405,7 +446,7 @@ impl SlideTrainer {
         test: Option<&Dataset>,
         options: &TrainOptions,
     ) -> Result<TrainReport, ConfigError> {
-        run(&mut self.network, train, test, options, OutputMode::Lsh)
+        run(&mut self.network, &self.selector, train, test, options)
     }
 
     /// Mean P@1 over up to 10 000 test examples (full dense scoring).
@@ -498,7 +539,10 @@ mod tests {
         let mut trainer = SlideTrainer::new(slide_config(&data)).unwrap();
         let report = trainer.train(
             &data.train,
-            &TrainOptions::new(100).batch_size(16).threads(2).max_iterations(7),
+            &TrainOptions::new(100)
+                .batch_size(16)
+                .threads(2)
+                .max_iterations(7),
         );
         assert_eq!(report.iterations, 7);
     }
@@ -507,10 +551,7 @@ mod tests {
     fn empty_dataset_is_an_error() {
         let data = tiny_data();
         let mut trainer = SlideTrainer::new(slide_config(&data)).unwrap();
-        let empty = slide_data::Dataset::new(
-            data.train.feature_dim(),
-            data.train.label_dim(),
-        );
+        let empty = slide_data::Dataset::new(data.train.feature_dim(), data.train.label_dim());
         assert!(trainer
             .try_train(&empty, None, &TrainOptions::new(1))
             .is_err());
@@ -527,7 +568,10 @@ mod tests {
         let mut trainer = SlideTrainer::new(cfg).unwrap();
         trainer.train(
             &data.train,
-            &TrainOptions::new(1).batch_size(32).threads(2).max_iterations(16),
+            &TrainOptions::new(1)
+                .batch_size(32)
+                .threads(2)
+                .max_iterations(16),
         );
         let rebuilds = trainer.network().layers()[1].lsh().unwrap().rebuild_count();
         // Initial build + 3 scheduled (at 5, 10, 15).
@@ -542,5 +586,57 @@ mod tests {
         let r1 = t1.train(&data.train, &opts);
         // 600 examples / 50 = 12 batches × 2 epochs.
         assert_eq!(r1.iterations, 24);
+    }
+
+    #[test]
+    fn dense_baseline_does_not_maintain_tables() {
+        // A SLIDE config run through the dense trainer must never rebuild
+        // (the dense twin strips LSH, but also the selector opts out).
+        let data = tiny_data();
+        let mut trainer = crate::baseline::DenseTrainer::new(slide_config(&data)).unwrap();
+        trainer.train(
+            &data.train,
+            &TrainOptions::new(1)
+                .batch_size(64)
+                .threads(1)
+                .max_iterations(3),
+        );
+        assert!(trainer.network().layers().iter().all(|l| l.lsh().is_none()));
+    }
+
+    #[test]
+    fn custom_selector_runs_through_generic_trainer() {
+        // A selector not shipped by the crate: activate the first
+        // `min(units, 8)` neurons of every layer. Exercises the
+        // pluggability the refactor exists for.
+        #[derive(Debug)]
+        struct FirstEight;
+        impl NeuronSelector for FirstEight {
+            fn name(&self) -> &'static str {
+                "first8"
+            }
+            fn select(
+                &self,
+                ctx: &crate::selector::SelectionContext<'_>,
+                _scratch: &mut crate::selector::SelectorScratch,
+                active: &mut crate::selector::ActiveSet,
+            ) {
+                active.fill_dense(ctx.layer.units().min(8));
+            }
+        }
+        let data = tiny_data();
+        let mut trainer =
+            Trainer::with_selector(slide_config(&data).without_lsh(), FirstEight).unwrap();
+        let report = trainer.train(
+            &data.train,
+            &TrainOptions::new(1)
+                .batch_size(32)
+                .threads(2)
+                .max_iterations(5),
+        );
+        assert_eq!(report.iterations, 5);
+        // Output active set = 8 sampled + forced labels.
+        assert!(report.telemetry.avg_active_output >= 8.0);
+        assert!(report.telemetry.avg_active_output < 12.0);
     }
 }

@@ -105,6 +105,29 @@ impl SparseVector {
         Self { indices, values }
     }
 
+    /// Rebuilds this vector in place from unsorted `(index, value)`
+    /// pairs, sorting them and summing duplicates — the same contract as
+    /// [`SparseVector::from_pairs`] but reusing both this vector's and
+    /// `pairs`' allocations. `pairs` is drained.
+    ///
+    /// This is the hot-loop entry point: SLIDE's selector rebuilds an LSH
+    /// query from the previous layer's active set for every example, and
+    /// steady-state training must not allocate per example.
+    pub fn refill_from_pairs(&mut self, pairs: &mut Vec<(u32, f32)>) {
+        pairs.sort_unstable_by_key(|&(i, _)| i);
+        self.indices.clear();
+        self.values.clear();
+        for &(i, v) in pairs.iter() {
+            if self.indices.last() == Some(&i) {
+                *self.values.last_mut().expect("values parallel to indices") += v;
+            } else {
+                self.indices.push(i);
+                self.values.push(v);
+            }
+        }
+        pairs.clear();
+    }
+
     /// Converts a dense slice, keeping nonzero entries.
     pub fn from_dense(dense: &[f32]) -> Self {
         let mut indices = Vec::new();
@@ -144,7 +167,10 @@ impl SparseVector {
 
     /// Iterator over `(index, value)` pairs in index order.
     pub fn iter(&self) -> impl Iterator<Item = (u32, f32)> + '_ {
-        self.indices.iter().copied().zip(self.values.iter().copied())
+        self.indices
+            .iter()
+            .copied()
+            .zip(self.values.iter().copied())
     }
 
     /// Value at `index`, or `0.0` if not stored.
@@ -250,7 +276,10 @@ mod tests {
         assert!(SparseVector::from_parts(vec![1, 2, 3], vec![1.0, 2.0, 3.0]).is_ok());
         assert_eq!(
             SparseVector::from_parts(vec![1, 2], vec![1.0]),
-            Err(ParseSparseError::LengthMismatch { indices: 2, values: 1 })
+            Err(ParseSparseError::LengthMismatch {
+                indices: 2,
+                values: 1
+            })
         );
         assert_eq!(
             SparseVector::from_parts(vec![2, 1], vec![1.0, 2.0]),
@@ -302,7 +331,7 @@ mod tests {
     fn dot_sparse_matches_dense_computation() {
         let a = SparseVector::from_pairs([(1, 2.0), (3, 4.0), (7, -1.0)]);
         let b = SparseVector::from_pairs([(3, 0.5), (7, 2.0), (9, 9.0)]);
-        assert_eq!(a.dot_sparse(&b), 4.0 * 0.5 + (-1.0) * 2.0);
+        assert_eq!(a.dot_sparse(&b), 4.0 * 0.5 + -2.0);
         assert_eq!(a.dot_sparse(&b), b.dot_sparse(&a));
     }
 

@@ -158,7 +158,10 @@ impl SyntheticConfig {
             return Err("cluster_size must be positive".into());
         }
         if !(0.0..1.0).contains(&self.cluster_overlap) {
-            return Err(format!("cluster_overlap {} outside [0, 1)", self.cluster_overlap));
+            return Err(format!(
+                "cluster_overlap {} outside [0, 1)",
+                self.cluster_overlap
+            ));
         }
         Ok(())
     }
@@ -286,9 +289,7 @@ pub fn generate(config: &SyntheticConfig) -> SyntheticData {
                     idx.push(f);
                 }
             }
-            let weights: Vec<f32> = (0..idx.len())
-                .map(|_| 0.5 + proto_rng.next_f32())
-                .collect();
+            let weights: Vec<f32> = (0..idx.len()).map(|_| 0.5 + proto_rng.next_f32()).collect();
             (idx, weights)
         })
         .collect();
@@ -356,8 +357,12 @@ mod tests {
     #[test]
     fn tiny_config_is_valid() {
         assert!(SyntheticConfig::tiny().validate().is_ok());
-        assert!(SyntheticConfig::delicious_like(Scale::Smoke).validate().is_ok());
-        assert!(SyntheticConfig::amazon_like(Scale::Smoke).validate().is_ok());
+        assert!(SyntheticConfig::delicious_like(Scale::Smoke)
+            .validate()
+            .is_ok());
+        assert!(SyntheticConfig::amazon_like(Scale::Smoke)
+            .validate()
+            .is_ok());
     }
 
     #[test]
@@ -451,9 +456,7 @@ mod tests {
                     }
                 }
             }
-            sums.into_iter()
-                .map(|m| SparseVector::from_pairs(m.into_iter()))
-                .collect()
+            sums.into_iter().map(SparseVector::from_pairs).collect()
         };
         let mut hits = 0;
         for ex in data.test.iter().take(50) {

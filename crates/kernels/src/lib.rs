@@ -19,6 +19,4 @@ pub mod aligned;
 pub mod ops;
 
 pub use aligned::{AlignedVec, CachePadded, CACHE_LINE_BYTES};
-pub use ops::{
-    adam_step, axpy, dot, relu_in_place, softmax_in_place, AdamParams, KernelMode,
-};
+pub use ops::{adam_step, axpy, dot, relu_in_place, softmax_in_place, AdamParams, KernelMode};

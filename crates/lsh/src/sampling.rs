@@ -15,6 +15,12 @@
 //! All strategies use a reusable [`SamplerScratch`] so steady-state
 //! sampling performs no allocation (the "truly O(1) overhead" claim rests
 //! on this).
+//!
+//! In the training engine these strategies sit behind `slide-core`'s
+//! `NeuronSelector` abstraction: the LSH selector hashes a layer input,
+//! probes the layer's tables and calls [`sample`] to fill the layer's
+//! active set. This module stays selector-agnostic — it only turns
+//! `(tables, codes, strategy)` into ids.
 
 use slide_data::rng::Rng;
 
@@ -41,6 +47,17 @@ pub enum SamplingStrategy {
 }
 
 impl SamplingStrategy {
+    /// The target active-set size βₗ, if the strategy has one
+    /// (`HardThreshold`'s output size is data-dependent).
+    pub fn budget(&self) -> Option<usize> {
+        match self {
+            SamplingStrategy::Vanilla { budget } | SamplingStrategy::TopK { budget } => {
+                Some(*budget)
+            }
+            SamplingStrategy::HardThreshold { .. } => None,
+        }
+    }
+
     /// Short name used in experiment output.
     pub fn name(&self) -> &'static str {
         match self {
@@ -184,9 +201,7 @@ pub fn sample<R: Rng>(
                 // broken ascending for determinism.
                 let counts = &scratch.counts;
                 out.select_nth_unstable_by(budget - 1, |&a, &b| {
-                    counts[b as usize]
-                        .cmp(&counts[a as usize])
-                        .then(a.cmp(&b))
+                    counts[b as usize].cmp(&counts[a as usize]).then(a.cmp(&b))
                 });
                 out.truncate(budget);
             }
@@ -351,7 +366,14 @@ mod tests {
             SamplingStrategy::Vanilla { budget: 0 },
             SamplingStrategy::TopK { budget: 0 },
         ] {
-            sample(&tables, &codes, strategy, &mut scratch, &mut rng(7), &mut out);
+            sample(
+                &tables,
+                &codes,
+                strategy,
+                &mut scratch,
+                &mut rng(7),
+                &mut out,
+            );
             assert!(out.is_empty(), "{strategy} returned {out:?}");
         }
     }
@@ -380,6 +402,16 @@ mod tests {
         assert_eq!(
             SamplingStrategy::HardThreshold { min_count: 2 }.to_string(),
             "hard_threshold(m=2)"
+        );
+    }
+
+    #[test]
+    fn strategy_budgets() {
+        assert_eq!(SamplingStrategy::Vanilla { budget: 5 }.budget(), Some(5));
+        assert_eq!(SamplingStrategy::TopK { budget: 9 }.budget(), Some(9));
+        assert_eq!(
+            SamplingStrategy::HardThreshold { min_count: 2 }.budget(),
+            None
         );
     }
 }

@@ -106,13 +106,7 @@ impl Table {
     }
 
     /// Inserts `id` with the bucket selected by `codes` (length `K`).
-    pub fn insert<R: Rng>(
-        &mut self,
-        id: u32,
-        codes: &[u32],
-        policy: InsertionPolicy,
-        rng: &mut R,
-    ) {
+    pub fn insert<R: Rng>(&mut self, id: u32, codes: &[u32], policy: InsertionPolicy, rng: &mut R) {
         let b = self.bucket_index(codes);
         self.buckets[b].insert(id, policy, rng);
     }
@@ -322,7 +316,9 @@ mod tests {
     #[test]
     fn stats_track_occupancy() {
         let mut tables = LshTables::new(
-            TableConfig::new(2, 3).with_table_bits(4).with_bucket_capacity(2),
+            TableConfig::new(2, 3)
+                .with_table_bits(4)
+                .with_bucket_capacity(2),
         );
         let mut r = rng(3);
         for id in 0..10u32 {
@@ -348,7 +344,9 @@ mod tests {
     #[test]
     fn capacity_is_enforced() {
         let mut tables = LshTables::new(
-            TableConfig::new(1, 1).with_table_bits(1).with_bucket_capacity(3),
+            TableConfig::new(1, 1)
+                .with_table_bits(1)
+                .with_bucket_capacity(3),
         );
         let mut r = rng(5);
         for id in 0..100u32 {

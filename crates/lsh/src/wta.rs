@@ -42,7 +42,10 @@ impl WtaHash {
     ///
     /// Panics if any parameter is zero or `m > dim`.
     pub fn new<R: Rng>(dim: usize, k: usize, l: usize, m: usize, rng: &mut R) -> Self {
-        assert!(dim > 0 && k > 0 && l > 0 && m > 0, "parameters must be positive");
+        assert!(
+            dim > 0 && k > 0 && l > 0 && m > 0,
+            "parameters must be positive"
+        );
         assert!(m <= dim, "bin size m={m} exceeds dim={dim}");
         let num_bins = k * l;
         let bins_per_perm = dim / m; // bins carved from one permutation

@@ -223,7 +223,9 @@ mod tests {
         // Random-ish walk over 256 KiB (fits L2, thrashes L1).
         let mut addr = 1u64;
         for _ in 0..200_000 {
-            addr = (addr.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407))
+            addr = (addr
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407))
                 % (256 << 10);
             l1.access(addr);
             l2.access(addr);

@@ -43,7 +43,7 @@ pub mod tlb;
 pub mod trace;
 
 pub use cache::{Cache, CacheConfig};
-pub use hierarchy::{MemoryHierarchy, MemReport};
+pub use hierarchy::{MemReport, MemoryHierarchy};
 pub use multicore::{MultiCoreHierarchy, MultiCoreReport};
 pub use tlb::{PageSize, Tlb, TlbConfig};
 pub use trace::AccessTrace;

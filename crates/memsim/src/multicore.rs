@@ -104,7 +104,7 @@ impl MultiCoreHierarchy {
                 let pte = 0x8000_0000_0000u64
                     ^ (page << 6).rotate_left(level * 9)
                     ^ ((level as u64) << 40);
-                c.stall_cycles += c.l2.config().hit_cycles as u64;
+                c.stall_cycles += c.l2.config().hit_cycles;
                 if !self.llc.access(pte) {
                     c.stall_cycles += RAM_CYCLES;
                 }

@@ -1,0 +1,504 @@
+//! Drop-in stand-in for the subset of [rayon](https://docs.rs/rayon) this
+//! workspace uses, built on `std::thread::scope`.
+//!
+//! The build environment has no crates-io access, so the workspace wires
+//! `rayon = { path = "crates/shims/rayon" }`. The shim provides *real*
+//! data parallelism — every parallel call splits its input into one
+//! contiguous span per worker and runs the spans on scoped threads — with
+//! rayon-compatible semantics where the engine depends on them:
+//!
+//! * `par_iter().map_init(init, f).sum()` runs `init` **once per worker**
+//!   and folds each worker's span sequentially, so per-item state (the
+//!   training workspaces) is reused within a span exactly like rayon's
+//!   thread-local splits;
+//! * with an effective thread count of 1 everything runs inline on the
+//!   calling thread in input order, which is what makes single-threaded
+//!   training bit-reproducible;
+//! * [`ThreadPool::install`] scopes an override of the worker count, and
+//!   [`current_thread_index`] gives each worker a stable 0-based slot id
+//!   (used by the telemetry's per-thread busy counters).
+//!
+//! Differences from rayon (acceptable for this workspace): threads are
+//! spawned per call rather than pooled, there is no work stealing, and
+//! `install` runs its closure on the calling thread.
+
+use std::cell::Cell;
+use std::fmt;
+use std::iter::Sum;
+
+/// Glob-import target mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::{ParallelSlice, ParallelSliceMut};
+}
+
+thread_local! {
+    static POOL_SIZE: Cell<Option<usize>> = const { Cell::new(None) };
+    static WORKER_INDEX: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// The worker count parallel calls on this thread will use: the innermost
+/// [`ThreadPool::install`] override, or the machine's parallelism.
+pub fn current_num_threads() -> usize {
+    POOL_SIZE.with(|p| p.get()).unwrap_or_else(default_threads)
+}
+
+/// 0-based index of the current worker inside a parallel call, `None`
+/// outside one (mirrors `rayon::current_thread_index`).
+pub fn current_thread_index() -> Option<usize> {
+    WORKER_INDEX.with(|w| w.get())
+}
+
+/// How many workers to use for `len` items.
+fn effective_threads(len: usize) -> usize {
+    current_num_threads().min(len).max(1)
+}
+
+/// Splits `len` items into `workers` balanced contiguous `(lo, hi)` spans.
+fn split_spans(len: usize, workers: usize) -> Vec<(usize, usize)> {
+    let base = len / workers;
+    let rem = len % workers;
+    let mut spans = Vec::with_capacity(workers);
+    let mut lo = 0;
+    for w in 0..workers {
+        let hi = lo + base + usize::from(w < rem);
+        if hi > lo {
+            spans.push((lo, hi));
+        }
+        lo = hi;
+    }
+    spans
+}
+
+// ---------------------------------------------------------------------------
+// Thread pool
+// ---------------------------------------------------------------------------
+
+/// Error from [`ThreadPoolBuilder::build`]. The shim never actually fails;
+/// the type exists for signature compatibility.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "thread pool construction failed")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder`.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: Option<usize>,
+}
+
+impl ThreadPoolBuilder {
+    /// Creates a builder with the default worker count.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Pins the worker count (0 means the machine default, as in rayon).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = Some(n);
+        self
+    }
+
+    /// Builds the pool.
+    ///
+    /// # Errors
+    ///
+    /// Never fails in the shim; the `Result` mirrors rayon's signature.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            threads: match self.num_threads {
+                Some(0) | None => default_threads(),
+                Some(n) => n,
+            },
+        })
+    }
+}
+
+/// A "pool": in the shim, a scoped override of the worker count. Threads
+/// are spawned per parallel call, not kept alive.
+#[derive(Debug)]
+pub struct ThreadPool {
+    threads: usize,
+}
+
+impl ThreadPool {
+    /// Runs `op` on the calling thread with this pool's worker count in
+    /// effect for every parallel call `op` makes.
+    pub fn install<OP, R>(&self, op: OP) -> R
+    where
+        OP: FnOnce() -> R,
+    {
+        struct Restore(Option<usize>);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                POOL_SIZE.with(|p| p.set(self.0));
+            }
+        }
+        let _restore = Restore(POOL_SIZE.with(|p| p.replace(Some(self.threads))));
+        op()
+    }
+
+    /// This pool's worker count.
+    pub fn current_num_threads(&self) -> usize {
+        self.threads
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shared-slice parallel iteration
+// ---------------------------------------------------------------------------
+
+/// `par_iter` on slices (rayon's `IntoParallelRefIterator` for `[T]`).
+pub trait ParallelSlice<T: Sync> {
+    /// Parallel iterator over `&T` items.
+    fn par_iter(&self) -> ParIter<'_, T>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> ParIter<'_, T> {
+        ParIter { slice: self }
+    }
+}
+
+/// Parallel iterator over a shared slice.
+#[derive(Debug)]
+pub struct ParIter<'a, T> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    /// Maps each item through `f` with per-worker state created by `init`
+    /// (run once per worker, like rayon's per-split init).
+    ///
+    /// The `Fn` bounds live here (not only on [`MapInit::sum`]) so closure
+    /// signatures are inferred against them at the call site.
+    pub fn map_init<INIT, S, F, R>(self, init: INIT, f: F) -> MapInit<'a, T, INIT, F>
+    where
+        INIT: Fn() -> S + Sync,
+        F: Fn(&mut S, &'a T) -> R + Sync,
+        R: Send,
+    {
+        MapInit {
+            slice: self.slice,
+            init,
+            f,
+        }
+    }
+}
+
+/// Result of [`ParIter::map_init`]; consumed by [`MapInit::sum`].
+#[derive(Debug)]
+pub struct MapInit<'a, T, INIT, F> {
+    slice: &'a [T],
+    init: INIT,
+    f: F,
+}
+
+impl<'a, T: Sync, INIT, F> MapInit<'a, T, INIT, F> {
+    /// Sums the mapped values. Each worker folds its contiguous span in
+    /// input order; partial sums combine in worker order, so the result
+    /// is deterministic for a fixed thread count.
+    pub fn sum<S, R, Out>(self) -> Out
+    where
+        INIT: Fn() -> S + Sync,
+        F: Fn(&mut S, &'a T) -> R + Sync,
+        R: Send,
+        Out: Sum<R> + Sum<Out> + Send,
+    {
+        let workers = effective_threads(self.slice.len());
+        if workers <= 1 {
+            let mut state = (self.init)();
+            return self.slice.iter().map(|t| (self.f)(&mut state, t)).sum();
+        }
+        let spans = split_spans(self.slice.len(), workers);
+        let (slice, init, f) = (self.slice, &self.init, &self.f);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = spans
+                .iter()
+                .enumerate()
+                .map(|(w, &(lo, hi))| {
+                    scope.spawn(move || {
+                        WORKER_INDEX.with(|i| i.set(Some(w)));
+                        let mut state = init();
+                        slice[lo..hi].iter().map(|t| f(&mut state, t)).sum::<Out>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("parallel worker panicked"))
+                .sum()
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Mutable-slice parallel iteration
+// ---------------------------------------------------------------------------
+
+/// `par_iter_mut` / `par_chunks_mut` on slices (rayon's
+/// `IntoParallelRefMutIterator` + `ParallelSliceMut`).
+pub trait ParallelSliceMut<T: Send> {
+    /// Parallel iterator over `&mut T` items.
+    fn par_iter_mut(&mut self) -> ParIterMut<'_, T>;
+
+    /// Parallel iterator over non-overlapping `&mut [T]` chunks of
+    /// `chunk_size` (last chunk may be shorter).
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_iter_mut(&mut self) -> ParIterMut<'_, T> {
+        ParIterMut { slice: self }
+    }
+
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T> {
+        assert!(chunk_size > 0, "chunk_size must be positive");
+        ParChunksMut {
+            slice: self,
+            chunk_size,
+        }
+    }
+}
+
+/// Parallel iterator over exclusive items.
+#[derive(Debug)]
+pub struct ParIterMut<'a, T> {
+    slice: &'a mut [T],
+}
+
+impl<'a, T: Send> ParIterMut<'a, T> {
+    /// Pairs each item with its index.
+    pub fn enumerate(self) -> EnumerateMut<'a, T> {
+        EnumerateMut { slice: self.slice }
+    }
+}
+
+/// Enumerated exclusive items; consumed by [`EnumerateMut::for_each`].
+#[derive(Debug)]
+pub struct EnumerateMut<'a, T> {
+    slice: &'a mut [T],
+}
+
+impl<T: Send> EnumerateMut<'_, T> {
+    /// Runs `f` on every `(index, &mut item)` across the workers.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: for<'b> Fn((usize, &'b mut T)) + Sync,
+    {
+        let workers = effective_threads(self.slice.len());
+        if workers <= 1 {
+            for pair in self.slice.iter_mut().enumerate() {
+                f(pair);
+            }
+            return;
+        }
+        let spans = split_spans(self.slice.len(), workers);
+        let f = &f;
+        std::thread::scope(|scope| {
+            let mut rest = self.slice;
+            let mut taken = 0;
+            for (w, &(lo, hi)) in spans.iter().enumerate() {
+                let (seg, tail) = rest.split_at_mut(hi - taken);
+                rest = tail;
+                taken = hi;
+                scope.spawn(move || {
+                    WORKER_INDEX.with(|i| i.set(Some(w)));
+                    for (off, item) in seg.iter_mut().enumerate() {
+                        f((lo + off, item));
+                    }
+                });
+            }
+        });
+    }
+}
+
+/// Parallel iterator over exclusive chunks.
+#[derive(Debug)]
+pub struct ParChunksMut<'a, T> {
+    slice: &'a mut [T],
+    chunk_size: usize,
+}
+
+impl<'a, T: Send> ParChunksMut<'a, T> {
+    /// Pairs each chunk with its index.
+    pub fn enumerate(self) -> EnumerateChunksMut<'a, T> {
+        EnumerateChunksMut {
+            slice: self.slice,
+            chunk_size: self.chunk_size,
+        }
+    }
+}
+
+/// Enumerated exclusive chunks; consumed by
+/// [`EnumerateChunksMut::for_each_init`].
+#[derive(Debug)]
+pub struct EnumerateChunksMut<'a, T> {
+    slice: &'a mut [T],
+    chunk_size: usize,
+}
+
+impl<T: Send> EnumerateChunksMut<'_, T> {
+    /// Runs `f` on every `(chunk_index, chunk)` with per-worker state
+    /// created by `init` (once per worker).
+    pub fn for_each_init<INIT, S, F>(self, init: INIT, f: F)
+    where
+        INIT: Fn() -> S + Sync,
+        F: for<'b> Fn(&mut S, (usize, &'b mut [T])) + Sync,
+    {
+        let num_chunks = self.slice.len().div_ceil(self.chunk_size);
+        let workers = effective_threads(num_chunks);
+        if workers <= 1 {
+            let mut state = init();
+            for pair in self.slice.chunks_mut(self.chunk_size).enumerate() {
+                f(&mut state, pair);
+            }
+            return;
+        }
+        let spans = split_spans(num_chunks, workers);
+        let (init, f, chunk_size) = (&init, &f, self.chunk_size);
+        std::thread::scope(|scope| {
+            let mut rest = self.slice;
+            let mut taken_chunks = 0;
+            for (w, &(lo, hi)) in spans.iter().enumerate() {
+                let seg_len = ((hi - taken_chunks) * chunk_size).min(rest.len());
+                let (seg, tail) = rest.split_at_mut(seg_len);
+                rest = tail;
+                taken_chunks = hi;
+                scope.spawn(move || {
+                    WORKER_INDEX.with(|i| i.set(Some(w)));
+                    let mut state = init();
+                    for (off, chunk) in seg.chunks_mut(chunk_size).enumerate() {
+                        f(&mut state, (lo + off, chunk));
+                    }
+                });
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn map_init_sum_matches_sequential() {
+        let v: Vec<u64> = (0..10_000).collect();
+        let total: u64 = v.par_iter().map_init(|| (), |(), &x| x * 2).sum();
+        assert_eq!(total, v.iter().map(|&x| x * 2).sum::<u64>());
+    }
+
+    #[test]
+    fn map_init_runs_init_once_per_worker() {
+        let inits = AtomicUsize::new(0);
+        let v: Vec<u32> = (0..1000).collect();
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let _: u64 = pool.install(|| {
+            v.par_iter()
+                .map_init(
+                    || {
+                        inits.fetch_add(1, Ordering::Relaxed);
+                    },
+                    |(), &x| u64::from(x),
+                )
+                .sum()
+        });
+        assert!(inits.load(Ordering::Relaxed) <= 4);
+    }
+
+    #[test]
+    fn install_overrides_thread_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        assert_eq!(pool.install(current_num_threads), 3);
+        assert_ne!(current_num_threads(), 0);
+    }
+
+    #[test]
+    fn single_thread_is_inline_and_ordered() {
+        let pool = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        let order = std::sync::Mutex::new(Vec::new());
+        let v: Vec<usize> = (0..100).collect();
+        let _: usize = pool.install(|| {
+            v.par_iter()
+                .map_init(
+                    || (),
+                    |(), &x| {
+                        order.lock().unwrap().push(x);
+                        x
+                    },
+                )
+                .sum()
+        });
+        assert_eq!(*order.lock().unwrap(), v);
+    }
+
+    #[test]
+    fn chunks_mut_covers_everything() {
+        let mut v = vec![0u32; 1003];
+        v.par_chunks_mut(10).enumerate().for_each_init(
+            || (),
+            |(), (i, chunk)| {
+                for (j, x) in chunk.iter_mut().enumerate() {
+                    *x = (i * 10 + j) as u32;
+                }
+            },
+        );
+        for (i, &x) in v.iter().enumerate() {
+            assert_eq!(x, i as u32);
+        }
+    }
+
+    #[test]
+    fn iter_mut_enumerate_for_each() {
+        let mut v = vec![0u64; 577];
+        v.par_iter_mut()
+            .enumerate()
+            .for_each(|(i, x)| *x = i as u64 + 1);
+        for (i, &x) in v.iter().enumerate() {
+            assert_eq!(x, i as u64 + 1);
+        }
+    }
+
+    #[test]
+    fn worker_index_is_set_inside_and_clear_outside() {
+        assert_eq!(current_thread_index(), None);
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let max_seen = AtomicUsize::new(0);
+        let v = vec![1u32; 64];
+        let _: u32 = pool.install(|| {
+            v.par_iter()
+                .map_init(
+                    || (),
+                    |(), &x| {
+                        let idx = current_thread_index().unwrap_or(0);
+                        max_seen.fetch_max(idx, Ordering::Relaxed);
+                        x
+                    },
+                )
+                .sum()
+        });
+        assert!(max_seen.load(Ordering::Relaxed) < 2);
+    }
+
+    #[test]
+    fn empty_inputs_are_fine() {
+        let v: Vec<u32> = Vec::new();
+        let s: u32 = v.par_iter().map_init(|| (), |(), &x| x).sum();
+        assert_eq!(s, 0);
+        let mut m: Vec<u32> = Vec::new();
+        m.par_iter_mut().enumerate().for_each(|(_, _)| {});
+    }
+}

@@ -52,12 +52,20 @@ fn main() {
     // SLIDE with input-adaptive LSH sampling.
     let mut slide = SlideTrainer::new(config.clone()).expect("valid network");
     let r_slide = slide.train_with_eval(&data.train, &data.test, &options);
-    print_history("SLIDE", &r_slide.history, slide.evaluate_n(&data.test, 1000));
+    print_history(
+        "SLIDE",
+        &r_slide.history,
+        slide.evaluate_n(&data.test, 1000),
+    );
 
     // Dense full softmax.
     let mut dense = DenseTrainer::new(config.clone()).expect("valid network");
     let r_dense = dense.train_with_eval(&data.train, &data.test, &options);
-    print_history("Dense", &r_dense.history, dense.evaluate_n(&data.test, 1000));
+    print_history(
+        "Dense",
+        &r_dense.history,
+        dense.evaluate_n(&data.test, 1000),
+    );
 
     // Static sampled softmax with 20% of the classes (the paper found
     // anything less gives poor accuracy).

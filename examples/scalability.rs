@@ -28,7 +28,10 @@ fn main() {
     let mut threads = vec![1usize, 2, 4, 8, 16, 32];
     threads.retain(|&t| t <= max_threads);
 
-    println!("{:>8} {:>12} {:>12} {:>12} {:>12}", "threads", "slide_s", "dense_s", "slide_util", "dense_util");
+    println!(
+        "{:>8} {:>12} {:>12} {:>12} {:>12}",
+        "threads", "slide_s", "dense_s", "slide_util", "dense_util"
+    );
     for &t in &threads {
         let options = TrainOptions::new(1).batch_size(128).threads(t).seed(2);
         let mut slide = SlideTrainer::new(net_cfg.clone()).expect("valid network");

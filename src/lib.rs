@@ -16,7 +16,9 @@
 //! * [`kernels`] — scalar and vectorized numeric kernels;
 //! * [`memsim`] — TLB/cache simulator used for the paper's
 //!   micro-architecture experiments;
-//! * [`core`] — the network, trainers and baselines.
+//! * [`core`] — the selector-driven sparse execution engine: SLIDE and
+//!   the paper's baselines are one generic trainer under different
+//!   `NeuronSelector`s (LSH-adaptive, dense, static sampled).
 //!
 //! ## Quickstart
 //!
@@ -49,9 +51,10 @@ pub use slide_memsim as memsim;
 /// Commonly used items, re-exported for `use slide::prelude::*`.
 pub mod prelude {
     pub use slide_core::{
-        baseline::{DenseTrainer, SampledSoftmaxTrainer},
+        baseline::{DenseTrainer, SampledSoftmaxTrainer, StaticSampledSelector},
         config::{LshLayerConfig, NetworkConfig},
-        trainer::{SlideTrainer, TrainOptions, TrainReport},
+        selector::{ActiveSet, DenseSelector, LshSelector, NeuronSelector},
+        trainer::{SlideTrainer, TrainOptions, TrainReport, Trainer},
     };
     pub use slide_data::{
         metrics::precision_at_k,

@@ -139,11 +139,17 @@ fn loss_decreases_for_all_systems() {
 fn hogwild_parallelism_preserves_accuracy() {
     let d = data();
     let mut single = SlideTrainer::new(config(&d)).unwrap();
-    single.train(&d.train, &TrainOptions::new(4).batch_size(64).threads(1).seed(4));
+    single.train(
+        &d.train,
+        &TrainOptions::new(4).batch_size(64).threads(1).seed(4),
+    );
     let p1_single = single.evaluate_n(&d.test, 300);
 
     let mut many = SlideTrainer::new(config(&d)).unwrap();
-    many.train(&d.train, &TrainOptions::new(4).batch_size(64).threads(8).seed(4));
+    many.train(
+        &d.train,
+        &TrainOptions::new(4).batch_size(64).threads(8).seed(4),
+    );
     let p1_many = many.evaluate_n(&d.test, 300);
 
     assert!(

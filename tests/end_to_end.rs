@@ -1,7 +1,7 @@
 //! Cross-crate integration: data → LSH → training engine, end to end.
 
 use slide::prelude::*;
-use slide_core::OutputMode;
+use slide_core::LshSelector;
 
 fn tiny_data(seed: u64) -> slide::data::synth::SyntheticData {
     generate(&SyntheticConfig::tiny().with_seed(seed))
@@ -42,7 +42,10 @@ fn all_four_hash_families_train() {
         // DOPH's default top-32 binarization exceeds the 16-unit hidden
         // fan-in here; use top-8.
         LshLayerConfig {
-            family: slide::core::FamilySpec::Doph { bin_width: 16, top_t: 8 },
+            family: slide::core::FamilySpec::Doph {
+                bin_width: 16,
+                top_t: 8,
+            },
             ..LshLayerConfig::doph(2, 8)
         },
     ] {
@@ -55,10 +58,7 @@ fn all_four_hash_families_train() {
             .build()
             .unwrap();
         let mut trainer = SlideTrainer::new(cfg).unwrap();
-        let report = trainer.train(
-            &data.train,
-            &TrainOptions::new(2).batch_size(64).threads(2),
-        );
+        let report = trainer.train(&data.train, &TrainOptions::new(2).batch_size(64).threads(2));
         let p1 = trainer.evaluate_n(&data.test, 100);
         assert!(p1 > 0.15, "{kind}: P@1 = {p1}");
         assert!(report.final_loss.is_finite(), "{kind}: loss diverged");
@@ -115,10 +115,7 @@ fn both_insertion_policies_work_in_training() {
             .build()
             .unwrap();
         let mut trainer = SlideTrainer::new(cfg).unwrap();
-        let report = trainer.train(
-            &data.train,
-            &TrainOptions::new(1).batch_size(64).threads(2),
-        );
+        let report = trainer.train(&data.train, &TrainOptions::new(1).batch_size(64).threads(2));
         assert!(report.iterations > 0, "{policy} failed");
     }
 }
@@ -134,7 +131,7 @@ fn lsh_active_set_is_adaptive_not_static() {
     let mut ws = net.workspace(1);
     let mut sets = Vec::new();
     for ex in data.test.iter().take(10) {
-        net.forward(&mut ws, &ex.features, None, OutputMode::Lsh);
+        net.forward(&LshSelector, &mut ws, &ex.features, None);
         let mut ids: Vec<u32> = ws.output().map(|(id, _)| id).collect();
         ids.sort_unstable();
         sets.push(ids);
@@ -160,10 +157,7 @@ fn deeper_networks_train_too() {
         .build()
         .unwrap();
     let mut trainer = SlideTrainer::new(cfg).unwrap();
-    let report = trainer.train(
-        &data.train,
-        &TrainOptions::new(3).batch_size(64).threads(2),
-    );
+    let report = trainer.train(&data.train, &TrainOptions::new(3).batch_size(64).threads(2));
     assert!(report.final_loss.is_finite());
     let p1 = trainer.evaluate_n(&data.test, 100);
     assert!(p1 > 0.1, "deep SLIDE P@1 = {p1}");

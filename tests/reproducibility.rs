@@ -44,7 +44,11 @@ fn single_threaded_training_reproduces_exactly() {
             .unwrap();
         SlideTrainer::new(cfg).unwrap()
     };
-    let opts = TrainOptions::new(1).batch_size(32).threads(1).no_shuffle().seed(5);
+    let opts = TrainOptions::new(1)
+        .batch_size(32)
+        .threads(1)
+        .no_shuffle()
+        .seed(5);
     let mut a = make();
     a.train(&data.train, &opts);
     let mut b = make();
@@ -59,7 +63,10 @@ fn single_threaded_training_reproduces_exactly() {
             }
         }
     }
-    assert_eq!(diffs, 0, "{diffs} weights differ after identical 1-thread runs");
+    assert_eq!(
+        diffs, 0,
+        "{diffs} weights differ after identical 1-thread runs"
+    );
 }
 
 #[test]
