@@ -1,0 +1,247 @@
+//! **Serving benchmark** (not a paper figure): dense full scoring vs
+//! LSH-retrieval inference on a wide-output synthetic task, through the
+//! snapshot → `ServingEngine` → `BatchServer` pipeline a deployment would
+//! use.
+//!
+//! The paper's thesis applied to serving: scoring every output class per
+//! request is O(classes), while hashing the request and scoring only the
+//! bucket union is sub-linear. This binary trains a SLIDE network,
+//! freezes it to a snapshot file, loads it back, and measures examples/s
+//! and ranking quality (P@1, P@5, R@5) for:
+//!
+//! * `dense` — exact full scoring of every class;
+//! * `lsh-retrieval` — deterministic bucket-union retrieval
+//!   (no label forcing) + top-k over the candidates;
+//! * `batched-serve` — the same retrieval behind the micro-batching
+//!   request queue with a worker pool.
+//!
+//! ```sh
+//! cargo run -p slide-bench --release --bin inference_throughput -- [smoke|medium|full] [--csv]
+//! # CI smoke mode (alias for the smallest scale):
+//! cargo run -p slide-bench --release --bin inference_throughput -- --smoke
+//! ```
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use slide_bench::{scaled_lsh, Scale, TablePrinter};
+use slide_core::inference::{InferenceSelector, TopK};
+use slide_core::{DenseSelector, NetworkConfig, SlideTrainer, TrainOptions};
+use slide_data::metrics::{precision_at_k, recall_at_k};
+use slide_data::synth::{generate, SyntheticConfig};
+use slide_serve::{BatchOptions, BatchServer, ServeOptions, ServingEngine};
+
+const REPORT_K: usize = 5;
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Quality {
+    p1: f64,
+    pk: f64,
+    rk: f64,
+}
+
+impl Quality {
+    fn record(&mut self, topk: &TopK, labels: &[u32]) {
+        self.p1 += precision_at_k(topk.items(), labels, 1);
+        self.pk += precision_at_k(topk.items(), labels, REPORT_K);
+        self.rk += recall_at_k(topk.items(), labels, REPORT_K);
+    }
+
+    fn finish(mut self, n: usize) -> Self {
+        let n = n.max(1) as f64;
+        self.p1 /= n;
+        self.pk /= n;
+        self.rk /= n;
+        self
+    }
+}
+
+fn main() {
+    let mut scale = Scale::Smoke;
+    let mut csv = false;
+    for a in std::env::args().skip(1) {
+        match a.as_str() {
+            "--csv" => csv = true,
+            "--smoke" => scale = Scale::Smoke,
+            other => {
+                scale = Scale::parse(other).unwrap_or_else(|| {
+                    panic!("unknown argument {other:?}; expected smoke|medium|full, --smoke, --csv")
+                });
+            }
+        }
+    }
+
+    // A wide-output task: the dense path pays O(label_dim) per example.
+    let (labels, features, train_size, epochs) = match scale {
+        Scale::Smoke => (5_000, 2_000, 4_000, 4),
+        Scale::Medium => (20_000, 10_000, 16_000, 6),
+        Scale::Full => (100_000, 50_000, 60_000, 8),
+    };
+    let mut synth = SyntheticConfig::delicious_like(scale);
+    synth.label_dim = labels;
+    synth.feature_dim = features;
+    synth.train_size = train_size;
+    synth.test_size = 1_000;
+    let data = generate(&synth);
+
+    // `scaled_lsh` keeps the default 128-slot buckets, which is fine for
+    // training (sampling needs *some* similar neurons) but FIFO-evicts
+    // most of the layer under a K-bit SimHash (2^K distinct buckets per
+    // table) — fatal for serving, where the argmax neuron itself must be
+    // retrievable. Buckets grow lazily, so capacity = layer width costs
+    // exactly units×L stored ids and guarantees zero eviction.
+    let lsh = scaled_lsh(true, scale, labels).with_tables(12, labels);
+    let config = NetworkConfig::builder(data.train.feature_dim(), data.train.label_dim())
+        .hidden(128)
+        .output_lsh(lsh)
+        .learning_rate(2e-3)
+        .seed(0x1F)
+        .build()
+        .unwrap();
+    eprintln!(
+        "training {} classes x {} features for {epochs} epochs ...",
+        labels, features
+    );
+    let mut trainer = SlideTrainer::new(config).unwrap();
+    trainer.train(
+        &data.train,
+        &TrainOptions::new(epochs).batch_size(128).seed(1),
+    );
+
+    // Freeze → disk → restore: the deployment path.
+    let snap_path = std::env::temp_dir().join(format!("slide_inference_bench_{labels}.slidesnap"));
+    trainer.network().save_snapshot(&snap_path).unwrap();
+    let engine = Arc::new(
+        ServingEngine::from_snapshot_file(&snap_path, ServeOptions::default().with_top_k(REPORT_K))
+            .unwrap(),
+    );
+    std::fs::remove_file(&snap_path).ok();
+    let network = engine.network();
+
+    let test = data.test.examples();
+    let mut printer = TablePrinter::new(
+        vec![
+            "path",
+            "examples",
+            "ex/s",
+            "us/ex",
+            "P@1",
+            "P@5",
+            "R@5",
+            "avg_active",
+        ],
+        csv,
+    );
+
+    // Dense full scoring.
+    let mut dense_top1: Vec<u32> = Vec::with_capacity(test.len());
+    {
+        let mut ws = network.workspace(2);
+        let mut topk = TopK::new(REPORT_K);
+        let mut q = Quality::default();
+        for ex in test.iter().take(200) {
+            network.predict_topk(&DenseSelector, &mut ws, &ex.features, &mut topk);
+        }
+        let t0 = Instant::now();
+        for ex in test {
+            network.predict_topk(&DenseSelector, &mut ws, &ex.features, &mut topk);
+            dense_top1.push(topk.top1().unwrap_or(u32::MAX));
+            q.record(&topk, &ex.labels);
+        }
+        let secs = t0.elapsed().as_secs_f64();
+        let q = q.finish(test.len());
+        printer.row(vec![
+            "dense".to_string(),
+            test.len().to_string(),
+            format!("{:.0}", test.len() as f64 / secs),
+            format!("{:.1}", secs * 1e6 / test.len() as f64),
+            format!("{:.3}", q.p1),
+            format!("{:.3}", q.pk),
+            format!("{:.3}", q.rk),
+            labels.to_string(),
+        ]);
+    }
+
+    // LSH-retrieval inference, single thread, engine-free (to also count
+    // the candidate-set size the retrieval produces).
+    for mc in [1usize, 2, 3] {
+        // Fallback off: these rows measure *pure* retrieval; an empty
+        // union scores nothing rather than silently running dense.
+        let selector =
+            InferenceSelector::new(slide_lsh::QueryBudget::all().with_min_collisions(mc))
+                .with_dense_fallback(false);
+        let mut ws = network.workspace(3);
+        let mut topk = TopK::new(REPORT_K);
+        let mut q = Quality::default();
+        let mut active_sum = 0usize;
+        let mut argmax_recalled = 0usize;
+        for ex in test.iter().take(200) {
+            network.predict_topk(&selector, &mut ws, &ex.features, &mut topk);
+        }
+        let t0 = Instant::now();
+        for (i, ex) in test.iter().enumerate() {
+            network.predict_topk(&selector, &mut ws, &ex.features, &mut topk);
+            q.record(&topk, &ex.labels);
+            let last = network.layers().len() - 1;
+            active_sum += ws.active_set(last).len();
+            argmax_recalled += ws.active_set(last).contains(dense_top1[i]) as usize;
+        }
+        let secs = t0.elapsed().as_secs_f64();
+        eprintln!(
+            "m={mc}: retrieval recall of dense argmax = {:.3}",
+            argmax_recalled as f64 / test.len() as f64,
+        );
+        let q = q.finish(test.len());
+        printer.row(vec![
+            format!("lsh-retrieval m={mc}"),
+            test.len().to_string(),
+            format!("{:.0}", test.len() as f64 / secs),
+            format!("{:.1}", secs * 1e6 / test.len() as f64),
+            format!("{:.3}", q.p1),
+            format!("{:.3}", q.pk),
+            format!("{:.3}", q.rk),
+            format!("{:.0}", active_sum as f64 / test.len() as f64),
+        ]);
+    }
+
+    // Batched serving: concurrent submitters against the worker pool.
+    {
+        let server = BatchServer::start(
+            Arc::clone(&engine),
+            BatchOptions::default().with_workers(4).with_max_batch(32),
+        );
+        let t0 = Instant::now();
+        let handles: Vec<_> = test
+            .iter()
+            .map(|ex| server.submit(ex.features.clone()))
+            .collect();
+        let mut q = Quality::default();
+        for (h, ex) in handles.into_iter().zip(test) {
+            let p = h.wait().expect("server alive");
+            q.record(&p.topk, &ex.labels);
+        }
+        let secs = t0.elapsed().as_secs_f64();
+        let stats = server.stats();
+        let q = q.finish(test.len());
+        printer.row(vec![
+            "batched-serve".to_string(),
+            test.len().to_string(),
+            format!("{:.0}", test.len() as f64 / secs),
+            format!("{:.1}", secs * 1e6 / test.len() as f64),
+            format!("{:.3}", q.p1),
+            format!("{:.3}", q.pk),
+            format!("{:.3}", q.rk),
+            format!("batch~{:.1}", stats.mean_batch),
+        ]);
+        server.shutdown();
+    }
+
+    printer.print();
+    let e = engine.stats();
+    eprintln!(
+        "engine: {} requests, mean latency {:?}, max {:?}",
+        e.requests,
+        e.mean_latency(),
+        std::time::Duration::from_nanos(e.max_latency_ns)
+    );
+}

@@ -1,8 +1,11 @@
 //! Diagnostic (not a paper figure): is SLIDE's full-argmax evaluation
 //! polluted by never-trained neurons keeping their random init?
-//! Compares full-scoring P@1 vs LSH-retrieval P@1 and logit statistics.
+//! Compares full-scoring P@1 vs LSH-retrieval P@1 and logit statistics,
+//! both through the engine's first-class prediction APIs
+//! (`predict_logits_into` / `predict_topk`).
 
-use slide_core::{LshLayerConfig, LshSelector, NetworkConfig, SlideTrainer, TrainOptions};
+use slide_core::inference::{InferenceSelector, TopK};
+use slide_core::{LshLayerConfig, NetworkConfig, SlideTrainer, TrainOptions};
 use slide_data::synth::{generate, SyntheticConfig};
 
 fn main() {
@@ -27,54 +30,47 @@ fn main() {
     trainer.train(&data.train, &TrainOptions::new(10).batch_size(128).seed(0));
 
     let network = trainer.network();
+    let retrieval = InferenceSelector::default().with_dense_fallback(false);
     let mut ws = network.workspace(1);
+    let mut logits = Vec::new();
+    let mut topk = TopK::new(1);
     let mut full_hits = 0;
     let mut lsh_hits = 0;
     let mut label_logit = 0.0f64;
     let mut max_logit = 0.0f64;
+    // Winner identity: sibling (same cluster) vs unrelated class.
+    let mut sib = 0;
+    let mut unrelated = 0;
     let n = 300;
     for ex in data.test.iter().take(n) {
-        let logits = network.predict_logits(&mut ws, &ex.features);
+        // Full dense scoring (borrowed buffer, no per-example Vec); the
+        // winner comes from the logits already in hand rather than a
+        // second forward pass.
+        network.predict_logits_into(&mut ws, &ex.features, &mut logits);
         let top = logits
             .iter()
             .enumerate()
             .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
-            .unwrap()
-            .0 as u32;
-        full_hits += ex.labels.binary_search(&top).is_ok() as usize;
+            .map(|(i, _)| i as u32)
+            .unwrap_or(0);
+        if ex.labels.binary_search(&top).is_ok() {
+            full_hits += 1;
+        } else if ex.labels.iter().any(|&l| l / 8 == top / 8) {
+            sib += 1;
+        } else {
+            unrelated += 1;
+        }
         label_logit += logits[ex.labels[0] as usize] as f64;
         max_logit += logits[top as usize] as f64;
 
-        // LSH-retrieval inference: argmax over the sampled active set.
-        network.forward(&LshSelector, &mut ws, &ex.features, None);
-        if let Some((id, _)) = ws.output().max_by(|a, b| a.1.partial_cmp(&b.1).unwrap()) {
+        // LSH-retrieval inference: top-1 over the deterministic bucket
+        // union, no label forcing.
+        network.predict_topk(&retrieval, &mut ws, &ex.features, &mut topk);
+        if let Some(id) = topk.top1() {
             lsh_hits += ex.labels.binary_search(&id).is_ok() as usize;
         }
     }
-    // Winner identity: sibling (same cluster) vs unrelated class.
-    let mut sib = 0;
-    let mut unrelated = 0;
-    let mut correct = 0;
-    {
-        let mut ws2 = network.workspace(2);
-        for ex in data.test.iter().take(n) {
-            let logits = network.predict_logits(&mut ws2, &ex.features);
-            let top = logits
-                .iter()
-                .enumerate()
-                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
-                .unwrap()
-                .0 as u32;
-            if ex.labels.binary_search(&top).is_ok() {
-                correct += 1;
-            } else if ex.labels.iter().any(|&l| l / 8 == top / 8) {
-                sib += 1;
-            } else {
-                unrelated += 1;
-            }
-        }
-    }
-    println!("winners: correct {correct}, sibling {sib}, unrelated {unrelated}");
+    println!("winners: correct {full_hits}, sibling {sib}, unrelated {unrelated}");
     println!("full-argmax  P@1 = {:.3}", full_hits as f64 / n as f64);
     println!("lsh-argmax   P@1 = {:.3}", lsh_hits as f64 / n as f64);
     println!("mean label logit = {:.3}", label_logit / n as f64);

@@ -97,6 +97,17 @@ pub struct LshLayerConfig {
     pub strategy: SamplingStrategy,
     /// When to rebuild the tables.
     pub rebuild: RebuildSchedule,
+    /// Hash *centered* weight rows (`wⱼ − w̄`) when building the tables.
+    ///
+    /// Softmax training pushes every class away from the typical input,
+    /// so all weight rows share a large common component that dominates
+    /// cosine similarity and makes raw-row LSH retrieve the wrong
+    /// neurons at inference. Subtracting the layer-mean row from every
+    /// row before hashing removes that component *without changing the
+    /// score ranking* (a fixed offset shifts every `wⱼ·x` by the same
+    /// query constant). Off by default to preserve the paper's
+    /// training-time sampling; the serving engine turns it on.
+    pub center_rows: bool,
 }
 
 impl LshLayerConfig {
@@ -115,6 +126,7 @@ impl LshLayerConfig {
             policy: InsertionPolicy::Fifo,
             strategy: SamplingStrategy::Vanilla { budget: 0 },
             rebuild: RebuildSchedule::default(),
+            center_rows: false,
         }
     }
 
@@ -168,6 +180,13 @@ impl LshLayerConfig {
     pub fn with_tables(mut self, table_bits: u32, bucket_capacity: usize) -> Self {
         self.table_bits = table_bits;
         self.bucket_capacity = bucket_capacity;
+        self
+    }
+
+    /// Enables/disables centered-row hashing (builder style); see
+    /// [`LshLayerConfig::center_rows`].
+    pub fn with_centered_rows(mut self, on: bool) -> Self {
+        self.center_rows = on;
         self
     }
 

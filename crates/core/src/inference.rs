@@ -1,0 +1,267 @@
+//! The inference-side selector stack: label-free LSH retrieval and
+//! in-place top-k reduction over the active set.
+//!
+//! Training and inference want different things from neuron selection.
+//! Training randomizes (the Vanilla strategy probes tables in random
+//! order) and force-activates the true labels so the loss is defined.
+//! Inference must do neither: [`InferenceSelector`] hashes the layer input
+//! exactly like [`crate::selector::LshSelector`] but retrieves the
+//! *deterministic bucket union* under a configurable [`QueryBudget`]
+//! (paper §2: the retrieved union is the candidate set for adaptive
+//! dropout), never leaks labels, and falls back to dense selection on
+//! layers without tables — or, optionally, when retrieval comes back
+//! empty, so a serving path always produces a prediction.
+//!
+//! [`TopK`] is the matching reduction: a fixed-capacity accumulator that
+//! turns the output layer's `(active ids, activations)` into the k
+//! highest-scoring classes without cloning the activation vector or
+//! allocating per example.
+
+use slide_lsh::retrieve::{retrieve_union, QueryBudget};
+
+use crate::selector::{ActiveSet, NeuronSelector, SelectionContext, SelectorScratch};
+
+/// Inference-time neuron selection: deterministic LSH bucket-union
+/// retrieval on layers with tables, dense elsewhere, no label forcing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InferenceSelector {
+    budget: QueryBudget,
+    dense_fallback: bool,
+}
+
+impl Default for InferenceSelector {
+    fn default() -> Self {
+        Self::new(QueryBudget::all())
+    }
+}
+
+impl InferenceSelector {
+    /// Creates a selector retrieving under `budget`, with the dense
+    /// fallback for empty retrievals enabled.
+    pub fn new(budget: QueryBudget) -> Self {
+        Self {
+            budget,
+            dense_fallback: true,
+        }
+    }
+
+    /// The probe budget.
+    pub fn budget(&self) -> QueryBudget {
+        self.budget
+    }
+
+    /// Enables/disables dense scoring of a layer whose retrieval returned
+    /// no candidates (default on: serving must always answer). Disable to
+    /// measure pure-retrieval quality.
+    pub fn with_dense_fallback(mut self, enabled: bool) -> Self {
+        self.dense_fallback = enabled;
+        self
+    }
+
+    /// Whether the empty-retrieval dense fallback is enabled.
+    pub fn dense_fallback(&self) -> bool {
+        self.dense_fallback
+    }
+}
+
+impl NeuronSelector for InferenceSelector {
+    fn name(&self) -> &'static str {
+        "inference"
+    }
+
+    fn select(
+        &self,
+        ctx: &SelectionContext<'_>,
+        scratch: &mut SelectorScratch,
+        active: &mut ActiveSet,
+    ) {
+        let Some(lsh) = ctx.layer.lsh() else {
+            active.fill_dense(ctx.layer.units());
+            return;
+        };
+        // Hash the layer input; inference opts into the dense fast path
+        // (hash_dense over a fully-dense previous layer's activations).
+        crate::selector::hash_layer_input(lsh, ctx, scratch, true);
+        let sampler = scratch.samplers[ctx.layer_index]
+            .as_mut()
+            .expect("lsh layer has sampler scratch");
+        retrieve_union(
+            lsh.tables(),
+            &scratch.codes[ctx.layer_index],
+            self.budget,
+            sampler,
+            active.as_vec_mut(),
+        );
+        if active.is_empty() && self.dense_fallback {
+            active.fill_dense(ctx.layer.units());
+        }
+    }
+
+    /// Inference never injects labels.
+    fn force_label_activation(&self) -> bool {
+        false
+    }
+}
+
+/// Fixed-capacity top-k accumulator over `(class, score)` pairs.
+///
+/// Fill with [`TopK::offer`] while scanning an active set, then
+/// [`TopK::finish`] to sort. Reused across examples: [`TopK::reset`]
+/// keeps the allocation. Ordering is score-descending with ties broken by
+/// ascending class id, matching `slide_data::metrics`' determinism.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TopK {
+    items: Vec<(u32, f32)>,
+    k: usize,
+}
+
+/// `(id, score)` ordering: higher score wins, ties go to the smaller id.
+#[inline]
+fn beats(a: (u32, f32), b: (u32, f32)) -> bool {
+    a.1 > b.1 || (a.1 == b.1 && a.0 < b.0)
+}
+
+impl TopK {
+    /// An empty accumulator for the `k` best classes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "k must be positive");
+        Self {
+            items: Vec::with_capacity(k),
+            k,
+        }
+    }
+
+    /// The capacity `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Clears accumulated items, keeping the allocation; optionally
+    /// changes `k`.
+    pub fn reset(&mut self, k: usize) {
+        assert!(k > 0, "k must be positive");
+        self.items.clear();
+        self.items.reserve(k);
+        self.k = k;
+    }
+
+    /// Offers one candidate; kept iff it beats the current k-th best.
+    #[inline]
+    pub fn offer(&mut self, id: u32, score: f32) {
+        if self.items.len() < self.k {
+            self.items.push((id, score));
+            return;
+        }
+        // Replace the current worst if the candidate beats it.
+        let mut worst = 0;
+        for (i, &it) in self.items.iter().enumerate().skip(1) {
+            if beats(self.items[worst], it) {
+                worst = i;
+            }
+        }
+        if beats((id, score), self.items[worst]) {
+            self.items[worst] = (id, score);
+        }
+    }
+
+    /// Sorts the kept items best-first. Call once after the offer loop.
+    pub fn finish(&mut self) {
+        self.items.sort_unstable_by(|&a, &b| {
+            if beats(a, b) {
+                std::cmp::Ordering::Less
+            } else {
+                std::cmp::Ordering::Greater
+            }
+        });
+    }
+
+    /// The kept `(class, score)` pairs (best-first after [`TopK::finish`]).
+    pub fn items(&self) -> &[(u32, f32)] {
+        &self.items
+    }
+
+    /// The best class, if any candidate was offered.
+    pub fn top1(&self) -> Option<u32> {
+        self.items.first().map(|&(id, _)| id)
+    }
+
+    /// Number of kept items (≤ k; fewer if fewer were offered).
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether nothing was offered.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn topk_keeps_best_and_sorts() {
+        let mut t = TopK::new(3);
+        for (id, s) in [(0u32, 0.1f32), (1, 0.9), (2, 0.5), (3, 0.7), (4, 0.2)] {
+            t.offer(id, s);
+        }
+        t.finish();
+        assert_eq!(t.items(), &[(1, 0.9), (3, 0.7), (2, 0.5)]);
+        assert_eq!(t.top1(), Some(1));
+    }
+
+    #[test]
+    fn topk_ties_break_by_ascending_id() {
+        let mut t = TopK::new(2);
+        for (id, s) in [(5u32, 0.5f32), (2, 0.5), (9, 0.5)] {
+            t.offer(id, s);
+        }
+        t.finish();
+        assert_eq!(t.items(), &[(2, 0.5), (5, 0.5)]);
+    }
+
+    #[test]
+    fn topk_underfull_returns_what_it_saw() {
+        let mut t = TopK::new(10);
+        t.offer(3, 0.4);
+        t.offer(1, 0.6);
+        t.finish();
+        assert_eq!(t.items(), &[(1, 0.6), (3, 0.4)]);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn topk_reset_reuses_allocation() {
+        let mut t = TopK::new(2);
+        t.offer(1, 1.0);
+        t.finish();
+        t.reset(3);
+        assert!(t.is_empty());
+        assert_eq!(t.k(), 3);
+        t.offer(4, 0.5);
+        t.finish();
+        assert_eq!(t.top1(), Some(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be positive")]
+    fn zero_k_panics() {
+        let _ = TopK::new(0);
+    }
+
+    #[test]
+    fn inference_selector_flags() {
+        let s = InferenceSelector::default();
+        assert_eq!(s.name(), "inference");
+        assert!(!s.force_label_activation());
+        assert!(!s.maintains_tables());
+        assert!(s.dense_fallback());
+        let s = s.with_dense_fallback(false);
+        assert!(!s.dense_fallback());
+    }
+}

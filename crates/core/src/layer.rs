@@ -22,6 +22,7 @@ pub struct LayerLsh {
     pub(crate) tables: LshTables,
     pub(crate) strategy: SamplingStrategy,
     pub(crate) rebuild: RebuildState,
+    pub(crate) centered: bool,
     rebuild_count: u64,
     rng_base: Xoshiro256PlusPlus,
 }
@@ -57,6 +58,11 @@ impl LayerLsh {
     /// The hash family.
     pub fn family(&self) -> &dyn HashFamily {
         self.family.as_ref()
+    }
+
+    /// Whether table rebuilds hash centered rows (`wⱼ − w̄`).
+    pub fn centered(&self) -> bool {
+        self.centered
     }
 }
 
@@ -100,6 +106,7 @@ impl Layer {
                 tables: LshTables::new(table_config),
                 strategy,
                 rebuild: cfg.rebuild.start(),
+                centered: cfg.center_rows,
                 rebuild_count: 0,
                 rng_base: Xoshiro256PlusPlus::seed_from_u64(rng.next_u64()),
             }
@@ -254,12 +261,37 @@ impl Layer {
         let weights = &self.weights;
         let family = lsh.family.as_ref();
 
+        // Centered hashing: remove the common component all rows share
+        // (softmax pushes every class away from the typical input, and
+        // that shared direction otherwise dominates cosine similarity).
+        // Subtracting one fixed vector from every row leaves the layer's
+        // score ranking unchanged for any query.
+        let mean: Vec<f32> = if lsh.centered {
+            let mut acc = vec![0.0f64; fan_in];
+            let mut row = vec![0.0f32; fan_in];
+            for j in 0..units {
+                weights.read_row_into(j, &mut row);
+                for (a, &r) in acc.iter_mut().zip(&row) {
+                    *a += r as f64;
+                }
+            }
+            acc.iter().map(|&a| (a / units as f64) as f32).collect()
+        } else {
+            Vec::new()
+        };
+        let mean = &mean;
+
         // Phase 1: hash every neuron's weight row (parallel over neurons).
         let mut codes = vec![0u32; units * num_codes];
         codes.par_chunks_mut(num_codes).enumerate().for_each_init(
             || vec![0.0f32; fan_in],
             |row_buf, (j, out)| {
                 weights.read_row_into(j, row_buf);
+                if !mean.is_empty() {
+                    for (r, &m) in row_buf.iter_mut().zip(mean) {
+                        *r -= m;
+                    }
+                }
                 family.hash_dense(row_buf, out);
             },
         );
@@ -281,6 +313,14 @@ impl Layer {
                     table.insert(j as u32, group, policy, &mut rng);
                 }
             });
+    }
+
+    /// Sets the centered-row hashing mode; the caller must rebuild the
+    /// tables for it to take effect. No-op for dense layers.
+    pub(crate) fn set_centered(&mut self, on: bool) {
+        if let Some(lsh) = self.lsh.as_mut() {
+            lsh.centered = on;
+        }
     }
 
     /// Checks the rebuild schedule after `iteration` and rebuilds if due.

@@ -25,6 +25,11 @@
 //!   forward, message-passing backward, evaluation, workspace pooling;
 //! * [`trainer`] — the batch-parallel loop, generic
 //!   [`trainer::Trainer`], and [`trainer::SlideTrainer`];
+//! * [`inference`] — the serving-side stack: label-free
+//!   [`inference::InferenceSelector`] retrieval and the in-place
+//!   [`inference::TopK`] reduction behind `Network::predict_topk`;
+//! * [`snapshot`] — versioned byte-format serialization of a trained
+//!   network (weights, biases, config), hash tables rebuilt on load;
 //! * [`baseline`] — the paper's comparison systems (full softmax and
 //!   static sampled softmax) as selectors + thin trainer aliases;
 //! * [`hogwild`] — relaxed-atomic shared parameter storage;
@@ -55,17 +60,21 @@ pub mod baseline;
 pub mod config;
 pub mod error;
 pub mod hogwild;
+pub mod inference;
 pub mod layer;
 pub mod network;
 pub mod schedule;
 pub mod selector;
+pub mod snapshot;
 pub mod telemetry;
 pub mod trainer;
 
 pub use baseline::{DenseTrainer, SampledSoftmaxTrainer, StaticSampledSelector};
 pub use config::{Activation, FamilySpec, LayerConfig, LshLayerConfig, NetworkConfig};
 pub use error::ConfigError;
+pub use inference::{InferenceSelector, TopK};
 pub use network::{Network, Workspace, WorkspacePool};
 pub use schedule::{RebuildSchedule, RebuildState};
 pub use selector::{ActiveSet, DenseSelector, LshSelector, NeuronSelector};
+pub use snapshot::SnapshotError;
 pub use trainer::{Checkpoint, SlideTrainer, TrainOptions, TrainReport, Trainer};

@@ -62,6 +62,12 @@ impl Workspace {
         &self.active[l]
     }
 
+    /// The activations of layer `l` in the last pass, parallel to
+    /// [`Workspace::active_set`].
+    pub fn activations(&self, l: usize) -> &[f32] {
+        &self.acts[l]
+    }
+
     /// The selection scratch (for custom selectors and tests).
     pub fn scratch_mut(&mut self) -> &mut SelectorScratch {
         &mut self.scratch
@@ -196,6 +202,31 @@ impl Network {
     /// Mutable layer access (rebuilds, inspection).
     pub fn layers_mut(&mut self) -> &mut [Layer] {
         &mut self.layers
+    }
+
+    /// Switches every LSH layer to centered (or raw) row hashing and
+    /// rebuilds the affected tables. No-op for layers already in the
+    /// requested mode. Returns the number of layers rebuilt.
+    ///
+    /// Centering preserves each layer's score ranking (see
+    /// [`crate::config::LshLayerConfig::center_rows`]); the serving
+    /// engine calls this on load because retrieval quality at inference
+    /// depends on it, while training defaults to the paper's raw-row
+    /// hashing.
+    pub fn set_lsh_centering(&mut self, on: bool) -> usize {
+        let mut rebuilt = 0;
+        for (layer, cfg) in self.layers.iter_mut().zip(&mut self.config.layers) {
+            let needs = matches!(layer.lsh(), Some(lsh) if lsh.centered() != on);
+            if needs {
+                if let Some(lsh_cfg) = &mut cfg.lsh {
+                    lsh_cfg.center_rows = on;
+                }
+                layer.set_centered(on);
+                layer.rebuild_tables();
+                rebuilt += 1;
+            }
+        }
+        rebuilt
     }
 
     /// Output dimension (classes).
@@ -441,23 +472,72 @@ impl Network {
         loss
     }
 
-    /// Full dense scoring of one example: the logit of every output class
-    /// (evaluation path; no sampling, no label leakage).
-    pub fn predict_logits(&self, ws: &mut Workspace, features: &SparseVector) -> Vec<f32> {
-        self.forward(&DenseSelector, ws, features, None);
+    /// Selector-driven inference for one example: runs a label-free
+    /// forward pass under `selector` and reduces the output layer's active
+    /// set to the `out.k()` best classes in place — no per-example
+    /// allocation, no label leakage.
+    ///
+    /// This is the serving path's entry point: with
+    /// [`crate::inference::InferenceSelector`] the output layer is scored
+    /// over the LSH bucket union only (sub-linear in the class count);
+    /// with [`DenseSelector`] it degrades to exact full scoring. `out` is
+    /// reset first and sorted best-first on return.
+    pub fn predict_topk<S: NeuronSelector>(
+        &self,
+        selector: &S,
+        ws: &mut Workspace,
+        features: &SparseVector,
+        out: &mut crate::inference::TopK,
+    ) {
+        self.forward(selector, ws, features, None);
         let last = self.layers.len() - 1;
-        ws.acts[last].clone()
+        out.reset(out.k());
+        for (&id, &p) in ws.active[last].ids().iter().zip(&ws.acts[last]) {
+            out.offer(id, p);
+        }
+        out.finish();
     }
 
-    /// Top-1 class of one example under full dense scoring.
+    /// Full dense scoring of one example, written into `probs` (cleared
+    /// first; indexed by class id). The evaluation path for callers that
+    /// need every logit; prefer [`Network::predict_topk`] when only the
+    /// ranking matters.
+    pub fn predict_logits_into(
+        &self,
+        ws: &mut Workspace,
+        features: &SparseVector,
+        probs: &mut Vec<f32>,
+    ) {
+        self.forward(&DenseSelector, ws, features, None);
+        let last = self.layers.len() - 1;
+        probs.clear();
+        probs.extend_from_slice(&ws.acts[last]);
+    }
+
+    /// Full dense scoring of one example: the logit of every output class.
+    /// Allocates a fresh vector per call — use
+    /// [`Network::predict_logits_into`] in loops.
+    pub fn predict_logits(&self, ws: &mut Workspace, features: &SparseVector) -> Vec<f32> {
+        let mut probs = Vec::new();
+        self.predict_logits_into(ws, features, &mut probs);
+        probs
+    }
+
+    /// Top-1 class of one example under full dense scoring: argmax in
+    /// place over the workspace's output activations, no clone.
     pub fn predict_top1(&self, ws: &mut Workspace, features: &SparseVector) -> u32 {
-        let logits = self.predict_logits(ws, features);
-        logits
-            .iter()
-            .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
-            .map(|(i, _)| i as u32)
-            .unwrap_or(0)
+        self.forward(&DenseSelector, ws, features, None);
+        let last = self.layers.len() - 1;
+        let mut best = 0usize;
+        let acts = &ws.acts[last];
+        for (i, &p) in acts.iter().enumerate().skip(1) {
+            if p > acts[best] {
+                best = i;
+            }
+        }
+        // Dense selection activates class ids 0..units in order, so the
+        // winning slot *is* the class id.
+        ws.active[last].ids().get(best).copied().unwrap_or(0)
     }
 
     /// Mean P@1 over (at most `max_examples` of) a dataset, parallelized
@@ -667,6 +747,75 @@ mod tests {
         assert_eq!(out.len(), 40);
         let total: f32 = out.iter().map(|(_, p)| p).sum();
         assert!((total - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn predict_topk_dense_matches_predict_top1() {
+        let net = tiny_network(false, 23);
+        let mut ws = net.workspace(10);
+        let mut topk = crate::inference::TopK::new(3);
+        for seed in 0..10 {
+            let (x, _) = example(100 + seed);
+            net.predict_topk(&DenseSelector, &mut ws, &x, &mut topk);
+            let top1 = net.predict_top1(&mut ws, &x);
+            assert_eq!(topk.top1(), Some(top1));
+            assert_eq!(topk.len(), 3);
+            // Best-first ordering.
+            for w in topk.items().windows(2) {
+                assert!(w[0].1 >= w[1].1);
+            }
+        }
+    }
+
+    #[test]
+    fn predict_logits_into_reuses_buffer() {
+        let net = tiny_network(false, 25);
+        let mut ws = net.workspace(11);
+        let (x, _) = example(26);
+        let owned = net.predict_logits(&mut ws, &x);
+        let mut buf = vec![42.0; 3];
+        net.predict_logits_into(&mut ws, &x, &mut buf);
+        assert_eq!(owned, buf);
+        assert_eq!(buf.len(), 40);
+    }
+
+    #[test]
+    fn inference_selector_retrieves_without_labels() {
+        use crate::inference::InferenceSelector;
+        let net = tiny_network(true, 27);
+        let mut ws = net.workspace(12);
+        let mut topk = crate::inference::TopK::new(2);
+        let (x, _) = example(28);
+        let sel = InferenceSelector::default();
+        net.predict_topk(&sel, &mut ws, &x, &mut topk);
+        // Hidden layer dense, output layer from the bucket union (or the
+        // dense fallback) — either way a prediction comes back.
+        assert_eq!(ws.active_counts()[0], 16);
+        assert!(topk.top1().is_some());
+        // Deterministic: a second identical query returns identical items.
+        let mut again = crate::inference::TopK::new(2);
+        net.predict_topk(&sel, &mut ws, &x, &mut again);
+        assert_eq!(topk.items(), again.items());
+    }
+
+    #[test]
+    fn inference_selector_dense_fallback_toggles() {
+        use crate::inference::InferenceSelector;
+        use slide_lsh::QueryBudget;
+        let net = tiny_network(true, 29);
+        let mut ws = net.workspace(13);
+        let (x, _) = example(30);
+        // A zero-table probe budget can retrieve nothing; with the
+        // fallback off the output set may be empty, with it on the layer
+        // runs dense.
+        let starved = InferenceSelector::new(QueryBudget::all().with_max_tables(1))
+            .with_dense_fallback(false);
+        net.forward(&starved, &mut ws, &x, None);
+        let sparse_count = ws.active_counts()[1];
+        assert!(sparse_count < 40, "budgeted retrieval must stay sparse");
+        let covered = InferenceSelector::new(QueryBudget::all());
+        net.forward(&covered, &mut ws, &x, None);
+        assert!(ws.active_counts()[1] >= sparse_count);
     }
 
     #[test]

@@ -1,0 +1,652 @@
+//! Versioned serialization of a trained [`Network`] — the handoff point
+//! between training and serving.
+//!
+//! The paper trains on one beefy CPU box; a production deployment trains
+//! somewhere, freezes the model, and serves it elsewhere. A snapshot
+//! captures exactly what inference needs — the full [`NetworkConfig`]
+//! (architecture, LSH parameters, seed) plus every layer's weights and
+//! biases — and *rebuilds the hash tables on load* from the restored
+//! weights, because bucket contents are a pure function of the weights
+//! and the (seeded) hash family. Adam moments and the optimizer step are
+//! deliberately not captured: a snapshot is a frozen inference artifact,
+//! not a training checkpoint.
+//!
+//! ## Format (version 1, little-endian)
+//!
+//! ```text
+//! magic   b"SLIDSNAP"                      8 bytes
+//! version u32 = 1
+//! config  (see encode_config: dims, adam, per-layer LSH params)
+//! layers  per layer: weights len u64 + f32 bits, biases len u64 + f32 bits
+//! check   u64 FNV-1a over everything above
+//! ```
+//!
+//! All floats are stored as raw bit patterns, so a round trip is
+//! bit-identical — restored dense predictions equal the source network's
+//! exactly (pinned by `tests/serving.rs`).
+
+use std::io::{Read, Write};
+use std::path::Path;
+
+use slide_kernels::{AdamParams, KernelMode};
+use slide_lsh::policy::InsertionPolicy;
+use slide_lsh::sampling::SamplingStrategy;
+
+use crate::config::{Activation, FamilySpec, LayerConfig, LshLayerConfig, NetworkConfig};
+use crate::error::ConfigError;
+use crate::network::Network;
+use crate::schedule::RebuildSchedule;
+
+const MAGIC: &[u8; 8] = b"SLIDSNAP";
+const VERSION: u32 = 1;
+
+/// Error restoring a snapshot.
+#[derive(Debug)]
+pub enum SnapshotError {
+    /// Filesystem error reading or writing the snapshot.
+    Io(std::io::Error),
+    /// The bytes do not start with the snapshot magic.
+    BadMagic,
+    /// The snapshot's format version is newer than this build understands.
+    UnsupportedVersion(u32),
+    /// The byte stream is truncated or internally inconsistent.
+    Corrupt(&'static str),
+    /// The embedded configuration failed validation.
+    Config(ConfigError),
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotError::Io(e) => write!(f, "snapshot io: {e}"),
+            SnapshotError::BadMagic => write!(f, "not a SLIDE snapshot (bad magic)"),
+            SnapshotError::UnsupportedVersion(v) => {
+                write!(f, "unsupported snapshot version {v} (max {VERSION})")
+            }
+            SnapshotError::Corrupt(what) => write!(f, "corrupt snapshot: {what}"),
+            SnapshotError::Config(e) => write!(f, "snapshot config invalid: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+impl From<std::io::Error> for SnapshotError {
+    fn from(e: std::io::Error) -> Self {
+        SnapshotError::Io(e)
+    }
+}
+
+impl From<ConfigError> for SnapshotError {
+    fn from(e: ConfigError) -> Self {
+        SnapshotError::Config(e)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Little-endian writer/reader over a byte buffer.
+
+#[derive(Debug, Default)]
+struct Enc {
+    buf: Vec<u8>,
+}
+
+impl Enc {
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn f32(&mut self, v: f32) {
+        self.u32(v.to_bits());
+    }
+    fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+}
+
+#[derive(Debug)]
+struct Dec<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Dec<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+    fn take(&mut self, n: usize) -> Result<&'a [u8], SnapshotError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or(SnapshotError::Corrupt("truncated"))?;
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+    fn u8(&mut self) -> Result<u8, SnapshotError> {
+        Ok(self.take(1)?[0])
+    }
+    fn u32(&mut self) -> Result<u32, SnapshotError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+    fn u64(&mut self) -> Result<u64, SnapshotError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    fn f32(&mut self) -> Result<f32, SnapshotError> {
+        Ok(f32::from_bits(self.u32()?))
+    }
+    fn f64(&mut self) -> Result<f64, SnapshotError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+    fn usize(&mut self) -> Result<usize, SnapshotError> {
+        usize::try_from(self.u64()?).map_err(|_| SnapshotError::Corrupt("size overflow"))
+    }
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for &b in bytes {
+        h = (h ^ b as u64).wrapping_mul(0x100_0000_01B3);
+    }
+    h
+}
+
+// ---------------------------------------------------------------------
+// Config encoding.
+
+fn encode_config(e: &mut Enc, c: &NetworkConfig) {
+    e.u64(c.input_dim as u64);
+    e.u64(c.seed);
+    e.u8(match c.kernel_mode {
+        KernelMode::Scalar => 0,
+        KernelMode::Vectorized => 1,
+    });
+    e.f32(c.adam.lr);
+    e.f32(c.adam.beta1);
+    e.f32(c.adam.beta2);
+    e.f32(c.adam.eps);
+    e.u32(c.layers.len() as u32);
+    for layer in &c.layers {
+        e.u64(layer.units as u64);
+        e.u8(match layer.activation {
+            Activation::Relu => 0,
+            Activation::Softmax => 1,
+        });
+        match &layer.lsh {
+            None => e.u8(0),
+            Some(lsh) => {
+                e.u8(1);
+                match lsh.family {
+                    FamilySpec::SimHash { sparsity } => {
+                        e.u8(0);
+                        e.f64(sparsity);
+                    }
+                    FamilySpec::Wta { m } => {
+                        e.u8(1);
+                        e.u64(m as u64);
+                    }
+                    FamilySpec::Dwta { m } => {
+                        e.u8(2);
+                        e.u64(m as u64);
+                    }
+                    FamilySpec::Doph { bin_width, top_t } => {
+                        e.u8(3);
+                        e.u32(bin_width);
+                        e.u64(top_t as u64);
+                    }
+                }
+                e.u64(lsh.k as u64);
+                e.u64(lsh.l as u64);
+                e.u32(lsh.table_bits);
+                e.u64(lsh.bucket_capacity as u64);
+                e.u8(match lsh.policy {
+                    InsertionPolicy::Reservoir => 0,
+                    InsertionPolicy::Fifo => 1,
+                });
+                match lsh.strategy {
+                    SamplingStrategy::Vanilla { budget } => {
+                        e.u8(0);
+                        e.u64(budget as u64);
+                    }
+                    SamplingStrategy::TopK { budget } => {
+                        e.u8(1);
+                        e.u64(budget as u64);
+                    }
+                    SamplingStrategy::HardThreshold { min_count } => {
+                        e.u8(2);
+                        e.u64(min_count as u64);
+                    }
+                }
+                e.u64(lsh.rebuild.initial_period);
+                e.f64(lsh.rebuild.decay);
+                e.u8(lsh.center_rows as u8);
+            }
+        }
+    }
+}
+
+fn decode_config(d: &mut Dec<'_>) -> Result<NetworkConfig, SnapshotError> {
+    let input_dim = d.usize()?;
+    let seed = d.u64()?;
+    let kernel_mode = match d.u8()? {
+        0 => KernelMode::Scalar,
+        1 => KernelMode::Vectorized,
+        _ => return Err(SnapshotError::Corrupt("kernel mode tag")),
+    };
+    let adam = AdamParams {
+        lr: d.f32()?,
+        beta1: d.f32()?,
+        beta2: d.f32()?,
+        eps: d.f32()?,
+    };
+    let n_layers = d.u32()? as usize;
+    if n_layers > 1024 {
+        return Err(SnapshotError::Corrupt("layer count implausible"));
+    }
+    let mut layers = Vec::with_capacity(n_layers);
+    for _ in 0..n_layers {
+        let units = d.usize()?;
+        let activation = match d.u8()? {
+            0 => Activation::Relu,
+            1 => Activation::Softmax,
+            _ => return Err(SnapshotError::Corrupt("activation tag")),
+        };
+        let lsh = match d.u8()? {
+            0 => None,
+            1 => {
+                let family = match d.u8()? {
+                    0 => FamilySpec::SimHash { sparsity: d.f64()? },
+                    1 => FamilySpec::Wta { m: d.usize()? },
+                    2 => FamilySpec::Dwta { m: d.usize()? },
+                    3 => FamilySpec::Doph {
+                        bin_width: d.u32()?,
+                        top_t: d.usize()?,
+                    },
+                    _ => return Err(SnapshotError::Corrupt("family tag")),
+                };
+                let k = d.usize()?;
+                let l = d.usize()?;
+                let table_bits = d.u32()?;
+                let bucket_capacity = d.usize()?;
+                let policy = match d.u8()? {
+                    0 => InsertionPolicy::Reservoir,
+                    1 => InsertionPolicy::Fifo,
+                    _ => return Err(SnapshotError::Corrupt("policy tag")),
+                };
+                let strategy = match d.u8()? {
+                    0 => SamplingStrategy::Vanilla { budget: d.usize()? },
+                    1 => SamplingStrategy::TopK { budget: d.usize()? },
+                    2 => SamplingStrategy::HardThreshold {
+                        min_count: d.usize()?,
+                    },
+                    _ => return Err(SnapshotError::Corrupt("strategy tag")),
+                };
+                let rebuild = RebuildSchedule {
+                    initial_period: d.u64()?,
+                    decay: d.f64()?,
+                };
+                let center_rows = match d.u8()? {
+                    0 => false,
+                    1 => true,
+                    _ => return Err(SnapshotError::Corrupt("center_rows flag")),
+                };
+                Some(LshLayerConfig {
+                    family,
+                    k,
+                    l,
+                    table_bits,
+                    bucket_capacity,
+                    policy,
+                    strategy,
+                    rebuild,
+                    center_rows,
+                })
+            }
+            _ => return Err(SnapshotError::Corrupt("lsh flag")),
+        };
+        layers.push(LayerConfig {
+            units,
+            activation,
+            lsh,
+        });
+    }
+    Ok(NetworkConfig {
+        input_dim,
+        layers,
+        seed,
+        kernel_mode,
+        adam,
+    })
+}
+
+// ---------------------------------------------------------------------
+// Public API.
+
+/// Serializes `network` (config + weights + biases) to the version-1 byte
+/// format.
+pub fn write_network(network: &Network) -> Vec<u8> {
+    let mut e = Enc::default();
+    e.buf.extend_from_slice(MAGIC);
+    e.u32(VERSION);
+    encode_config(&mut e, network.config());
+    for layer in network.layers() {
+        let w = layer.weights().flat();
+        e.u64(w.len() as u64);
+        for i in 0..w.len() {
+            e.f32(w.get(i));
+        }
+        let b = layer.biases();
+        e.u64(b.len() as u64);
+        for i in 0..b.len() {
+            e.f32(b.get(i));
+        }
+    }
+    let check = fnv1a(&e.buf);
+    e.u64(check);
+    e.buf
+}
+
+/// Restores a [`Network`] from snapshot bytes: validates magic, version
+/// and checksum, rebuilds the network from the embedded config, copies
+/// the weights and biases in, and rebuilds every LSH layer's hash tables
+/// from the restored weights.
+pub fn read_network(bytes: &[u8]) -> Result<Network, SnapshotError> {
+    read_network_with_centering(bytes, None)
+}
+
+/// [`read_network`] with the centering mode decided up front: when
+/// `center_rows` is `Some`, every LSH layer's
+/// [`LshLayerConfig::center_rows`] is overridden *before* the post-copy
+/// table rebuild, so the tables are built once in the requested geometry
+/// instead of being rebuilt again by a later
+/// [`Network::set_lsh_centering`] call. The serving engine loads
+/// snapshots through this path.
+pub fn read_network_with_centering(
+    bytes: &[u8],
+    center_rows: Option<bool>,
+) -> Result<Network, SnapshotError> {
+    if bytes.len() < MAGIC.len() + 4 + 8 {
+        return Err(SnapshotError::Corrupt("too short"));
+    }
+    let (payload, check_bytes) = bytes.split_at(bytes.len() - 8);
+    let stored = u64::from_le_bytes(check_bytes.try_into().unwrap());
+    if fnv1a(payload) != stored {
+        return Err(SnapshotError::Corrupt("checksum mismatch"));
+    }
+    let mut d = Dec::new(payload);
+    if d.take(MAGIC.len())? != MAGIC {
+        return Err(SnapshotError::BadMagic);
+    }
+    let version = d.u32()?;
+    if version != VERSION {
+        return Err(SnapshotError::UnsupportedVersion(version));
+    }
+    let mut config = decode_config(&mut d)?;
+    if let Some(center) = center_rows {
+        for layer in &mut config.layers {
+            if let Some(lsh) = &mut layer.lsh {
+                lsh.center_rows = center;
+            }
+        }
+    }
+    // The parameter payload must actually be present before we allocate
+    // storage from file-supplied dimensions — a corrupt/crafted header
+    // claiming units = 2^40 must fail here, not OOM in Network::new.
+    {
+        let mut expected_bytes: u128 = 0;
+        let mut fan_in = config.input_dim as u128;
+        for layer in &config.layers {
+            let units = layer.units as u128;
+            // weights len + f32s, biases len + f32s.
+            expected_bytes += 8 + units * fan_in * 4 + 8 + units * 4;
+            fan_in = units;
+        }
+        let remaining = (payload.len() - d.pos) as u128;
+        if expected_bytes != remaining {
+            return Err(SnapshotError::Corrupt(
+                "parameter payload size inconsistent with config",
+            ));
+        }
+    }
+    let mut network = Network::new(config)?;
+    let mut values: Vec<f32> = Vec::new();
+    for layer in network.layers_mut() {
+        let n_w = d.usize()?;
+        if n_w != layer.weights().flat().len() {
+            return Err(SnapshotError::Corrupt("weight count mismatch"));
+        }
+        values.clear();
+        values.reserve(n_w);
+        for _ in 0..n_w {
+            values.push(d.f32()?);
+        }
+        layer.weights().flat().copy_from(&values);
+        let n_b = d.usize()?;
+        if n_b != layer.biases().len() {
+            return Err(SnapshotError::Corrupt("bias count mismatch"));
+        }
+        values.clear();
+        values.reserve(n_b);
+        for _ in 0..n_b {
+            values.push(d.f32()?);
+        }
+        layer.biases().copy_from(&values);
+        // Bucket contents are a function of the weights: re-hash now that
+        // the trained weights are in place.
+        layer.rebuild_tables();
+    }
+    if d.pos != payload.len() {
+        return Err(SnapshotError::Corrupt("trailing bytes"));
+    }
+    Ok(network)
+}
+
+/// Writes a snapshot of `network` to `path`.
+///
+/// # Errors
+///
+/// Returns [`SnapshotError::Io`] on filesystem failure.
+pub fn save_network<P: AsRef<Path>>(network: &Network, path: P) -> Result<(), SnapshotError> {
+    let bytes = write_network(network);
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(&bytes)?;
+    Ok(())
+}
+
+/// Loads a snapshot from `path` and restores the network (tables rebuilt).
+///
+/// # Errors
+///
+/// Returns [`SnapshotError`] on filesystem failure or a malformed
+/// snapshot.
+pub fn load_network<P: AsRef<Path>>(path: P) -> Result<Network, SnapshotError> {
+    let mut bytes = Vec::new();
+    std::fs::File::open(path)?.read_to_end(&mut bytes)?;
+    read_network(&bytes)
+}
+
+impl Network {
+    /// Serializes this network to snapshot bytes ([`write_network`]).
+    pub fn to_snapshot_bytes(&self) -> Vec<u8> {
+        write_network(self)
+    }
+
+    /// Restores a network from snapshot bytes ([`read_network`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnapshotError`] on a malformed snapshot.
+    pub fn from_snapshot_bytes(bytes: &[u8]) -> Result<Self, SnapshotError> {
+        read_network(bytes)
+    }
+
+    /// Writes a snapshot file ([`save_network`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnapshotError::Io`] on filesystem failure.
+    pub fn save_snapshot<P: AsRef<Path>>(&self, path: P) -> Result<(), SnapshotError> {
+        save_network(self, path)
+    }
+
+    /// Loads a snapshot file ([`load_network`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnapshotError`] on filesystem failure or a malformed
+    /// snapshot.
+    pub fn load_snapshot<P: AsRef<Path>>(path: P) -> Result<Self, SnapshotError> {
+        load_network(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::LshLayerConfig;
+
+    fn trained_network() -> Network {
+        let cfg = NetworkConfig::builder(32, 60)
+            .hidden(12)
+            .output_lsh(
+                LshLayerConfig::dwta(3, 6).with_strategy(SamplingStrategy::TopK { budget: 20 }),
+            )
+            .seed(99)
+            .build()
+            .unwrap();
+        let net = Network::new(cfg).unwrap();
+        // Perturb weights away from init so the round trip is not trivial.
+        net.layers()[0].weights().set(3, 5, 1.25);
+        net.layers()[1].biases().set(7, -0.5);
+        net
+    }
+
+    #[test]
+    fn round_trip_preserves_config_and_parameters() {
+        let net = trained_network();
+        let bytes = net.to_snapshot_bytes();
+        let restored = Network::from_snapshot_bytes(&bytes).unwrap();
+        assert_eq!(restored.config(), net.config());
+        for (a, b) in net.layers().iter().zip(restored.layers()) {
+            let (wa, wb) = (a.weights().flat(), b.weights().flat());
+            assert_eq!(wa.len(), wb.len());
+            for i in 0..wa.len() {
+                assert_eq!(wa.get(i).to_bits(), wb.get(i).to_bits(), "weight {i}");
+            }
+            for i in 0..a.biases().len() {
+                assert_eq!(
+                    a.biases().get(i).to_bits(),
+                    b.biases().get(i).to_bits(),
+                    "bias {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn restored_tables_reflect_restored_weights() {
+        let net = trained_network();
+        let restored = Network::from_snapshot_bytes(&net.to_snapshot_bytes()).unwrap();
+        let lsh = restored.layers()[1].lsh().expect("output layer has LSH");
+        // One initial build at Network::new + one rebuild after the weight
+        // copy.
+        assert_eq!(lsh.rebuild_count(), 2);
+        assert!(lsh.tables().stats().total_items > 0);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut bytes = trained_network().to_snapshot_bytes();
+        bytes[0] = b'X';
+        // Checksum now fails first; flip the stored checksum too to reach
+        // the magic check.
+        let n = bytes.len();
+        let check = fnv1a(&bytes[..n - 8]).to_le_bytes();
+        bytes[n - 8..].copy_from_slice(&check);
+        assert!(matches!(
+            Network::from_snapshot_bytes(&bytes),
+            Err(SnapshotError::BadMagic)
+        ));
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let mut bytes = trained_network().to_snapshot_bytes();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        assert!(matches!(
+            Network::from_snapshot_bytes(&bytes),
+            Err(SnapshotError::Corrupt("checksum mismatch"))
+        ));
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let bytes = trained_network().to_snapshot_bytes();
+        for cut in [0, 4, bytes.len() / 2, bytes.len() - 1] {
+            assert!(
+                Network::from_snapshot_bytes(&bytes[..cut]).is_err(),
+                "cut at {cut} accepted"
+            );
+        }
+    }
+
+    #[test]
+    fn inflated_dimensions_rejected_before_allocation() {
+        // A crafted header claiming absurd layer sizes (with a fixed-up
+        // checksum — FNV is not tamper-proof) must fail the payload-size
+        // check instead of attempting a huge allocation.
+        let mut bytes = trained_network().to_snapshot_bytes();
+        // First layer's `units` sits after magic(8) + version(4) +
+        // input_dim(8) + seed(8) + kernel_mode(1) + adam(16) +
+        // n_layers(4) = 49 bytes.
+        bytes[49..57].copy_from_slice(&(1u64 << 40).to_le_bytes());
+        let n = bytes.len();
+        let check = fnv1a(&bytes[..n - 8]).to_le_bytes();
+        bytes[n - 8..].copy_from_slice(&check);
+        assert!(matches!(
+            Network::from_snapshot_bytes(&bytes),
+            Err(SnapshotError::Corrupt(
+                "parameter payload size inconsistent with config"
+            ))
+        ));
+    }
+
+    #[test]
+    fn unsupported_version_rejected() {
+        let mut bytes = trained_network().to_snapshot_bytes();
+        bytes[8..12].copy_from_slice(&99u32.to_le_bytes());
+        let n = bytes.len();
+        let check = fnv1a(&bytes[..n - 8]).to_le_bytes();
+        bytes[n - 8..].copy_from_slice(&check);
+        assert!(matches!(
+            Network::from_snapshot_bytes(&bytes),
+            Err(SnapshotError::UnsupportedVersion(99))
+        ));
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let net = trained_network();
+        let path = std::env::temp_dir().join("slide_snapshot_test.slidesnap");
+        net.save_snapshot(&path).unwrap();
+        let restored = Network::load_snapshot(&path).unwrap();
+        assert_eq!(restored.config(), net.config());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(SnapshotError::BadMagic.to_string().contains("magic"));
+        assert!(SnapshotError::UnsupportedVersion(7)
+            .to_string()
+            .contains('7'));
+        assert!(SnapshotError::Corrupt("x").to_string().contains('x'));
+    }
+}

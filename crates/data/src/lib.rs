@@ -30,6 +30,6 @@ pub mod svmlight;
 pub mod synth;
 
 pub use dataset::{Dataset, DatasetStats, Example};
-pub use metrics::{precision_at_k, PrecisionTracker};
+pub use metrics::{precision_at_k, recall_at_k, PrecisionTracker};
 pub use rng::{Rng, SplitMix64, Xoshiro256PlusPlus};
 pub use sparse::SparseVector;

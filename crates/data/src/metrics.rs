@@ -2,7 +2,12 @@
 //!
 //! The paper reports accuracy as precision@1 ("P@1"): the fraction of test
 //! examples whose top-scored class is one of the true labels. We provide
-//! P@k for general k plus a streaming tracker used by the trainers.
+//! P@k and R@k for general k plus a streaming tracker used by the
+//! trainers. Extreme-classification datasets are multi-label, so P@1
+//! alone under-reports: an example whose 5 true labels all sit in the
+//! top 5 scores but not at rank 1 counts as a total miss under P@1 while
+//! R@5 credits it fully. The serving and inference-throughput paths
+//! report both.
 
 /// Computes precision@k for one example.
 ///
@@ -28,9 +33,16 @@ pub fn precision_at_k(scores: &[(u32, f32)], true_labels: &[u32], k: usize) -> f
     if scores.is_empty() {
         return 0.0;
     }
+    let (hits, k) = top_k_hits(scores, true_labels, k);
+    hits as f64 / k as f64
+}
+
+/// Shared top-k machinery: partial-selects the `k` best-scored classes
+/// (ties broken by ascending class id for determinism) and counts how
+/// many are true labels. Returns `(hits, k)` with `k` clamped to the
+/// number of scored classes.
+fn top_k_hits(scores: &[(u32, f32)], true_labels: &[u32], k: usize) -> (usize, usize) {
     let k = k.min(scores.len());
-    // Partial selection of the top-k by score; ties broken by class id for
-    // determinism.
     let mut top: Vec<(u32, f32)> = scores.to_vec();
     top.select_nth_unstable_by(k - 1, |a, b| {
         b.1.partial_cmp(&a.1)
@@ -41,7 +53,36 @@ pub fn precision_at_k(scores: &[(u32, f32)], true_labels: &[u32], k: usize) -> f
         .iter()
         .filter(|(c, _)| true_labels.binary_search(c).is_ok())
         .count();
-    hits as f64 / k as f64
+    (hits, k)
+}
+
+/// Computes recall@k for one example: the fraction of the true labels
+/// that appear among the top-`k` scored classes.
+///
+/// `scores` are `(class, score)` pairs for the classes the model scored;
+/// `true_labels` must be sorted. Returns 0.0 when there are no true
+/// labels (nothing to recall).
+///
+/// # Panics
+///
+/// Panics if `k == 0`.
+///
+/// # Example
+///
+/// ```
+/// use slide_data::metrics::recall_at_k;
+///
+/// let scores = [(7u32, 0.9f32), (2, 0.5), (4, 0.1)];
+/// assert_eq!(recall_at_k(&scores, &[2, 7], 2), 1.0);
+/// assert_eq!(recall_at_k(&scores, &[2, 4, 9], 3), 2.0 / 3.0);
+/// ```
+pub fn recall_at_k(scores: &[(u32, f32)], true_labels: &[u32], k: usize) -> f64 {
+    assert!(k > 0, "k must be positive");
+    if scores.is_empty() || true_labels.is_empty() {
+        return 0.0;
+    }
+    let (hits, _) = top_k_hits(scores, true_labels, k);
+    hits as f64 / true_labels.len() as f64
 }
 
 /// Streaming accumulator for mean precision@1 across a stream of examples.
@@ -143,6 +184,36 @@ mod tests {
         let scores = [(2u32, 0.5f32), (1, 0.5)];
         assert_eq!(precision_at_k(&scores, &[1], 1), 1.0);
         assert_eq!(precision_at_k(&scores, &[2], 1), 0.0);
+    }
+
+    #[test]
+    fn recall_counts_found_labels() {
+        let scores = [(0u32, 0.9f32), (1, 0.8), (2, 0.7), (3, 0.6)];
+        // Labels 0 and 3: only 0 is in the top 2.
+        assert_eq!(recall_at_k(&scores, &[0, 3], 2), 0.5);
+        // All labels inside the top 4.
+        assert_eq!(recall_at_k(&scores, &[0, 3], 4), 1.0);
+    }
+
+    #[test]
+    fn recall_handles_empty_inputs() {
+        assert_eq!(recall_at_k(&[], &[1], 3), 0.0);
+        assert_eq!(recall_at_k(&[(0, 1.0)], &[], 3), 0.0);
+    }
+
+    #[test]
+    fn recall_denominator_is_label_count_not_k() {
+        // One label, found at rank 1: full recall regardless of k.
+        let scores = [(5u32, 0.9f32), (6, 0.1)];
+        assert_eq!(recall_at_k(&scores, &[5], 2), 1.0);
+        // Precision@2 for the same example is 0.5 — the multi-label gap.
+        assert_eq!(precision_at_k(&scores, &[5], 2), 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be positive")]
+    fn recall_zero_k_panics() {
+        let _ = recall_at_k(&[(0, 1.0)], &[0], 0);
     }
 
     #[test]

@@ -12,6 +12,8 @@
 //!   and FIFO, paper §4.2 and Table 3);
 //! * [`sampling`] — the three active-neuron selection strategies
 //!   (Vanilla, TopK, Hard-Threshold; paper §4.1, Appendix B);
+//! * [`retrieve`] — deterministic query-only bucket-union retrieval with a
+//!   probe budget, for the inference/serving path;
 //! * [`prob`] — closed-form collision/selection probability math used for
 //!   Figure 11 and for property tests.
 //!
@@ -49,6 +51,7 @@ pub mod family;
 pub mod minhash;
 pub mod policy;
 pub mod prob;
+pub mod retrieve;
 pub mod sampling;
 pub mod simhash;
 pub mod table;
@@ -57,5 +60,6 @@ pub mod wta;
 pub use bucket::Bucket;
 pub use family::{HashFamily, HashFamilyKind};
 pub use policy::InsertionPolicy;
+pub use retrieve::{retrieve_union, QueryBudget};
 pub use sampling::{SamplerScratch, SamplingStrategy};
 pub use table::{LshTables, TableConfig};

@@ -1,0 +1,220 @@
+//! Query-only LSH retrieval for the inference/serving path.
+//!
+//! Training-time sampling ([`crate::sampling`]) is randomized on purpose:
+//! the paper's Vanilla strategy probes tables in random order so different
+//! gradient steps see different active sets. Inference wants the opposite
+//! trade-offs — deterministic output for a given table state, no RNG in
+//! the hot path, and an explicit *probe budget* so a serving deployment
+//! can cap worst-case latency per query. This module provides that:
+//! [`retrieve_union`] walks the `L` buckets in fixed table order, unions
+//! the distinct neuron ids, and stops early once a [`QueryBudget`] is
+//! exhausted.
+//!
+//! The same [`SamplerScratch`] used for training-time sampling provides
+//! the O(1)-reset deduplication, so a workspace that trains can serve
+//! without growing new buffers.
+
+use crate::sampling::SamplerScratch;
+use crate::table::LshTables;
+
+/// Caps on how much table probing one inference query may do.
+///
+/// Both limits are *soft* knobs for the latency/recall trade-off: probing
+/// fewer tables touches less memory, and capping the candidate union
+/// bounds the downstream scoring cost. A limit of `0` means "unlimited"
+/// (probe all `L` tables, keep the whole union).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueryBudget {
+    /// Maximum tables probed, in fixed order `0..L`; `0` probes all.
+    pub max_tables: usize,
+    /// Maximum distinct candidates retrieved; `0` keeps everything found.
+    pub max_candidates: usize,
+    /// Minimum buckets a neuron must appear in to be retrieved (≤ 1
+    /// keeps the plain union). A genuinely similar neuron collides in
+    /// many of the `L` tables while an accidental collision happens in
+    /// one or two, so a small threshold cuts the candidate set by an
+    /// order of magnitude at almost no recall cost.
+    pub min_collisions: usize,
+}
+
+impl Default for QueryBudget {
+    fn default() -> Self {
+        Self::all()
+    }
+}
+
+impl QueryBudget {
+    /// No caps: the full bucket union over all `L` tables.
+    pub fn all() -> Self {
+        Self {
+            max_tables: 0,
+            max_candidates: 0,
+            min_collisions: 1,
+        }
+    }
+
+    /// Caps the number of tables probed (builder style).
+    pub fn with_max_tables(mut self, max_tables: usize) -> Self {
+        self.max_tables = max_tables;
+        self
+    }
+
+    /// Caps the number of distinct candidates retrieved (builder style).
+    pub fn with_max_candidates(mut self, max_candidates: usize) -> Self {
+        self.max_candidates = max_candidates;
+        self
+    }
+
+    /// Requires `min_collisions` bucket hits per retrieved neuron
+    /// (builder style).
+    pub fn with_min_collisions(mut self, min_collisions: usize) -> Self {
+        self.min_collisions = min_collisions;
+        self
+    }
+}
+
+/// Deterministic bucket-union retrieval: probes tables `0..min(L, budget)`
+/// in order and appends each distinct stored id to `out` (cleared first),
+/// stopping as soon as the candidate cap is reached.
+///
+/// Unlike [`crate::sampling::sample`] there is no RNG and no
+/// label-frequency weighting — two calls against the same table state and
+/// codes return the same ids in the same order.
+///
+/// # Panics
+///
+/// Panics if `codes.len() != K·L` or a stored id exceeds the scratch size.
+pub fn retrieve_union(
+    tables: &LshTables,
+    codes: &[u32],
+    budget: QueryBudget,
+    scratch: &mut SamplerScratch,
+    out: &mut Vec<u32>,
+) {
+    out.clear();
+    scratch.begin();
+    let l = tables.num_tables();
+    let probe = if budget.max_tables == 0 {
+        l
+    } else {
+        budget.max_tables.min(l)
+    };
+    let cap = if budget.max_candidates == 0 {
+        usize::MAX
+    } else {
+        budget.max_candidates
+    };
+    let threshold = budget.min_collisions.max(1) as u16;
+    for t in 0..probe {
+        for &id in tables.bucket(t, codes) {
+            // Emit exactly when the count crosses the threshold so each
+            // qualifying neuron appears once.
+            if scratch.bump(id) == threshold {
+                out.push(id);
+                if out.len() >= cap {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::InsertionPolicy;
+    use crate::table::TableConfig;
+    use slide_data::rng::Xoshiro256PlusPlus;
+
+    /// Tables where neuron `id` sits in the query's bucket of the first
+    /// `multiplicity[id]` tables.
+    fn tables_with_multiplicity(multiplicity: &[usize], l: usize) -> (LshTables, Vec<u32>) {
+        let k = 2;
+        let config = TableConfig::new(k, l)
+            .with_table_bits(8)
+            .with_bucket_capacity(64)
+            .with_policy(InsertionPolicy::Fifo);
+        let mut tables = LshTables::new(config);
+        let query_codes: Vec<u32> = vec![1; k * l];
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(9);
+        for (id, &mult) in multiplicity.iter().enumerate() {
+            for (t, table) in tables.tables_mut().iter_mut().enumerate().take(mult) {
+                let group = &query_codes[t * k..(t + 1) * k];
+                table.insert(id as u32, group, InsertionPolicy::Fifo, &mut rng);
+            }
+        }
+        (tables, query_codes)
+    }
+
+    #[test]
+    fn union_collects_all_distinct_ids() {
+        let (tables, codes) = tables_with_multiplicity(&[4, 2, 1], 4);
+        let mut scratch = SamplerScratch::new(3);
+        let mut out = Vec::new();
+        retrieve_union(&tables, &codes, QueryBudget::all(), &mut scratch, &mut out);
+        let mut sorted = out.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn retrieval_is_deterministic() {
+        let (tables, codes) = tables_with_multiplicity(&[3, 3, 3, 3], 5);
+        let mut scratch = SamplerScratch::new(4);
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        retrieve_union(&tables, &codes, QueryBudget::all(), &mut scratch, &mut a);
+        retrieve_union(&tables, &codes, QueryBudget::all(), &mut scratch, &mut b);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 4);
+    }
+
+    #[test]
+    fn candidate_cap_stops_early() {
+        let (tables, codes) = tables_with_multiplicity(&[5, 5, 5, 5, 5], 5);
+        let mut scratch = SamplerScratch::new(5);
+        let mut out = Vec::new();
+        let budget = QueryBudget::all().with_max_candidates(2);
+        retrieve_union(&tables, &codes, budget, &mut scratch, &mut out);
+        assert_eq!(out.len(), 2);
+        let set: std::collections::HashSet<_> = out.iter().collect();
+        assert_eq!(set.len(), 2);
+    }
+
+    #[test]
+    fn table_cap_limits_probing() {
+        // Neuron 1 only lives in table 0; neuron 0 in tables 0..3. A
+        // one-table budget sees both; probing zero candidates of table 3+
+        // is irrelevant. Neuron 2 lives only in tables 0..2 — cap at one
+        // table and ids inserted beyond table 0 cannot appear.
+        let (tables, codes) = tables_with_multiplicity(&[3, 1], 3);
+        let mut scratch = SamplerScratch::new(2);
+        let mut out = Vec::new();
+        let budget = QueryBudget::all().with_max_tables(1);
+        retrieve_union(&tables, &codes, budget, &mut scratch, &mut out);
+        let mut sorted = out.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1], "table 0 holds both ids");
+    }
+
+    #[test]
+    fn output_buffer_is_cleared_first() {
+        let (tables, codes) = tables_with_multiplicity(&[2, 2], 2);
+        let mut scratch = SamplerScratch::new(2);
+        let mut out = vec![7, 7, 7];
+        retrieve_union(&tables, &codes, QueryBudget::all(), &mut scratch, &mut out);
+        assert_eq!(out.len(), 2);
+        assert!(!out.contains(&7));
+    }
+
+    #[test]
+    fn scratch_reuse_is_clean_across_queries() {
+        let (tables, codes) = tables_with_multiplicity(&[4, 4, 4], 4);
+        let mut scratch = SamplerScratch::new(3);
+        let mut out = Vec::new();
+        for i in 0..50 {
+            retrieve_union(&tables, &codes, QueryBudget::all(), &mut scratch, &mut out);
+            assert_eq!(out.len(), 3, "query {i} leaked dedup state");
+        }
+    }
+}

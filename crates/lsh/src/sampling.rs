@@ -115,7 +115,7 @@ impl SamplerScratch {
         self.stamp.len()
     }
 
-    fn begin(&mut self) {
+    pub(crate) fn begin(&mut self) {
         self.epoch = self.epoch.wrapping_add(1);
         if self.epoch == 0 {
             // Stamp wrap-around: invalidate everything once per 2^32
@@ -127,7 +127,7 @@ impl SamplerScratch {
     }
 
     #[inline]
-    fn bump(&mut self, id: u32) -> u16 {
+    pub(crate) fn bump(&mut self, id: u32) -> u16 {
         let i = id as usize;
         if self.stamp[i] != self.epoch {
             self.stamp[i] = self.epoch;

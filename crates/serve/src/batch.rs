@@ -1,0 +1,424 @@
+//! Micro-batching request queue over a worker thread pool.
+//!
+//! Concurrent callers enqueue `(features, k)` jobs; worker threads sleep
+//! on a condvar and, on wakeup, *drain up to `max_batch` jobs in one
+//! critical section*. That aggregation is the point of micro-batching:
+//! under load, one lock acquisition and one wakeup amortize over a whole
+//! batch, and each worker streams its jobs through a workspace it checks
+//! out once for its lifetime (warm caches; the only per-request
+//! allocation is the k-slot result itself). Each caller receives its
+//! answer through a private channel, so requests complete independently —
+//! a batch is an execution detail, not an API contract.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use slide_data::SparseVector;
+
+use crate::engine::{Prediction, ServingEngine};
+
+/// Sizing for a [`BatchServer`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchOptions {
+    /// Worker threads serving the queue.
+    pub workers: usize,
+    /// Maximum jobs one worker drains per wakeup.
+    pub max_batch: usize,
+}
+
+impl Default for BatchOptions {
+    fn default() -> Self {
+        Self {
+            workers: 2,
+            max_batch: 16,
+        }
+    }
+}
+
+impl BatchOptions {
+    /// Sets the worker count (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers == 0`.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        assert!(workers > 0, "workers must be positive");
+        self.workers = workers;
+        self
+    }
+
+    /// Sets the per-wakeup batch cap (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_batch == 0`.
+    pub fn with_max_batch(mut self, max_batch: usize) -> Self {
+        assert!(max_batch > 0, "max_batch must be positive");
+        self.max_batch = max_batch;
+        self
+    }
+}
+
+struct Job {
+    features: SparseVector,
+    k: usize,
+    enqueued: Instant,
+    reply: mpsc::Sender<Prediction>,
+}
+
+#[derive(Default)]
+struct BatchCounters {
+    requests: AtomicU64,
+    batches: AtomicU64,
+    batched_jobs: AtomicU64,
+    largest_batch: AtomicU64,
+    total_queue_ns: AtomicU64,
+}
+
+struct Shared {
+    engine: Arc<ServingEngine>,
+    queue: Mutex<VecDeque<Job>>,
+    available: Condvar,
+    shutdown: AtomicBool,
+    counters: BatchCounters,
+}
+
+/// Queue + throughput statistics of a running [`BatchServer`].
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ServerStats {
+    /// Requests completed.
+    pub requests: u64,
+    /// Worker wakeups that processed at least one job.
+    pub batches: u64,
+    /// Mean jobs per processed batch.
+    pub mean_batch: f64,
+    /// Largest single batch drained.
+    pub largest_batch: u64,
+    /// Mean time a request waited in the queue before a worker picked it
+    /// up.
+    pub mean_queue_wait: Duration,
+}
+
+/// Handle to one in-flight request; resolves to its [`Prediction`].
+#[derive(Debug)]
+pub struct RequestHandle {
+    rx: mpsc::Receiver<Prediction>,
+}
+
+impl RequestHandle {
+    /// Blocks until the prediction arrives. Returns `None` if the server
+    /// shut down before answering.
+    pub fn wait(self) -> Option<Prediction> {
+        self.rx.recv().ok()
+    }
+}
+
+/// A micro-batching server over a shared [`ServingEngine`].
+///
+/// Submitting is non-blocking ([`BatchServer::submit`] returns a
+/// [`RequestHandle`]); [`BatchServer::predict`] is the blocking
+/// convenience. Dropping the server drains nothing: workers finish the
+/// jobs already queued, then exit.
+pub struct BatchServer {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for BatchServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BatchServer")
+            .field("workers", &self.workers.len())
+            .finish()
+    }
+}
+
+impl BatchServer {
+    /// Starts `options.workers` worker threads over `engine`.
+    pub fn start(engine: Arc<ServingEngine>, options: BatchOptions) -> Self {
+        assert!(options.workers > 0, "workers must be positive");
+        assert!(options.max_batch > 0, "max_batch must be positive");
+        let shared = Arc::new(Shared {
+            engine,
+            queue: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            counters: BatchCounters::default(),
+        });
+        let workers = (0..options.workers)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                let max_batch = options.max_batch;
+                std::thread::spawn(move || worker_loop(&shared, max_batch))
+            })
+            .collect();
+        Self { shared, workers }
+    }
+
+    /// Enqueues a request for the engine's configured `top_k`.
+    pub fn submit(&self, features: SparseVector) -> RequestHandle {
+        let k = self.shared.engine.options().top_k;
+        self.submit_k(features, k)
+    }
+
+    /// Enqueues a request for an explicit `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0` or the request's feature indices exceed the
+    /// network's input dimension. Both checks run on the submitting
+    /// thread, so a malformed request can never kill a worker.
+    pub fn submit_k(&self, features: SparseVector, k: usize) -> RequestHandle {
+        assert!(k > 0, "k must be positive");
+        assert!(
+            features.min_dim() <= self.shared.engine.input_dim(),
+            "request feature index out of range: needs dim {}, network input_dim is {}",
+            features.min_dim(),
+            self.shared.engine.input_dim()
+        );
+        let (reply, rx) = mpsc::channel();
+        {
+            let mut q = self
+                .shared
+                .queue
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            q.push_back(Job {
+                features,
+                k,
+                enqueued: Instant::now(),
+                reply,
+            });
+        }
+        self.shared.available.notify_one();
+        RequestHandle { rx }
+    }
+
+    /// Blocking request: enqueue, wait, return the prediction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the server shut down before answering (cannot happen
+    /// while the caller holds `&self`).
+    pub fn predict(&self, features: SparseVector) -> Prediction {
+        self.submit(features)
+            .wait()
+            .expect("server alive while borrowed")
+    }
+
+    /// The engine behind this server.
+    pub fn engine(&self) -> &ServingEngine {
+        &self.shared.engine
+    }
+
+    /// A snapshot of the batching statistics.
+    pub fn stats(&self) -> ServerStats {
+        let c = &self.shared.counters;
+        let requests = c.requests.load(Ordering::Relaxed);
+        let batches = c.batches.load(Ordering::Relaxed);
+        let batched = c.batched_jobs.load(Ordering::Relaxed);
+        ServerStats {
+            requests,
+            batches,
+            mean_batch: if batches == 0 {
+                0.0
+            } else {
+                batched as f64 / batches as f64
+            },
+            largest_batch: c.largest_batch.load(Ordering::Relaxed),
+            mean_queue_wait: Duration::from_nanos(
+                c.total_queue_ns
+                    .load(Ordering::Relaxed)
+                    .checked_div(requests)
+                    .unwrap_or(0),
+            ),
+        }
+    }
+
+    /// Stops the workers after the queued jobs finish and joins them.
+    pub fn shutdown(mut self) {
+        self.begin_shutdown();
+        for h in self.workers.drain(..) {
+            h.join().ok();
+        }
+    }
+
+    fn begin_shutdown(&self) {
+        // Set the flag while holding the queue mutex: a worker that has
+        // seen an empty queue but not yet parked on the condvar holds the
+        // lock through that window, so the store-then-notify cannot slip
+        // between its check and its wait (the classic lost wakeup).
+        {
+            let _q = self
+                .shared
+                .queue
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            self.shared.shutdown.store(true, Ordering::SeqCst);
+        }
+        self.shared.available.notify_all();
+    }
+}
+
+impl Drop for BatchServer {
+    fn drop(&mut self) {
+        self.begin_shutdown();
+        for h in self.workers.drain(..) {
+            h.join().ok();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared, max_batch: usize) {
+    let mut batch: Vec<Job> = Vec::with_capacity(max_batch);
+    // One workspace per worker for its whole lifetime: batched jobs
+    // stream through it back-to-back without touching the pool mutex.
+    let mut ws = shared.engine.checkout_workspace();
+    loop {
+        // Drain up to max_batch jobs in one critical section.
+        {
+            let mut q = shared
+                .queue
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            loop {
+                if !q.is_empty() {
+                    break;
+                }
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                q = shared
+                    .available
+                    .wait(q)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+            }
+            while batch.len() < max_batch {
+                match q.pop_front() {
+                    Some(job) => batch.push(job),
+                    None => break,
+                }
+            }
+        }
+
+        let c = &shared.counters;
+        c.batches.fetch_add(1, Ordering::Relaxed);
+        c.batched_jobs
+            .fetch_add(batch.len() as u64, Ordering::Relaxed);
+        c.largest_batch
+            .fetch_max(batch.len() as u64, Ordering::Relaxed);
+        for job in batch.drain(..) {
+            c.total_queue_ns
+                .fetch_add(job.enqueued.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            let prediction = shared.engine.predict_in(&mut ws, &job.features, job.k);
+            c.requests.fetch_add(1, Ordering::Relaxed);
+            // A dropped handle just discards the answer.
+            job.reply.send(prediction).ok();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{ServeOptions, ServingEngine};
+    use slide_core::config::{LshLayerConfig, NetworkConfig};
+    use slide_core::Network;
+    use slide_data::synth::{generate, SyntheticConfig};
+
+    fn tiny_server(options: BatchOptions) -> (BatchServer, slide_data::synth::SyntheticData) {
+        let data = generate(&SyntheticConfig::tiny().with_seed(8));
+        let config = NetworkConfig::builder(data.train.feature_dim(), data.train.label_dim())
+            .hidden(16)
+            .output_lsh(LshLayerConfig::simhash(3, 8))
+            .seed(9)
+            .build()
+            .unwrap();
+        let engine = Arc::new(ServingEngine::new(
+            Network::new(config).unwrap(),
+            ServeOptions::default().with_top_k(3),
+        ));
+        (BatchServer::start(engine, options), data)
+    }
+
+    #[test]
+    fn serves_queued_requests() {
+        let (server, data) = tiny_server(BatchOptions::default());
+        let handles: Vec<RequestHandle> = data
+            .test
+            .iter()
+            .take(30)
+            .map(|ex| server.submit(ex.features.clone()))
+            .collect();
+        for h in handles {
+            let p = h.wait().expect("answered");
+            assert!(!p.topk.is_empty());
+        }
+        let stats = server.stats();
+        assert_eq!(stats.requests, 30);
+        assert!(stats.batches >= 1);
+        assert!(stats.mean_batch >= 1.0);
+        assert!(stats.largest_batch >= 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn batches_aggregate_under_backlog() {
+        // One slow worker and a pre-filled queue: the drains that happen
+        // after the backlog builds must pick up more than one job.
+        let (server, data) = tiny_server(BatchOptions::default().with_workers(1).with_max_batch(8));
+        let handles: Vec<RequestHandle> = (0..64)
+            .map(|i| server.submit(data.test.examples()[i % data.test.len()].features.clone()))
+            .collect();
+        for h in handles {
+            h.wait().expect("answered");
+        }
+        let stats = server.stats();
+        assert_eq!(stats.requests, 64);
+        // 64 jobs through max-batch-8 drains: at least one multi-job batch.
+        assert!(stats.largest_batch > 1, "no batching observed: {stats:?}");
+        assert!(stats.largest_batch <= 8);
+    }
+
+    #[test]
+    fn concurrent_submitters_all_get_answers() {
+        let (server, data) = tiny_server(BatchOptions::default().with_workers(3));
+        let server = Arc::new(server);
+        let data = Arc::new(data);
+        let submitters: Vec<_> = (0..6)
+            .map(|t| {
+                let server = Arc::clone(&server);
+                let data = Arc::clone(&data);
+                std::thread::spawn(move || {
+                    for i in 0..20 {
+                        let ex = &data.test.examples()[(t * 20 + i) % data.test.len()];
+                        let p = server.predict(ex.features.clone());
+                        assert!(p.topk.len() <= 3);
+                    }
+                })
+            })
+            .collect();
+        for s in submitters {
+            s.join().unwrap();
+        }
+        assert_eq!(server.stats().requests, 120);
+        assert_eq!(server.engine().stats().requests, 120);
+    }
+
+    #[test]
+    fn shutdown_drains_then_stops() {
+        let (server, data) = tiny_server(BatchOptions::default().with_workers(2));
+        let handles: Vec<RequestHandle> = data
+            .test
+            .iter()
+            .take(10)
+            .map(|ex| server.submit(ex.features.clone()))
+            .collect();
+        server.shutdown();
+        // Workers drain the queue before exiting, so every handle resolves.
+        let answered = handles.into_iter().filter_map(RequestHandle::wait).count();
+        assert_eq!(answered, 10);
+    }
+}

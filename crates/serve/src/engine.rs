@@ -1,0 +1,375 @@
+//! The blocking inference engine: a frozen network, a workspace pool, and
+//! latency/throughput counters.
+
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use slide_core::inference::{InferenceSelector, TopK};
+use slide_core::snapshot::SnapshotError;
+use slide_core::{Network, WorkspacePool};
+use slide_data::SparseVector;
+use slide_lsh::QueryBudget;
+
+/// Inference configuration for a [`ServingEngine`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeOptions {
+    /// Classes returned per request.
+    pub top_k: usize,
+    /// LSH probe budget per request (tables probed / candidates unioned).
+    pub budget: QueryBudget,
+    /// Dense-score a layer whose retrieval found no candidates, so every
+    /// request gets an answer (default on).
+    pub dense_fallback: bool,
+    /// Rebuild the hash tables from *centered* weight rows on engine
+    /// construction (default on). Softmax training leaves all rows
+    /// sharing a large common component that wrecks cosine retrieval;
+    /// centering removes it without changing any score ranking. See
+    /// `LshLayerConfig::center_rows`.
+    pub center_rows: bool,
+    /// Seed for the workspace pool's RNG streams (inference itself is
+    /// deterministic; this only names the streams).
+    pub seed: u64,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        // min_collisions 2: a genuinely similar neuron collides with the
+        // query in several of the L tables, an accidental one in one or
+        // two — requiring a second hit roughly halves the candidate set
+        // for ~1% argmax-recall cost.
+        Self {
+            top_k: 5,
+            budget: QueryBudget::all().with_min_collisions(2),
+            dense_fallback: true,
+            center_rows: true,
+            seed: 0x5E4E,
+        }
+    }
+}
+
+impl ServeOptions {
+    /// Sets the classes returned per request (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `top_k == 0`.
+    pub fn with_top_k(mut self, top_k: usize) -> Self {
+        assert!(top_k > 0, "top_k must be positive");
+        self.top_k = top_k;
+        self
+    }
+
+    /// Sets the LSH probe budget (builder style).
+    pub fn with_budget(mut self, budget: QueryBudget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Enables/disables the empty-retrieval dense fallback (builder
+    /// style).
+    pub fn with_dense_fallback(mut self, enabled: bool) -> Self {
+        self.dense_fallback = enabled;
+        self
+    }
+
+    /// Enables/disables the centered-row table rebuild on engine
+    /// construction (builder style).
+    pub fn with_center_rows(mut self, enabled: bool) -> Self {
+        self.center_rows = enabled;
+        self
+    }
+}
+
+/// One answered request: the ranked classes and the engine-side latency
+/// (selection + scoring + reduction; queueing time excluded).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Prediction {
+    /// The `top_k` best classes, best-first.
+    pub topk: TopK,
+    /// Time spent computing this prediction.
+    pub latency: Duration,
+}
+
+/// Monotonic counters aggregated across all threads using an engine.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Requests answered.
+    pub requests: u64,
+    /// Summed compute latency, nanoseconds.
+    pub total_latency_ns: u64,
+    /// Worst single-request compute latency, nanoseconds.
+    pub max_latency_ns: u64,
+    /// Requests whose LSH output layer ran fully dense (empty retrieval
+    /// fell back, or the union degenerated to the whole layer). A high
+    /// ratio means the engine is serving O(classes) despite its
+    /// sub-linear configuration.
+    pub dense_fallbacks: u64,
+}
+
+impl EngineStats {
+    /// Mean compute latency per request.
+    pub fn mean_latency(&self) -> Duration {
+        Duration::from_nanos(
+            self.total_latency_ns
+                .checked_div(self.requests)
+                .unwrap_or(0),
+        )
+    }
+}
+
+#[derive(Debug, Default)]
+struct Counters {
+    requests: AtomicU64,
+    total_latency_ns: AtomicU64,
+    max_latency_ns: AtomicU64,
+    dense_fallbacks: AtomicU64,
+}
+
+/// A frozen network behind a blocking `predict` API.
+///
+/// The engine owns the [`Network`] immutably — no training, no table
+/// rebuilds after load — so any number of threads may call
+/// [`ServingEngine::predict`] concurrently; each call checks a private
+/// [`slide_core::Workspace`] out of the shared pool (created once, reused
+/// forever, zero steady-state allocation).
+#[derive(Debug)]
+pub struct ServingEngine {
+    network: Network,
+    selector: InferenceSelector,
+    options: ServeOptions,
+    pool: WorkspacePool,
+    counters: Counters,
+}
+
+impl ServingEngine {
+    /// Wraps an already-built (typically snapshot-restored) network,
+    /// switching its tables to centered-row hashing unless
+    /// [`ServeOptions::center_rows`] is off.
+    pub fn new(mut network: Network, options: ServeOptions) -> Self {
+        assert!(options.top_k > 0, "top_k must be positive");
+        network.set_lsh_centering(options.center_rows);
+        let selector =
+            InferenceSelector::new(options.budget).with_dense_fallback(options.dense_fallback);
+        Self {
+            selector,
+            pool: WorkspacePool::new(options.seed, true),
+            counters: Counters::default(),
+            network,
+            options,
+        }
+    }
+
+    /// Restores a network from snapshot bytes and wraps it. The desired
+    /// centering mode is applied *during* the restore, so the tables are
+    /// built once in the right geometry instead of rebuilt afterwards.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnapshotError`] on a malformed snapshot.
+    pub fn from_snapshot_bytes(bytes: &[u8], options: ServeOptions) -> Result<Self, SnapshotError> {
+        let network =
+            slide_core::snapshot::read_network_with_centering(bytes, Some(options.center_rows))?;
+        Ok(Self::new(network, options))
+    }
+
+    /// Loads a snapshot file and wraps the restored network (centering
+    /// applied during the restore, as in
+    /// [`ServingEngine::from_snapshot_bytes`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnapshotError`] on filesystem failure or a malformed
+    /// snapshot.
+    pub fn from_snapshot_file<P: AsRef<Path>>(
+        path: P,
+        options: ServeOptions,
+    ) -> Result<Self, SnapshotError> {
+        use std::io::Read;
+        let mut bytes = Vec::new();
+        std::fs::File::open(path)
+            .and_then(|mut f| f.read_to_end(&mut bytes))
+            .map_err(SnapshotError::from)?;
+        Self::from_snapshot_bytes(&bytes, options)
+    }
+
+    /// The frozen network.
+    pub fn network(&self) -> &Network {
+        &self.network
+    }
+
+    /// The inference options.
+    pub fn options(&self) -> &ServeOptions {
+        &self.options
+    }
+
+    /// Answers one request with the configured `top_k`.
+    pub fn predict(&self, features: &SparseVector) -> Prediction {
+        self.predict_k(features, self.options.top_k)
+    }
+
+    /// Answers one request with an explicit `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0` or the request's feature indices exceed the
+    /// network's input dimension.
+    pub fn predict_k(&self, features: &SparseVector, k: usize) -> Prediction {
+        let mut ws = self.checkout_workspace();
+        self.predict_in(&mut ws, features, k)
+    }
+
+    /// The input feature dimension requests must fit in.
+    pub fn input_dim(&self) -> usize {
+        self.network.config().input_dim
+    }
+
+    /// Checks a workspace out of the engine's pool; long-lived callers
+    /// (the batch server's workers) hold one across many requests.
+    pub(crate) fn checkout_workspace(&self) -> slide_core::network::PooledWorkspace<'_> {
+        self.pool.acquire(&self.network)
+    }
+
+    /// Answers one request through a caller-held workspace.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in the caller's thread, before any weight access) if the
+    /// request's feature indices exceed the network's input dimension —
+    /// an unchecked out-of-range index would read another neuron's
+    /// weights or index past the weight array inside the forward pass.
+    pub(crate) fn predict_in(
+        &self,
+        ws: &mut slide_core::Workspace,
+        features: &SparseVector,
+        k: usize,
+    ) -> Prediction {
+        assert!(
+            features.min_dim() <= self.input_dim(),
+            "request feature index out of range: needs dim {}, network input_dim is {}",
+            features.min_dim(),
+            self.input_dim()
+        );
+        let mut topk = TopK::new(k);
+        let t0 = Instant::now();
+        self.network
+            .predict_topk(&self.selector, ws, features, &mut topk);
+        let latency = t0.elapsed();
+        self.record(latency);
+        // Observability for the sub-linear claim: an LSH output layer
+        // that ends up fully active means retrieval came back empty and
+        // the dense fallback (or a degenerate union) served the request.
+        let last = self.network.layers().len() - 1;
+        if self.network.layers()[last].lsh().is_some()
+            && ws.active_set(last).len() == self.network.output_dim()
+        {
+            self.counters
+                .dense_fallbacks
+                .fetch_add(1, Ordering::Relaxed);
+        }
+        Prediction { topk, latency }
+    }
+
+    fn record(&self, latency: Duration) {
+        let ns = latency.as_nanos() as u64;
+        self.counters.requests.fetch_add(1, Ordering::Relaxed);
+        self.counters
+            .total_latency_ns
+            .fetch_add(ns, Ordering::Relaxed);
+        self.counters
+            .max_latency_ns
+            .fetch_max(ns, Ordering::Relaxed);
+    }
+
+    /// A snapshot of the engine's counters.
+    pub fn stats(&self) -> EngineStats {
+        EngineStats {
+            requests: self.counters.requests.load(Ordering::Relaxed),
+            total_latency_ns: self.counters.total_latency_ns.load(Ordering::Relaxed),
+            max_latency_ns: self.counters.max_latency_ns.load(Ordering::Relaxed),
+            dense_fallbacks: self.counters.dense_fallbacks.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slide_core::config::{LshLayerConfig, NetworkConfig};
+    use slide_data::synth::{generate, SyntheticConfig};
+
+    fn tiny_engine(options: ServeOptions) -> (ServingEngine, slide_data::synth::SyntheticData) {
+        let data = generate(&SyntheticConfig::tiny().with_seed(4));
+        let config = NetworkConfig::builder(data.train.feature_dim(), data.train.label_dim())
+            .hidden(16)
+            .output_lsh(LshLayerConfig::simhash(3, 8))
+            .seed(5)
+            .build()
+            .unwrap();
+        let network = Network::new(config).unwrap();
+        (ServingEngine::new(network, options), data)
+    }
+
+    #[test]
+    fn predict_returns_k_ranked_classes() {
+        let (engine, data) = tiny_engine(ServeOptions::default().with_top_k(3));
+        let p = engine.predict(&data.test.examples()[0].features);
+        assert!(p.topk.len() <= 3);
+        assert!(!p.topk.is_empty());
+        for w in p.topk.items().windows(2) {
+            assert!(w[0].1 >= w[1].1);
+        }
+        assert!(p.latency > Duration::ZERO);
+    }
+
+    #[test]
+    fn counters_aggregate_across_calls() {
+        let (engine, data) = tiny_engine(ServeOptions::default());
+        for ex in data.test.iter().take(10) {
+            engine.predict(&ex.features);
+        }
+        let s = engine.stats();
+        assert_eq!(s.requests, 10);
+        assert!(s.total_latency_ns > 0);
+        assert!(s.max_latency_ns <= s.total_latency_ns);
+        assert!(s.mean_latency() > Duration::ZERO);
+    }
+
+    #[test]
+    fn snapshot_round_trip_through_engine() {
+        let (direct, data) = tiny_engine(ServeOptions::default().with_top_k(1));
+        let bytes = direct.network().to_snapshot_bytes();
+        let restored =
+            ServingEngine::from_snapshot_bytes(&bytes, ServeOptions::default().with_top_k(1))
+                .unwrap();
+        for ex in data.test.iter().take(20) {
+            assert_eq!(
+                direct.predict(&ex.features).topk.top1(),
+                restored.predict(&ex.features).topk.top1()
+            );
+        }
+    }
+
+    #[test]
+    fn concurrent_predicts_are_safe() {
+        let (engine, data) = tiny_engine(ServeOptions::default());
+        let engine = std::sync::Arc::new(engine);
+        let data = std::sync::Arc::new(data);
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let engine = std::sync::Arc::clone(&engine);
+                let data = std::sync::Arc::clone(&data);
+                std::thread::spawn(move || {
+                    for ex in data.test.iter().skip(t * 10).take(10) {
+                        let p = engine.predict(&ex.features);
+                        assert!(!p.topk.is_empty());
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(engine.stats().requests, 40);
+    }
+}

@@ -1,0 +1,52 @@
+//! # slide-serve
+//!
+//! The serving layer of the SLIDE reproduction: loads a frozen
+//! [`slide_core::Network`] snapshot and answers top-k classification
+//! requests with sub-linear LSH-retrieval inference.
+//!
+//! The paper trains with adaptive sparsity; this crate closes the loop by
+//! *serving* with it. Where a brute-force deployment scores every output
+//! class per request (O(classes)), a [`ServingEngine`] hashes the request,
+//! retrieves the LSH bucket union under a probe budget, and scores only
+//! those candidates — the same sub-linear economics SLIDE exploits in
+//! training, now behind a request/response API:
+//!
+//! * [`engine::ServingEngine`] — a frozen network + a
+//!   [`slide_core::WorkspacePool`]; blocking
+//!   [`engine::ServingEngine::predict`] returns a [`slide_core::TopK`]
+//!   with per-request latency, and counters aggregate throughput;
+//! * [`batch::BatchServer`] — a micro-batching queue over a worker thread
+//!   pool: concurrent callers enqueue, workers drain requests in batches
+//!   (amortizing wakeups and keeping every core busy), each caller gets
+//!   its answer through a private channel.
+//!
+//! ## Example
+//!
+//! ```
+//! use slide_core::config::{LshLayerConfig, NetworkConfig};
+//! use slide_core::Network;
+//! use slide_data::synth::{generate, SyntheticConfig};
+//! use slide_serve::{ServeOptions, ServingEngine};
+//!
+//! let data = generate(&SyntheticConfig::tiny().with_seed(1));
+//! let config = NetworkConfig::builder(data.train.feature_dim(), data.train.label_dim())
+//!     .hidden(16)
+//!     .output_lsh(LshLayerConfig::simhash(3, 8))
+//!     .build()?;
+//! let network = Network::new(config)?;
+//!
+//! // Round-trip through the snapshot format, as a deployment would.
+//! let engine = ServingEngine::from_snapshot_bytes(
+//!     &network.to_snapshot_bytes(),
+//!     ServeOptions::default(),
+//! )?;
+//! let answer = engine.predict(&data.test.examples()[0].features);
+//! assert!(answer.topk.len() <= engine.options().top_k);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub mod batch;
+pub mod engine;
+
+pub use batch::{BatchOptions, BatchServer, RequestHandle, ServerStats};
+pub use engine::{EngineStats, Prediction, ServeOptions, ServingEngine};

@@ -18,7 +18,11 @@
 //!   micro-architecture experiments;
 //! * [`core`] — the selector-driven sparse execution engine: SLIDE and
 //!   the paper's baselines are one generic trainer under different
-//!   `NeuronSelector`s (LSH-adaptive, dense, static sampled).
+//!   `NeuronSelector`s (LSH-adaptive, dense, static sampled); plus the
+//!   inference stack (label-free LSH retrieval, in-place top-k) and the
+//!   versioned network snapshot format;
+//! * [`serve`] — the serving layer: a frozen-snapshot `ServingEngine`
+//!   and a micro-batching `BatchServer` over a worker thread pool.
 //!
 //! ## Quickstart
 //!
@@ -47,23 +51,28 @@ pub use slide_data as data;
 pub use slide_kernels as kernels;
 pub use slide_lsh as lsh;
 pub use slide_memsim as memsim;
+pub use slide_serve as serve;
 
 /// Commonly used items, re-exported for `use slide::prelude::*`.
 pub mod prelude {
     pub use slide_core::{
         baseline::{DenseTrainer, SampledSoftmaxTrainer, StaticSampledSelector},
         config::{LshLayerConfig, NetworkConfig},
+        inference::{InferenceSelector, TopK},
+        network::Network,
         selector::{ActiveSet, DenseSelector, LshSelector, NeuronSelector},
         trainer::{SlideTrainer, TrainOptions, TrainReport, Trainer},
     };
     pub use slide_data::{
-        metrics::precision_at_k,
+        metrics::{precision_at_k, recall_at_k},
         synth::{generate, Scale, SyntheticConfig},
         Dataset, Example, SparseVector,
     };
     pub use slide_lsh::{
         family::HashFamily,
+        retrieve::QueryBudget,
         sampling::SamplingStrategy,
         table::{LshTables, TableConfig},
     };
+    pub use slide_serve::{BatchOptions, BatchServer, ServeOptions, ServingEngine};
 }

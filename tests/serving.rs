@@ -1,0 +1,189 @@
+//! The serving-path guarantees of the inference refactor:
+//!
+//! 1. a snapshot round trip is *bit-identical* — config, weights, biases
+//!    and dense predictions all survive serialization exactly;
+//! 2. LSH-retrieval inference (no label forcing, centered tables) agrees
+//!    with dense argmax on a large majority of a wide-output test set;
+//! 3. a `ServingEngine` loaded from a snapshot file serves concurrent
+//!    batched requests that match direct (unbatched) predictions.
+
+use std::sync::Arc;
+
+use slide::core::inference::{InferenceSelector, TopK};
+use slide::prelude::*;
+use slide::serve::BatchOptions;
+
+/// A small SLIDE network trained on a synthetic task; `labels` controls
+/// the output width.
+fn trained_network(labels: usize, epochs: usize) -> (Network, slide::data::synth::SyntheticData) {
+    let mut synth = SyntheticConfig::delicious_like(Scale::Smoke);
+    synth.label_dim = labels;
+    synth.feature_dim = 600;
+    synth.train_size = 1_500;
+    synth.test_size = 300;
+    let data = generate(&synth);
+    let config = NetworkConfig::builder(data.train.feature_dim(), data.train.label_dim())
+        .hidden(48)
+        .output_lsh(
+            // Buckets sized to the layer so serving-time retrieval never
+            // loses neurons to FIFO eviction.
+            LshLayerConfig::simhash(4, 24).with_tables(10, labels),
+        )
+        .learning_rate(2e-3)
+        .seed(0xBEEF)
+        .build()
+        .unwrap();
+    let mut trainer = SlideTrainer::new(config).unwrap();
+    trainer.train(
+        &data.train,
+        &TrainOptions::new(epochs).batch_size(64).seed(7),
+    );
+    // Move the trained parameters over via the snapshot bytes so every
+    // test exercises the real freeze path end to end.
+    let net = Network::from_snapshot_bytes(&trainer.network().to_snapshot_bytes()).unwrap();
+    (net, data)
+}
+
+#[test]
+fn snapshot_round_trip_is_bit_identical() {
+    let (net, data) = trained_network(200, 2);
+    let bytes = net.to_snapshot_bytes();
+    let restored = Network::from_snapshot_bytes(&bytes).unwrap();
+
+    // Config identical.
+    assert_eq!(restored.config(), net.config());
+
+    // Every weight and bias identical at the bit level.
+    for (l, (a, b)) in net.layers().iter().zip(restored.layers()).enumerate() {
+        let (wa, wb) = (a.weights().flat(), b.weights().flat());
+        assert_eq!(wa.len(), wb.len());
+        for i in 0..wa.len() {
+            assert_eq!(
+                wa.get(i).to_bits(),
+                wb.get(i).to_bits(),
+                "layer {l} weight {i}"
+            );
+        }
+        for i in 0..a.biases().len() {
+            assert_eq!(
+                a.biases().get(i).to_bits(),
+                b.biases().get(i).to_bits(),
+                "layer {l} bias {i}"
+            );
+        }
+    }
+
+    // Dense predictions identical on real inputs.
+    let mut ws_a = net.workspace(1);
+    let mut ws_b = restored.workspace(1);
+    let mut logits_a = Vec::new();
+    let mut logits_b = Vec::new();
+    for ex in data.test.iter().take(25) {
+        net.predict_logits_into(&mut ws_a, &ex.features, &mut logits_a);
+        restored.predict_logits_into(&mut ws_b, &ex.features, &mut logits_b);
+        assert_eq!(logits_a.len(), logits_b.len());
+        for (j, (a, b)) in logits_a.iter().zip(&logits_b).enumerate() {
+            assert_eq!(a.to_bits(), b.to_bits(), "class {j}");
+        }
+    }
+}
+
+#[test]
+fn corrupted_snapshot_is_rejected() {
+    let (net, _) = trained_network(100, 1);
+    let mut bytes = net.to_snapshot_bytes();
+    let mid = bytes.len() / 3;
+    bytes[mid] ^= 0x40;
+    assert!(Network::from_snapshot_bytes(&bytes).is_err());
+}
+
+#[test]
+fn lsh_retrieval_agrees_with_dense_argmax() {
+    let (mut net, data) = trained_network(800, 3);
+    // Serving-time table geometry: hash centered rows (ranking-neutral).
+    net.set_lsh_centering(true);
+
+    let retrieval = InferenceSelector::default().with_dense_fallback(false);
+    let mut ws = net.workspace(2);
+    let mut topk = TopK::new(1);
+    let n = data.test.len();
+    let mut agree = 0usize;
+    let mut dense_hits = 0usize;
+    let mut lsh_hits = 0usize;
+    for ex in data.test.iter() {
+        let dense_top = net.predict_top1(&mut ws, &ex.features);
+        net.predict_topk(&retrieval, &mut ws, &ex.features, &mut topk);
+        let lsh_top = topk.top1();
+        agree += (lsh_top == Some(dense_top)) as usize;
+        dense_hits += ex.labels.binary_search(&dense_top).is_ok() as usize;
+        if let Some(t) = lsh_top {
+            lsh_hits += ex.labels.binary_search(&t).is_ok() as usize;
+        }
+    }
+    let agreement = agree as f64 / n as f64;
+    let dense_p1 = dense_hits as f64 / n as f64;
+    let lsh_p1 = lsh_hits as f64 / n as f64;
+    assert!(
+        agreement > 0.7,
+        "retrieval top-1 agrees with dense argmax on only {agreement:.3}"
+    );
+    assert!(
+        lsh_p1 >= dense_p1 - 0.05,
+        "retrieval P@1 {lsh_p1:.3} fell too far below dense {dense_p1:.3}"
+    );
+}
+
+#[test]
+fn serving_engine_serves_concurrent_batched_requests_from_disk() {
+    let (net, data) = trained_network(300, 2);
+    let path = std::env::temp_dir().join("slide_serving_test.slidesnap");
+    net.save_snapshot(&path).unwrap();
+
+    let engine = Arc::new(
+        ServingEngine::from_snapshot_file(&path, ServeOptions::default().with_top_k(3)).unwrap(),
+    );
+    std::fs::remove_file(&path).ok();
+
+    // Reference answers from the direct (unbatched) path.
+    let reference: Vec<Option<u32>> = data
+        .test
+        .iter()
+        .take(60)
+        .map(|ex| engine.predict(&ex.features).topk.top1())
+        .collect();
+
+    let server = Arc::new(BatchServer::start(
+        Arc::clone(&engine),
+        BatchOptions::default().with_workers(3).with_max_batch(8),
+    ));
+    let data = Arc::new(data);
+    let submitters: Vec<_> = (0..4)
+        .map(|t| {
+            let server = Arc::clone(&server);
+            let data = Arc::clone(&data);
+            std::thread::spawn(move || {
+                let mut answers = Vec::new();
+                for (i, ex) in data.test.iter().take(60).enumerate() {
+                    if i % 4 == t {
+                        answers.push((i, server.predict(ex.features.clone()).topk.top1()));
+                    }
+                }
+                answers
+            })
+        })
+        .collect();
+    let mut served = 0usize;
+    for s in submitters {
+        for (i, top) in s.join().unwrap() {
+            assert_eq!(top, reference[i], "request {i} diverged under batching");
+            served += 1;
+        }
+    }
+    assert_eq!(served, 60);
+
+    let stats = server.stats();
+    assert_eq!(stats.requests, 60);
+    assert!(stats.batches >= 1);
+    // 60 direct + 60 batched requests hit the same engine counters.
+    assert_eq!(engine.stats().requests, 120);
+}
