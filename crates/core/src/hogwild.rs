@@ -108,6 +108,32 @@ impl HogwildArray {
         }
     }
 
+    /// The backing atomic cells as a slice, for handing whole parameter
+    /// ranges to the fused kernels in `slide_kernels::fused`.
+    ///
+    /// The cells follow the **bit-level HOGWILD slice protocol** those
+    /// kernels document: every cell holds an `f32` bit pattern, read with
+    /// a relaxed load + `f32::from_bits` ([`slide_kernels::fused::read`])
+    /// and written with `f32::to_bits` + a relaxed store
+    /// ([`slide_kernels::fused::write`]). No read-modify-write is atomic,
+    /// so concurrent updates may lose one — the documented HOGWILD
+    /// tolerance.
+    #[inline]
+    pub fn as_atomics(&self) -> &[AtomicU32] {
+        &self.data
+    }
+
+    /// The cells of `[start, start + len)` as a slice (see
+    /// [`HogwildArray::as_atomics`] for the access protocol).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
+    #[inline]
+    pub fn atomic_slice(&self, start: usize, len: usize) -> &[AtomicU32] {
+        &self.data[start..start + len]
+    }
+
     /// Prefetches the cache line holding element `i` (hint only).
     #[inline]
     pub fn prefetch(&self, i: usize) {
@@ -213,6 +239,19 @@ impl HogwildMatrix {
     #[inline]
     pub fn set(&self, row: usize, col: usize, value: f32) {
         self.data.set(self.index(row, col), value);
+    }
+
+    /// Row `row`'s cells as an atomic slice of length `cols`, the unit
+    /// the fused kernels consume (one neuron's fan-in weights or Adam
+    /// moments). Access follows the bit-level protocol documented on
+    /// [`HogwildArray::as_atomics`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row >= rows`.
+    #[inline]
+    pub fn row(&self, row: usize) -> &[AtomicU32] {
+        self.data.atomic_slice(row * self.cols, self.cols)
     }
 
     /// Copies row `row` into `out` (`out.len()` must equal `cols`).
@@ -327,6 +366,22 @@ mod tests {
         let mut row = [0.0f32; 3];
         m.read_row_into(1, &mut row);
         assert_eq!(row, [4.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn atomic_row_views_follow_bit_protocol() {
+        let m = HogwildMatrix::from_values(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let row = m.row(1);
+        assert_eq!(row.len(), 3);
+        assert_eq!(slide_kernels::fused::read(&row[2]), 6.0);
+        slide_kernels::fused::write(&row[0], -4.5);
+        assert_eq!(m.get(1, 0), -4.5);
+        // The flat view aliases the same cells.
+        assert_eq!(m.flat().as_atomics().len(), 6);
+        assert_eq!(
+            slide_kernels::fused::read(&m.flat().atomic_slice(3, 1)[0]),
+            -4.5
+        );
     }
 
     #[test]

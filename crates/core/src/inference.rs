@@ -19,6 +19,8 @@
 
 use slide_lsh::retrieve::{retrieve_union, QueryBudget};
 
+use crate::config::Activation;
+use crate::network::{Network, Workspace};
 use crate::selector::{ActiveSet, NeuronSelector, SelectionContext, SelectorScratch};
 
 /// Inference-time neuron selection: deterministic LSH bucket-union
@@ -100,6 +102,246 @@ impl NeuronSelector for InferenceSelector {
     /// Inference never injects labels.
     fn force_label_activation(&self) -> bool {
         false
+    }
+}
+
+/// Reusable scratch for [`Network::predict_topk_batch`]: hidden
+/// activations of the whole batch, the candidate union with per-example
+/// membership, and the score matrix. All buffers keep their capacity
+/// across batches, so a long-lived caller (a serving worker) performs no
+/// steady-state allocation beyond occasional growth.
+#[derive(Debug, Default)]
+pub struct BatchScratch {
+    /// Last-hidden activations, example-major (`batch × fan_in`).
+    hidden: Vec<f32>,
+    /// Shared dense id list `0..fan_in` for the batched gather.
+    ids: Vec<u32>,
+    /// Deduplicated union of every example's output candidates.
+    union: Vec<u32>,
+    /// Per-example candidate lists, concatenated (CSR values).
+    cands: Vec<u32>,
+    /// Offsets into `cands`, one per example plus the tail (CSR offsets).
+    cand_offsets: Vec<usize>,
+    /// Last batch epoch that touched each class (union dedup).
+    stamp: Vec<u64>,
+    /// Each class's index into `union` (valid when `stamp` is current).
+    uidx: Vec<u32>,
+    /// Monotonic batch counter driving `stamp`.
+    epoch: u64,
+    /// Pre-activations, candidate-major (`union × batch`).
+    z: Vec<f32>,
+    /// Per-example activation buffer for the nonlinearity.
+    probs: Vec<f32>,
+    /// Examples whose retrieval degenerated to the whole output layer;
+    /// they are routed through per-example scoring instead of inflating
+    /// the shared union.
+    dense: Vec<u32>,
+}
+
+/// How [`Network::predict_topk_batch`] executed a batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchReport {
+    /// Whether the shared-union fused scoring ran (`false`: the batch
+    /// fell back to per-example [`Network::predict_topk`], because the
+    /// network has no hidden layer or a selector left the hidden basis
+    /// non-dense).
+    pub shared: bool,
+    /// Union candidates scored by the fused path (0 when not shared).
+    pub candidates: usize,
+    /// Examples whose own candidate set was the entire output layer
+    /// (retrieval fell back to dense scoring). On the shared path these
+    /// are scored per example so they cannot multiply the union's cost
+    /// by the batch size.
+    pub dense_examples: usize,
+}
+
+impl Network {
+    /// Batched inference over examples that share one workspace: runs the
+    /// per-example hidden prefix and output-layer selection as usual,
+    /// then scores the **union** of all examples' output candidates with
+    /// one fused [`slide_kernels::gather_dot_batch`] row pass per
+    /// candidate — each weight row streams through the cache once for the
+    /// whole batch instead of once per example.
+    ///
+    /// Every example's top-k is still reduced over its **own** candidate
+    /// set (softmax normalization included), so results match per-example
+    /// [`Network::predict_topk`] up to floating-point summation order of
+    /// the gather. Batching is an execution detail, not a semantic one.
+    ///
+    /// Requires a dense hidden basis (every hidden layer fully active in
+    /// id order — true for [`InferenceSelector`] and
+    /// [`crate::selector::DenseSelector`], whose dense layers fill in
+    /// order); otherwise, or for single-layer networks, the batch falls
+    /// back to per-example prediction. See the returned [`BatchReport`].
+    ///
+    /// An example whose retrieval degenerates to the whole output layer
+    /// (the dense fallback) is scored per example instead — folding it
+    /// into the union would make every example in the batch pay the full
+    /// `O(classes)` scoring cost.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch` and `outs` lengths differ.
+    pub fn predict_topk_batch<S, B>(
+        &self,
+        selector: &S,
+        ws: &mut Workspace,
+        scratch: &mut BatchScratch,
+        batch: &[B],
+        outs: &mut [TopK],
+    ) -> BatchReport
+    where
+        S: NeuronSelector,
+        B: std::borrow::Borrow<slide_data::SparseVector>,
+    {
+        assert_eq!(batch.len(), outs.len(), "batch/outs length mismatch");
+        let b = batch.len();
+        if b == 0 {
+            return BatchReport {
+                shared: true,
+                candidates: 0,
+                dense_examples: 0,
+            };
+        }
+        let last = self.layers().len() - 1;
+        if last == 0 {
+            // No hidden layer: the "shared" input basis would be each
+            // example's own sparse features.
+            return self.predict_topk_batch_fallback(selector, ws, batch, outs);
+        }
+        let units = self.output_dim();
+        let out_layer = &self.layers()[last];
+        let h = out_layer.fan_in();
+
+        // Phase 1: per-example hidden prefix + output selection, building
+        // the candidate union and each example's membership list.
+        scratch.hidden.clear();
+        scratch.hidden.resize(b * h, 0.0);
+        scratch.union.clear();
+        scratch.cands.clear();
+        scratch.cand_offsets.clear();
+        scratch.cand_offsets.push(0);
+        if scratch.stamp.len() < units {
+            scratch.stamp.resize(units, 0);
+            scratch.uidx.resize(units, 0);
+        }
+        scratch.epoch += 1;
+        let epoch = scratch.epoch;
+        scratch.dense.clear();
+        for (e, x) in batch.iter().enumerate() {
+            let x = x.borrow();
+            self.forward_prefix(last, selector, ws, x, None);
+            let hidden_active = ws.active_set(last - 1);
+            let dense_identity = hidden_active.len() == h
+                && hidden_active
+                    .ids()
+                    .iter()
+                    .enumerate()
+                    .all(|(i, &id)| id as usize == i);
+            if !dense_identity {
+                return self.predict_topk_batch_fallback(selector, ws, batch, outs);
+            }
+            scratch.hidden[e * h..(e + 1) * h].copy_from_slice(ws.activations(last - 1));
+            self.select_layer(last, selector, ws, x, None);
+            let active = ws.active_set(last);
+            if active.len() == units {
+                // Degenerate retrieval: folding all `units` classes into
+                // the union would charge every example in the batch for
+                // them. Leave this example's candidate list empty and
+                // score it per example after the fused pass.
+                scratch.dense.push(e as u32);
+                scratch.cand_offsets.push(scratch.cands.len());
+                continue;
+            }
+            for &c in active.ids() {
+                let ci = c as usize;
+                if scratch.stamp[ci] != epoch {
+                    scratch.stamp[ci] = epoch;
+                    scratch.uidx[ci] = scratch.union.len() as u32;
+                    scratch.union.push(c);
+                }
+                scratch.cands.push(c);
+            }
+            scratch.cand_offsets.push(scratch.cands.len());
+        }
+
+        // Phase 2: fused scoring of the union, candidate-major — one row
+        // pass per candidate covers every example.
+        let mode = self.config().kernel_mode;
+        scratch.ids.clear();
+        scratch.ids.extend(0..h as u32);
+        scratch.z.clear();
+        scratch.z.resize(scratch.union.len() * b, 0.0);
+        for (ci, &c) in scratch.union.iter().enumerate() {
+            slide_kernels::gather_dot_batch(
+                out_layer.weights().row(c as usize),
+                &scratch.ids,
+                &scratch.hidden,
+                out_layer.biases().get(c as usize),
+                &mut scratch.z[ci * b..(ci + 1) * b],
+                mode,
+            );
+        }
+
+        // Phase 3: per-example nonlinearity over its own candidates, then
+        // the in-place top-k reduction.
+        for (e, out) in outs.iter_mut().enumerate() {
+            let own = &scratch.cands[scratch.cand_offsets[e]..scratch.cand_offsets[e + 1]];
+            scratch.probs.clear();
+            for &c in own {
+                scratch
+                    .probs
+                    .push(scratch.z[scratch.uidx[c as usize] as usize * b + e]);
+            }
+            match out_layer.activation() {
+                Activation::Relu => slide_kernels::relu_in_place(&mut scratch.probs, mode),
+                Activation::Softmax => slide_kernels::softmax_in_place(&mut scratch.probs, mode),
+            }
+            out.reset(out.k());
+            for (&c, &p) in own.iter().zip(&scratch.probs) {
+                out.offer(c, p);
+            }
+            out.finish();
+        }
+
+        // Degenerate-retrieval examples run the ordinary per-example path
+        // (their fused-phase reduction above was a no-op).
+        for &e in &scratch.dense {
+            let e = e as usize;
+            self.predict_topk(selector, ws, batch[e].borrow(), &mut outs[e]);
+        }
+        BatchReport {
+            shared: true,
+            candidates: scratch.union.len(),
+            dense_examples: scratch.dense.len(),
+        }
+    }
+
+    fn predict_topk_batch_fallback<S, B>(
+        &self,
+        selector: &S,
+        ws: &mut Workspace,
+        batch: &[B],
+        outs: &mut [TopK],
+    ) -> BatchReport
+    where
+        S: NeuronSelector,
+        B: std::borrow::Borrow<slide_data::SparseVector>,
+    {
+        let last = self.layers().len() - 1;
+        let units = self.output_dim();
+        let mut dense_examples = 0usize;
+        for (x, out) in batch.iter().zip(outs.iter_mut()) {
+            self.predict_topk(selector, ws, x.borrow(), out);
+            if ws.active_set(last).len() == units {
+                dense_examples += 1;
+            }
+        }
+        BatchReport {
+            shared: false,
+            candidates: 0,
+            dense_examples,
+        }
     }
 }
 

@@ -15,6 +15,22 @@ use crate::config::{Activation, FamilySpec, LayerConfig, LshLayerConfig};
 use crate::hogwild::{HogwildArray, HogwildMatrix};
 use crate::schedule::RebuildState;
 
+/// Per-layer scratch reused across table rebuilds so the scheduled
+/// rebuilds in the training loop are allocation-free: the centered-mean
+/// accumulator and row buffer, the resulting mean vector, and the
+/// all-neuron hash-code matrix all keep their capacity between calls.
+#[derive(Debug, Default)]
+struct RebuildScratch {
+    /// `f64` accumulator for the column means (centered hashing).
+    mean_acc: Vec<f64>,
+    /// The centered-hashing mean vector `w̄` (empty when not centering).
+    mean: Vec<f32>,
+    /// Dense row buffer for the mean pass.
+    row: Vec<f32>,
+    /// Hash codes of every neuron, `units × num_codes`.
+    codes: Vec<u32>,
+}
+
 /// LSH state attached to a layer: the hash family, the `L` tables over the
 /// layer's neurons, and the rebuild schedule tracker.
 pub struct LayerLsh {
@@ -25,6 +41,7 @@ pub struct LayerLsh {
     pub(crate) centered: bool,
     rebuild_count: u64,
     rng_base: Xoshiro256PlusPlus,
+    scratch: RebuildScratch,
 }
 
 impl std::fmt::Debug for LayerLsh {
@@ -109,6 +126,7 @@ impl Layer {
                 centered: cfg.center_rows,
                 rebuild_count: 0,
                 rng_base: Xoshiro256PlusPlus::seed_from_u64(rng.next_u64()),
+                scratch: RebuildScratch::default(),
             }
         });
         let mut layer = Self {
@@ -166,38 +184,19 @@ impl Layer {
     /// Pre-activation of neuron `j` for a sparse input given as parallel
     /// `(ids, values)` slices: `b_j + Σᵢ w[j][idᵢ]·valᵢ`.
     ///
-    /// `KernelMode::Vectorized` breaks the accumulation dependency chain
-    /// with four independent accumulators (the paper's SIMD/ILP
-    /// optimization, §5.4); `Scalar` is the strict sequential loop.
+    /// One fused [`slide_kernels::gather_dot`] over the neuron's row
+    /// slice. `KernelMode::Vectorized` is the 8-lane unrolled gather with
+    /// prefetch (the paper's SIMD/ILP optimization, §5.4); `Scalar` is
+    /// the strict sequential loop `tests/equivalence.rs` pins.
     #[inline]
     pub(crate) fn neuron_z(&self, j: u32, ids: &[u32], vals: &[f32], mode: KernelMode) -> f32 {
-        let row = j as usize * self.fan_in;
-        let flat = self.weights.flat();
-        let bias = self.biases.get(j as usize);
-        match mode {
-            KernelMode::Scalar => {
-                let mut z = bias;
-                for (&id, &v) in ids.iter().zip(vals) {
-                    z += flat.get(row + id as usize) * v;
-                }
-                z
-            }
-            KernelMode::Vectorized => {
-                let mut acc = [0.0f32; 4];
-                let chunks = ids.len() / 4;
-                for c in 0..chunks {
-                    let i = c * 4;
-                    for lane in 0..4 {
-                        acc[lane] += flat.get(row + ids[i + lane] as usize) * vals[i + lane];
-                    }
-                }
-                let mut z = bias + acc.iter().sum::<f32>();
-                for i in chunks * 4..ids.len() {
-                    z += flat.get(row + ids[i] as usize) * vals[i];
-                }
-                z
-            }
-        }
+        slide_kernels::gather_dot(
+            self.weights.row(j as usize),
+            ids,
+            vals,
+            self.biases.get(j as usize),
+            mode,
+        )
     }
 
     /// Prefetches the start of neuron `j`'s weight row (software
@@ -206,16 +205,67 @@ impl Layer {
     pub(crate) fn prefetch_row(&self, j: u32) {
         let row = j as usize * self.fan_in;
         let flat = self.weights.flat();
-        // One hint per cache line across the row head (most rows are a
-        // few lines long; prefetching the first 4 covers 64 floats).
-        for line in 0..4 {
+        // One hint per cache line across the row head, clamped to the
+        // row's actual length (16 floats per 64-byte line) so a short row
+        // never prefetches into the next neuron's weights.
+        let lines = self.fan_in.div_ceil(16).min(4);
+        for line in 0..lines {
             flat.prefetch(row + line * 16);
         }
     }
 
-    /// One HOGWILD Adam update of weight `(j, i)` with gradient `g`.
+    /// Prefetches the heads of neuron `j`'s weight and Adam-moment rows —
+    /// the three streams [`Layer::update_row`] is about to sweep.
     #[inline]
-    pub(crate) fn update_weight(&self, j: u32, i: u32, g: f32, adam: &AdamParams, clr: f32) {
+    pub(crate) fn prefetch_update_row(&self, j: u32) {
+        let row = j as usize * self.fan_in;
+        let lines = self.fan_in.div_ceil(16).min(2);
+        for line in 0..lines {
+            self.weights.flat().prefetch(row + line * 16);
+            self.w_m.flat().prefetch(row + line * 16);
+            self.w_v.flat().prefetch(row + line * 16);
+        }
+    }
+
+    /// One fused HOGWILD Adam sweep over neuron `j`'s row for the
+    /// prev-active `(ids, vals)` pairs with error signal `delta`: loads
+    /// each touched `w/m/v` once, accumulates `delta · w_old` into
+    /// `prev_delta` (the message to the previous layer, when given) and
+    /// stores the Adam-updated triple — backward's per-pair loop as one
+    /// pass (see [`slide_kernels::adam_step_gather`]).
+    #[allow(clippy::too_many_arguments)]
+    #[inline]
+    pub(crate) fn update_row(
+        &self,
+        j: u32,
+        ids: &[u32],
+        vals: &[f32],
+        delta: f32,
+        prev_delta: Option<&mut [f32]>,
+        adam: &AdamParams,
+        clr: f32,
+        mode: KernelMode,
+    ) {
+        let j = j as usize;
+        slide_kernels::adam_step_gather(
+            self.weights.row(j),
+            self.w_m.row(j),
+            self.w_v.row(j),
+            ids,
+            vals,
+            delta,
+            prev_delta,
+            adam,
+            clr,
+            mode,
+        );
+    }
+
+    /// One HOGWILD Adam update of weight `(j, i)` with gradient `g` —
+    /// the scalar reference primitive. The training hot path updates
+    /// whole rows at once through [`Layer::update_row`]'s fused sweep.
+    #[inline]
+    pub fn update_weight(&self, j: u32, i: u32, g: f32, adam: &AdamParams, clr: f32) {
         let idx = self.weights.index(j as usize, i as usize);
         let w = self.weights.flat().get(idx);
         let m = self.w_m.flat().get(idx);
@@ -261,46 +311,61 @@ impl Layer {
         let weights = &self.weights;
         let family = lsh.family.as_ref();
 
+        // All rebuild buffers come from the per-layer scratch (taken by
+        // value to sidestep the simultaneous `family`/`tables` borrows),
+        // so scheduled rebuilds reuse their capacity instead of
+        // allocating; only the first rebuild at each size grows them.
+        let mut scratch = std::mem::take(&mut lsh.scratch);
+
         // Centered hashing: remove the common component all rows share
         // (softmax pushes every class away from the typical input, and
         // that shared direction otherwise dominates cosine similarity).
         // Subtracting one fixed vector from every row leaves the layer's
         // score ranking unchanged for any query.
-        let mean: Vec<f32> = if lsh.centered {
-            let mut acc = vec![0.0f64; fan_in];
-            let mut row = vec![0.0f32; fan_in];
+        scratch.mean.clear();
+        if lsh.centered {
+            scratch.mean_acc.clear();
+            scratch.mean_acc.resize(fan_in, 0.0);
+            scratch.row.clear();
+            scratch.row.resize(fan_in, 0.0);
             for j in 0..units {
-                weights.read_row_into(j, &mut row);
-                for (a, &r) in acc.iter_mut().zip(&row) {
+                weights.read_row_into(j, &mut scratch.row);
+                for (a, &r) in scratch.mean_acc.iter_mut().zip(&scratch.row) {
                     *a += r as f64;
                 }
             }
-            acc.iter().map(|&a| (a / units as f64) as f32).collect()
-        } else {
-            Vec::new()
-        };
-        let mean = &mean;
+            scratch
+                .mean
+                .extend(scratch.mean_acc.iter().map(|&a| (a / units as f64) as f32));
+        }
+        let mean = &scratch.mean;
 
         // Phase 1: hash every neuron's weight row (parallel over neurons).
-        let mut codes = vec![0u32; units * num_codes];
-        codes.par_chunks_mut(num_codes).enumerate().for_each_init(
-            || vec![0.0f32; fan_in],
-            |row_buf, (j, out)| {
-                weights.read_row_into(j, row_buf);
-                if !mean.is_empty() {
-                    for (r, &m) in row_buf.iter_mut().zip(mean) {
-                        *r -= m;
+        scratch.codes.clear();
+        scratch.codes.resize(units * num_codes, 0);
+        scratch
+            .codes
+            .par_chunks_mut(num_codes)
+            .enumerate()
+            .for_each_init(
+                || vec![0.0f32; fan_in],
+                |row_buf, (j, out)| {
+                    weights.read_row_into(j, row_buf);
+                    if !mean.is_empty() {
+                        for (r, &m) in row_buf.iter_mut().zip(mean) {
+                            *r -= m;
+                        }
                     }
-                }
-                family.hash_dense(row_buf, out);
-            },
-        );
+                    family.hash_dense(row_buf, out);
+                },
+            );
 
         // Phase 2: insert ids (parallel over tables; each table is owned
         // by exactly one task).
         lsh.rebuild_count += 1;
         let rebuild_count = lsh.rebuild_count;
         let rng_base = lsh.rng_base.clone();
+        let codes = &scratch.codes;
         lsh.tables.clear();
         lsh.tables
             .tables_mut()
@@ -313,6 +378,7 @@ impl Layer {
                     table.insert(j as u32, group, policy, &mut rng);
                 }
             });
+        lsh.scratch = scratch;
     }
 
     /// Sets the centered-row hashing mode; the caller must rebuild the

@@ -72,7 +72,7 @@ pub mod trainer;
 pub use baseline::{DenseTrainer, SampledSoftmaxTrainer, StaticSampledSelector};
 pub use config::{Activation, FamilySpec, LayerConfig, LshLayerConfig, NetworkConfig};
 pub use error::ConfigError;
-pub use inference::{InferenceSelector, TopK};
+pub use inference::{BatchReport, BatchScratch, InferenceSelector, TopK};
 pub use network::{Network, Workspace, WorkspacePool};
 pub use schedule::{RebuildSchedule, RebuildState};
 pub use selector::{ActiveSet, DenseSelector, LshSelector, NeuronSelector};

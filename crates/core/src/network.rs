@@ -259,6 +259,103 @@ impl Network {
         }
     }
 
+    /// Fills `ws.active[l]` for layer `l`: asks the selector, then (for
+    /// the output layer during training) forces the true labels in so the
+    /// loss is defined, unless the selector opts out via
+    /// [`NeuronSelector::force_label_activation`]. Layers `< l` must
+    /// already hold this example's state.
+    pub(crate) fn select_layer(
+        &self,
+        l: usize,
+        selector: &dyn NeuronSelector,
+        ws: &mut Workspace,
+        features: &SparseVector,
+        labels: Option<&[u32]>,
+    ) {
+        let layer = &self.layers[l];
+        let is_output = l == self.layers.len() - 1;
+        let mut active = std::mem::take(&mut ws.active[l]);
+        active.clear();
+        {
+            let prev = if l == 0 {
+                None
+            } else {
+                Some((ws.active[l - 1].ids(), ws.acts[l - 1].as_slice()))
+            };
+            let ctx = SelectionContext {
+                layer_index: l,
+                is_output,
+                layer,
+                features,
+                prev,
+                labels,
+            };
+            selector.select(&ctx, &mut ws.scratch, &mut active);
+        }
+        if is_output && selector.force_label_activation() {
+            if let Some(labels) = labels {
+                for &label in labels {
+                    if !active.contains(label) {
+                        active.push(label);
+                    }
+                }
+            }
+        }
+        ws.active[l] = active;
+    }
+
+    /// Computes `ws.acts[l]` over the already-selected `ws.active[l]`:
+    /// one fused [`slide_kernels::gather_dot`] per active neuron (next
+    /// row prefetched in vectorized mode), then the nonlinearity.
+    pub(crate) fn compute_layer(&self, l: usize, ws: &mut Workspace, features: &SparseVector) {
+        let layer = &self.layers[l];
+        let active = std::mem::take(&mut ws.active[l]);
+        let mut acts = std::mem::take(&mut ws.acts[l]);
+        acts.clear();
+        acts.resize(active.len(), 0.0);
+        {
+            let (prev_ids, prev_vals): (&[u32], &[f32]) = if l == 0 {
+                (features.indices(), features.values())
+            } else {
+                (ws.active[l - 1].ids(), &ws.acts[l - 1])
+            };
+            let mode = self.config.kernel_mode;
+            for (slot, &j) in active.ids().iter().enumerate() {
+                if mode == slide_kernels::KernelMode::Vectorized {
+                    if let Some(&next) = active.ids().get(slot + 1) {
+                        layer.prefetch_row(next);
+                    }
+                }
+                acts[slot] = layer.neuron_z(j, prev_ids, prev_vals, mode);
+            }
+        }
+        match layer.activation() {
+            Activation::Relu => slide_kernels::relu_in_place(&mut acts, self.config.kernel_mode),
+            Activation::Softmax => {
+                slide_kernels::softmax_in_place(&mut acts, self.config.kernel_mode)
+            }
+        }
+        ws.active[l] = active;
+        ws.acts[l] = acts;
+    }
+
+    /// Runs selection + computation for layers `[0, upto)` — the shared
+    /// prefix of [`Network::forward`] and the batched inference path,
+    /// which stops before the output layer to score it differently.
+    pub(crate) fn forward_prefix(
+        &self,
+        upto: usize,
+        selector: &dyn NeuronSelector,
+        ws: &mut Workspace,
+        features: &SparseVector,
+        labels: Option<&[u32]>,
+    ) {
+        for l in 0..upto {
+            self.select_layer(l, selector, ws, features, labels);
+            self.compute_layer(l, ws, features);
+        }
+    }
+
     /// Sparse forward pass (paper Alg. 1 lines 9–13): `selector` picks
     /// each layer's active set, the engine computes pre-activations and
     /// nonlinearities over it. Returns the cross-entropy loss when
@@ -275,74 +372,7 @@ impl Network {
         labels: Option<&[u32]>,
     ) -> f32 {
         let n = self.layers.len();
-        for l in 0..n {
-            let layer = &self.layers[l];
-            let is_output = l == n - 1;
-            let mut active = std::mem::take(&mut ws.active[l]);
-            let mut acts = std::mem::take(&mut ws.acts[l]);
-
-            // 1. Select the active set.
-            active.clear();
-            {
-                let prev = if l == 0 {
-                    None
-                } else {
-                    Some((ws.active[l - 1].ids(), ws.acts[l - 1].as_slice()))
-                };
-                let ctx = SelectionContext {
-                    layer_index: l,
-                    is_output,
-                    layer,
-                    features,
-                    prev,
-                    labels,
-                };
-                selector.select(&ctx, &mut ws.scratch, &mut active);
-            }
-            // Training: force the true labels into the output active set
-            // so the loss (and their gradient) is defined.
-            if is_output && selector.force_label_activation() {
-                if let Some(labels) = labels {
-                    for &label in labels {
-                        if !active.contains(label) {
-                            active.push(label);
-                        }
-                    }
-                }
-            }
-
-            // 2. Compute pre-activations of active neurons only.
-            acts.clear();
-            acts.resize(active.len(), 0.0);
-            {
-                let (prev_ids, prev_vals): (&[u32], &[f32]) = if l == 0 {
-                    (features.indices(), features.values())
-                } else {
-                    (ws.active[l - 1].ids(), &ws.acts[l - 1])
-                };
-                let mode = self.config.kernel_mode;
-                for (slot, &j) in active.ids().iter().enumerate() {
-                    if mode == slide_kernels::KernelMode::Vectorized {
-                        if let Some(&next) = active.ids().get(slot + 1) {
-                            layer.prefetch_row(next);
-                        }
-                    }
-                    acts[slot] = layer.neuron_z(j, prev_ids, prev_vals, mode);
-                }
-            }
-
-            // 3. Nonlinearity.
-            match layer.activation() {
-                Activation::Relu => {
-                    slide_kernels::relu_in_place(&mut acts, self.config.kernel_mode)
-                }
-                Activation::Softmax => {
-                    slide_kernels::softmax_in_place(&mut acts, self.config.kernel_mode)
-                }
-            }
-            ws.active[l] = active;
-            ws.acts[l] = acts;
-        }
+        self.forward_prefix(n, selector, ws, features, labels);
 
         // Cross-entropy against the uniform distribution over the true
         // labels (multi-label extreme classification).
@@ -427,23 +457,29 @@ impl Network {
                 prev_delta.resize(prev_ids.len(), 0.0);
             }
 
-            let flat = layer.weights.flat();
-            let fan_in = layer.fan_in();
-            for (slot, &j) in ws.active[l].ids().iter().enumerate() {
+            // One fused sweep per active neuron: gather the row's
+            // pre-update weights for the error message to layer l−1 and
+            // apply the Adam step in the same pass (loads w/m/v once per
+            // touched weight instead of the old per-pair accessor loop).
+            let mode = self.config.kernel_mode;
+            let active_ids = ws.active[l].ids();
+            for (slot, &j) in active_ids.iter().enumerate() {
                 let d = delta_l[slot];
                 if d == 0.0 {
                     continue;
                 }
-                layer.update_bias(j, d, adam, corrected_lr);
-                let row = j as usize * fan_in;
-                for (pslot, (&pid, &pval)) in prev_ids.iter().zip(prev_vals).enumerate() {
-                    let idx = row + pid as usize;
-                    if l > 0 {
-                        // Propagate error through the *pre-update* weight.
-                        prev_delta[pslot] += d * flat.get(idx);
+                if mode == slide_kernels::KernelMode::Vectorized {
+                    if let Some(&next) = active_ids.get(slot + 1) {
+                        layer.prefetch_update_row(next);
                     }
-                    layer.update_weight(j, pid, d * pval, adam, corrected_lr);
                 }
+                layer.update_bias(j, d, adam, corrected_lr);
+                let pd = if l > 0 {
+                    Some(&mut prev_delta[..])
+                } else {
+                    None
+                };
+                layer.update_row(j, prev_ids, prev_vals, d, pd, adam, corrected_lr, mode);
             }
 
             if l > 0 {

@@ -14,9 +14,17 @@
 //! — the paper's fix for false sharing between OpenMP threads
 //! ("carefully allocating data structures and aligning them on cache line
 //! boundaries"; Appendix D).
+//!
+//! The [`fused`] module holds the slice-based hot-path kernels that
+//! operate directly on HOGWILD `&[AtomicU32]` rows: [`gather_dot`]
+//! (forward pre-activation), [`gather_dot_batch`] (batched serving) and
+//! [`adam_step_gather`] (backward's fused gather + error-signal + Adam
+//! sweep).
 
 pub mod aligned;
+pub mod fused;
 pub mod ops;
 
 pub use aligned::{AlignedVec, CachePadded, CACHE_LINE_BYTES};
+pub use fused::{adam_step_gather, gather_dot, gather_dot_batch};
 pub use ops::{adam_step, axpy, dot, relu_in_place, softmax_in_place, AdamParams, KernelMode};

@@ -276,6 +276,15 @@ fn worker_loop(shared: &Shared, max_batch: usize) {
     // One workspace per worker for its whole lifetime: batched jobs
     // stream through it back-to-back without touching the pool mutex.
     let mut ws = shared.engine.checkout_workspace();
+    // Batched-scoring scratch, likewise worker-lifetime (hidden
+    // activations, candidate union, score matrix), plus the per-batch
+    // staging buffers — cleared and refilled each wakeup, so the hot
+    // loop's only steady-state allocation stays the k-slot result.
+    let mut scratch = slide_core::inference::BatchScratch::default();
+    let mut predictions: Vec<crate::engine::Prediction> = Vec::with_capacity(max_batch);
+    let mut feats: Vec<SparseVector> = Vec::with_capacity(max_batch);
+    let mut ks: Vec<usize> = Vec::with_capacity(max_batch);
+    let mut replies: Vec<mpsc::Sender<crate::engine::Prediction>> = Vec::with_capacity(max_batch);
     loop {
         // Drain up to max_batch jobs in one critical section.
         {
@@ -309,13 +318,37 @@ fn worker_loop(shared: &Shared, max_batch: usize) {
             .fetch_add(batch.len() as u64, Ordering::Relaxed);
         c.largest_batch
             .fetch_max(batch.len() as u64, Ordering::Relaxed);
-        for job in batch.drain(..) {
+        for job in &batch {
             c.total_queue_ns
                 .fetch_add(job.enqueued.elapsed().as_nanos() as u64, Ordering::Relaxed);
-            let prediction = shared.engine.predict_in(&mut ws, &job.features, job.k);
-            c.requests.fetch_add(1, Ordering::Relaxed);
-            // A dropped handle just discards the answer.
-            job.reply.send(prediction).ok();
+        }
+        if batch.len() > 1 {
+            // A real micro-batch: score it through the fused shared-union
+            // path, which loads every candidate weight row once for the
+            // whole batch.
+            feats.clear();
+            ks.clear();
+            replies.clear();
+            for job in batch.drain(..) {
+                feats.push(job.features);
+                ks.push(job.k);
+                replies.push(job.reply);
+            }
+            predictions.clear();
+            shared
+                .engine
+                .predict_batch_in(&mut ws, &mut scratch, &feats, &ks, &mut predictions);
+            c.requests.fetch_add(feats.len() as u64, Ordering::Relaxed);
+            for (reply, prediction) in replies.drain(..).zip(predictions.drain(..)) {
+                // A dropped handle just discards the answer.
+                reply.send(prediction).ok();
+            }
+        } else {
+            for job in batch.drain(..) {
+                let prediction = shared.engine.predict_in(&mut ws, &job.features, job.k);
+                c.requests.fetch_add(1, Ordering::Relaxed);
+                job.reply.send(prediction).ok();
+            }
         }
     }
 }

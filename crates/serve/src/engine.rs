@@ -5,7 +5,7 @@ use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
-use slide_core::inference::{InferenceSelector, TopK};
+use slide_core::inference::{BatchScratch, InferenceSelector, TopK};
 use slide_core::snapshot::SnapshotError;
 use slide_core::{Network, WorkspacePool};
 use slide_data::SparseVector;
@@ -268,6 +268,70 @@ impl ServingEngine {
                 .fetch_add(1, Ordering::Relaxed);
         }
         Prediction { topk, latency }
+    }
+
+    /// Answers a batch of requests with the configured `top_k` through
+    /// the fused shared-union scoring path (each candidate weight row
+    /// streams through the cache once for the whole batch). Results match
+    /// per-request [`ServingEngine::predict`] up to floating-point
+    /// summation order — batching is an execution detail.
+    pub fn predict_batch(&self, features: &[SparseVector]) -> Vec<Prediction> {
+        let mut ws = self.checkout_workspace();
+        let mut scratch = BatchScratch::default();
+        let ks = vec![self.options.top_k; features.len()];
+        let mut out = Vec::with_capacity(features.len());
+        self.predict_batch_in(&mut ws, &mut scratch, features, &ks, &mut out);
+        out
+    }
+
+    /// Batched prediction through caller-held workspace and scratch (the
+    /// batch server's workers hold both for their lifetime). Pushes one
+    /// [`Prediction`] per request onto `out`, in request order; each
+    /// request is attributed an equal share of the batch's compute
+    /// latency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `features` and `ks` lengths differ, any `k == 0`, or a
+    /// request's feature indices exceed the network's input dimension
+    /// (checked before any weight access).
+    pub(crate) fn predict_batch_in<B: std::borrow::Borrow<SparseVector>>(
+        &self,
+        ws: &mut slide_core::Workspace,
+        scratch: &mut BatchScratch,
+        features: &[B],
+        ks: &[usize],
+        out: &mut Vec<Prediction>,
+    ) {
+        assert_eq!(features.len(), ks.len(), "features/ks length mismatch");
+        if features.is_empty() {
+            return;
+        }
+        for f in features {
+            assert!(
+                f.borrow().min_dim() <= self.input_dim(),
+                "request feature index out of range: needs dim {}, network input_dim is {}",
+                f.borrow().min_dim(),
+                self.input_dim()
+            );
+        }
+        let mut topks: Vec<TopK> = ks.iter().map(|&k| TopK::new(k)).collect();
+        let t0 = Instant::now();
+        let report =
+            self.network
+                .predict_topk_batch(&self.selector, ws, scratch, features, &mut topks);
+        let latency = t0.elapsed() / features.len() as u32;
+        let last = self.network.layers().len() - 1;
+        let lsh_output = self.network.layers()[last].lsh().is_some();
+        for topk in topks {
+            self.record(latency);
+            out.push(Prediction { topk, latency });
+        }
+        if lsh_output && report.dense_examples > 0 {
+            self.counters
+                .dense_fallbacks
+                .fetch_add(report.dense_examples as u64, Ordering::Relaxed);
+        }
     }
 
     fn record(&self, latency: Duration) {

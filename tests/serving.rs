@@ -187,3 +187,89 @@ fn serving_engine_serves_concurrent_batched_requests_from_disk() {
     // 60 direct + 60 batched requests hit the same engine counters.
     assert_eq!(engine.stats().requests, 120);
 }
+
+#[test]
+fn batched_prediction_matches_per_request_path() {
+    // The fused shared-union batch path (`ServingEngine::predict_batch` →
+    // `Network::predict_topk_batch` → `gather_dot_batch`) is an execution
+    // detail: every example is still reduced over its own candidate set,
+    // so batched answers must match the per-request path.
+    let (net, data) = trained_network(250, 2);
+    let engine = ServingEngine::new(net, ServeOptions::default().with_top_k(4));
+
+    let features: Vec<_> = data
+        .test
+        .iter()
+        .take(24)
+        .map(|ex| ex.features.clone())
+        .collect();
+    let singles: Vec<_> = features.iter().map(|f| engine.predict(f)).collect();
+    let mut start = 0usize;
+    for chunk in features.chunks(7) {
+        let batched = engine.predict_batch(chunk);
+        assert_eq!(batched.len(), chunk.len());
+        for (b, p) in batched.iter().enumerate() {
+            let single = &singles[start + b];
+            assert_eq!(p.topk.len(), single.topk.len());
+            // The two paths sum in different orders (gather_dot vs
+            // gather_dot_batch), so rankings may legitimately swap where
+            // scores tie within the reordering tolerance; any larger
+            // positional score gap is a real divergence.
+            for (pos, (x, y)) in p.topk.items().iter().zip(single.topk.items()).enumerate() {
+                let tol = 1e-4 * (1.0 + y.1.abs());
+                assert!(
+                    (x.1 - y.1).abs() <= 2.0 * tol,
+                    "request {} position {pos}: class {} score {} vs class {} score {}",
+                    start + b,
+                    x.0,
+                    x.1,
+                    y.0,
+                    y.1
+                );
+                assert!(
+                    x.0 == y.0 || (x.1 - y.1).abs() <= 2.0 * tol,
+                    "request {} position {pos}: ranking diverged beyond a near-tie",
+                    start + b
+                );
+            }
+        }
+        start += chunk.len();
+    }
+}
+
+#[test]
+fn batched_dense_fallback_examples_match_single_path() {
+    // min_collisions above L empties every retrieval, so each request
+    // takes the dense fallback; the batch path must route such examples
+    // around the shared union and still answer identically.
+    let (net, data) = trained_network(120, 1);
+    let options = ServeOptions::default()
+        .with_top_k(3)
+        .with_budget(slide::lsh::QueryBudget::all().with_min_collisions(64));
+    let engine = ServingEngine::new(net, options);
+    let features: Vec<_> = data
+        .test
+        .iter()
+        .take(8)
+        .map(|ex| ex.features.clone())
+        .collect();
+    let singles: Vec<_> = features.iter().map(|f| engine.predict(f)).collect();
+    let batched = engine.predict_batch(&features);
+    for (i, (b, s)) in batched.iter().zip(&singles).enumerate() {
+        assert_eq!(b.topk.top1(), s.topk.top1(), "request {i}");
+    }
+    // Every request (8 single + 8 batched) ran the dense fallback.
+    assert_eq!(engine.stats().dense_fallbacks, 16);
+}
+
+#[test]
+fn batch_of_one_equals_single_prediction() {
+    let (net, data) = trained_network(150, 1);
+    let engine = ServingEngine::new(net, ServeOptions::default().with_top_k(5));
+    for ex in data.test.iter().take(10) {
+        let single = engine.predict(&ex.features);
+        let batched = engine.predict_batch(std::slice::from_ref(&ex.features));
+        assert_eq!(batched.len(), 1);
+        assert_eq!(batched[0].topk.top1(), single.topk.top1());
+    }
+}
