@@ -213,7 +213,7 @@ fn main() {
         let t0 = Instant::now();
         let handles: Vec<_> = test
             .iter()
-            .map(|ex| server.submit(ex.features.clone()))
+            .map(|ex| server.submit(ex.features.clone()).expect("valid request"))
             .collect();
         let mut q = Quality::default();
         for (h, ex) in handles.into_iter().zip(test) {

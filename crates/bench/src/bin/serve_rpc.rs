@@ -1,0 +1,502 @@
+//! **Service API benchmark**: end-to-end latency and throughput of the
+//! `std::net` HTTP front-end (`POST /v1/predict` over the versioned
+//! wire protocol), plus a hot-reload drill that swaps snapshots under
+//! concurrent keep-alive load and fails (`--check`) on any non-2xx
+//! response or wrong-epoch answer.
+//!
+//! Three phases over a trained, snapshot-frozen model:
+//!
+//! 1. **single** — one keep-alive client, sequential requests:
+//!    client-observed latency distribution (mean/p50/p99) and req/s;
+//! 2. **batched** — concurrent clients sending wire batches: examples/s
+//!    through the fused shared-union scoring path;
+//! 3. **reload** — concurrent single-request clients while the model is
+//!    hot-swapped via `POST /v1/reload`: every response must be 2xx,
+//!    epochs must be monotone per connection, and every request issued
+//!    after the reload acknowledgment must be answered by the new epoch.
+//!
+//! Emits machine-readable `BENCH_serve_rpc.json` (override with
+//! `--out PATH`).
+//!
+//! ```sh
+//! cargo run -p slide-bench --release --bin serve_rpc -- [smoke|medium|full] [--csv] [--out PATH] [--check]
+//! # CI smoke drill:
+//! cargo run -p slide-bench --release --bin serve_rpc -- --smoke --check
+//! ```
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use slide_bench::{Scale, TablePrinter};
+use slide_core::config::{LshLayerConfig, NetworkConfig};
+use slide_core::trainer::{SlideTrainer, TrainOptions};
+use slide_data::synth::{generate, SyntheticConfig};
+use slide_data::SparseVector;
+use slide_serve::http::{HttpOptions, HttpServer};
+use slide_serve::{Client, EngineHandle, ServeOptions};
+
+struct BenchConfig {
+    scale: Scale,
+    features: usize,
+    labels: usize,
+    hidden: usize,
+    train_size: usize,
+    epochs: usize,
+    /// Sequential requests in the single-latency phase.
+    single_requests: usize,
+    /// Concurrent clients in the batched and reload phases.
+    clients: usize,
+    /// Wire batch size in the batched phase.
+    batch: usize,
+    /// Batch requests per client in the batched phase.
+    batch_rounds: usize,
+    /// Post-reload answers each client must observe in the drill.
+    post_reload_per_client: u64,
+}
+
+impl BenchConfig {
+    fn for_scale(scale: Scale) -> Self {
+        match scale {
+            Scale::Smoke => Self {
+                scale,
+                features: 200,
+                labels: 100,
+                hidden: 24,
+                train_size: 600,
+                epochs: 1,
+                single_requests: 200,
+                clients: 4,
+                batch: 16,
+                batch_rounds: 25,
+                post_reload_per_client: 25,
+            },
+            Scale::Medium => Self {
+                scale,
+                features: 600,
+                labels: 1_000,
+                hidden: 64,
+                train_size: 2_000,
+                epochs: 2,
+                single_requests: 1_000,
+                clients: 6,
+                batch: 32,
+                batch_rounds: 60,
+                post_reload_per_client: 100,
+            },
+            Scale::Full => Self {
+                scale,
+                features: 2_000,
+                labels: 10_000,
+                hidden: 128,
+                train_size: 8_000,
+                epochs: 3,
+                single_requests: 4_000,
+                clients: 8,
+                batch: 64,
+                batch_rounds: 120,
+                post_reload_per_client: 250,
+            },
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct SinglePhase {
+    requests: u64,
+    wall_s: f64,
+    mean_us: f64,
+    p50_us: f64,
+    p99_us: f64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct BatchedPhase {
+    requests: u64,
+    examples: u64,
+    wall_s: f64,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct ReloadPhase {
+    requests: u64,
+    pre_reload: u64,
+    post_reload: u64,
+    failures: u64,
+    wrong_epoch: u64,
+    reload_ack_epoch: u64,
+}
+
+fn percentile(sorted_us: &[f64], p: f64) -> f64 {
+    if sorted_us.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_us.len() - 1) as f64 * p).round() as usize;
+    sorted_us[idx]
+}
+
+fn run_single(addr: std::net::SocketAddr, inputs: &[SparseVector], n: usize) -> SinglePhase {
+    let mut client = Client::connect(addr).expect("connect");
+    let mut lat_us: Vec<f64> = Vec::with_capacity(n);
+    let t0 = Instant::now();
+    for i in 0..n {
+        let features = &inputs[i % inputs.len()];
+        let r0 = Instant::now();
+        let resp = client.predict(features, None).expect("single predict");
+        lat_us.push(r0.elapsed().as_secs_f64() * 1e6);
+        assert!(!resp.predictions.is_empty());
+    }
+    let wall_s = t0.elapsed().as_secs_f64();
+    lat_us.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    SinglePhase {
+        requests: n as u64,
+        wall_s,
+        mean_us: lat_us.iter().sum::<f64>() / lat_us.len().max(1) as f64,
+        p50_us: percentile(&lat_us, 0.50),
+        p99_us: percentile(&lat_us, 0.99),
+    }
+}
+
+fn run_batched(
+    addr: std::net::SocketAddr,
+    inputs: &Arc<Vec<SparseVector>>,
+    cfg: &BenchConfig,
+) -> BatchedPhase {
+    let t0 = Instant::now();
+    let threads: Vec<_> = (0..cfg.clients)
+        .map(|t| {
+            let inputs = Arc::clone(inputs);
+            let batch = cfg.batch;
+            let rounds = cfg.batch_rounds;
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                let mut served = 0u64;
+                for r in 0..rounds {
+                    let start = (t * 31 + r * batch) % inputs.len();
+                    let mut chunk: Vec<SparseVector> = Vec::with_capacity(batch);
+                    for j in 0..batch {
+                        chunk.push(inputs[(start + j) % inputs.len()].clone());
+                    }
+                    let resp = client.predict_batch(&chunk, None).expect("batch predict");
+                    assert_eq!(resp.predictions.len(), batch);
+                    served += batch as u64;
+                }
+                served
+            })
+        })
+        .collect();
+    let examples: u64 = threads.into_iter().map(|t| t.join().unwrap()).sum();
+    BatchedPhase {
+        requests: (cfg.clients * cfg.batch_rounds) as u64,
+        examples,
+        wall_s: t0.elapsed().as_secs_f64(),
+    }
+}
+
+fn run_reload_drill(
+    addr: std::net::SocketAddr,
+    inputs: &Arc<Vec<SparseVector>>,
+    cfg: &BenchConfig,
+    snapshot_b: &std::path::Path,
+    server: &HttpServer,
+) -> ReloadPhase {
+    let reload_acked = Arc::new(AtomicBool::new(false));
+    let failures = Arc::new(AtomicU64::new(0));
+    let wrong_epoch = Arc::new(AtomicU64::new(0));
+    let pre = Arc::new(AtomicU64::new(0));
+    let post = Arc::new(AtomicU64::new(0));
+    let base_epoch = server.handle().epoch();
+
+    let threads: Vec<_> = (0..cfg.clients)
+        .map(|t| {
+            let inputs = Arc::clone(inputs);
+            let reload_acked = Arc::clone(&reload_acked);
+            let failures = Arc::clone(&failures);
+            let wrong_epoch = Arc::clone(&wrong_epoch);
+            let pre = Arc::clone(&pre);
+            let post = Arc::clone(&post);
+            let need = cfg.post_reload_per_client;
+            std::thread::spawn(move || {
+                let mut client = match Client::connect(addr) {
+                    Ok(c) => c,
+                    Err(_) => {
+                        failures.fetch_add(1, Ordering::Relaxed);
+                        return 0u64;
+                    }
+                };
+                let deadline = Instant::now() + Duration::from_secs(120);
+                let mut last_epoch = 0u64;
+                let mut requests = 0u64;
+                let mut post_seen = 0u64;
+                let mut i = t * 17;
+                while post_seen < need && Instant::now() < deadline {
+                    let issued_after_ack = reload_acked.load(Ordering::SeqCst);
+                    match client.predict(&inputs[i % inputs.len()], None) {
+                        Ok(resp) => {
+                            requests += 1;
+                            if resp.epoch < last_epoch
+                                || (issued_after_ack && resp.epoch == base_epoch)
+                            {
+                                wrong_epoch.fetch_add(1, Ordering::Relaxed);
+                            }
+                            last_epoch = resp.epoch;
+                            if resp.epoch > base_epoch {
+                                post_seen += 1;
+                                post.fetch_add(1, Ordering::Relaxed);
+                            } else {
+                                pre.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                        Err(_) => {
+                            failures.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                    i += 1;
+                }
+                if post_seen < need {
+                    // Deadline hit: count it as a failure so --check trips.
+                    failures.fetch_add(1, Ordering::Relaxed);
+                }
+                requests
+            })
+        })
+        .collect();
+
+    // Let traffic build on the old epoch, then hot-swap through the
+    // public endpoint. The wait is bounded so dead client threads fail
+    // the drill instead of hanging it.
+    let mut ops = Client::connect(addr).expect("ops connect");
+    let wait_deadline = Instant::now() + Duration::from_secs(60);
+    while pre.load(Ordering::Relaxed) < (cfg.clients * 3) as u64
+        && failures.load(Ordering::Relaxed) == 0
+        && Instant::now() < wait_deadline
+    {
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    let ack_epoch = ops
+        .reload(snapshot_b.to_str().expect("utf-8 path"))
+        .expect("reload accepted");
+    reload_acked.store(true, Ordering::SeqCst);
+
+    let requests: u64 = threads.into_iter().map(|t| t.join().unwrap()).sum();
+    ReloadPhase {
+        requests,
+        pre_reload: pre.load(Ordering::Relaxed),
+        post_reload: post.load(Ordering::Relaxed),
+        failures: failures.load(Ordering::Relaxed),
+        wrong_epoch: wrong_epoch.load(Ordering::Relaxed),
+        reload_ack_epoch: ack_epoch,
+    }
+}
+
+fn json_num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.2}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn emit_json(
+    path: &str,
+    cfg: &BenchConfig,
+    single: &SinglePhase,
+    batched: &BatchedPhase,
+    reload: &ReloadPhase,
+) {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"bench\": \"serve_rpc\",\n");
+    out.push_str(&format!("  \"scale\": \"{}\",\n", cfg.scale));
+    out.push_str("  \"api_version\": 1,\n");
+    out.push_str(&format!(
+        "  \"config\": {{\"features\": {}, \"labels\": {}, \"hidden\": {}, \"clients\": {}, \"batch\": {}}},\n",
+        cfg.features, cfg.labels, cfg.hidden, cfg.clients, cfg.batch
+    ));
+    out.push_str(&format!(
+        "  \"single\": {{\"requests\": {}, \"requests_per_s\": {}, \"mean_us\": {}, \"p50_us\": {}, \"p99_us\": {}}},\n",
+        single.requests,
+        json_num(single.requests as f64 / single.wall_s.max(1e-12)),
+        json_num(single.mean_us),
+        json_num(single.p50_us),
+        json_num(single.p99_us),
+    ));
+    out.push_str(&format!(
+        "  \"batched\": {{\"requests\": {}, \"examples\": {}, \"examples_per_s\": {}}},\n",
+        batched.requests,
+        batched.examples,
+        json_num(batched.examples as f64 / batched.wall_s.max(1e-12)),
+    ));
+    out.push_str(&format!(
+        "  \"reload\": {{\"requests\": {}, \"pre_reload\": {}, \"post_reload\": {}, \"failures\": {}, \"wrong_epoch\": {}, \"ack_epoch\": {}}}\n",
+        reload.requests,
+        reload.pre_reload,
+        reload.post_reload,
+        reload.failures,
+        reload.wrong_epoch,
+        reload.reload_ack_epoch,
+    ));
+    out.push_str("}\n");
+    std::fs::write(path, out).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+    eprintln!("wrote {path}");
+}
+
+fn main() {
+    let mut scale = Scale::Smoke;
+    let mut csv = false;
+    let mut check = false;
+    let mut out_path = String::from("BENCH_serve_rpc.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--csv" => csv = true,
+            "--smoke" => scale = Scale::Smoke,
+            "--check" => check = true,
+            "--out" => out_path = args.next().expect("--out requires a path"),
+            other => {
+                scale = Scale::parse(other).unwrap_or_else(|| {
+                    panic!(
+                        "unknown argument {other:?}; expected smoke|medium|full, --smoke, --csv, --check, --out PATH"
+                    )
+                });
+            }
+        }
+    }
+    let cfg = BenchConfig::for_scale(scale);
+    eprintln!(
+        "serve_rpc {scale}: {} classes x {} features, {} clients, batch {}",
+        cfg.labels, cfg.features, cfg.clients, cfg.batch
+    );
+
+    // Train snapshot A (the serving model) and snapshot B (the
+    // "retrained" model the reload drill swaps in).
+    let mut synth = SyntheticConfig::delicious_like(Scale::Smoke).with_seed(0x5EC7);
+    synth.feature_dim = cfg.features;
+    synth.label_dim = cfg.labels;
+    synth.train_size = cfg.train_size;
+    synth.test_size = 256;
+    let data = generate(&synth);
+    let net_config = NetworkConfig::builder(data.train.feature_dim(), data.train.label_dim())
+        .hidden(cfg.hidden)
+        .output_lsh(LshLayerConfig::simhash(4, 16).with_tables(10, cfg.labels))
+        .learning_rate(2e-3)
+        .seed(0xBE11)
+        .build()
+        .expect("valid config");
+    let mut trainer = SlideTrainer::new(net_config).expect("valid network");
+    trainer.train(
+        &data.train,
+        &TrainOptions::new(cfg.epochs).batch_size(64).seed(7),
+    );
+    let dir = std::env::temp_dir();
+    let path_a = dir.join(format!(
+        "slide_serve_rpc_a_{}.slidesnap",
+        std::process::id()
+    ));
+    let path_b = dir.join(format!(
+        "slide_serve_rpc_b_{}.slidesnap",
+        std::process::id()
+    ));
+    trainer
+        .network()
+        .save_snapshot(&path_a)
+        .expect("snapshot A");
+    trainer.train(&data.train, &TrainOptions::new(1).batch_size(64).seed(8));
+    trainer
+        .network()
+        .save_snapshot(&path_b)
+        .expect("snapshot B");
+
+    let inputs: Arc<Vec<SparseVector>> = Arc::new(
+        data.test
+            .iter()
+            .map(|ex| ex.features.clone())
+            .collect::<Vec<_>>(),
+    );
+
+    let options = ServeOptions::default().with_top_k(5);
+    let handle = Arc::new(EngineHandle::from_snapshot_file(&path_a, options).expect("load A"));
+    let server = HttpServer::serve(Arc::clone(&handle), "127.0.0.1:0", HttpOptions::default())
+        .expect("bind");
+    let addr = server.local_addr();
+    eprintln!("serving on http://{addr}");
+
+    eprintln!("phase 1: single-request latency ...");
+    let single = run_single(addr, &inputs, cfg.single_requests);
+    eprintln!("phase 2: batched throughput ...");
+    let batched = run_batched(addr, &inputs, &cfg);
+    eprintln!("phase 3: hot-reload drill ...");
+    let reload = run_reload_drill(addr, &inputs, &cfg, &path_b, &server);
+
+    let mut printer = TablePrinter::new(
+        vec![
+            "phase", "requests", "req/s", "ex/s", "mean_us", "p50_us", "p99_us",
+        ],
+        csv,
+    );
+    printer.row(vec![
+        "single".to_string(),
+        single.requests.to_string(),
+        format!("{:.0}", single.requests as f64 / single.wall_s.max(1e-12)),
+        format!("{:.0}", single.requests as f64 / single.wall_s.max(1e-12)),
+        format!("{:.1}", single.mean_us),
+        format!("{:.1}", single.p50_us),
+        format!("{:.1}", single.p99_us),
+    ]);
+    printer.row(vec![
+        "batched".to_string(),
+        batched.requests.to_string(),
+        format!("{:.0}", batched.requests as f64 / batched.wall_s.max(1e-12)),
+        format!("{:.0}", batched.examples as f64 / batched.wall_s.max(1e-12)),
+        "-".to_string(),
+        "-".to_string(),
+        "-".to_string(),
+    ]);
+    printer.row(vec![
+        "reload".to_string(),
+        reload.requests.to_string(),
+        format!("pre={} post={}", reload.pre_reload, reload.post_reload),
+        format!("fail={}", reload.failures),
+        format!("wrong_epoch={}", reload.wrong_epoch),
+        format!("ack_epoch={}", reload.reload_ack_epoch),
+        "-".to_string(),
+    ]);
+    printer.print();
+
+    let http = server.stats();
+    println!(
+        "http: {} connections, {} requests, 2xx={} 4xx={} 5xx={}",
+        http.connections, http.requests, http.responses_2xx, http.responses_4xx, http.responses_5xx
+    );
+    emit_json(&out_path, &cfg, &single, &batched, &reload);
+
+    server.shutdown();
+    std::fs::remove_file(&path_a).ok();
+    std::fs::remove_file(&path_b).ok();
+
+    if check {
+        let mut failed = false;
+        if reload.failures > 0 || http.responses_4xx > 0 || http.responses_5xx > 0 {
+            eprintln!(
+                "FAIL: non-2xx traffic (drill failures {}, 4xx {}, 5xx {})",
+                reload.failures, http.responses_4xx, http.responses_5xx
+            );
+            failed = true;
+        }
+        if reload.wrong_epoch > 0 {
+            eprintln!(
+                "FAIL: {} wrong-epoch answers after reload ack",
+                reload.wrong_epoch
+            );
+            failed = true;
+        }
+        if reload.reload_ack_epoch < 2 || reload.post_reload == 0 {
+            eprintln!("FAIL: reload never took effect");
+            failed = true;
+        }
+        if failed {
+            std::process::exit(1);
+        }
+        eprintln!("check passed: zero failures, zero wrong-epoch answers");
+    }
+}

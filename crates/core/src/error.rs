@@ -1,6 +1,56 @@
 //! Error types for network construction and training.
+//!
+//! [`SlideError`] is the crate-wide umbrella: every fallible path in
+//! `slide-core` (config validation, snapshot restore) converges on it, so
+//! downstream layers — the serving crate's `ServeError` in particular —
+//! can wrap one type instead of enumerating each module's errors.
 
 use std::fmt;
+
+use crate::snapshot::SnapshotError;
+
+/// Umbrella error for every fallible `slide-core` operation.
+///
+/// Both leaf error types convert into it with `?`, and the serving layer
+/// wraps it in turn, so an HTTP front-end maps each failure onto exactly
+/// one status code without pattern-matching across crates.
+#[derive(Debug)]
+pub enum SlideError {
+    /// A [`crate::config::NetworkConfig`] failed validation.
+    Config(ConfigError),
+    /// A snapshot failed to serialize or restore.
+    Snapshot(SnapshotError),
+}
+
+impl fmt::Display for SlideError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SlideError::Config(e) => write!(f, "config: {e}"),
+            SlideError::Snapshot(e) => write!(f, "snapshot: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SlideError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SlideError::Config(e) => Some(e),
+            SlideError::Snapshot(e) => Some(e),
+        }
+    }
+}
+
+impl From<ConfigError> for SlideError {
+    fn from(e: ConfigError) -> Self {
+        SlideError::Config(e)
+    }
+}
+
+impl From<SnapshotError> for SlideError {
+    fn from(e: SnapshotError) -> Self {
+        SlideError::Snapshot(e)
+    }
+}
 
 /// Error returned when a [`crate::config::NetworkConfig`] is inconsistent.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -60,5 +110,17 @@ mod tests {
     fn error_is_send_sync() {
         fn assert_send_sync<T: Send + Sync + std::error::Error>() {}
         assert_send_sync::<ConfigError>();
+        assert_send_sync::<SlideError>();
+    }
+
+    #[test]
+    fn slide_error_wraps_both_leaves() {
+        let c: SlideError = ConfigError::NoLayers.into();
+        assert!(c.to_string().contains("layer"));
+        let s: SlideError = SnapshotError::BadMagic.into();
+        assert!(s.to_string().contains("magic"));
+        use std::error::Error;
+        assert!(c.source().is_some());
+        assert!(s.source().is_some());
     }
 }

@@ -71,7 +71,7 @@ pub mod trainer;
 
 pub use baseline::{DenseTrainer, SampledSoftmaxTrainer, StaticSampledSelector};
 pub use config::{Activation, FamilySpec, LayerConfig, LshLayerConfig, NetworkConfig};
-pub use error::ConfigError;
+pub use error::{ConfigError, SlideError};
 pub use inference::{BatchReport, BatchScratch, InferenceSelector, TopK};
 pub use network::{Network, Workspace, WorkspacePool};
 pub use schedule::{RebuildSchedule, RebuildState};

@@ -632,6 +632,123 @@ mod tests {
     }
 
     #[test]
+    fn malformed_snapshots_return_matching_typed_errors() {
+        // Table-driven failure paths: every mutation must surface as the
+        // matching typed error — never a panic, never a wrong category.
+        // The checksum is recomputed after each mutation (except in the
+        // corruption cases, where the stale checksum *is* the failure) so
+        // each case reaches the check it targets.
+        enum Expect {
+            Corrupt,
+            BadMagic,
+            UnsupportedVersion(u32),
+        }
+        let fix_checksum = |bytes: &mut Vec<u8>| {
+            let n = bytes.len();
+            let check = fnv1a(&bytes[..n - 8]).to_le_bytes();
+            bytes[n - 8..].copy_from_slice(&check);
+        };
+        type Case = (&'static str, Box<dyn Fn(Vec<u8>) -> Vec<u8>>, Expect);
+        let cases: Vec<Case> = vec![
+            ("empty", Box::new(|_| Vec::new()), Expect::Corrupt),
+            (
+                "truncated inside magic",
+                Box::new(|b: Vec<u8>| b[..4].to_vec()),
+                Expect::Corrupt,
+            ),
+            (
+                "truncated inside config",
+                Box::new(|b: Vec<u8>| b[..30].to_vec()),
+                Expect::Corrupt,
+            ),
+            (
+                "truncated inside parameters",
+                Box::new(|b: Vec<u8>| {
+                    let cut = b.len() * 3 / 4;
+                    let mut t = b[..cut].to_vec();
+                    // Long enough to carry its own (recomputed) checksum,
+                    // so the *payload* truncation is what fails.
+                    let n = t.len();
+                    let check = fnv1a(&t[..n - 8]).to_le_bytes();
+                    t[n - 8..].copy_from_slice(&check);
+                    t
+                }),
+                Expect::Corrupt,
+            ),
+            (
+                "last byte missing",
+                Box::new(|b: Vec<u8>| b[..b.len() - 1].to_vec()),
+                Expect::Corrupt,
+            ),
+            (
+                "checksum bytes flipped",
+                Box::new(|mut b: Vec<u8>| {
+                    let n = b.len();
+                    b[n - 1] ^= 0xFF;
+                    b
+                }),
+                Expect::Corrupt,
+            ),
+            (
+                "header byte corrupted",
+                Box::new(|mut b: Vec<u8>| {
+                    b[20] ^= 0x10;
+                    b
+                }),
+                Expect::Corrupt,
+            ),
+            (
+                "weight byte corrupted",
+                Box::new(|mut b: Vec<u8>| {
+                    let mid = b.len() / 2;
+                    b[mid] ^= 0x01;
+                    b
+                }),
+                Expect::Corrupt,
+            ),
+            (
+                "bad magic (checksum fixed up)",
+                Box::new(move |mut b: Vec<u8>| {
+                    b[..8].copy_from_slice(b"NOTSNAPS");
+                    fix_checksum(&mut b);
+                    b
+                }),
+                Expect::BadMagic,
+            ),
+            (
+                "future version 2 (checksum fixed up)",
+                Box::new(move |mut b: Vec<u8>| {
+                    b[8..12].copy_from_slice(&2u32.to_le_bytes());
+                    fix_checksum(&mut b);
+                    b
+                }),
+                Expect::UnsupportedVersion(2),
+            ),
+            (
+                "future version u32::MAX (checksum fixed up)",
+                Box::new(move |mut b: Vec<u8>| {
+                    b[8..12].copy_from_slice(&u32::MAX.to_le_bytes());
+                    fix_checksum(&mut b);
+                    b
+                }),
+                Expect::UnsupportedVersion(u32::MAX),
+            ),
+        ];
+        let good = trained_network().to_snapshot_bytes();
+        for (name, mutate, expect) in cases {
+            let bytes = mutate(good.clone());
+            let got = Network::from_snapshot_bytes(&bytes);
+            match (expect, got) {
+                (Expect::Corrupt, Err(SnapshotError::Corrupt(_))) => {}
+                (Expect::BadMagic, Err(SnapshotError::BadMagic)) => {}
+                (Expect::UnsupportedVersion(want), Err(SnapshotError::UnsupportedVersion(v)))
+                    if v == want => {}
+                (_, got) => panic!("case {name:?}: wrong outcome {got:?}"),
+            }
+        }
+    }
+
+    #[test]
     fn file_round_trip() {
         let net = trained_network();
         let path = std::env::temp_dir().join("slide_snapshot_test.slidesnap");

@@ -87,6 +87,33 @@ impl SparseVector {
         Ok(Self { indices, values })
     }
 
+    /// Builds a vector from parallel index/value arrays that may arrive
+    /// unsorted — the wire-payload entry point. Indices are sorted and
+    /// duplicates summed (the natural reading of a repeated feature in a
+    /// request); only a length mismatch is an error.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseSparseError::LengthMismatch`] if the arrays differ
+    /// in length.
+    pub fn from_unsorted_parts(
+        indices: Vec<u32>,
+        values: Vec<f32>,
+    ) -> Result<Self, ParseSparseError> {
+        if indices.len() != values.len() {
+            return Err(ParseSparseError::LengthMismatch {
+                indices: indices.len(),
+                values: values.len(),
+            });
+        }
+        if indices.windows(2).all(|w| w[0] < w[1]) {
+            // Already strictly sorted (the common case for well-behaved
+            // clients): adopt the buffers without re-pairing.
+            return Ok(Self { indices, values });
+        }
+        Ok(Self::from_pairs(indices.into_iter().zip(values)))
+    }
+
     /// Builds a vector from `(index, value)` pairs, sorting them and
     /// summing duplicates.
     pub fn from_pairs<I: IntoIterator<Item = (u32, f32)>>(pairs: I) -> Self {
@@ -288,6 +315,23 @@ mod tests {
         assert_eq!(
             SparseVector::from_parts(vec![1, 1], vec![1.0, 2.0]),
             Err(ParseSparseError::Unsorted { position: 1 })
+        );
+    }
+
+    #[test]
+    fn from_unsorted_parts_sorts_merges_and_validates() {
+        let v = SparseVector::from_unsorted_parts(vec![5, 2, 5], vec![1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(v.indices(), &[2, 5]);
+        assert_eq!(v.values(), &[2.0, 4.0]);
+        // Sorted input is adopted unchanged.
+        let v = SparseVector::from_unsorted_parts(vec![1, 9], vec![0.5, -1.0]).unwrap();
+        assert_eq!(v.indices(), &[1, 9]);
+        assert_eq!(
+            SparseVector::from_unsorted_parts(vec![1, 2], vec![1.0]),
+            Err(ParseSparseError::LengthMismatch {
+                indices: 2,
+                values: 1
+            })
         );
     }
 

@@ -19,6 +19,7 @@ use std::time::{Duration, Instant};
 use slide_data::SparseVector;
 
 use crate::engine::{Prediction, ServingEngine};
+use crate::error::ServeError;
 
 /// Sizing for a [`BatchServer`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -66,7 +67,7 @@ struct Job {
     features: SparseVector,
     k: usize,
     enqueued: Instant,
-    reply: mpsc::Sender<Prediction>,
+    reply: mpsc::Sender<Result<Prediction, ServeError>>,
 }
 
 #[derive(Default)]
@@ -105,14 +106,20 @@ pub struct ServerStats {
 /// Handle to one in-flight request; resolves to its [`Prediction`].
 #[derive(Debug)]
 pub struct RequestHandle {
-    rx: mpsc::Receiver<Prediction>,
+    rx: mpsc::Receiver<Result<Prediction, ServeError>>,
 }
 
 impl RequestHandle {
-    /// Blocks until the prediction arrives. Returns `None` if the server
-    /// shut down before answering.
-    pub fn wait(self) -> Option<Prediction> {
-        self.rx.recv().ok()
+    /// Blocks until the prediction arrives.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::ServerShutdown`] if the worker pool shut
+    /// down (or a worker died) before answering — a dead pool is a typed
+    /// error, never a silent non-answer — and forwards any typed error
+    /// the engine returned for this request.
+    pub fn wait(self) -> Result<Prediction, ServeError> {
+        self.rx.recv().map_err(|_| ServeError::ServerShutdown)?
     }
 }
 
@@ -158,26 +165,26 @@ impl BatchServer {
     }
 
     /// Enqueues a request for the engine's configured `top_k`.
-    pub fn submit(&self, features: SparseVector) -> RequestHandle {
-        let k = self.shared.engine.options().top_k;
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::FeatureIndexOutOfRange`] if the request's
+    /// feature indices do not fit the network's input dimension.
+    pub fn submit(&self, features: SparseVector) -> Result<RequestHandle, ServeError> {
+        let k = self.shared.engine.default_top_k();
         self.submit_k(features, k)
     }
 
     /// Enqueues a request for an explicit `k`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `k == 0` or the request's feature indices exceed the
-    /// network's input dimension. Both checks run on the submitting
-    /// thread, so a malformed request can never kill a worker.
-    pub fn submit_k(&self, features: SparseVector, k: usize) -> RequestHandle {
-        assert!(k > 0, "k must be positive");
-        assert!(
-            features.min_dim() <= self.shared.engine.input_dim(),
-            "request feature index out of range: needs dim {}, network input_dim is {}",
-            features.min_dim(),
-            self.shared.engine.input_dim()
-        );
+    /// Returns [`ServeError::InvalidTopK`] if `k == 0`, or
+    /// [`ServeError::FeatureIndexOutOfRange`] on an out-of-range feature
+    /// index. Both checks run on the submitting thread, so a malformed
+    /// request is rejected before it can ever reach a worker.
+    pub fn submit_k(&self, features: SparseVector, k: usize) -> Result<RequestHandle, ServeError> {
+        self.shared.engine.validate_request(&features, k)?;
         let (reply, rx) = mpsc::channel();
         {
             let mut q = self
@@ -193,19 +200,17 @@ impl BatchServer {
             });
         }
         self.shared.available.notify_one();
-        RequestHandle { rx }
+        Ok(RequestHandle { rx })
     }
 
     /// Blocking request: enqueue, wait, return the prediction.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the server shut down before answering (cannot happen
-    /// while the caller holds `&self`).
-    pub fn predict(&self, features: SparseVector) -> Prediction {
-        self.submit(features)
-            .wait()
-            .expect("server alive while borrowed")
+    /// Returns the submit-time validation error, or
+    /// [`ServeError::ServerShutdown`] if the pool died before answering.
+    pub fn predict(&self, features: SparseVector) -> Result<Prediction, ServeError> {
+        self.submit(features)?.wait()
     }
 
     /// The engine behind this server.
@@ -284,7 +289,8 @@ fn worker_loop(shared: &Shared, max_batch: usize) {
     let mut predictions: Vec<crate::engine::Prediction> = Vec::with_capacity(max_batch);
     let mut feats: Vec<SparseVector> = Vec::with_capacity(max_batch);
     let mut ks: Vec<usize> = Vec::with_capacity(max_batch);
-    let mut replies: Vec<mpsc::Sender<crate::engine::Prediction>> = Vec::with_capacity(max_batch);
+    let mut replies: Vec<mpsc::Sender<Result<crate::engine::Prediction, ServeError>>> =
+        Vec::with_capacity(max_batch);
     loop {
         // Drain up to max_batch jobs in one critical section.
         {
@@ -335,19 +341,39 @@ fn worker_loop(shared: &Shared, max_batch: usize) {
                 replies.push(job.reply);
             }
             predictions.clear();
-            shared
-                .engine
-                .predict_batch_in(&mut ws, &mut scratch, &feats, &ks, &mut predictions);
-            c.requests.fetch_add(feats.len() as u64, Ordering::Relaxed);
-            for (reply, prediction) in replies.drain(..).zip(predictions.drain(..)) {
-                // A dropped handle just discards the answer.
-                reply.send(prediction).ok();
+            match shared.engine.predict_batch_in(
+                &mut ws,
+                &mut scratch,
+                &feats,
+                &ks,
+                &mut predictions,
+            ) {
+                Ok(()) => {
+                    c.requests.fetch_add(feats.len() as u64, Ordering::Relaxed);
+                    for (reply, prediction) in replies.drain(..).zip(predictions.drain(..)) {
+                        // A dropped handle just discards the answer.
+                        reply.send(Ok(prediction)).ok();
+                    }
+                }
+                Err(_) => {
+                    // Jobs are validated at submit, so a batch-level
+                    // rejection should be unreachable; if it ever happens,
+                    // answer each job individually so every caller gets
+                    // its own typed result instead of a shared error.
+                    for ((features, k), reply) in
+                        feats.drain(..).zip(ks.drain(..)).zip(replies.drain(..))
+                    {
+                        let result = shared.engine.predict_in(&mut ws, &features, k);
+                        c.requests.fetch_add(1, Ordering::Relaxed);
+                        reply.send(result).ok();
+                    }
+                }
             }
         } else {
             for job in batch.drain(..) {
-                let prediction = shared.engine.predict_in(&mut ws, &job.features, job.k);
+                let result = shared.engine.predict_in(&mut ws, &job.features, job.k);
                 c.requests.fetch_add(1, Ordering::Relaxed);
-                job.reply.send(prediction).ok();
+                job.reply.send(result).ok();
             }
         }
     }
@@ -383,7 +409,7 @@ mod tests {
             .test
             .iter()
             .take(30)
-            .map(|ex| server.submit(ex.features.clone()))
+            .map(|ex| server.submit(ex.features.clone()).unwrap())
             .collect();
         for h in handles {
             let p = h.wait().expect("answered");
@@ -403,7 +429,11 @@ mod tests {
         // after the backlog builds must pick up more than one job.
         let (server, data) = tiny_server(BatchOptions::default().with_workers(1).with_max_batch(8));
         let handles: Vec<RequestHandle> = (0..64)
-            .map(|i| server.submit(data.test.examples()[i % data.test.len()].features.clone()))
+            .map(|i| {
+                server
+                    .submit(data.test.examples()[i % data.test.len()].features.clone())
+                    .unwrap()
+            })
             .collect();
         for h in handles {
             h.wait().expect("answered");
@@ -427,7 +457,7 @@ mod tests {
                 std::thread::spawn(move || {
                     for i in 0..20 {
                         let ex = &data.test.examples()[(t * 20 + i) % data.test.len()];
-                        let p = server.predict(ex.features.clone());
+                        let p = server.predict(ex.features.clone()).unwrap();
                         assert!(p.topk.len() <= 3);
                     }
                 })
@@ -447,11 +477,40 @@ mod tests {
             .test
             .iter()
             .take(10)
-            .map(|ex| server.submit(ex.features.clone()))
+            .map(|ex| server.submit(ex.features.clone()).unwrap())
             .collect();
         server.shutdown();
         // Workers drain the queue before exiting, so every handle resolves.
-        let answered = handles.into_iter().filter_map(RequestHandle::wait).count();
+        let answered = handles.into_iter().filter_map(|h| h.wait().ok()).count();
         assert_eq!(answered, 10);
+    }
+
+    #[test]
+    fn malformed_submissions_are_rejected_on_the_submitting_thread() {
+        let (server, data) = tiny_server(BatchOptions::default());
+        let dim = server.engine().input_dim();
+        let bad = SparseVector::from_pairs([(dim as u32 + 5, 1.0)]);
+        assert!(matches!(
+            server.submit(bad),
+            Err(ServeError::FeatureIndexOutOfRange { .. })
+        ));
+        assert!(matches!(
+            server.submit_k(data.test.examples()[0].features.clone(), 0),
+            Err(ServeError::InvalidTopK { .. })
+        ));
+        // The pool is still healthy after rejections.
+        let p = server.predict(data.test.examples()[0].features.clone());
+        assert!(p.is_ok());
+    }
+
+    #[test]
+    fn dead_worker_pool_surfaces_as_typed_shutdown_error() {
+        // A handle whose reply sender is gone without an answer models a
+        // dead pool: wait() must return the typed error, not hang or
+        // panic.
+        let (tx, rx) = mpsc::channel::<Result<Prediction, ServeError>>();
+        drop(tx);
+        let handle = RequestHandle { rx };
+        assert!(matches!(handle.wait(), Err(ServeError::ServerShutdown)));
     }
 }

@@ -1,0 +1,351 @@
+//! A minimal blocking HTTP/1.1 client for the `v1` service API.
+//!
+//! Dependency-free like the server, it exists so examples, tests, and
+//! the `serve_rpc` bench can drive a running [`crate::http::HttpServer`]
+//! over a real socket with typed requests and responses. One [`Client`]
+//! holds one keep-alive connection and transparently reconnects once if
+//! the server closed it between requests (idle timeout, restart).
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+
+use slide_data::SparseVector;
+
+use crate::json::{self, Json};
+use crate::wire::{self, PredictRequest, PredictResponse};
+
+/// Client-side failure talking to the service.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket-level failure (after the one reconnect attempt).
+    Io(std::io::Error),
+    /// The peer's bytes were not parseable as HTTP or as the wire
+    /// schema.
+    Protocol(String),
+    /// The service answered with a non-2xx status and a wire
+    /// `ErrorBody`.
+    Api {
+        /// HTTP status.
+        status: u16,
+        /// Machine-readable code from the error body.
+        code: String,
+        /// Human-readable message from the error body.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "io: {e}"),
+            ClientError::Protocol(m) => write!(f, "protocol: {m}"),
+            ClientError::Api {
+                status,
+                code,
+                message,
+            } => write!(f, "api error {status} ({code}): {message}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// Decoded `/healthz` answer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Health {
+    /// The model epoch currently serving.
+    pub epoch: u64,
+}
+
+struct Conn {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+/// One keep-alive connection to a serving front-end.
+pub struct Client {
+    addr: SocketAddr,
+    conn: Option<Conn>,
+}
+
+impl std::fmt::Debug for Client {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Client").field("addr", &self.addr).finish()
+    }
+}
+
+impl Client {
+    /// Connects to `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the connect error.
+    pub fn connect(addr: SocketAddr) -> std::io::Result<Self> {
+        let mut c = Self { addr, conn: None };
+        c.reconnect()?;
+        Ok(c)
+    }
+
+    fn reconnect(&mut self) -> std::io::Result<()> {
+        let stream = TcpStream::connect(self.addr)?;
+        stream.set_nodelay(true).ok();
+        let reader = BufReader::new(stream.try_clone()?);
+        self.conn = Some(Conn {
+            reader,
+            writer: stream,
+        });
+        Ok(())
+    }
+
+    /// Sends one request and returns `(status, body)`. Reuses the
+    /// keep-alive connection. Only `GET`s are retried on a fresh
+    /// connection after a transport failure: a failed non-idempotent
+    /// request may already have been executed server-side (the response
+    /// was lost, not necessarily the request), so replaying it is the
+    /// caller's decision. The typed `predict*` helpers opt into the
+    /// retry because prediction is pure; [`Client::reload`] never
+    /// retries.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClientError::Io`] / [`ClientError::Protocol`] on
+    /// transport failures. Non-2xx statuses are returned as `Ok`; typed
+    /// helpers layer [`ClientError::Api`] on top.
+    pub fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> Result<(u16, String), ClientError> {
+        self.request_with_retry(method, path, body, method.eq_ignore_ascii_case("GET"))
+    }
+
+    fn request_with_retry(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+        retry: bool,
+    ) -> Result<(u16, String), ClientError> {
+        match self.try_request(method, path, body) {
+            Ok(r) => Ok(r),
+            Err(ClientError::Io(_)) | Err(ClientError::Protocol(_)) if retry => {
+                // One retry on a fresh connection (try_request dropped
+                // the broken one).
+                self.reconnect()?;
+                self.try_request(method, path, body)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    fn try_request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> Result<(u16, String), ClientError> {
+        if self.conn.is_none() {
+            self.reconnect()?;
+        }
+        let result = {
+            let conn = self.conn.as_mut().expect("connected above");
+            Self::roundtrip(conn, method, path, body)
+        };
+        match result {
+            Ok((status, body, keep_alive)) => {
+                if !keep_alive {
+                    self.conn = None;
+                }
+                Ok((status, body))
+            }
+            Err(e) => {
+                // A broken connection is stale state: drop it so the
+                // caller (or the retry above) starts clean.
+                self.conn = None;
+                Err(e)
+            }
+        }
+    }
+
+    fn roundtrip(
+        conn: &mut Conn,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> Result<(u16, String, bool), ClientError> {
+        let body = body.unwrap_or("");
+        let head = format!(
+            "{method} {path} HTTP/1.1\r\nHost: slide\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: keep-alive\r\n\r\n",
+            body.len()
+        );
+        conn.writer.write_all(head.as_bytes())?;
+        conn.writer.write_all(body.as_bytes())?;
+        conn.writer.flush()?;
+
+        let status_line = read_line(&mut conn.reader)?;
+        let mut parts = status_line.split_whitespace();
+        let (Some(version), Some(status)) = (parts.next(), parts.next()) else {
+            return Err(ClientError::Protocol(format!(
+                "bad status line {status_line:?}"
+            )));
+        };
+        if !version.starts_with("HTTP/1.") {
+            return Err(ClientError::Protocol(format!(
+                "bad status line {status_line:?}"
+            )));
+        }
+        let status: u16 = status
+            .parse()
+            .map_err(|_| ClientError::Protocol(format!("bad status {status:?}")))?;
+        let mut content_length = 0usize;
+        let mut keep_alive = true;
+        loop {
+            let header = read_line(&mut conn.reader)?;
+            if header.is_empty() {
+                break;
+            }
+            let Some((name, value)) = header.split_once(':') else {
+                return Err(ClientError::Protocol(format!("bad header {header:?}")));
+            };
+            let name = name.trim().to_ascii_lowercase();
+            let value = value.trim();
+            match name.as_str() {
+                "content-length" => {
+                    content_length = value
+                        .parse()
+                        .map_err(|_| ClientError::Protocol("bad content-length".into()))?;
+                }
+                "connection" if value.eq_ignore_ascii_case("close") => keep_alive = false,
+                _ => {}
+            }
+        }
+        let mut body = vec![0u8; content_length];
+        conn.reader.read_exact(&mut body)?;
+        let body = String::from_utf8(body)
+            .map_err(|_| ClientError::Protocol("non-utf8 response body".into()))?;
+        Ok((status, body, keep_alive))
+    }
+
+    fn expect_2xx(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+        retry: bool,
+    ) -> Result<String, ClientError> {
+        let (status, body) = self.request_with_retry(method, path, body, retry)?;
+        if (200..300).contains(&status) {
+            Ok(body)
+        } else {
+            let (code, message) = wire::decode_error_body(&body);
+            Err(ClientError::Api {
+                status,
+                code,
+                message,
+            })
+        }
+    }
+
+    /// `GET /healthz`.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures or a non-2xx answer.
+    pub fn healthz(&mut self) -> Result<Health, ClientError> {
+        let body = self.expect_2xx("GET", "/healthz", None, true)?;
+        let v =
+            json::parse(&body).map_err(|e| ClientError::Protocol(format!("healthz body: {e}")))?;
+        let epoch = v
+            .get("epoch")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| ClientError::Protocol("healthz missing epoch".into()))?;
+        Ok(Health { epoch })
+    }
+
+    /// `POST /v1/predict` with one input.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures or a non-2xx answer ([`ClientError::Api`]).
+    pub fn predict(
+        &mut self,
+        features: &SparseVector,
+        top_k: Option<usize>,
+    ) -> Result<PredictResponse, ClientError> {
+        self.predict_batch(std::slice::from_ref(features), top_k)
+    }
+
+    /// `POST /v1/predict` with a batch of inputs (a single input uses
+    /// the wire's single form).
+    ///
+    /// # Errors
+    ///
+    /// Transport failures or a non-2xx answer ([`ClientError::Api`]).
+    pub fn predict_batch(
+        &mut self,
+        features: &[SparseVector],
+        top_k: Option<usize>,
+    ) -> Result<PredictResponse, ClientError> {
+        let req = PredictRequest {
+            inputs: features.to_vec(),
+            top_k,
+        };
+        let body = wire::encode_predict_request(&req);
+        // Prediction is a pure function of the snapshot, so replaying it
+        // after a broken keep-alive connection is safe.
+        let resp = self.expect_2xx("POST", "/v1/predict", Some(&body), true)?;
+        wire::decode_predict_response(&resp)
+            .map_err(|e| ClientError::Protocol(format!("predict body: {e}")))
+    }
+
+    /// `POST /v1/reload` with a snapshot path; returns the new epoch.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures or a non-2xx answer ([`ClientError::Api`]).
+    pub fn reload(&mut self, snapshot_path: &str) -> Result<u64, ClientError> {
+        let mut body = String::from("{\"path\":");
+        json::push_escaped(&mut body, snapshot_path);
+        body.push('}');
+        // Never auto-replayed: a lost response does not mean a lost
+        // request, and a duplicate reload swaps the engine twice.
+        let resp = self.expect_2xx("POST", "/v1/reload", Some(&body), false)?;
+        let v =
+            json::parse(&resp).map_err(|e| ClientError::Protocol(format!("reload body: {e}")))?;
+        v.get("epoch")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| ClientError::Protocol("reload missing epoch".into()))
+    }
+
+    /// `GET /v1/stats`, parsed as raw JSON.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures or a non-2xx answer.
+    pub fn stats_json(&mut self) -> Result<Json, ClientError> {
+        let body = self.expect_2xx("GET", "/v1/stats", None, true)?;
+        json::parse(&body).map_err(|e| ClientError::Protocol(format!("stats body: {e}")))
+    }
+}
+
+fn read_line(reader: &mut BufReader<TcpStream>) -> Result<String, ClientError> {
+    let mut line = String::new();
+    let n = reader.read_line(&mut line)?;
+    if n == 0 {
+        return Err(ClientError::Io(std::io::Error::new(
+            std::io::ErrorKind::UnexpectedEof,
+            "connection closed",
+        )));
+    }
+    while line.ends_with('\n') || line.ends_with('\r') {
+        line.pop();
+    }
+    Ok(line)
+}

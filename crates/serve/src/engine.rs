@@ -6,10 +6,11 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 use slide_core::inference::{BatchScratch, InferenceSelector, TopK};
-use slide_core::snapshot::SnapshotError;
 use slide_core::{Network, WorkspacePool};
 use slide_data::SparseVector;
 use slide_lsh::QueryBudget;
+
+use crate::error::ServeError;
 
 /// Inference configuration for a [`ServingEngine`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -166,8 +167,8 @@ impl ServingEngine {
     ///
     /// # Errors
     ///
-    /// Returns [`SnapshotError`] on a malformed snapshot.
-    pub fn from_snapshot_bytes(bytes: &[u8], options: ServeOptions) -> Result<Self, SnapshotError> {
+    /// Returns [`ServeError::Core`] on a malformed snapshot.
+    pub fn from_snapshot_bytes(bytes: &[u8], options: ServeOptions) -> Result<Self, ServeError> {
         let network =
             slide_core::snapshot::read_network_with_centering(bytes, Some(options.center_rows))?;
         Ok(Self::new(network, options))
@@ -179,17 +180,17 @@ impl ServingEngine {
     ///
     /// # Errors
     ///
-    /// Returns [`SnapshotError`] on filesystem failure or a malformed
+    /// Returns [`ServeError::Core`] on filesystem failure or a malformed
     /// snapshot.
     pub fn from_snapshot_file<P: AsRef<Path>>(
         path: P,
         options: ServeOptions,
-    ) -> Result<Self, SnapshotError> {
+    ) -> Result<Self, ServeError> {
         use std::io::Read;
         let mut bytes = Vec::new();
         std::fs::File::open(path)
             .and_then(|mut f| f.read_to_end(&mut bytes))
-            .map_err(SnapshotError::from)?;
+            .map_err(slide_core::snapshot::SnapshotError::from)?;
         Self::from_snapshot_bytes(&bytes, options)
     }
 
@@ -204,17 +205,33 @@ impl ServingEngine {
     }
 
     /// Answers one request with the configured `top_k`.
-    pub fn predict(&self, features: &SparseVector) -> Prediction {
-        self.predict_k(features, self.options.top_k)
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::FeatureIndexOutOfRange`] if the request's
+    /// feature indices do not fit the network's input dimension.
+    pub fn predict(&self, features: &SparseVector) -> Result<Prediction, ServeError> {
+        self.predict_k(features, self.default_top_k())
+    }
+
+    /// The configured `top_k`, clamped to this model's output dimension.
+    /// The clamp happens per use, not at construction, so the pristine
+    /// [`ServeOptions`] carried across hot reloads keeps the operator's
+    /// configured value — a later, wider model serves the full `top_k`
+    /// again. Wire-supplied `k` overrides are validated strictly instead
+    /// (see [`ServingEngine::validate_request`]).
+    pub fn default_top_k(&self) -> usize {
+        self.options.top_k.min(self.output_dim())
     }
 
     /// Answers one request with an explicit `k`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `k == 0` or the request's feature indices exceed the
-    /// network's input dimension.
-    pub fn predict_k(&self, features: &SparseVector, k: usize) -> Prediction {
+    /// Returns [`ServeError::InvalidTopK`] if `k == 0`, or
+    /// [`ServeError::FeatureIndexOutOfRange`] if the request's feature
+    /// indices do not fit the network's input dimension.
+    pub fn predict_k(&self, features: &SparseVector, k: usize) -> Result<Prediction, ServeError> {
         let mut ws = self.checkout_workspace();
         self.predict_in(&mut ws, features, k)
     }
@@ -224,32 +241,51 @@ impl ServingEngine {
         self.network.config().input_dim
     }
 
+    /// The number of output classes (also the largest accepted `top_k`).
+    pub fn output_dim(&self) -> usize {
+        self.network.output_dim()
+    }
+
+    /// Validates one request against the engine: `k` positive and at
+    /// most the output dimension (`TopK` preallocates `k` slots — a
+    /// wire-supplied `k` must not be able to demand an arbitrary
+    /// allocation), every feature index inside the input dimension. Runs
+    /// before any weight access — an unchecked out-of-range index would
+    /// read another neuron's weights or index past the weight array
+    /// inside the forward pass.
+    pub fn validate_request(&self, features: &SparseVector, k: usize) -> Result<(), ServeError> {
+        if k == 0 || k > self.output_dim() {
+            return Err(ServeError::InvalidTopK {
+                k,
+                max: self.output_dim(),
+            });
+        }
+        let needed = features.min_dim();
+        if needed > self.input_dim() {
+            return Err(ServeError::FeatureIndexOutOfRange {
+                needed_dim: needed,
+                input_dim: self.input_dim(),
+            });
+        }
+        Ok(())
+    }
+
     /// Checks a workspace out of the engine's pool; long-lived callers
     /// (the batch server's workers) hold one across many requests.
     pub(crate) fn checkout_workspace(&self) -> slide_core::network::PooledWorkspace<'_> {
         self.pool.acquire(&self.network)
     }
 
-    /// Answers one request through a caller-held workspace.
-    ///
-    /// # Panics
-    ///
-    /// Panics (in the caller's thread, before any weight access) if the
-    /// request's feature indices exceed the network's input dimension —
-    /// an unchecked out-of-range index would read another neuron's
-    /// weights or index past the weight array inside the forward pass.
+    /// Answers one request through a caller-held workspace. Validation
+    /// ([`ServingEngine::validate_request`]) runs first, so a malformed
+    /// request returns a typed error before any weight access.
     pub(crate) fn predict_in(
         &self,
         ws: &mut slide_core::Workspace,
         features: &SparseVector,
         k: usize,
-    ) -> Prediction {
-        assert!(
-            features.min_dim() <= self.input_dim(),
-            "request feature index out of range: needs dim {}, network input_dim is {}",
-            features.min_dim(),
-            self.input_dim()
-        );
+    ) -> Result<Prediction, ServeError> {
+        self.validate_request(features, k)?;
         let mut topk = TopK::new(k);
         let t0 = Instant::now();
         self.network
@@ -267,7 +303,7 @@ impl ServingEngine {
                 .dense_fallbacks
                 .fetch_add(1, Ordering::Relaxed);
         }
-        Prediction { topk, latency }
+        Ok(Prediction { topk, latency })
     }
 
     /// Answers a batch of requests with the configured `top_k` through
@@ -275,26 +311,59 @@ impl ServingEngine {
     /// streams through the cache once for the whole batch). Results match
     /// per-request [`ServingEngine::predict`] up to floating-point
     /// summation order — batching is an execution detail.
-    pub fn predict_batch(&self, features: &[SparseVector]) -> Vec<Prediction> {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::FeatureIndexOutOfRange`] if any request's
+    /// feature indices do not fit the network's input dimension; the
+    /// whole batch is rejected before any compute.
+    pub fn predict_batch(&self, features: &[SparseVector]) -> Result<Vec<Prediction>, ServeError> {
+        self.predict_batch_k(features, self.default_top_k())
+    }
+
+    /// [`ServingEngine::predict_batch`] with an explicit `k` for every
+    /// request (the HTTP front-end's per-request `top_k` override).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::InvalidTopK`] if `k == 0`, or
+    /// [`ServeError::FeatureIndexOutOfRange`] if any request's feature
+    /// indices do not fit the network's input dimension.
+    pub fn predict_batch_k(
+        &self,
+        features: &[SparseVector],
+        k: usize,
+    ) -> Result<Vec<Prediction>, ServeError> {
+        // Batched-scoring scratch is reused per thread, mirroring what
+        // the batch server's workers do explicitly: HTTP connection
+        // threads are long-lived, so after the first batch the hot path
+        // allocates nothing but the results. (The scratch holds no
+        // network-specific state — it is cleared and refilled per call —
+        // so sharing one per thread across engines/epochs is sound.)
+        thread_local! {
+            static SCRATCH: std::cell::RefCell<BatchScratch> =
+                std::cell::RefCell::new(BatchScratch::default());
+        }
         let mut ws = self.checkout_workspace();
-        let mut scratch = BatchScratch::default();
-        let ks = vec![self.options.top_k; features.len()];
+        let ks = vec![k; features.len()];
         let mut out = Vec::with_capacity(features.len());
-        self.predict_batch_in(&mut ws, &mut scratch, features, &ks, &mut out);
-        out
+        SCRATCH.with(|scratch| {
+            self.predict_batch_in(&mut ws, &mut scratch.borrow_mut(), features, &ks, &mut out)
+        })?;
+        Ok(out)
     }
 
     /// Batched prediction through caller-held workspace and scratch (the
     /// batch server's workers hold both for their lifetime). Pushes one
     /// [`Prediction`] per request onto `out`, in request order; each
     /// request is attributed an equal share of the batch's compute
-    /// latency.
+    /// latency. Every request is validated before any compute, so a
+    /// malformed batch is rejected whole with a typed error.
     ///
     /// # Panics
     ///
-    /// Panics if `features` and `ks` lengths differ, any `k == 0`, or a
-    /// request's feature indices exceed the network's input dimension
-    /// (checked before any weight access).
+    /// Panics if `features` and `ks` lengths differ (a caller bug, not a
+    /// request property).
     pub(crate) fn predict_batch_in<B: std::borrow::Borrow<SparseVector>>(
         &self,
         ws: &mut slide_core::Workspace,
@@ -302,18 +371,13 @@ impl ServingEngine {
         features: &[B],
         ks: &[usize],
         out: &mut Vec<Prediction>,
-    ) {
+    ) -> Result<(), ServeError> {
         assert_eq!(features.len(), ks.len(), "features/ks length mismatch");
         if features.is_empty() {
-            return;
+            return Ok(());
         }
-        for f in features {
-            assert!(
-                f.borrow().min_dim() <= self.input_dim(),
-                "request feature index out of range: needs dim {}, network input_dim is {}",
-                f.borrow().min_dim(),
-                self.input_dim()
-            );
+        for (f, &k) in features.iter().zip(ks) {
+            self.validate_request(f.borrow(), k)?;
         }
         let mut topks: Vec<TopK> = ks.iter().map(|&k| TopK::new(k)).collect();
         let t0 = Instant::now();
@@ -332,6 +396,7 @@ impl ServingEngine {
                 .dense_fallbacks
                 .fetch_add(report.dense_examples as u64, Ordering::Relaxed);
         }
+        Ok(())
     }
 
     fn record(&self, latency: Duration) {
@@ -377,7 +442,7 @@ mod tests {
     #[test]
     fn predict_returns_k_ranked_classes() {
         let (engine, data) = tiny_engine(ServeOptions::default().with_top_k(3));
-        let p = engine.predict(&data.test.examples()[0].features);
+        let p = engine.predict(&data.test.examples()[0].features).unwrap();
         assert!(p.topk.len() <= 3);
         assert!(!p.topk.is_empty());
         for w in p.topk.items().windows(2) {
@@ -387,10 +452,56 @@ mod tests {
     }
 
     #[test]
+    fn out_of_range_features_return_typed_error() {
+        let (engine, _) = tiny_engine(ServeOptions::default());
+        let dim = engine.input_dim();
+        let bad = SparseVector::from_pairs([(dim as u32, 1.0)]);
+        match engine.predict(&bad) {
+            Err(ServeError::FeatureIndexOutOfRange {
+                needed_dim,
+                input_dim,
+            }) => {
+                assert_eq!(needed_dim, dim + 1);
+                assert_eq!(input_dim, dim);
+            }
+            other => panic!("expected FeatureIndexOutOfRange, got {other:?}"),
+        }
+        // The batch path rejects the whole batch on one bad request.
+        let good = SparseVector::from_pairs([(0, 1.0)]);
+        assert!(matches!(
+            engine.predict_batch(&[good, bad]),
+            Err(ServeError::FeatureIndexOutOfRange { .. })
+        ));
+        // Nothing was counted for rejected requests.
+        assert_eq!(engine.stats().requests, 0);
+    }
+
+    #[test]
+    fn out_of_bounds_k_returns_typed_error() {
+        let (engine, data) = tiny_engine(ServeOptions::default());
+        let features = &data.test.examples()[0].features;
+        assert!(matches!(
+            engine.predict_k(features, 0),
+            Err(ServeError::InvalidTopK { .. })
+        ));
+        // The upper bound caps the TopK preallocation: a wire-supplied
+        // giant k must be rejected, not allocated.
+        match engine.predict_k(features, engine.output_dim() + 1) {
+            Err(ServeError::InvalidTopK { k, max }) => {
+                assert_eq!(k, engine.output_dim() + 1);
+                assert_eq!(max, engine.output_dim());
+            }
+            other => panic!("expected InvalidTopK, got {other:?}"),
+        }
+        // k == output_dim is the largest accepted value.
+        assert!(engine.predict_k(features, engine.output_dim()).is_ok());
+    }
+
+    #[test]
     fn counters_aggregate_across_calls() {
         let (engine, data) = tiny_engine(ServeOptions::default());
         for ex in data.test.iter().take(10) {
-            engine.predict(&ex.features);
+            engine.predict(&ex.features).unwrap();
         }
         let s = engine.stats();
         assert_eq!(s.requests, 10);
@@ -408,8 +519,8 @@ mod tests {
                 .unwrap();
         for ex in data.test.iter().take(20) {
             assert_eq!(
-                direct.predict(&ex.features).topk.top1(),
-                restored.predict(&ex.features).topk.top1()
+                direct.predict(&ex.features).unwrap().topk.top1(),
+                restored.predict(&ex.features).unwrap().topk.top1()
             );
         }
     }
@@ -425,7 +536,7 @@ mod tests {
                 let data = std::sync::Arc::clone(&data);
                 std::thread::spawn(move || {
                     for ex in data.test.iter().skip(t * 10).take(10) {
-                        let p = engine.predict(&ex.features);
+                        let p = engine.predict(&ex.features).unwrap();
                         assert!(!p.topk.is_empty());
                     }
                 })

@@ -1,0 +1,356 @@
+//! Epoch-counted engine swapping — zero-downtime snapshot hot-reload.
+//!
+//! An [`EngineHandle`] sits between the network front-end and the
+//! [`ServingEngine`]: request paths grab the current `Arc<ServingEngine>`
+//! (plus the epoch that built it) and keep using it for however long
+//! their request takes, while a reload builds the *next* engine entirely
+//! off to the side and then swaps the shared pointer in one short write
+//! — no request ever observes a half-loaded model, and in-flight
+//! requests finish on the epoch they started with. The old engine is
+//! freed when the last in-flight holder drops its `Arc`.
+//!
+//! Reloads come from two places: an explicit call (the HTTP front-end's
+//! `POST /v1/reload`) and the optional [`SnapshotWatcher`] poll loop
+//! that watches a snapshot file's metadata and reloads when it changes —
+//! the "retrain somewhere, copy the file over, the server picks it up"
+//! deployment story.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+use std::time::{Duration, SystemTime};
+
+use crate::engine::{ServeOptions, ServingEngine};
+use crate::error::ServeError;
+
+struct Current {
+    engine: Arc<ServingEngine>,
+    epoch: u64,
+}
+
+/// Hot-swappable handle to the live [`ServingEngine`].
+///
+/// Cheap to read (one `RwLock` read acquisition returning a cloned
+/// `Arc`), rare to write (a reload). The epoch starts at 1 and
+/// increments on every successful swap; it is the version the HTTP
+/// layer reports in every response so a client can tell which model
+/// answered.
+pub struct EngineHandle {
+    current: RwLock<Current>,
+    /// Mirror of the epoch inside the lock, for lock-free reads on the
+    /// health path.
+    epoch: AtomicU64,
+    /// Options every reload rebuilds the engine with.
+    options: ServeOptions,
+    reloads: AtomicU64,
+    reload_failures: AtomicU64,
+}
+
+impl std::fmt::Debug for EngineHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EngineHandle")
+            .field("epoch", &self.epoch())
+            .finish()
+    }
+}
+
+impl EngineHandle {
+    /// Wraps an already-built engine at epoch 1. `options` is remembered
+    /// and applied to every subsequent reload.
+    pub fn new(engine: ServingEngine) -> Self {
+        let options = *engine.options();
+        Self {
+            current: RwLock::new(Current {
+                engine: Arc::new(engine),
+                epoch: 1,
+            }),
+            epoch: AtomicU64::new(1),
+            options,
+            reloads: AtomicU64::new(0),
+            reload_failures: AtomicU64::new(0),
+        }
+    }
+
+    /// Loads the initial engine from a snapshot file.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Core`] on filesystem failure or a malformed
+    /// snapshot.
+    pub fn from_snapshot_file<P: AsRef<Path>>(
+        path: P,
+        options: ServeOptions,
+    ) -> Result<Self, ServeError> {
+        Ok(Self::new(ServingEngine::from_snapshot_file(path, options)?))
+    }
+
+    /// The live engine and the epoch that installed it, as one
+    /// consistent pair. Hold the `Arc` for the duration of a request; a
+    /// concurrent reload does not disturb it.
+    pub fn current(&self) -> (Arc<ServingEngine>, u64) {
+        let c = self
+            .current
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        (Arc::clone(&c.engine), c.epoch)
+    }
+
+    /// The live engine (epoch ignored).
+    pub fn engine(&self) -> Arc<ServingEngine> {
+        self.current().0
+    }
+
+    /// The current model epoch (1-based, incremented per swap).
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// Successful reloads since start.
+    pub fn reloads(&self) -> u64 {
+        self.reloads.load(Ordering::Relaxed)
+    }
+
+    /// Failed reload attempts since start (the previous engine kept
+    /// serving through every one of them).
+    pub fn reload_failures(&self) -> u64 {
+        self.reload_failures.load(Ordering::Relaxed)
+    }
+
+    /// Installs an already-built engine, returning the new epoch.
+    pub fn swap(&self, engine: ServingEngine) -> u64 {
+        let engine = Arc::new(engine);
+        let mut c = self
+            .current
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        c.epoch += 1;
+        c.engine = engine;
+        let epoch = c.epoch;
+        self.epoch.store(epoch, Ordering::Release);
+        self.reloads.fetch_add(1, Ordering::Relaxed);
+        epoch
+    }
+
+    /// Builds a new engine from snapshot bytes (table rebuilds and all)
+    /// *before* touching the live pointer, then swaps. Returns the new
+    /// epoch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Core`] on a malformed snapshot; the
+    /// previous engine keeps serving.
+    pub fn reload_from_bytes(&self, bytes: &[u8]) -> Result<u64, ServeError> {
+        match ServingEngine::from_snapshot_bytes(bytes, self.options) {
+            Ok(engine) => Ok(self.swap(engine)),
+            Err(e) => {
+                self.reload_failures.fetch_add(1, Ordering::Relaxed);
+                Err(e)
+            }
+        }
+    }
+
+    /// [`EngineHandle::reload_from_bytes`] reading from a file.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Core`] on filesystem failure or a malformed
+    /// snapshot; the previous engine keeps serving.
+    pub fn reload_from_file<P: AsRef<Path>>(&self, path: P) -> Result<u64, ServeError> {
+        match ServingEngine::from_snapshot_file(path, self.options) {
+            Ok(engine) => Ok(self.swap(engine)),
+            Err(e) => {
+                self.reload_failures.fetch_add(1, Ordering::Relaxed);
+                Err(e)
+            }
+        }
+    }
+
+    /// Starts a background thread that polls `path`'s metadata every
+    /// `interval` and hot-reloads when the file's modification time or
+    /// size changes. A missing file or a failed reload leaves the
+    /// current engine serving and is retried on the next tick (counted
+    /// in [`EngineHandle::reload_failures`] when the file existed but
+    /// did not load).
+    pub fn spawn_watcher(self: &Arc<Self>, path: PathBuf, interval: Duration) -> SnapshotWatcher {
+        let handle = Arc::clone(self);
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let thread = std::thread::spawn(move || {
+            let mut last_seen: Option<(SystemTime, u64)> = fingerprint(&path);
+            while !stop_flag.load(Ordering::Relaxed) {
+                std::thread::sleep(interval);
+                if stop_flag.load(Ordering::Relaxed) {
+                    break;
+                }
+                let seen = fingerprint(&path);
+                if seen.is_some() && seen != last_seen {
+                    // Reload failures keep last_seen updated so a bad
+                    // snapshot isn't re-tried every tick until it
+                    // changes again.
+                    handle.reload_from_file(&path).ok();
+                    last_seen = seen;
+                }
+            }
+        });
+        SnapshotWatcher {
+            stop,
+            thread: Some(thread),
+        }
+    }
+}
+
+fn fingerprint(path: &Path) -> Option<(SystemTime, u64)> {
+    let meta = std::fs::metadata(path).ok()?;
+    Some((meta.modified().ok()?, meta.len()))
+}
+
+/// Guard for a running snapshot watcher thread; stops and joins it on
+/// drop.
+#[derive(Debug)]
+pub struct SnapshotWatcher {
+    stop: Arc<AtomicBool>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl SnapshotWatcher {
+    /// Stops the poll loop and joins the thread.
+    pub fn stop(mut self) {
+        self.halt();
+    }
+
+    fn halt(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(t) = self.thread.take() {
+            t.join().ok();
+        }
+    }
+}
+
+impl Drop for SnapshotWatcher {
+    fn drop(&mut self) {
+        self.halt();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slide_core::config::{LshLayerConfig, NetworkConfig};
+    use slide_core::Network;
+    use slide_data::synth::{generate, SyntheticConfig};
+
+    fn tiny_network(seed: u64) -> (Network, slide_data::synth::SyntheticData) {
+        let data = generate(&SyntheticConfig::tiny().with_seed(2));
+        let config = NetworkConfig::builder(data.train.feature_dim(), data.train.label_dim())
+            .hidden(16)
+            .output_lsh(LshLayerConfig::simhash(3, 8))
+            .seed(seed)
+            .build()
+            .unwrap();
+        (Network::new(config).unwrap(), data)
+    }
+
+    #[test]
+    fn swap_increments_epoch_and_serves_new_engine() {
+        let (a, data) = tiny_network(1);
+        let (b, _) = tiny_network(2);
+        let options = ServeOptions::default().with_top_k(1);
+        let handle = EngineHandle::new(ServingEngine::new(a, options));
+        assert_eq!(handle.epoch(), 1);
+
+        let ex = &data.test.examples()[0];
+        let direct_b = ServingEngine::new(
+            Network::from_snapshot_bytes(&b.to_snapshot_bytes()).unwrap(),
+            options,
+        );
+        let want = direct_b.predict(&ex.features).unwrap().topk.top1();
+
+        let epoch = handle.reload_from_bytes(&b.to_snapshot_bytes()).unwrap();
+        assert_eq!(epoch, 2);
+        assert_eq!(handle.epoch(), 2);
+        assert_eq!(handle.reloads(), 1);
+        let (engine, epoch) = handle.current();
+        assert_eq!(epoch, 2);
+        assert_eq!(engine.predict(&ex.features).unwrap().topk.top1(), want);
+    }
+
+    #[test]
+    fn failed_reload_keeps_old_engine() {
+        let (a, data) = tiny_network(3);
+        let handle = EngineHandle::new(ServingEngine::new(a, ServeOptions::default()));
+        let err = handle.reload_from_bytes(b"not a snapshot").unwrap_err();
+        assert!(matches!(err, ServeError::Core(_)));
+        assert_eq!(handle.epoch(), 1);
+        assert_eq!(handle.reload_failures(), 1);
+        // Still serving.
+        let (engine, _) = handle.current();
+        assert!(engine.predict(&data.test.examples()[0].features).is_ok());
+    }
+
+    #[test]
+    fn in_flight_holders_keep_the_old_epoch() {
+        let (a, _) = tiny_network(4);
+        let (b, _) = tiny_network(5);
+        let handle = EngineHandle::new(ServingEngine::new(a, ServeOptions::default()));
+        let (old_engine, old_epoch) = handle.current();
+        handle.reload_from_bytes(&b.to_snapshot_bytes()).unwrap();
+        // The pre-reload holder still owns a working epoch-1 engine.
+        assert_eq!(old_epoch, 1);
+        assert!(Arc::strong_count(&old_engine) >= 1);
+        let (new_engine, new_epoch) = handle.current();
+        assert_eq!(new_epoch, 2);
+        assert!(!Arc::ptr_eq(&old_engine, &new_engine));
+    }
+
+    #[test]
+    fn reload_restores_configured_top_k_on_a_wider_model() {
+        // A 4-class first model must not permanently clamp the
+        // configured top_k: after hot-reloading a 60-class model, the
+        // default request serves the operator's 10 again.
+        let narrow = NetworkConfig::builder(32, 4)
+            .hidden(8)
+            .output_lsh(LshLayerConfig::simhash(3, 8))
+            .seed(1)
+            .build()
+            .unwrap();
+        let wide = NetworkConfig::builder(32, 60)
+            .hidden(8)
+            .output_lsh(LshLayerConfig::simhash(3, 8))
+            .seed(2)
+            .build()
+            .unwrap();
+        let options = ServeOptions::default().with_top_k(10);
+        let handle = EngineHandle::new(ServingEngine::new(Network::new(narrow).unwrap(), options));
+        assert_eq!(handle.engine().default_top_k(), 4);
+        assert_eq!(handle.engine().options().top_k, 10);
+        let bytes = Network::new(wide).unwrap().to_snapshot_bytes();
+        handle.reload_from_bytes(&bytes).unwrap();
+        assert_eq!(handle.engine().default_top_k(), 10);
+    }
+
+    #[test]
+    fn watcher_reloads_when_the_file_changes() {
+        let (a, _) = tiny_network(6);
+        let (b, _) = tiny_network(7);
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("slide_watch_{}.slidesnap", std::process::id()));
+        a.save_snapshot(&path).unwrap();
+
+        let handle =
+            Arc::new(EngineHandle::from_snapshot_file(&path, ServeOptions::default()).unwrap());
+        let watcher = handle.spawn_watcher(path.clone(), Duration::from_millis(20));
+
+        // Same-config snapshots have identical length, so the sleep
+        // guarantees the rewrite lands with a distinct mtime.
+        std::thread::sleep(Duration::from_millis(60));
+        b.save_snapshot(&path).unwrap();
+
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while handle.epoch() < 2 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        watcher.stop();
+        std::fs::remove_file(&path).ok();
+        assert!(handle.epoch() >= 2, "watcher never picked up the rewrite");
+    }
+}

@@ -1,0 +1,739 @@
+//! A thread-per-connection `std::net` HTTP/1.1 front-end.
+//!
+//! The container has no async runtime, and it doesn't need one: SLIDE
+//! serving is compute-bound (a request costs a forward pass, not a
+//! database wait), so a blocking thread per keep-alive connection — the
+//! model fwumious-style Rust servers use — saturates the cores with no
+//! executor in the path. The server owns nothing but transport: it
+//! parses requests, hands bodies to the versioned wire codec
+//! ([`crate::wire`]), asks the [`EngineHandle`] for the current engine,
+//! and forwards each [`ServeError`]'s *own* status mapping. Hot reloads
+//! swap the engine under it with zero request downtime.
+//!
+//! Routes (`v1` wire schema):
+//!
+//! * `POST /v1/predict` — single or batch sparse inputs;
+//! * `GET  /healthz`    — liveness + current model epoch;
+//! * `GET  /v1/stats`   — engine, reload, and transport counters;
+//! * `POST /v1/reload`  — `{"path": "..."}`: load a snapshot file and
+//!   atomically swap it in (operator-trusted, like the rest of the
+//!   unauthenticated API).
+
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use crate::error::ServeError;
+use crate::handle::EngineHandle;
+use crate::json;
+use crate::wire;
+
+/// Transport limits and timeouts for an [`HttpServer`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HttpOptions {
+    /// Largest accepted request body.
+    pub max_body_bytes: usize,
+    /// How long an idle keep-alive connection may sit between requests
+    /// before the server closes it.
+    pub read_timeout: Duration,
+}
+
+impl Default for HttpOptions {
+    fn default() -> Self {
+        Self {
+            max_body_bytes: 8 << 20,
+            read_timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+/// Longest accepted request line or header line, bytes.
+const MAX_LINE_BYTES: usize = 8 << 10;
+
+/// Transport-level counters of a running [`HttpServer`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HttpStats {
+    /// Connections accepted.
+    pub connections: u64,
+    /// Requests parsed (any outcome).
+    pub requests: u64,
+    /// Responses with a 2xx status.
+    pub responses_2xx: u64,
+    /// Responses with a 4xx status.
+    pub responses_4xx: u64,
+    /// Responses with a 5xx status.
+    pub responses_5xx: u64,
+}
+
+#[derive(Default)]
+struct Counters {
+    connections: AtomicU64,
+    requests: AtomicU64,
+    responses_2xx: AtomicU64,
+    responses_4xx: AtomicU64,
+    responses_5xx: AtomicU64,
+}
+
+struct Shared {
+    handle: Arc<EngineHandle>,
+    options: HttpOptions,
+    shutdown: AtomicBool,
+    counters: Counters,
+    /// Live connection streams, so shutdown can unblock their reads
+    /// immediately instead of waiting out the idle timeout.
+    open: Mutex<HashMap<u64, TcpStream>>,
+}
+
+/// The running server: an accept-loop thread plus one thread per live
+/// connection. [`HttpServer::shutdown`] (or drop) stops the accept loop,
+/// closes every open connection, and joins all of it.
+pub struct HttpServer {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+    accept: Option<std::thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for HttpServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HttpServer")
+            .field("addr", &self.addr)
+            .finish()
+    }
+}
+
+impl HttpServer {
+    /// Binds `addr` (use port 0 for an ephemeral port) and starts
+    /// serving `handle` in background threads.
+    ///
+    /// # Errors
+    ///
+    /// Returns the bind error.
+    pub fn serve<A: ToSocketAddrs>(
+        handle: Arc<EngineHandle>,
+        addr: A,
+        options: HttpOptions,
+    ) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            handle,
+            options,
+            shutdown: AtomicBool::new(false),
+            counters: Counters::default(),
+            open: Mutex::new(HashMap::new()),
+        });
+        let accept_shared = Arc::clone(&shared);
+        let accept = std::thread::spawn(move || accept_loop(&accept_shared, listener));
+        Ok(Self {
+            shared,
+            addr,
+            accept: Some(accept),
+        })
+    }
+
+    /// The bound address (resolves the actual ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The engine handle this server fronts.
+    pub fn handle(&self) -> &Arc<EngineHandle> {
+        &self.shared.handle
+    }
+
+    /// A snapshot of the transport counters.
+    pub fn stats(&self) -> HttpStats {
+        let c = &self.shared.counters;
+        HttpStats {
+            connections: c.connections.load(Ordering::Relaxed),
+            requests: c.requests.load(Ordering::Relaxed),
+            responses_2xx: c.responses_2xx.load(Ordering::Relaxed),
+            responses_4xx: c.responses_4xx.load(Ordering::Relaxed),
+            responses_5xx: c.responses_5xx.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Stops accepting, closes live connections, and joins every thread.
+    pub fn shutdown(mut self) {
+        self.begin_shutdown();
+    }
+
+    fn begin_shutdown(&mut self) {
+        if self.shared.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Wake the blocking accept() with a throwaway connection. A
+        // wildcard bind address (0.0.0.0 / ::) is not connectable on
+        // every platform, so aim the wake-up at loopback on the bound
+        // port instead.
+        let mut wake = self.addr;
+        if wake.ip().is_unspecified() {
+            wake.set_ip(match wake.ip() {
+                std::net::IpAddr::V4(_) => std::net::IpAddr::V4(std::net::Ipv4Addr::LOCALHOST),
+                std::net::IpAddr::V6(_) => std::net::IpAddr::V6(std::net::Ipv6Addr::LOCALHOST),
+            });
+        }
+        TcpStream::connect(wake).ok();
+        // Unblock any connection thread sitting in a read.
+        {
+            let open = self
+                .shared
+                .open
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            for stream in open.values() {
+                stream.shutdown(Shutdown::Both).ok();
+            }
+        }
+        if let Some(t) = self.accept.take() {
+            t.join().ok();
+        }
+    }
+}
+
+impl Drop for HttpServer {
+    fn drop(&mut self) {
+        self.begin_shutdown();
+    }
+}
+
+fn accept_loop(shared: &Arc<Shared>, listener: TcpListener) {
+    let mut workers = Vec::new();
+    let mut next_id = 0u64;
+    for stream in listener.incoming() {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let id = next_id;
+        next_id += 1;
+        shared.counters.connections.fetch_add(1, Ordering::Relaxed);
+        if let Ok(clone) = stream.try_clone() {
+            shared
+                .open
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .insert(id, clone);
+        }
+        let conn_shared = Arc::clone(shared);
+        workers.push(std::thread::spawn(move || {
+            serve_connection(&conn_shared, stream);
+            conn_shared
+                .open
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .remove(&id);
+        }));
+        // Reap finished connection threads so a long-lived server's
+        // handle list tracks live connections, not connection history.
+        workers.retain(|w| !w.is_finished());
+    }
+    for w in workers {
+        w.join().ok();
+    }
+}
+
+struct Request {
+    method: String,
+    path: String,
+    body: String,
+    keep_alive: bool,
+}
+
+enum ReadOutcome {
+    /// A complete request.
+    Request(Box<Request>),
+    /// The peer closed (or timed out) between requests — not an error.
+    Closed,
+    /// The bytes were not HTTP; answer 400 and close.
+    Malformed(&'static str),
+    /// The declared body exceeds the limit; answer 413 and close.
+    TooLarge,
+}
+
+fn serve_connection(shared: &Shared, stream: TcpStream) {
+    stream
+        .set_read_timeout(Some(shared.options.read_timeout))
+        .ok();
+    stream.set_nodelay(true).ok();
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = stream;
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        match read_request(&mut reader, shared.options.max_body_bytes) {
+            ReadOutcome::Closed => return,
+            ReadOutcome::Malformed(what) => {
+                let e = ServeError::BadRequest {
+                    message: what.into(),
+                };
+                write_response(
+                    shared,
+                    &mut writer,
+                    e.http_status(),
+                    &wire::encode_error_body(&e),
+                    false,
+                );
+                close_after_error(&mut reader, &writer);
+                return;
+            }
+            ReadOutcome::TooLarge => {
+                let e = ServeError::PayloadTooLarge {
+                    limit: shared.options.max_body_bytes,
+                };
+                write_response(
+                    shared,
+                    &mut writer,
+                    e.http_status(),
+                    &wire::encode_error_body(&e),
+                    false,
+                );
+                close_after_error(&mut reader, &writer);
+                return;
+            }
+            ReadOutcome::Request(req) => {
+                shared.counters.requests.fetch_add(1, Ordering::Relaxed);
+                let (status, body) = match route(shared, &req) {
+                    Ok(body) => (200, body),
+                    Err(e) => (e.http_status(), wire::encode_error_body(&e)),
+                };
+                let keep_alive = req.keep_alive && !shared.shutdown.load(Ordering::SeqCst);
+                if !write_response(shared, &mut writer, status, &body, keep_alive) || !keep_alive {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+/// Largest number of unread request bytes drained before an error close.
+const DRAIN_CAP_BYTES: usize = 1 << 20;
+
+/// Courteous close after a 400/413: closing a socket with unread request
+/// bytes queued makes the kernel send RST, which discards the in-flight
+/// error response before the client reads it. Half-close the write side
+/// so the response flushes, then drain (bounded by [`DRAIN_CAP_BYTES`]
+/// and the read timeout) until the client stops sending.
+fn close_after_error(reader: &mut BufReader<TcpStream>, writer: &TcpStream) {
+    writer.shutdown(Shutdown::Write).ok();
+    let mut sink = [0u8; 8 << 10];
+    let mut drained = 0usize;
+    while drained < DRAIN_CAP_BYTES {
+        match reader.read(&mut sink) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => drained += n,
+        }
+    }
+}
+
+/// Reads one line (up to CRLF/LF), bounded by [`MAX_LINE_BYTES`].
+fn read_line(reader: &mut BufReader<TcpStream>) -> Result<Option<String>, &'static str> {
+    let mut buf = Vec::new();
+    loop {
+        let available = match reader.fill_buf() {
+            Ok(b) => b,
+            // A timeout/reset between requests is a clean close; the
+            // same error mid-line means a request was cut off.
+            Err(_) if buf.is_empty() => return Ok(None),
+            Err(_) => return Err("truncated request"),
+        };
+        if available.is_empty() {
+            // EOF: clean only if nothing was read yet.
+            return if buf.is_empty() {
+                Ok(None)
+            } else {
+                Err("truncated request")
+            };
+        }
+        let upto = available.iter().position(|&b| b == b'\n');
+        let take = upto.map_or(available.len(), |p| p + 1);
+        buf.extend_from_slice(&available[..take]);
+        reader.consume(take);
+        if buf.len() > MAX_LINE_BYTES {
+            return Err("line too long");
+        }
+        if upto.is_some() {
+            while matches!(buf.last(), Some(b'\n' | b'\r')) {
+                buf.pop();
+            }
+            return String::from_utf8(buf)
+                .map(Some)
+                .map_err(|_| "non-utf8 line");
+        }
+    }
+}
+
+fn read_request(reader: &mut BufReader<TcpStream>, max_body: usize) -> ReadOutcome {
+    let line = match read_line(reader) {
+        Ok(None) => return ReadOutcome::Closed,
+        Ok(Some(l)) if l.is_empty() => return ReadOutcome::Malformed("empty request line"),
+        Ok(Some(l)) => l,
+        Err(what) => return ReadOutcome::Malformed(what),
+    };
+    let mut parts = line.split_whitespace();
+    let (Some(method), Some(path), Some(version)) = (parts.next(), parts.next(), parts.next())
+    else {
+        return ReadOutcome::Malformed("malformed request line");
+    };
+    if !version.starts_with("HTTP/1.") {
+        return ReadOutcome::Malformed("unsupported protocol version");
+    }
+    let http_11 = version == "HTTP/1.1";
+    let mut keep_alive = http_11;
+    let mut content_length = 0usize;
+    let mut too_large = false;
+    loop {
+        let header = match read_line(reader) {
+            Ok(Some(l)) => l,
+            Ok(None) => return ReadOutcome::Malformed("truncated headers"),
+            Err(what) => return ReadOutcome::Malformed(what),
+        };
+        if header.is_empty() {
+            break;
+        }
+        let Some((name, value)) = header.split_once(':') else {
+            return ReadOutcome::Malformed("malformed header");
+        };
+        let name = name.trim().to_ascii_lowercase();
+        let value = value.trim();
+        match name.as_str() {
+            "content-length" => match value.parse::<usize>() {
+                Ok(n) if n <= max_body => content_length = n,
+                Ok(_) => too_large = true,
+                Err(_) => return ReadOutcome::Malformed("bad content-length"),
+            },
+            "connection" => {
+                let v = value.to_ascii_lowercase();
+                if v.contains("close") {
+                    keep_alive = false;
+                } else if v.contains("keep-alive") {
+                    keep_alive = true;
+                }
+            }
+            "transfer-encoding" => {
+                // Chunked bodies are out of scope for the v1 protocol.
+                return ReadOutcome::Malformed("transfer-encoding not supported");
+            }
+            _ => {}
+        }
+    }
+    if too_large {
+        return ReadOutcome::TooLarge;
+    }
+    let mut body = vec![0u8; content_length];
+    if reader.read_exact(&mut body).is_err() {
+        return ReadOutcome::Malformed("truncated body");
+    }
+    let Ok(body) = String::from_utf8(body) else {
+        return ReadOutcome::Malformed("non-utf8 body");
+    };
+    ReadOutcome::Request(Box::new(Request {
+        method: method.to_string(),
+        path: path.to_string(),
+        body,
+        keep_alive,
+    }))
+}
+
+fn route(shared: &Shared, req: &Request) -> Result<String, ServeError> {
+    // Probes and load balancers append query strings (`/healthz?t=1`);
+    // routing matches on the path alone.
+    let path = req.path.split('?').next().unwrap_or("");
+    match (req.method.as_str(), path) {
+        ("GET", "/healthz") => Ok(format!(
+            "{{\"api_version\":{},\"status\":\"ok\",\"epoch\":{}}}",
+            wire::API_VERSION,
+            shared.handle.epoch()
+        )),
+        ("GET", "/v1/stats") => Ok(stats_body(shared)),
+        ("POST", "/v1/predict") => predict(shared, &req.body),
+        ("POST", "/v1/reload") => reload(shared, &req.body),
+        (_, "/healthz" | "/v1/stats" | "/v1/predict" | "/v1/reload") => {
+            Err(ServeError::MethodNotAllowed {
+                method: req.method.clone(),
+                path: req.path.clone(),
+            })
+        }
+        _ => Err(ServeError::UnknownRoute {
+            path: req.path.clone(),
+        }),
+    }
+}
+
+fn predict(shared: &Shared, body: &str) -> Result<String, ServeError> {
+    let req = wire::decode_predict_request(body)?;
+    // One consistent (engine, epoch) pair for the whole request: a
+    // concurrent reload swaps the handle but cannot touch this request's
+    // engine, so the reported epoch always names the model that answered.
+    let (engine, epoch) = shared.handle.current();
+    let k = req.top_k.unwrap_or_else(|| engine.default_top_k());
+    let predictions = if req.inputs.len() == 1 {
+        vec![engine.predict_k(&req.inputs[0], k)?]
+    } else {
+        engine.predict_batch_k(&req.inputs, k)?
+    };
+    Ok(wire::encode_predict_response(
+        &wire::response_from_predictions(epoch, &predictions),
+    ))
+}
+
+fn reload(shared: &Shared, body: &str) -> Result<String, ServeError> {
+    let v = json::parse(body).map_err(|e| ServeError::BadRequest {
+        message: format!("invalid json: {e}"),
+    })?;
+    let path =
+        v.get("path")
+            .and_then(json::Json::as_str)
+            .ok_or_else(|| ServeError::BadRequest {
+                message: "reload body needs a \"path\" string".into(),
+            })?;
+    let epoch = shared.handle.reload_from_file(path)?;
+    Ok(format!(
+        "{{\"api_version\":{},\"epoch\":{epoch}}}",
+        wire::API_VERSION
+    ))
+}
+
+fn stats_body(shared: &Shared) -> String {
+    let (engine, epoch) = shared.handle.current();
+    let e = engine.stats();
+    let c = &shared.counters;
+    format!(
+        concat!(
+            "{{\"api_version\":{},\"epoch\":{},\"reloads\":{},\"reload_failures\":{},",
+            "\"engine\":{{\"requests\":{},\"mean_latency_us\":{:.1},\"max_latency_us\":{:.1},",
+            "\"dense_fallbacks\":{}}},",
+            "\"http\":{{\"connections\":{},\"requests\":{},\"responses_2xx\":{},",
+            "\"responses_4xx\":{},\"responses_5xx\":{}}}}}"
+        ),
+        wire::API_VERSION,
+        epoch,
+        shared.handle.reloads(),
+        shared.handle.reload_failures(),
+        e.requests,
+        e.mean_latency().as_secs_f64() * 1e6,
+        Duration::from_nanos(e.max_latency_ns).as_secs_f64() * 1e6,
+        e.dense_fallbacks,
+        c.connections.load(Ordering::Relaxed),
+        c.requests.load(Ordering::Relaxed),
+        c.responses_2xx.load(Ordering::Relaxed),
+        c.responses_4xx.load(Ordering::Relaxed),
+        c.responses_5xx.load(Ordering::Relaxed),
+    )
+}
+
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        422 => "Unprocessable Entity",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+fn write_response(
+    shared: &Shared,
+    writer: &mut TcpStream,
+    status: u16,
+    body: &str,
+    keep_alive: bool,
+) -> bool {
+    let c = &shared.counters;
+    match status / 100 {
+        2 => c.responses_2xx.fetch_add(1, Ordering::Relaxed),
+        4 => c.responses_4xx.fetch_add(1, Ordering::Relaxed),
+        _ => c.responses_5xx.fetch_add(1, Ordering::Relaxed),
+    };
+    // Head and body go out in one write: with TCP_NODELAY on, separate
+    // writes would cost a second syscall and a second small segment per
+    // response.
+    let mut response = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+        status,
+        reason(status),
+        body.len(),
+        if keep_alive { "keep-alive" } else { "close" }
+    );
+    response.push_str(body);
+    writer.write_all(response.as_bytes()).is_ok() && writer.flush().is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::Client;
+    use crate::engine::{ServeOptions, ServingEngine};
+    use slide_core::config::{LshLayerConfig, NetworkConfig};
+    use slide_core::Network;
+    use slide_data::synth::{generate, SyntheticConfig};
+    use slide_data::SparseVector;
+
+    fn tiny_server() -> (HttpServer, slide_data::synth::SyntheticData) {
+        let data = generate(&SyntheticConfig::tiny().with_seed(21));
+        let config = NetworkConfig::builder(data.train.feature_dim(), data.train.label_dim())
+            .hidden(16)
+            .output_lsh(LshLayerConfig::simhash(3, 8))
+            .seed(22)
+            .build()
+            .unwrap();
+        let engine = ServingEngine::new(
+            Network::new(config).unwrap(),
+            ServeOptions::default().with_top_k(3),
+        );
+        let handle = Arc::new(EngineHandle::new(engine));
+        let server = HttpServer::serve(handle, "127.0.0.1:0", HttpOptions::default()).unwrap();
+        (server, data)
+    }
+
+    #[test]
+    fn healthz_predict_and_stats_over_one_keep_alive_connection() {
+        let (server, data) = tiny_server();
+        let mut client = Client::connect(server.local_addr()).unwrap();
+
+        let health = client.healthz().unwrap();
+        assert_eq!(health.epoch, 1);
+
+        // Probe-style query strings route to the same handler.
+        let (status, _) = client.request("GET", "/healthz?probe=1", None).unwrap();
+        assert_eq!(status, 200);
+
+        let ex = &data.test.examples()[0];
+        let resp = client.predict(&ex.features, None).unwrap();
+        assert_eq!(resp.epoch, 1);
+        assert_eq!(resp.predictions.len(), 1);
+        assert!(!resp.predictions[0].classes.is_empty());
+        assert!(resp.predictions[0].classes.len() <= 3);
+
+        let batch: Vec<SparseVector> = data
+            .test
+            .iter()
+            .take(4)
+            .map(|e| e.features.clone())
+            .collect();
+        let resp = client.predict_batch(&batch, Some(2)).unwrap();
+        assert_eq!(resp.predictions.len(), 4);
+        assert!(resp.predictions.iter().all(|p| p.classes.len() <= 2));
+
+        let stats = client.stats_json().unwrap();
+        assert_eq!(stats.get("epoch").and_then(json::Json::as_u64), Some(1));
+        // 3 requests so far on this connection (health, predict, batch)
+        // plus this stats call in flight; the transport saw ≥ 4.
+        let http_requests = stats
+            .get("http")
+            .and_then(|h| h.get("requests"))
+            .and_then(json::Json::as_u64)
+            .unwrap();
+        assert!(http_requests >= 4);
+        // One connection, many requests: keep-alive worked.
+        let conns = stats
+            .get("http")
+            .and_then(|h| h.get("connections"))
+            .and_then(json::Json::as_u64)
+            .unwrap();
+        assert_eq!(conns, 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn error_statuses_map_one_to_one() {
+        let (server, data) = tiny_server();
+        let mut client = Client::connect(server.local_addr()).unwrap();
+
+        // Malformed JSON → 400 bad_request.
+        let (status, body) = client
+            .request("POST", "/v1/predict", Some("this is not json"))
+            .unwrap();
+        assert_eq!(status, 400);
+        assert_eq!(wire::decode_error_body(&body).0, "bad_request");
+
+        // Out-of-range feature index → 422 feature_index_out_of_range.
+        let input_dim = server.handle().engine().input_dim();
+        let bad = format!("{{\"indices\":[{input_dim}],\"values\":[1.0]}}");
+        let (status, body) = client.request("POST", "/v1/predict", Some(&bad)).unwrap();
+        assert_eq!(status, 422);
+        assert_eq!(
+            wire::decode_error_body(&body).0,
+            "feature_index_out_of_range"
+        );
+
+        // top_k 0 → 422 invalid_top_k.
+        let (status, body) = client
+            .request(
+                "POST",
+                "/v1/predict",
+                Some("{\"indices\":[0],\"values\":[1.0],\"top_k\":0}"),
+            )
+            .unwrap();
+        assert_eq!(status, 422);
+        assert_eq!(wire::decode_error_body(&body).0, "invalid_top_k");
+
+        // Unknown route → 404; wrong method → 405.
+        let (status, _) = client.request("GET", "/v2/predict", None).unwrap();
+        assert_eq!(status, 404);
+        let (status, _) = client.request("PUT", "/healthz", None).unwrap();
+        assert_eq!(status, 405);
+
+        // Reload pointing at a missing file → 500 model_error; the old
+        // engine keeps serving.
+        let (status, body) = client
+            .request(
+                "POST",
+                "/v1/reload",
+                Some("{\"path\":\"/nonexistent/model.slidesnap\"}"),
+            )
+            .unwrap();
+        assert_eq!(status, 500);
+        assert_eq!(wire::decode_error_body(&body).0, "model_error");
+        let ex = &data.test.examples()[0];
+        assert!(client.predict(&ex.features, None).is_ok());
+        assert_eq!(server.handle().epoch(), 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn oversized_body_rejected_with_413() {
+        let (server, _) = tiny_server();
+        let handle = Arc::clone(server.handle());
+        let small = HttpServer::serve(
+            handle,
+            "127.0.0.1:0",
+            HttpOptions {
+                max_body_bytes: 64,
+                read_timeout: Duration::from_secs(5),
+            },
+        )
+        .unwrap();
+        let mut client = Client::connect(small.local_addr()).unwrap();
+        let big = format!(
+            "{{\"indices\":[0],\"values\":[1.0],\"pad\":\"{}\"}}",
+            "x".repeat(256)
+        );
+        let (status, body) = client.request("POST", "/v1/predict", Some(&big)).unwrap();
+        assert_eq!(status, 413);
+        assert_eq!(wire::decode_error_body(&body).0, "payload_too_large");
+        small.shutdown();
+        server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_is_idempotent_and_frees_the_port() {
+        let (server, _) = tiny_server();
+        let addr = server.local_addr();
+        server.shutdown();
+        // The port is free again.
+        let rebound = TcpListener::bind(addr);
+        assert!(rebound.is_ok());
+    }
+}

@@ -2,23 +2,31 @@
 //!
 //! The serving layer of the SLIDE reproduction: loads a frozen
 //! [`slide_core::Network`] snapshot and answers top-k classification
-//! requests with sub-linear LSH-retrieval inference.
+//! requests with sub-linear LSH-retrieval inference — in process or over
+//! the wire.
 //!
 //! The paper trains with adaptive sparsity; this crate closes the loop by
 //! *serving* with it. Where a brute-force deployment scores every output
 //! class per request (O(classes)), a [`ServingEngine`] hashes the request,
 //! retrieves the LSH bucket union under a probe budget, and scores only
 //! those candidates — the same sub-linear economics SLIDE exploits in
-//! training, now behind a request/response API:
+//! training, now behind a versioned service API:
 //!
 //! * [`engine::ServingEngine`] — a frozen network + a
-//!   [`slide_core::WorkspacePool`]; blocking
-//!   [`engine::ServingEngine::predict`] returns a [`slide_core::TopK`]
-//!   with per-request latency, and counters aggregate throughput;
+//!   [`slide_core::WorkspacePool`]; every fallible path returns a typed
+//!   [`ServeError`] that maps 1:1 onto an HTTP status;
 //! * [`batch::BatchServer`] — a micro-batching queue over a worker thread
-//!   pool: concurrent callers enqueue, workers drain requests in batches
-//!   (amortizing wakeups and keeping every core busy), each caller gets
-//!   its answer through a private channel.
+//!   pool for concurrent in-process callers;
+//! * [`handle::EngineHandle`] — epoch-counted atomic engine swapping:
+//!   snapshot hot-reload with zero request downtime (plus a file-watcher
+//!   poll loop);
+//! * [`http::HttpServer`] — a thread-per-connection `std::net` HTTP/1.1
+//!   front-end speaking the versioned [`wire`] protocol
+//!   (`POST /v1/predict`, `GET /healthz`, `GET /v1/stats`,
+//!   `POST /v1/reload`), with [`client::Client`] as its blocking
+//!   counterpart;
+//! * [`json`] — the hand-rolled, dependency-free JSON both sides parse
+//!   and print (floats cross the wire bit-exactly).
 //!
 //! ## Example
 //!
@@ -40,13 +48,42 @@
 //!     &network.to_snapshot_bytes(),
 //!     ServeOptions::default(),
 //! )?;
-//! let answer = engine.predict(&data.test.examples()[0].features);
+//! let answer = engine.predict(&data.test.examples()[0].features)?;
 //! assert!(answer.topk.len() <= engine.options().top_k);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+//!
+//! Serving the same engine over HTTP with hot reload:
+//!
+//! ```no_run
+//! use std::sync::Arc;
+//! use slide_serve::http::{HttpOptions, HttpServer};
+//! use slide_serve::{EngineHandle, ServeOptions};
+//!
+//! let handle = Arc::new(EngineHandle::from_snapshot_file(
+//!     "model.slidesnap",
+//!     ServeOptions::default(),
+//! )?);
+//! let server = HttpServer::serve(Arc::clone(&handle), "0.0.0.0:8080", HttpOptions::default())?;
+//! // ... later: hot-swap a retrained model with zero downtime.
+//! handle.reload_from_file("model.slidesnap")?;
+//! # server.shutdown();
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
 pub mod batch;
+pub mod client;
 pub mod engine;
+pub mod error;
+pub mod handle;
+pub mod http;
+pub mod json;
+pub mod wire;
 
 pub use batch::{BatchOptions, BatchServer, RequestHandle, ServerStats};
+pub use client::{Client, ClientError, Health};
 pub use engine::{EngineStats, Prediction, ServeOptions, ServingEngine};
+pub use error::ServeError;
+pub use handle::{EngineHandle, SnapshotWatcher};
+pub use http::{HttpOptions, HttpServer, HttpStats};
+pub use wire::{PredictRequest, PredictResponse, WirePrediction, API_VERSION};

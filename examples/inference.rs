@@ -54,7 +54,7 @@ fn main() {
     std::fs::remove_file(&path).ok();
 
     let example = &data.test.examples()[0];
-    let answer = engine.predict(&example.features);
+    let answer = engine.predict(&example.features).expect("valid request");
     println!(
         "direct predict: top-3 {:?} in {:?} (true labels {:?})",
         answer.topk.items(),
@@ -71,7 +71,7 @@ fn main() {
         .test
         .iter()
         .take(64)
-        .map(|ex| server.submit(ex.features.clone()))
+        .map(|ex| server.submit(ex.features.clone()).expect("valid request"))
         .collect();
     let mut hits = 0usize;
     for (h, ex) in handles.into_iter().zip(data.test.iter()) {

@@ -1,0 +1,86 @@
+//! Train → snapshot → serve over HTTP → retrain → hot-reload.
+//!
+//! Starts a real `std::net` HTTP/1.1 server on an ephemeral localhost
+//! port, fires typed client requests at it, then retrains the model,
+//! writes a second snapshot, and hot-swaps it through `POST /v1/reload`
+//! with the server still up — the model epoch in every response shows
+//! which snapshot answered.
+//!
+//! ```sh
+//! cargo run --release --example serve_http
+//! ```
+
+use std::sync::Arc;
+
+use slide::prelude::*;
+use slide::serve::Client;
+
+fn main() {
+    // 1. Train a small SLIDE network and freeze snapshot A.
+    let data = generate(&SyntheticConfig::tiny().with_seed(3));
+    let config = NetworkConfig::builder(data.train.feature_dim(), data.train.label_dim())
+        .hidden(24)
+        .output_lsh(LshLayerConfig::simhash(3, 10))
+        .learning_rate(2e-3)
+        .seed(11)
+        .build()
+        .expect("valid config");
+    let mut trainer = SlideTrainer::new(config).expect("valid network");
+    trainer.train(&data.train, &TrainOptions::new(1).batch_size(32));
+    let snapshot = std::env::temp_dir().join("slide_serve_http_example.slidesnap");
+    trainer
+        .network()
+        .save_snapshot(&snapshot)
+        .expect("snapshot written");
+    println!(
+        "epoch-1 model: P@1 = {:.3}",
+        trainer.evaluate_n(&data.test, 200)
+    );
+
+    // 2. Serve it: EngineHandle (hot-swappable) behind the HTTP front-end.
+    let handle = Arc::new(
+        EngineHandle::from_snapshot_file(&snapshot, ServeOptions::default().with_top_k(3))
+            .expect("snapshot loads"),
+    );
+    let server = HttpServer::serve(Arc::clone(&handle), "127.0.0.1:0", HttpOptions::default())
+        .expect("bind");
+    let addr = server.local_addr();
+    println!("serving on http://{addr} (POST /v1/predict, GET /healthz, POST /v1/reload)");
+
+    // 3. A client request over localhost.
+    let mut client = Client::connect(addr).expect("connect");
+    let example = &data.test.examples()[0];
+    let resp = client.predict(&example.features, None).expect("answered");
+    println!(
+        "predict @ epoch {}: classes {:?} (true labels {:?})",
+        resp.epoch, resp.predictions[0].classes, example.labels
+    );
+
+    // 4. Retrain (two more epochs), snapshot B, hot-reload mid-serve.
+    trainer.train(&data.train, &TrainOptions::new(2).batch_size(32));
+    trainer
+        .network()
+        .save_snapshot(&snapshot)
+        .expect("snapshot rewritten");
+    let new_epoch = client
+        .reload(snapshot.to_str().expect("utf-8 path"))
+        .expect("reload accepted");
+    println!(
+        "hot-reloaded: epoch {} (retrained P@1 = {:.3})",
+        new_epoch,
+        trainer.evaluate_n(&data.test, 200)
+    );
+
+    // 5. Same connection, new model — zero downtime.
+    let resp = client.predict(&example.features, None).expect("answered");
+    assert_eq!(resp.epoch, new_epoch);
+    println!(
+        "predict @ epoch {}: classes {:?}",
+        resp.epoch, resp.predictions[0].classes
+    );
+
+    let stats = client.stats_json().expect("stats");
+    println!("stats: {stats:?}");
+    server.shutdown();
+    std::fs::remove_file(&snapshot).ok();
+}

@@ -21,8 +21,10 @@
 //!   `NeuronSelector`s (LSH-adaptive, dense, static sampled); plus the
 //!   inference stack (label-free LSH retrieval, in-place top-k) and the
 //!   versioned network snapshot format;
-//! * [`serve`] — the serving layer: a frozen-snapshot `ServingEngine`
-//!   and a micro-batching `BatchServer` over a worker thread pool.
+//! * [`serve`] — the serving layer: a frozen-snapshot `ServingEngine`,
+//!   a micro-batching `BatchServer`, an epoch-swapped `EngineHandle`
+//!   for zero-downtime snapshot hot-reload, and a `std::net` HTTP/1.1
+//!   front-end speaking a versioned typed wire protocol.
 //!
 //! ## Quickstart
 //!
@@ -74,5 +76,8 @@ pub mod prelude {
         sampling::SamplingStrategy,
         table::{LshTables, TableConfig},
     };
-    pub use slide_serve::{BatchOptions, BatchServer, ServeOptions, ServingEngine};
+    pub use slide_serve::{
+        BatchOptions, BatchServer, EngineHandle, HttpOptions, HttpServer, ServeError, ServeOptions,
+        ServingEngine,
+    };
 }

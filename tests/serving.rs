@@ -149,7 +149,7 @@ fn serving_engine_serves_concurrent_batched_requests_from_disk() {
         .test
         .iter()
         .take(60)
-        .map(|ex| engine.predict(&ex.features).topk.top1())
+        .map(|ex| engine.predict(&ex.features).unwrap().topk.top1())
         .collect();
 
     let server = Arc::new(BatchServer::start(
@@ -165,7 +165,7 @@ fn serving_engine_serves_concurrent_batched_requests_from_disk() {
                 let mut answers = Vec::new();
                 for (i, ex) in data.test.iter().take(60).enumerate() {
                     if i % 4 == t {
-                        answers.push((i, server.predict(ex.features.clone()).topk.top1()));
+                        answers.push((i, server.predict(ex.features.clone()).unwrap().topk.top1()));
                     }
                 }
                 answers
@@ -203,10 +203,13 @@ fn batched_prediction_matches_per_request_path() {
         .take(24)
         .map(|ex| ex.features.clone())
         .collect();
-    let singles: Vec<_> = features.iter().map(|f| engine.predict(f)).collect();
+    let singles: Vec<_> = features
+        .iter()
+        .map(|f| engine.predict(f).unwrap())
+        .collect();
     let mut start = 0usize;
     for chunk in features.chunks(7) {
-        let batched = engine.predict_batch(chunk);
+        let batched = engine.predict_batch(chunk).unwrap();
         assert_eq!(batched.len(), chunk.len());
         for (b, p) in batched.iter().enumerate() {
             let single = &singles[start + b];
@@ -253,8 +256,11 @@ fn batched_dense_fallback_examples_match_single_path() {
         .take(8)
         .map(|ex| ex.features.clone())
         .collect();
-    let singles: Vec<_> = features.iter().map(|f| engine.predict(f)).collect();
-    let batched = engine.predict_batch(&features);
+    let singles: Vec<_> = features
+        .iter()
+        .map(|f| engine.predict(f).unwrap())
+        .collect();
+    let batched = engine.predict_batch(&features).unwrap();
     for (i, (b, s)) in batched.iter().zip(&singles).enumerate() {
         assert_eq!(b.topk.top1(), s.topk.top1(), "request {i}");
     }
@@ -267,8 +273,10 @@ fn batch_of_one_equals_single_prediction() {
     let (net, data) = trained_network(150, 1);
     let engine = ServingEngine::new(net, ServeOptions::default().with_top_k(5));
     for ex in data.test.iter().take(10) {
-        let single = engine.predict(&ex.features);
-        let batched = engine.predict_batch(std::slice::from_ref(&ex.features));
+        let single = engine.predict(&ex.features).unwrap();
+        let batched = engine
+            .predict_batch(std::slice::from_ref(&ex.features))
+            .unwrap();
         assert_eq!(batched.len(), 1);
         assert_eq!(batched[0].topk.top1(), single.topk.top1());
     }
