@@ -263,7 +263,7 @@ impl Layer {
 
     /// One HOGWILD Adam update of weight `(j, i)` with gradient `g` —
     /// the scalar reference primitive. The training hot path updates
-    /// whole rows at once through [`Layer::update_row`]'s fused sweep.
+    /// whole rows at once through `Layer::update_row`'s fused sweep.
     #[inline]
     pub fn update_weight(&self, j: u32, i: u32, g: f32, adam: &AdamParams, clr: f32) {
         let idx = self.weights.index(j as usize, i as usize);

@@ -15,7 +15,7 @@
 //! Built-ins:
 //!
 //! * [`LshSelector`] — hash the layer input, probe the layer's `(K, L)`
-//!   tables, sample with the layer's [`SamplingStrategy`]; layers without
+//!   tables, sample with the layer's [`slide_lsh::SamplingStrategy`]; layers without
 //!   LSH machinery run dense (the paper's configuration puts LSH on the
 //!   wide output layer only);
 //! * [`DenseSelector`] — every neuron in every layer (the full-softmax

@@ -17,7 +17,8 @@ use std::time::Instant;
 
 use rayon::prelude::*;
 use slide_data::rng::{Rng, Xoshiro256PlusPlus};
-use slide_data::Dataset;
+use slide_data::source::ExampleSource;
+use slide_data::{Dataset, Example};
 
 use crate::config::NetworkConfig;
 use crate::error::ConfigError;
@@ -173,11 +174,17 @@ pub struct TrainReport {
     pub final_loss: f64,
 }
 
-/// The shared batch-parallel loop all trainers run.
-fn run<S: NeuronSelector>(
+/// The shared batch-parallel loop all trainers run — generic over any
+/// [`ExampleSource`], so an in-memory [`Dataset`], a memory-mapped
+/// [`slide_data::source::MmapDataset`] and any future disk-backed
+/// source all drive the identical HOGWILD sweep. In-memory sources go
+/// through the zero-copy slice fast path
+/// ([`ExampleSource::as_examples`]); disk-backed sources decode into a
+/// pooled per-thread [`Example`] buffer.
+fn run<S: NeuronSelector, D: ExampleSource + ?Sized>(
     network: &mut Network,
     selector: &S,
-    train: &Dataset,
+    train: &D,
     test: Option<&Dataset>,
     options: &TrainOptions,
 ) -> Result<TrainReport, ConfigError> {
@@ -204,6 +211,8 @@ fn run<S: NeuronSelector>(
     // the entire run — batches and epochs share them, so the hot loop
     // performs no per-example allocation.
     let workspaces = WorkspacePool::new(options.seed, options.pooled_workspaces);
+    let example_slice = train.as_examples();
+    let shard = train.shard_len().filter(|&s| s > 0 && s < train.len());
     let mut order: Vec<u32> = (0..train.len() as u32).collect();
     let mut shuffle_rng = Xoshiro256PlusPlus::seed_from_u64(options.seed ^ 0x5F0F);
 
@@ -216,7 +225,17 @@ fn run<S: NeuronSelector>(
 
     'epochs: for _epoch in 0..options.epochs {
         if options.shuffle {
-            shuffle_rng.shuffle(&mut order);
+            match shard {
+                // The historical path: a global Fisher–Yates, preserving
+                // bit-for-bit batch order for in-memory sources.
+                None => shuffle_rng.shuffle(&mut order),
+                // Disk-backed sources: shuffle at shard granularity so
+                // each batch's reads land in a bounded window of the
+                // file (pages stay hot), while the epoch still visits a
+                // full permutation — shard sequence shuffled, then each
+                // shard shuffled internally.
+                Some(s) => shard_shuffle(&mut order, s, &mut shuffle_rng),
+            }
         }
         let mut epoch_loss_acc = 0.0f64;
         let mut epoch_examples: u64 = 0;
@@ -234,9 +253,18 @@ fn run<S: NeuronSelector>(
                     batch
                         .par_iter()
                         .map_init(
-                            || ws_pool.acquire(net_ref),
-                            |ws, &idx| {
-                                let ex = &train.examples()[idx as usize];
+                            || (ws_pool.acquire(net_ref), Example::empty()),
+                            |(ws, buf), &idx| {
+                                // Zero-copy for resident sources; decode
+                                // into the reused per-thread buffer for
+                                // disk-backed ones.
+                                let ex: &Example = match example_slice {
+                                    Some(s) => &s[idx as usize],
+                                    None => {
+                                        train.read_into(idx as usize, buf);
+                                        buf
+                                    }
+                                };
                                 let e0 = Instant::now();
                                 let loss = net_ref.train_example(
                                     selector,
@@ -313,6 +341,25 @@ fn run<S: NeuronSelector>(
         telemetry: telemetry.snapshot(train_seconds),
         final_loss: epoch_loss,
     })
+}
+
+/// Rebuilds `order` as a shard-local permutation: consecutive index
+/// blocks of `shard` examples are emitted in shuffled block order, each
+/// internally shuffled. Every index appears exactly once, but any batch
+/// only ever touches one ~`shard`-sized window of the source — the
+/// locality contract behind [`ExampleSource::shard_len`].
+fn shard_shuffle<R: Rng>(order: &mut Vec<u32>, shard: usize, rng: &mut R) {
+    let len = order.len();
+    let mut shards: Vec<u32> = (0..len.div_ceil(shard) as u32).collect();
+    rng.shuffle(&mut shards);
+    order.clear();
+    for &sh in &shards {
+        let start = sh as usize * shard;
+        let end = (start + shard).min(len);
+        let at = order.len();
+        order.extend(start as u32..end as u32);
+        rng.shuffle(&mut order[at..]);
+    }
 }
 
 fn safe_div(num: f64, den: u64) -> f64 {
@@ -443,6 +490,45 @@ impl<S: NeuronSelector> Trainer<S> {
     pub fn try_train(
         &mut self,
         train: &Dataset,
+        test: Option<&Dataset>,
+        options: &TrainOptions,
+    ) -> Result<TrainReport, ConfigError> {
+        run(&mut self.network, &self.selector, train, test, options)
+    }
+
+    /// Trains from any [`ExampleSource`] — an in-memory [`Dataset`], a
+    /// memory-mapped [`slide_data::source::MmapDataset`], or a custom
+    /// source — through the identical batch-parallel loop.
+    ///
+    /// For sources reporting a [`ExampleSource::shard_len`] locality
+    /// hint, epoch shuffling happens at shard granularity (shuffled
+    /// shards, shuffled within shards): still a full per-epoch
+    /// permutation, but each batch reads from one bounded window of the
+    /// backing file. Sources without a hint shuffle globally,
+    /// bit-identically to [`Trainer::train`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the options are invalid or the source is empty; use
+    /// [`Trainer::try_train_source`] for a fallible version.
+    pub fn train_source<D: ExampleSource + ?Sized>(
+        &mut self,
+        train: &D,
+        options: &TrainOptions,
+    ) -> TrainReport {
+        self.try_train_source(train, None, options)
+            .expect("invalid training setup")
+    }
+
+    /// Fallible form of [`Trainer::train_source`], with optional
+    /// periodic evaluation on an in-memory test set.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] for invalid options or an empty source.
+    pub fn try_train_source<D: ExampleSource + ?Sized>(
+        &mut self,
+        train: &D,
         test: Option<&Dataset>,
         options: &TrainOptions,
     ) -> Result<TrainReport, ConfigError> {
@@ -602,6 +688,61 @@ mod tests {
                 .max_iterations(3),
         );
         assert!(trainer.network().layers().iter().all(|l| l.lsh().is_none()));
+    }
+
+    #[test]
+    fn shard_shuffle_is_a_local_permutation() {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(7);
+        for (len, shard) in [(100usize, 10usize), (101, 10), (5, 10), (64, 1), (97, 13)] {
+            let mut order: Vec<u32> = (0..len as u32).collect();
+            shard_shuffle(&mut order, shard, &mut rng);
+            // A permutation…
+            let mut sorted = order.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, (0..len as u32).collect::<Vec<_>>(), "{len}/{shard}");
+            // …that concatenates whole shards: each run is one complete
+            // input shard (shuffled internally), never a mix of two.
+            let mut pos = 0;
+            while pos < len {
+                let sh = order[pos] as usize / shard;
+                let start = sh * shard;
+                let run = (start + shard).min(len) - start;
+                let mut seg: Vec<u32> = order[pos..pos + run].to_vec();
+                seg.sort_unstable();
+                assert_eq!(
+                    seg,
+                    (start as u32..(start + run) as u32).collect::<Vec<_>>(),
+                    "run at {pos} is not shard {sh} (len {len}, shard {shard})"
+                );
+                pos += run;
+            }
+        }
+    }
+
+    #[test]
+    fn train_source_on_dataset_matches_train_bitwise() {
+        // &Dataset goes through the slice fast path: training through
+        // the source API must produce the identical network.
+        let data = tiny_data();
+        let opts = TrainOptions::new(2).batch_size(32).threads(1).seed(9);
+        let mut a = SlideTrainer::new(slide_config(&data)).unwrap();
+        a.train(&data.train, &opts);
+        let mut b = SlideTrainer::new(slide_config(&data)).unwrap();
+        b.train_source(&data.train, &opts);
+        assert_eq!(
+            a.network().to_snapshot_bytes(),
+            b.network().to_snapshot_bytes()
+        );
+    }
+
+    #[test]
+    fn empty_source_is_an_error() {
+        let data = tiny_data();
+        let mut trainer = SlideTrainer::new(slide_config(&data)).unwrap();
+        let empty = slide_data::Dataset::new(data.train.feature_dim(), data.train.label_dim());
+        assert!(trainer
+            .try_train_source(&empty, None, &TrainOptions::new(1))
+            .is_err());
     }
 
     #[test]

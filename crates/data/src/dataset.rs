@@ -19,6 +19,23 @@ impl Example {
         labels.dedup();
         Self { features, labels }
     }
+
+    /// An empty example — the reusable decode buffer for
+    /// [`StreamingSvmReader::read_into`](crate::stream::StreamingSvmReader::read_into)
+    /// and [`ExampleSource::read_into`](crate::source::ExampleSource::read_into).
+    pub fn empty() -> Self {
+        Self {
+            features: SparseVector::new(),
+            labels: Vec::new(),
+        }
+    }
+
+    /// Copies `other` into this example, reusing this example's feature
+    /// and label allocations.
+    pub fn copy_from(&mut self, other: &Example) {
+        self.features.copy_from(&other.features);
+        self.labels.clone_from(&other.labels);
+    }
 }
 
 /// Summary statistics in the shape of the paper's Table 1.

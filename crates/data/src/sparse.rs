@@ -155,6 +155,44 @@ impl SparseVector {
         pairs.clear();
     }
 
+    /// Copies `other` into this vector, reusing both of this vector's
+    /// allocations (the moral equivalent of `Clone::clone_from`, which
+    /// the derived `Clone` does not specialize). The buffer-reuse entry
+    /// point for decoding examples out of an
+    /// [`ExampleSource`](crate::source::ExampleSource).
+    pub fn copy_from(&mut self, other: &SparseVector) {
+        self.indices.clone_from(&other.indices);
+        self.values.clone_from(&other.values);
+    }
+
+    /// Clears and rebuilds this vector in place from an iterator of
+    /// `(index, value)` pairs that must arrive with strictly increasing
+    /// indices — the zero-validation-cost decode path for sources whose
+    /// ordering was already verified (e.g. a checksummed dataset cache).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseSparseError::Unsorted`] (leaving the vector empty)
+    /// if the indices are not strictly increasing.
+    pub fn refill_from_sorted_iter<I: IntoIterator<Item = (u32, f32)>>(
+        &mut self,
+        pairs: I,
+    ) -> Result<(), ParseSparseError> {
+        self.indices.clear();
+        self.values.clear();
+        for (i, v) in pairs {
+            if self.indices.last().is_some_and(|&last| last >= i) {
+                let position = self.indices.len();
+                self.indices.clear();
+                self.values.clear();
+                return Err(ParseSparseError::Unsorted { position });
+            }
+            self.indices.push(i);
+            self.values.push(v);
+        }
+        Ok(())
+    }
+
     /// Converts a dense slice, keeping nonzero entries.
     pub fn from_dense(dense: &[f32]) -> Self {
         let mut indices = Vec::new();

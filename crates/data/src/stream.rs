@@ -1,0 +1,533 @@
+//! Streaming, allocation-free reader for the svmlight/XC text format.
+//!
+//! The eager [`crate::svmlight::read`] materializes a whole [`Dataset`]
+//! in memory — fine for the harness's synthetic corpora, impossible for
+//! paper-scale files (Amazon-670K is multi-GB). [`StreamingSvmReader`]
+//! yields one example at a time into a caller-owned buffer: steady-state
+//! parsing performs **no per-example heap allocation** (the line buffer,
+//! the pair scratch and the output [`Example`]'s vectors are all reused),
+//! so a one-pass consumer such as
+//! [`DatasetBuilder`](crate::cache::DatasetBuilder) runs in constant
+//! memory regardless of file size.
+//!
+//! The eager loader is itself implemented on top of this reader, so the
+//! two can never disagree about what a line means: for every valid file,
+//! eager and streamed decoding are example-for-example bit-identical
+//! (pinned by `tests/ingestion.rs`).
+//!
+//! ## Validation
+//!
+//! Every record is validated against the header as it is read; the
+//! reader returns a typed [`SvmlightError`] — never panics — on:
+//!
+//! * a missing or malformed header;
+//! * a feature index or label outside the header's declared dimensions;
+//! * feature indices that are not strictly increasing (duplicates
+//!   included): silently re-sorting would mask corrupt files, so
+//!   non-monotone records are rejected by both readers;
+//! * unparseable labels, indices or values (including truncated trailing
+//!   records: `"3:"` or `"3"` fail the float/token parse);
+//! * an example count that contradicts the header — detected at the
+//!   first excess record, or at end-of-file for short files.
+//!
+//! ## Example
+//!
+//! ```
+//! use slide_data::stream::StreamingSvmReader;
+//! use slide_data::Example;
+//!
+//! let text = "2 5 3\n0,2 1:0.5 3:1.0\n1 0:2.0\n";
+//! let mut reader = StreamingSvmReader::new(text.as_bytes())?;
+//! assert_eq!(reader.header().num_examples, 2);
+//! assert_eq!(reader.header().feature_dim, 5);
+//!
+//! let mut ex = Example::empty();
+//! let mut seen = 0;
+//! while reader.read_into(&mut ex)? {
+//!     assert!(ex.features.nnz() > 0);
+//!     seen += 1;
+//! }
+//! assert_eq!(seen, 2);
+//! # Ok::<(), slide_data::svmlight::SvmlightError>(())
+//! ```
+
+use std::fs::File;
+use std::io::{BufRead, BufReader};
+use std::path::Path;
+
+use crate::dataset::{Dataset, Example};
+use crate::svmlight::{parse_err, SvmlightError};
+
+/// The mandatory first line of an svmlight/XC file:
+/// `<num_examples> <feature_dim> <label_dim>`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SvmHeader {
+    /// Number of examples the file declares.
+    pub num_examples: usize,
+    /// Feature dimension; every feature index must be `< feature_dim`.
+    pub feature_dim: usize,
+    /// Label dimension; every label must be `< label_dim`.
+    pub label_dim: usize,
+}
+
+/// A buffered, allocation-free svmlight tokenizer: parses the header
+/// eagerly, then yields one validated example per [`read_into`] call
+/// without ever materializing the file.
+///
+/// See the [module docs](self) for the format, the validation rules and
+/// a usage example.
+///
+/// [`read_into`]: StreamingSvmReader::read_into
+#[derive(Debug)]
+pub struct StreamingSvmReader<R> {
+    reader: R,
+    header: SvmHeader,
+    /// Reused raw-line buffer (`read_until` target).
+    line: Vec<u8>,
+    /// Reused `(index, value)` scratch handed to `refill_from_pairs`.
+    pairs: Vec<(u32, f32)>,
+    /// 1-based line number of the last line read.
+    lineno: usize,
+    /// Examples yielded so far.
+    yielded: usize,
+}
+
+impl StreamingSvmReader<BufReader<File>> {
+    /// Opens a file and parses its header.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SvmlightError`] if the file cannot be opened or the
+    /// header is missing or malformed.
+    pub fn open<P: AsRef<Path>>(path: P) -> Result<Self, SvmlightError> {
+        Self::new(BufReader::new(File::open(path)?))
+    }
+}
+
+impl<R: BufRead> StreamingSvmReader<R> {
+    /// Wraps a buffered reader and parses the header line.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SvmlightError`] on I/O failure or a missing/malformed
+    /// header.
+    pub fn new(mut reader: R) -> Result<Self, SvmlightError> {
+        let mut line = Vec::new();
+        let n = reader.read_until(b'\n', &mut line)?;
+        if n == 0 {
+            return Err(parse_err(1, "missing header line"));
+        }
+        let text = line_str(&line, 1)?;
+        let mut parts = text.split_whitespace();
+        let mut next_num = |name: &str| -> Result<usize, SvmlightError> {
+            parts
+                .next()
+                .ok_or_else(|| parse_err(1, format!("header missing {name}")))?
+                .parse::<usize>()
+                .map_err(|e| parse_err(1, format!("bad {name}: {e}")))
+        };
+        let header = SvmHeader {
+            num_examples: next_num("num_examples")?,
+            feature_dim: next_num("feature_dim")?,
+            label_dim: next_num("label_dim")?,
+        };
+        Ok(Self {
+            reader,
+            header,
+            line,
+            pairs: Vec::new(),
+            lineno: 1,
+            yielded: 0,
+        })
+    }
+
+    /// The parsed header.
+    pub fn header(&self) -> &SvmHeader {
+        &self.header
+    }
+
+    /// Examples yielded so far.
+    pub fn examples_read(&self) -> usize {
+        self.yielded
+    }
+
+    /// Reads the next example into `out`, reusing its allocations.
+    ///
+    /// Returns `Ok(true)` when an example was produced and `Ok(false)`
+    /// at a clean end of file (exactly `header().num_examples` records
+    /// seen). Zero-length lines are skipped (matching the eager
+    /// loader); a line of whitespace is an *empty record* — no labels,
+    /// no features.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SvmlightError`] on I/O failure or any of the
+    /// [module-level](self) validation rules; after an error the
+    /// reader's state is unspecified and it should be discarded.
+    pub fn read_into(&mut self, out: &mut Example) -> Result<bool, SvmlightError> {
+        loop {
+            self.line.clear();
+            let n = self.reader.read_until(b'\n', &mut self.line)?;
+            if n == 0 {
+                if self.yielded != self.header.num_examples {
+                    return Err(parse_err(
+                        1,
+                        format!(
+                            "header declared {} examples but file contains {}",
+                            self.header.num_examples, self.yielded
+                        ),
+                    ));
+                }
+                return Ok(false);
+            }
+            self.lineno += 1;
+            let text = line_str(&self.line, self.lineno)?;
+            let text = text.trim_end_matches(['\n', '\r']);
+            // Only zero-length lines are blank. A line of whitespace is
+            // a *record* (empty labels, empty features) — that's how
+            // `svmlight::write_record` represents a fully-empty example,
+            // which would otherwise be unrepresentable in the format.
+            if text.is_empty() {
+                continue;
+            }
+            if self.yielded == self.header.num_examples {
+                return Err(parse_err(
+                    self.lineno,
+                    format!(
+                        "header declared {} examples but more records follow",
+                        self.header.num_examples
+                    ),
+                ));
+            }
+            parse_record_into(text, self.lineno, &self.header, &mut self.pairs, out)?;
+            self.yielded += 1;
+            return Ok(true);
+        }
+    }
+
+    /// Converts the reader into an iterator of owned examples.
+    ///
+    /// Each item clones out of the internal buffer, so prefer
+    /// [`StreamingSvmReader::read_into`] on hot paths; the iterator is
+    /// the convenience form for `collect()`-style consumers.
+    pub fn examples(self) -> Examples<R> {
+        Examples {
+            reader: self,
+            buf: Example::empty(),
+            failed: false,
+        }
+    }
+
+    /// Drains the remaining records, validating everything but keeping
+    /// nothing. Returns the number of examples read (in total).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`SvmlightError`] encountered.
+    pub fn validate_to_end(mut self) -> Result<usize, SvmlightError> {
+        let mut buf = Example::empty();
+        while self.read_into(&mut buf)? {}
+        Ok(self.yielded)
+    }
+}
+
+/// Owned-example iterator produced by [`StreamingSvmReader::examples`].
+///
+/// Yields `Result<Example, SvmlightError>`; iteration ends after the
+/// first error.
+#[derive(Debug)]
+pub struct Examples<R> {
+    reader: StreamingSvmReader<R>,
+    buf: Example,
+    failed: bool,
+}
+
+impl<R: BufRead> Iterator for Examples<R> {
+    type Item = Result<Example, SvmlightError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.failed {
+            return None;
+        }
+        match self.reader.read_into(&mut self.buf) {
+            Ok(true) => Some(Ok(self.buf.clone())),
+            Ok(false) => None,
+            Err(e) => {
+                self.failed = true;
+                Some(Err(e))
+            }
+        }
+    }
+}
+
+/// Reads a whole file eagerly through the streaming reader — the
+/// file-path counterpart of [`crate::svmlight::read`].
+///
+/// # Errors
+///
+/// Returns [`SvmlightError`] exactly as [`StreamingSvmReader`] would.
+pub fn read_file<P: AsRef<Path>>(path: P) -> Result<Dataset, SvmlightError> {
+    read_eager(StreamingSvmReader::open(path)?)
+}
+
+/// Drains `reader` into an in-memory [`Dataset`] (the eager loaders'
+/// shared tail).
+pub(crate) fn read_eager<R: BufRead>(
+    mut reader: StreamingSvmReader<R>,
+) -> Result<Dataset, SvmlightError> {
+    let header = *reader.header();
+    let mut ds = Dataset::new(header.feature_dim, header.label_dim);
+    let mut buf = Example::empty();
+    while reader.read_into(&mut buf)? {
+        ds.push(buf.clone());
+    }
+    Ok(ds)
+}
+
+fn line_str(line: &[u8], lineno: usize) -> Result<&str, SvmlightError> {
+    std::str::from_utf8(line).map_err(|_| parse_err(lineno, "line is not valid UTF-8"))
+}
+
+/// Parses one record (`l1,l2 f:v f:v`) into `out`, reusing `pairs` as
+/// scratch. Labels are sorted and deduplicated (the [`Example::new`]
+/// contract); feature indices must be strictly increasing and in range.
+fn parse_record_into(
+    line: &str,
+    lineno: usize,
+    header: &SvmHeader,
+    pairs: &mut Vec<(u32, f32)>,
+    out: &mut Example,
+) -> Result<(), SvmlightError> {
+    // A record with no labels starts with a space.
+    let (label_part, feature_part) = match line.find(' ') {
+        Some(pos) => (&line[..pos], &line[pos + 1..]),
+        None => (line, ""),
+    };
+    out.labels.clear();
+    if !label_part.is_empty() {
+        for tok in label_part.split(',') {
+            let label: u32 = tok
+                .trim()
+                .parse()
+                .map_err(|e| parse_err(lineno, format!("bad label {tok:?}: {e}")))?;
+            if label as usize >= header.label_dim {
+                return Err(parse_err(
+                    lineno,
+                    format!(
+                        "label {label} out of range (label_dim {})",
+                        header.label_dim
+                    ),
+                ));
+            }
+            out.labels.push(label);
+        }
+    }
+    out.labels.sort_unstable();
+    out.labels.dedup();
+
+    pairs.clear();
+    let mut last: Option<u32> = None;
+    for tok in feature_part.split_whitespace() {
+        let (idx, val) = tok
+            .split_once(':')
+            .ok_or_else(|| parse_err(lineno, format!("feature token {tok:?} missing ':'")))?;
+        let idx: u32 = idx
+            .parse()
+            .map_err(|e| parse_err(lineno, format!("bad feature index {idx:?}: {e}")))?;
+        if idx as usize >= header.feature_dim {
+            return Err(parse_err(
+                lineno,
+                format!(
+                    "feature index {idx} out of range (feature_dim {})",
+                    header.feature_dim
+                ),
+            ));
+        }
+        if last.is_some_and(|l| l >= idx) {
+            return Err(parse_err(
+                lineno,
+                format!(
+                    "feature indices not strictly increasing ({} then {idx})",
+                    last.expect("checked above")
+                ),
+            ));
+        }
+        last = Some(idx);
+        let val: f32 = val
+            .parse()
+            .map_err(|e| parse_err(lineno, format!("bad feature value {val:?}: {e}")))?;
+        pairs.push((idx, val));
+    }
+    // Already strictly sorted; refill_from_pairs just adopts the order
+    // while reusing the example's buffers.
+    out.features.refill_from_pairs(pairs);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reader(text: &str) -> StreamingSvmReader<&[u8]> {
+        StreamingSvmReader::new(text.as_bytes()).unwrap()
+    }
+
+    #[test]
+    fn streams_basic_file() {
+        let mut r = reader("3 10 5\n0,1 2:0.5 7:1.5\n4 0:1.0\n 3:2.0\n");
+        assert_eq!(
+            *r.header(),
+            SvmHeader {
+                num_examples: 3,
+                feature_dim: 10,
+                label_dim: 5
+            }
+        );
+        let mut ex = Example::empty();
+        assert!(r.read_into(&mut ex).unwrap());
+        assert_eq!(ex.labels, vec![0, 1]);
+        assert_eq!(ex.features.get(7), 1.5);
+        assert!(r.read_into(&mut ex).unwrap());
+        assert_eq!(ex.labels, vec![4]);
+        assert!(r.read_into(&mut ex).unwrap());
+        assert!(ex.labels.is_empty());
+        assert_eq!(ex.features.get(3), 2.0);
+        assert!(!r.read_into(&mut ex).unwrap());
+        assert_eq!(r.examples_read(), 3);
+    }
+
+    #[test]
+    fn buffer_is_fully_overwritten_between_records() {
+        // A wide record followed by a narrow one: stale entries must not
+        // leak from the reused buffer.
+        let mut r = reader("2 10 5\n0 1:1 2:2 3:3\n1 5:5\n");
+        let mut ex = Example::empty();
+        assert!(r.read_into(&mut ex).unwrap());
+        assert_eq!(ex.features.nnz(), 3);
+        assert!(r.read_into(&mut ex).unwrap());
+        assert_eq!(ex.features.nnz(), 1);
+        assert_eq!(ex.labels, vec![1]);
+        assert_eq!(ex.features.get(5), 5.0);
+    }
+
+    #[test]
+    fn iterator_yields_owned_examples() {
+        let out: Result<Vec<_>, _> = reader("2 4 2\n0 1:1\n1 2:2\n").examples().collect();
+        let out = out.unwrap();
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[1].labels, vec![1]);
+    }
+
+    #[test]
+    fn missing_header_is_an_error() {
+        let err = StreamingSvmReader::new("".as_bytes()).unwrap_err();
+        assert!(matches!(err, SvmlightError::Parse { line: 1, .. }));
+    }
+
+    #[test]
+    fn short_file_reports_count_mismatch_at_eof() {
+        let mut r = reader("5 10 5\n0 1:1\n");
+        let mut ex = Example::empty();
+        assert!(r.read_into(&mut ex).unwrap());
+        let err = r.read_into(&mut ex).unwrap_err();
+        assert!(err.to_string().contains("declared 5 examples"), "{err}");
+    }
+
+    #[test]
+    fn excess_records_rejected_at_the_offending_line() {
+        let mut r = reader("1 10 5\n0 1:1\n1 2:2\n");
+        let mut ex = Example::empty();
+        assert!(r.read_into(&mut ex).unwrap());
+        let err = r.read_into(&mut ex).unwrap_err();
+        match err {
+            SvmlightError::Parse { line, ref message } => {
+                assert_eq!(line, 3);
+                assert!(message.contains("more records follow"), "{message}");
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn non_monotone_indices_rejected() {
+        let mut ex = Example::empty();
+        for bad in ["1 10 5\n0 3:1 2:1\n", "1 10 5\n0 3:1 3:2\n"] {
+            let err = reader(bad).read_into(&mut ex).unwrap_err();
+            assert!(
+                err.to_string().contains("strictly increasing"),
+                "{bad:?}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn truncated_trailing_record_is_a_typed_error() {
+        // File ends mid-token (no value after the colon, then EOF).
+        let mut r = reader("2 10 5\n0 1:1\n1 4:");
+        let mut ex = Example::empty();
+        assert!(r.read_into(&mut ex).unwrap());
+        let err = r.read_into(&mut ex).unwrap_err();
+        assert!(err.to_string().contains("bad feature value"), "{err}");
+    }
+
+    #[test]
+    fn bad_float_and_bad_index_are_typed_errors() {
+        let mut ex = Example::empty();
+        let err = reader("1 10 5\n0 1:abc\n").read_into(&mut ex).unwrap_err();
+        assert!(err.to_string().contains("bad feature value"));
+        let err = reader("1 10 5\n0 x:1\n").read_into(&mut ex).unwrap_err();
+        assert!(err.to_string().contains("bad feature index"));
+        let err = reader("1 10 5\nz 1:1\n").read_into(&mut ex).unwrap_err();
+        assert!(err.to_string().contains("bad label"));
+    }
+
+    #[test]
+    fn out_of_range_index_and_label_rejected() {
+        let mut ex = Example::empty();
+        let err = reader("1 10 5\n0 12:1\n").read_into(&mut ex).unwrap_err();
+        assert!(err.to_string().contains("feature index 12 out of range"));
+        let err = reader("1 10 5\n9 1:1\n").read_into(&mut ex).unwrap_err();
+        assert!(err.to_string().contains("label 9 out of range"));
+    }
+
+    #[test]
+    fn empty_examples_and_blank_lines() {
+        // A labels-only record and a features-only record are both
+        // legal "empty" examples.
+        let mut r = reader("2 10 5\n3\n 4:1.0\n");
+        let mut ex = Example::empty();
+        assert!(r.read_into(&mut ex).unwrap());
+        assert_eq!(ex.labels, vec![3]);
+        assert!(ex.features.is_empty());
+        assert!(r.read_into(&mut ex).unwrap());
+        assert!(ex.labels.is_empty());
+        assert_eq!(ex.features.get(4), 1.0);
+        assert!(!r.read_into(&mut ex).unwrap());
+
+        // A single-space line is the fully-empty record (this is what
+        // write_record emits for one); zero-length lines stay blank.
+        let mut r = reader("1 10 5\n\n \n\n");
+        assert!(r.read_into(&mut ex).unwrap());
+        assert!(ex.labels.is_empty());
+        assert!(ex.features.is_empty());
+        assert!(!r.read_into(&mut ex).unwrap());
+    }
+
+    #[test]
+    fn crlf_line_endings_accepted() {
+        let mut r = reader("1 10 5\r\n0 1:1.5\r\n");
+        let mut ex = Example::empty();
+        assert!(r.read_into(&mut ex).unwrap());
+        assert_eq!(ex.features.get(1), 1.5);
+        assert!(!r.read_into(&mut ex).unwrap());
+    }
+
+    #[test]
+    fn validate_to_end_counts() {
+        assert_eq!(
+            reader("2 4 2\n0 1:1\n1 2:2\n").validate_to_end().unwrap(),
+            2
+        );
+        assert!(reader("2 4 2\n0 1:1\n").validate_to_end().is_err());
+    }
+}

@@ -15,8 +15,7 @@
 use std::fmt;
 use std::io::{BufRead, Write};
 
-use crate::dataset::{Dataset, Example};
-use crate::sparse::SparseVector;
+use crate::dataset::Dataset;
 
 /// Error produced while reading the XC text format.
 #[derive(Debug)]
@@ -58,14 +57,25 @@ impl From<std::io::Error> for SvmlightError {
     }
 }
 
-fn parse_err(line: usize, message: impl Into<String>) -> SvmlightError {
+pub(crate) fn parse_err(line: usize, message: impl Into<String>) -> SvmlightError {
     SvmlightError::Parse {
         line,
         message: message.into(),
     }
 }
 
-/// Reads a dataset in the XC repository format.
+/// Reads a dataset in the XC repository format, eagerly, into memory.
+///
+/// Implemented on top of [`crate::stream::StreamingSvmReader`], so the
+/// eager and streaming loaders accept exactly the same files and decode
+/// them identically; for files too large to materialize, use the
+/// streaming reader (or a compiled [`crate::cache`]) directly.
+///
+/// Every record is validated against the header: out-of-range feature
+/// indices or labels and non-monotone (unsorted or duplicate) feature
+/// indices are typed errors, mirroring the way the serving layer
+/// validates request indices against the model's `input_dim` before any
+/// weight access.
 ///
 /// # Errors
 ///
@@ -82,92 +92,7 @@ fn parse_err(line: usize, message: impl Into<String>) -> SvmlightError {
 /// # Ok::<(), slide_data::svmlight::SvmlightError>(())
 /// ```
 pub fn read<R: BufRead>(reader: R) -> Result<Dataset, SvmlightError> {
-    let mut lines = reader.lines();
-    let header = lines
-        .next()
-        .ok_or_else(|| parse_err(1, "missing header line"))??;
-    let mut parts = header.split_whitespace();
-    let mut next_num = |name: &str| -> Result<usize, SvmlightError> {
-        parts
-            .next()
-            .ok_or_else(|| parse_err(1, format!("header missing {name}")))?
-            .parse::<usize>()
-            .map_err(|e| parse_err(1, format!("bad {name}: {e}")))
-    };
-    let declared_examples = next_num("num_examples")?;
-    let feature_dim = next_num("feature_dim")?;
-    let label_dim = next_num("label_dim")?;
-
-    let mut ds = Dataset::new(feature_dim, label_dim);
-    for (lineno, line) in lines.enumerate() {
-        let lineno = lineno + 2; // 1-based, after the header
-        let line = line?;
-        if line.trim().is_empty() {
-            continue;
-        }
-        let example = parse_record(&line, lineno, feature_dim, label_dim)?;
-        ds.push(example);
-    }
-    if ds.len() != declared_examples {
-        return Err(parse_err(
-            1,
-            format!(
-                "header declared {declared_examples} examples but file contains {}",
-                ds.len()
-            ),
-        ));
-    }
-    Ok(ds)
-}
-
-fn parse_record(
-    line: &str,
-    lineno: usize,
-    feature_dim: usize,
-    label_dim: usize,
-) -> Result<Example, SvmlightError> {
-    // Records look like "l1,l2 f:v f:v"; a record with no labels starts
-    // with a space.
-    let (label_part, feature_part) = match line.find(' ') {
-        Some(pos) => (&line[..pos], &line[pos + 1..]),
-        None => (line, ""),
-    };
-    let mut labels = Vec::new();
-    if !label_part.is_empty() {
-        for tok in label_part.split(',') {
-            let label: u32 = tok
-                .trim()
-                .parse()
-                .map_err(|e| parse_err(lineno, format!("bad label {tok:?}: {e}")))?;
-            if label as usize >= label_dim {
-                return Err(parse_err(
-                    lineno,
-                    format!("label {label} out of range (label_dim {label_dim})"),
-                ));
-            }
-            labels.push(label);
-        }
-    }
-    let mut pairs = Vec::new();
-    for tok in feature_part.split_whitespace() {
-        let (idx, val) = tok
-            .split_once(':')
-            .ok_or_else(|| parse_err(lineno, format!("feature token {tok:?} missing ':'")))?;
-        let idx: u32 = idx
-            .parse()
-            .map_err(|e| parse_err(lineno, format!("bad feature index {idx:?}: {e}")))?;
-        if idx as usize >= feature_dim {
-            return Err(parse_err(
-                lineno,
-                format!("feature index {idx} out of range (feature_dim {feature_dim})"),
-            ));
-        }
-        let val: f32 = val
-            .parse()
-            .map_err(|e| parse_err(lineno, format!("bad feature value {val:?}: {e}")))?;
-        pairs.push((idx, val));
-    }
-    Ok(Example::new(SparseVector::from_pairs(pairs), labels))
+    crate::stream::read_eager(crate::stream::StreamingSvmReader::new(reader)?)
 }
 
 /// Writes a dataset in the XC repository format.
@@ -176,22 +101,61 @@ fn parse_record(
 ///
 /// Propagates any I/O error from `writer`.
 pub fn write<W: Write>(dataset: &Dataset, mut writer: W) -> Result<(), std::io::Error> {
-    writeln!(
-        writer,
-        "{} {} {}",
+    write_header(
+        &mut writer,
         dataset.len(),
         dataset.feature_dim(),
-        dataset.label_dim()
+        dataset.label_dim(),
     )?;
     for ex in dataset.iter() {
-        let labels: Vec<String> = ex.labels.iter().map(|l| l.to_string()).collect();
-        write!(writer, "{}", labels.join(","))?;
-        for (i, v) in ex.features.iter() {
-            write!(writer, " {i}:{v}")?;
-        }
-        writeln!(writer)?;
+        write_record(&mut writer, ex)?;
     }
     Ok(())
+}
+
+/// Writes the mandatory `<num_examples> <feature_dim> <label_dim>`
+/// header line — the streaming counterpart of [`write()`], paired with
+/// [`write_record`] to emit corpora one example at a time in constant
+/// memory.
+///
+/// # Errors
+///
+/// Propagates any I/O error from `writer`.
+pub fn write_header<W: Write>(
+    mut writer: W,
+    num_examples: usize,
+    feature_dim: usize,
+    label_dim: usize,
+) -> Result<(), std::io::Error> {
+    writeln!(writer, "{num_examples} {feature_dim} {label_dim}")
+}
+
+/// Writes one record line (`l1,l2 f:v f:v`).
+///
+/// A fully-empty example (no labels, no features) is written as a
+/// single space — a bare newline would read back as a skippable blank
+/// line and the file would come up one record short.
+///
+/// # Errors
+///
+/// Propagates any I/O error from `writer`.
+pub fn write_record<W: Write>(mut writer: W, ex: &crate::Example) -> Result<(), std::io::Error> {
+    if ex.labels.is_empty() && ex.features.is_empty() {
+        return writeln!(writer, " ");
+    }
+    let mut first = true;
+    for l in &ex.labels {
+        if first {
+            write!(writer, "{l}")?;
+            first = false;
+        } else {
+            write!(writer, ",{l}")?;
+        }
+    }
+    for (i, v) in ex.features.iter() {
+        write!(writer, " {i}:{v}")?;
+    }
+    writeln!(writer)
 }
 
 #[cfg(test)]
@@ -218,6 +182,25 @@ mod tests {
         write(&ds, &mut buf).unwrap();
         let ds2 = read(buf.as_slice()).unwrap();
         assert_eq!(ds, ds2);
+    }
+
+    #[test]
+    fn roundtrip_preserves_fully_empty_examples() {
+        // An empty example is written as a single space, not a bare
+        // newline (which would read back as a skippable blank line).
+        let mut ds = Dataset::new(8, 4);
+        ds.push(crate::Example::new(
+            crate::SparseVector::from_pairs([(1, 1.0)]),
+            vec![0],
+        ));
+        ds.push(crate::Example::new(crate::SparseVector::new(), vec![]));
+        ds.push(crate::Example::new(crate::SparseVector::new(), vec![2]));
+        let mut buf = Vec::new();
+        write(&ds, &mut buf).unwrap();
+        let ds2 = read(buf.as_slice()).unwrap();
+        assert_eq!(ds, ds2);
+        assert!(ds2.get(1).unwrap().labels.is_empty());
+        assert!(ds2.get(1).unwrap().features.is_empty());
     }
 
     #[test]
@@ -249,6 +232,17 @@ mod tests {
     fn rejects_malformed_feature_token() {
         let err = read("1 10 5\n0 nocolon\n".as_bytes()).unwrap_err();
         assert!(err.to_string().contains("missing ':'"));
+    }
+
+    #[test]
+    fn rejects_non_monotone_feature_indices() {
+        // Out-of-order and duplicate indices used to be silently
+        // re-sorted/merged; both are now typed errors in the eager and
+        // streaming readers alike.
+        let err = read("1 10 5\n0 5:1 2:1\n".as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("strictly increasing"), "{err}");
+        let err = read("1 10 5\n0 5:1 5:1\n".as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("strictly increasing"), "{err}");
     }
 
     #[test]

@@ -220,6 +220,7 @@ pub struct SyntheticData {
 }
 
 /// Precomputed cumulative Zipf distribution for label sampling.
+#[derive(Debug)]
 struct ZipfSampler {
     cumulative: Vec<f64>,
 }
@@ -242,26 +243,15 @@ impl ZipfSampler {
     }
 }
 
-/// Generates a synthetic dataset according to `config`.
-///
-/// Deterministic in `config.seed`.
-///
-/// # Panics
-///
-/// Panics if `config.validate()` fails; call it first to handle the error
-/// gracefully.
-pub fn generate(config: &SyntheticConfig) -> SyntheticData {
-    config
-        .validate()
-        .unwrap_or_else(|e| panic!("invalid SyntheticConfig: {e}"));
-    let root = Xoshiro256PlusPlus::seed_from_u64(config.seed);
-
-    // 1. Label prototypes. Labels are grouped into clusters of
-    //    `cluster_size`; siblings draw `cluster_overlap` of their
-    //    prototype from a pool shared by the cluster, so siblings are
-    //    genuinely confusable (the hard negatives adaptive sampling
-    //    exploits), and the rest from label-unique features.
-    let mut proto_rng = root.stream(1);
+/// Builds the per-label prototype table. Labels are grouped into
+/// clusters of `cluster_size`; siblings draw `cluster_overlap` of their
+/// prototype from a pool shared by the cluster, so siblings are
+/// genuinely confusable (the hard negatives adaptive sampling
+/// exploits), and the rest from label-unique features.
+fn build_prototypes(
+    config: &SyntheticConfig,
+    proto_rng: &mut Xoshiro256PlusPlus,
+) -> Vec<(Vec<u32>, Vec<f32>)> {
     let shared_nnz = ((config.prototype_nnz as f64) * config.cluster_overlap).round() as usize;
     let unique_nnz = config.prototype_nnz - shared_nnz;
     // Shared pools: 2× the shared prototype size, one per cluster.
@@ -275,7 +265,7 @@ pub fn generate(config: &SyntheticConfig) -> SyntheticData {
                 .collect()
         })
         .collect();
-    let prototypes: Vec<(Vec<u32>, Vec<f32>)> = (0..config.label_dim)
+    (0..config.label_dim)
         .map(|label| {
             let pool = &pools[label / config.cluster_size];
             let mut idx: Vec<u32> = Vec::with_capacity(config.prototype_nnz);
@@ -292,13 +282,125 @@ pub fn generate(config: &SyntheticConfig) -> SyntheticData {
             let weights: Vec<f32> = (0..idx.len()).map(|_| 0.5 + proto_rng.next_f32()).collect();
             (idx, weights)
         })
-        .collect();
+        .collect()
+}
 
-    let zipf = ZipfSampler::new(config.label_dim, config.zipf_exponent);
-    let gen_split = |mut rng: Xoshiro256PlusPlus, size: usize| -> Dataset {
+/// A constant-memory generator of synthetic examples — the streaming
+/// counterpart of [`generate`], for corpora that should never be
+/// materialized (e.g. writing a larger-than-RAM svmlight file for the
+/// ingestion bench, or feeding a
+/// [`DatasetBuilder`](crate::cache::DatasetBuilder) directly).
+///
+/// [`SyntheticStream::train`] yields exactly the example sequence
+/// `generate(config).train` contains (same draws, bit-identical
+/// examples), but one at a time; the stream itself is infinite — take
+/// as many as needed. Memory stays at the prototype table
+/// (`label_dim × prototype_nnz`), independent of how many examples are
+/// drawn.
+///
+/// # Example
+///
+/// ```
+/// use slide_data::synth::{generate, SyntheticConfig, SyntheticStream};
+///
+/// let cfg = SyntheticConfig::tiny().with_seed(9);
+/// let eager = generate(&cfg);
+/// let streamed: Vec<_> = SyntheticStream::train(&cfg).take(cfg.train_size).collect();
+/// assert_eq!(eager.train.examples(), &streamed[..]);
+/// ```
+#[derive(Debug)]
+pub struct SyntheticStream {
+    config: SyntheticConfig,
+    prototypes: std::sync::Arc<Vec<(Vec<u32>, Vec<f32>)>>,
+    zipf: ZipfSampler,
+    rng: Xoshiro256PlusPlus,
+}
+
+impl SyntheticStream {
+    /// A stream drawing the training-split example sequence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.validate()` fails.
+    pub fn train(config: &SyntheticConfig) -> Self {
+        Self::split(config, 2)
+    }
+
+    /// A stream drawing the test-split example sequence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.validate()` fails.
+    pub fn test(config: &SyntheticConfig) -> Self {
+        Self::split(config, 3)
+    }
+
+    fn split(config: &SyntheticConfig, stream_id: u64) -> Self {
+        config
+            .validate()
+            .unwrap_or_else(|e| panic!("invalid SyntheticConfig: {e}"));
+        let root = Xoshiro256PlusPlus::seed_from_u64(config.seed);
+        let mut proto_rng = root.stream(1);
+        let prototypes = std::sync::Arc::new(build_prototypes(config, &mut proto_rng));
+        Self::with_prototypes(config.clone(), prototypes, root.stream(stream_id))
+    }
+
+    fn with_prototypes(
+        config: SyntheticConfig,
+        prototypes: std::sync::Arc<Vec<(Vec<u32>, Vec<f32>)>>,
+        rng: Xoshiro256PlusPlus,
+    ) -> Self {
+        let zipf = ZipfSampler::new(config.label_dim, config.zipf_exponent);
+        Self {
+            config,
+            prototypes,
+            zipf,
+            rng,
+        }
+    }
+
+    /// The configuration this stream draws from.
+    pub fn config(&self) -> &SyntheticConfig {
+        &self.config
+    }
+
+    /// Draws the next example.
+    pub fn next_example(&mut self) -> Example {
+        gen_example(&self.config, &self.prototypes, &self.zipf, &mut self.rng)
+    }
+}
+
+impl Iterator for SyntheticStream {
+    type Item = Example;
+
+    fn next(&mut self) -> Option<Example> {
+        Some(self.next_example())
+    }
+}
+
+/// Generates a synthetic dataset according to `config`.
+///
+/// Deterministic in `config.seed`. For corpora too large to
+/// materialize, draw the identical example sequence one at a time from
+/// [`SyntheticStream`] instead.
+///
+/// # Panics
+///
+/// Panics if `config.validate()` fails; call it first to handle the error
+/// gracefully.
+pub fn generate(config: &SyntheticConfig) -> SyntheticData {
+    config
+        .validate()
+        .unwrap_or_else(|e| panic!("invalid SyntheticConfig: {e}"));
+    let root = Xoshiro256PlusPlus::seed_from_u64(config.seed);
+    let mut proto_rng = root.stream(1);
+    let prototypes = std::sync::Arc::new(build_prototypes(config, &mut proto_rng));
+
+    let gen_split = |rng: Xoshiro256PlusPlus, size: usize| -> Dataset {
+        let mut stream = SyntheticStream::with_prototypes(config.clone(), prototypes.clone(), rng);
         let mut ds = Dataset::new(config.feature_dim, config.label_dim);
         for _ in 0..size {
-            ds.push(gen_example(config, &prototypes, &zipf, &mut rng));
+            ds.push(stream.next_example());
         }
         ds
     };

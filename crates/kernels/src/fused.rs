@@ -12,7 +12,7 @@
 //! * every cell holds an `f32` bit pattern (`f32::to_bits`);
 //! * a **scalar** access is a relaxed atomic load reinterpreted with
 //!   `f32::from_bits` ([`read`]) or `f32::to_bits` stored relaxed
-//!   ([`write`]);
+//!   ([`write()`]);
 //! * no read-modify-write is atomic: concurrent updates to the same cell
 //!   may lose one of them — the HOGWILD tolerance (paper §3.1) the
 //!   storage layer documents;

@@ -1,7 +1,7 @@
 //! Bucket replacement policies (paper §4.2, Table 3).
 //!
 //! Buckets have fixed capacity ("the number of entries is limited to a
-//! fixed bucket size [which] helps with the memory usage and also balances
+//! fixed bucket size \[which\] helps with the memory usage and also balances
 //! the load on threads"). When a full bucket receives a new neuron id, the
 //! policy decides what happens:
 //!

@@ -134,6 +134,34 @@ struct Counters {
 /// [`ServingEngine::predict`] concurrently; each call checks a private
 /// [`slide_core::Workspace`] out of the shared pool (created once, reused
 /// forever, zero steady-state allocation).
+///
+/// # Example
+///
+/// Freeze a network to snapshot bytes, load it into an engine, answer a
+/// request, and read the latency counters:
+///
+/// ```
+/// use slide_core::config::{LshLayerConfig, NetworkConfig};
+/// use slide_core::Network;
+/// use slide_data::SparseVector;
+/// use slide_serve::{ServeOptions, ServingEngine};
+///
+/// let config = NetworkConfig::builder(100, 20)
+///     .hidden(8)
+///     .output_lsh(LshLayerConfig::simhash(3, 4))
+///     .seed(1)
+///     .build()?;
+/// let network = Network::new(config)?;
+///
+/// let engine = ServingEngine::from_snapshot_bytes(
+///     &network.to_snapshot_bytes(),
+///     ServeOptions::default().with_top_k(3),
+/// )?;
+/// let answer = engine.predict(&SparseVector::from_pairs([(4, 1.0), (17, 2.0)]))?;
+/// assert!(!answer.topk.items().is_empty());
+/// assert_eq!(engine.stats().requests, 1);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
 #[derive(Debug)]
 pub struct ServingEngine {
     network: Network,

@@ -71,6 +71,8 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+#![deny(missing_docs)]
+
 pub mod batch;
 pub mod client;
 pub mod engine;

@@ -140,6 +140,12 @@ pub fn decode_predict_request(body: &str) -> Result<PredictRequest, ServeError> 
             let items = batch
                 .as_array()
                 .ok_or_else(|| bad("\"batch\" must be an array"))?;
+            if items.is_empty() {
+                // An empty batch has no per-input validation to run, so
+                // accepting it would let an invalid top_k (or anything
+                // else checked per input) slip through with a 200.
+                return Err(bad("\"batch\" must not be empty"));
+            }
             if items.len() > MAX_WIRE_BATCH {
                 return Err(bad(format!(
                     "batch of {} exceeds the limit of {MAX_WIRE_BATCH}",
@@ -386,6 +392,10 @@ mod tests {
             r#"{"indices":[1],"values":[1.0],"top_k":-2}"#,
             r#"{"batch":{"indices":[1],"values":[1.0]}}"#,
             r#"{"batch":[{"indices":[1]}]}"#,
+            // An empty batch would dodge every per-input validation
+            // (e.g. top_k bounds), so it is rejected outright.
+            r#"{"batch":[]}"#,
+            r#"{"batch":[],"top_k":0}"#,
         ] {
             assert!(
                 matches!(

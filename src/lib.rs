@@ -66,8 +66,11 @@ pub mod prelude {
         trainer::{SlideTrainer, TrainOptions, TrainReport, Trainer},
     };
     pub use slide_data::{
+        cache::{build_cache_from_svmlight, DatasetBuilder},
         metrics::{precision_at_k, recall_at_k},
-        synth::{generate, Scale, SyntheticConfig},
+        source::{ExampleSource, MmapDataset},
+        stream::StreamingSvmReader,
+        synth::{generate, Scale, SyntheticConfig, SyntheticStream},
         Dataset, Example, SparseVector,
     };
     pub use slide_lsh::{
