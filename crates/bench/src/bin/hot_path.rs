@@ -7,17 +7,22 @@
 //!
 //! The loop drives `Network::forward`/`backward` directly (one thread,
 //! the same per-example path the trainer runs) so each phase can be
-//! timed: selection is measured inside a wrapping selector, forward is
-//! the remainder of the forward call, backward and scheduled table
-//! rebuilds are timed at their call sites. The first epoch of each mode
-//! is warmup and is excluded from the timings.
+//! timed: selection is measured inside a wrapping selector — split into
+//! its `hash` (K×L code computation) and `probe` (table lookup +
+//! sampling) sub-phases, since the SIMD hash kernel moves only the
+//! former — forward is the remainder of the forward call, backward and
+//! scheduled table rebuilds are timed at their call sites. The first
+//! epoch of each mode is warmup and is excluded from the timings.
 //!
 //! Emits a machine-readable `BENCH_hot_path.json` (override with
-//! `--out PATH`) seeding the repo's perf trajectory.
+//! `--out PATH`) seeding the repo's perf trajectory; each mode records
+//! the ISA its kernels actually dispatched to (`scalar`, `avx2+fma`, or
+//! `portable-unrolled`).
 //!
 //! ```sh
 //! cargo run -p slide-bench --release --bin hot_path -- [smoke|medium|full] [--csv] [--out PATH] [--check]
-//! # CI regression tripwire (fails if vectorized is >10% slower than scalar):
+//! # CI regression tripwire (fails if vectorized epoch throughput or the
+//! # select phase is >10% behind scalar):
 //! cargo run -p slide-bench --release --bin hot_path -- --smoke --check
 //! ```
 
@@ -25,66 +30,79 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 use slide_bench::{Scale, TablePrinter};
-use slide_core::selector::{ActiveSet, LshSelector, NeuronSelector, SelectionContext};
-use slide_core::{Network, NetworkConfig, RebuildSchedule};
+use slide_core::selector::{ActiveSet, NeuronSelector, SelectionContext};
+use slide_core::{hash_layer_input, probe_tables, Network, NetworkConfig, RebuildSchedule};
 use slide_data::synth::{generate, SyntheticConfig};
 use slide_data::Dataset;
-use slide_kernels::KernelMode;
+use slide_kernels::{dispatched_isa, KernelMode};
 
-/// Wraps a selector and accumulates the wall time spent inside
-/// `select()`, so the selection phase can be split out of the forward
-/// pass without touching the engine.
-#[derive(Debug)]
-struct TimedSelector<S> {
-    inner: S,
-    nanos: AtomicU64,
+/// `LshSelector` exploded into its two sub-phases — hashing the layer
+/// input into K×L codes, then probing the tables and sampling the active
+/// set — with a wall-time accumulator around each, so the bench can
+/// report where selection time actually goes (the SIMD hash kernel
+/// moves `hash`, not `probe`).
+#[derive(Debug, Default)]
+struct TimedLshSelector {
+    hash_nanos: AtomicU64,
+    probe_nanos: AtomicU64,
 }
 
-impl<S> TimedSelector<S> {
-    fn new(inner: S) -> Self {
-        Self {
-            inner,
-            nanos: AtomicU64::new(0),
-        }
+impl TimedLshSelector {
+    fn hash_nanos(&self) -> u64 {
+        self.hash_nanos.load(Ordering::Relaxed)
     }
 
-    fn nanos(&self) -> u64 {
-        self.nanos.load(Ordering::Relaxed)
+    fn probe_nanos(&self) -> u64 {
+        self.probe_nanos.load(Ordering::Relaxed)
     }
 }
 
-impl<S: NeuronSelector> NeuronSelector for TimedSelector<S> {
+impl NeuronSelector for TimedLshSelector {
     fn name(&self) -> &'static str {
-        self.inner.name()
+        "lsh"
     }
 
+    /// The exact body of `LshSelector::select`, with a timer between the
+    /// two halves.
     fn select(
         &self,
         ctx: &SelectionContext<'_>,
         scratch: &mut slide_core::selector::SelectorScratch,
         active: &mut ActiveSet,
     ) {
+        let Some(lsh) = ctx.layer.lsh() else {
+            active.fill_dense(ctx.layer.units());
+            return;
+        };
         let t0 = Instant::now();
-        self.inner.select(ctx, scratch, active);
-        self.nanos
-            .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
-    }
-
-    fn force_label_activation(&self) -> bool {
-        self.inner.force_label_activation()
+        hash_layer_input(lsh, ctx, scratch, false);
+        let t1 = Instant::now();
+        probe_tables(lsh, ctx, scratch, active);
+        let t2 = Instant::now();
+        self.hash_nanos
+            .fetch_add((t1 - t0).as_nanos() as u64, Ordering::Relaxed);
+        self.probe_nanos
+            .fetch_add((t2 - t1).as_nanos() as u64, Ordering::Relaxed);
     }
 
     fn maintains_tables(&self) -> bool {
-        self.inner.maintains_tables()
+        true
     }
 }
 
 #[derive(Debug, Default, Clone, Copy)]
 struct Phases {
-    select_s: f64,
+    hash_s: f64,
+    probe_s: f64,
     forward_s: f64,
     backward_s: f64,
     rebuild_s: f64,
+}
+
+impl Phases {
+    fn select_s(&self) -> f64 {
+        self.hash_s + self.probe_s
+    }
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -176,7 +194,7 @@ impl BenchConfig {
 /// and throughput are accumulated over the timed epochs only.
 fn run_mode(bench: &BenchConfig, train: &Dataset, mode: KernelMode) -> ModeResult {
     let mut net = bench.network(mode);
-    let selector = TimedSelector::new(LshSelector);
+    let selector = TimedLshSelector::default();
     let mut ws = net.workspace(0xF00D);
     let order: Vec<u32> = (0..train.len() as u32).collect();
 
@@ -193,17 +211,20 @@ fn run_mode(bench: &BenchConfig, train: &Dataset, mode: KernelMode) -> ModeResul
             let clr = net.begin_step();
             for &idx in chunk {
                 let ex = &train.examples()[idx as usize];
-                let s0 = selector.nanos();
+                let h0 = selector.hash_nanos();
+                let p0 = selector.probe_nanos();
                 let t0 = Instant::now();
                 let loss = net.forward(&selector, &mut ws, &ex.features, Some(&ex.labels));
                 let fwd_ns = t0.elapsed().as_nanos() as u64;
-                let sel_ns = selector.nanos() - s0;
+                let hash_ns = selector.hash_nanos() - h0;
+                let probe_ns = selector.probe_nanos() - p0;
                 let t1 = Instant::now();
                 net.backward(&mut ws, &ex.features, &ex.labels, clr);
                 let bwd_ns = t1.elapsed().as_nanos() as u64;
                 if timed {
-                    phases.select_s += sel_ns as f64 * 1e-9;
-                    phases.forward_s += fwd_ns.saturating_sub(sel_ns) as f64 * 1e-9;
+                    phases.hash_s += hash_ns as f64 * 1e-9;
+                    phases.probe_s += probe_ns as f64 * 1e-9;
+                    phases.forward_s += fwd_ns.saturating_sub(hash_ns + probe_ns) as f64 * 1e-9;
                     phases.backward_s += bwd_ns as f64 * 1e-9;
                     examples += 1;
                     loss_acc += loss as f64;
@@ -257,13 +278,16 @@ fn emit_json(path: &str, bench: &BenchConfig, results: &[ModeResult], speedup: f
     out.push_str("  \"modes\": {\n");
     for (i, r) in results.iter().enumerate() {
         out.push_str(&format!(
-            "    \"{}\": {{\"examples_per_s\": {:.1}, \"us_per_example\": {:.2}, \"mean_loss\": {:.4}, \"wall_seconds\": {:.3}, \"phase_seconds\": {{\"select\": {:.3}, \"forward\": {:.3}, \"backward\": {:.3}, \"rebuild\": {:.3}}}}}{}\n",
+            "    \"{}\": {{\"isa\": \"{}\", \"examples_per_s\": {:.1}, \"us_per_example\": {:.2}, \"mean_loss\": {:.4}, \"wall_seconds\": {:.3}, \"phase_seconds\": {{\"select\": {:.3}, \"hash\": {:.3}, \"probe\": {:.3}, \"forward\": {:.3}, \"backward\": {:.3}, \"rebuild\": {:.3}}}}}{}\n",
             json_escape_free(&r.mode.to_string()),
+            json_escape_free(dispatched_isa(r.mode)),
             r.examples_per_s(),
             r.wall_s * 1e6 / r.examples.max(1) as f64,
             r.mean_loss,
             r.wall_s,
-            r.phases.select_s,
+            r.phases.select_s(),
+            r.phases.hash_s,
+            r.phases.probe_s,
             r.phases.forward_s,
             r.phases.backward_s,
             r.phases.rebuild_s,
@@ -271,8 +295,12 @@ fn emit_json(path: &str, bench: &BenchConfig, results: &[ModeResult], speedup: f
         ));
     }
     out.push_str("  },\n");
+    let select_speedup = results[0].phases.select_s() / results[1].phases.select_s().max(1e-12);
     out.push_str(&format!(
-        "  \"speedup_vectorized_over_scalar\": {speedup:.3}\n"
+        "  \"speedup_vectorized_over_scalar\": {speedup:.3},\n"
+    ));
+    out.push_str(&format!(
+        "  \"select_speedup_vectorized_over_scalar\": {select_speedup:.3}\n"
     ));
     out.push_str("}\n");
     std::fs::write(path, out).unwrap_or_else(|e| panic!("writing {path}: {e}"));
@@ -324,9 +352,11 @@ fn main() {
     let mut printer = TablePrinter::new(
         vec![
             "mode",
+            "isa",
             "ex/s",
             "us/ex",
-            "select_s",
+            "hash_s",
+            "probe_s",
             "forward_s",
             "backward_s",
             "rebuild_s",
@@ -337,9 +367,11 @@ fn main() {
     for r in &results {
         printer.row(vec![
             r.mode.to_string(),
+            dispatched_isa(r.mode).to_string(),
             format!("{:.0}", r.examples_per_s()),
             format!("{:.1}", r.wall_s * 1e6 / r.examples.max(1) as f64),
-            format!("{:.3}", r.phases.select_s),
+            format!("{:.3}", r.phases.hash_s),
+            format!("{:.3}", r.phases.probe_s),
             format!("{:.3}", r.phases.forward_s),
             format!("{:.3}", r.phases.backward_s),
             format!("{:.3}", r.phases.rebuild_s),
@@ -349,11 +381,28 @@ fn main() {
     printer.print();
 
     let speedup = results[1].examples_per_s() / results[0].examples_per_s().max(1e-12);
+    let select_speedup = results[0].phases.select_s() / results[1].phases.select_s().max(1e-12);
     println!("speedup vectorized/scalar: {speedup:.3}x");
+    println!("select speedup vectorized/scalar: {select_speedup:.3}x");
     emit_json(&out_path, &bench, &results, speedup);
 
-    if check && speedup < 0.9 {
-        eprintln!("FAIL: vectorized path is >10% slower than scalar ({speedup:.3}x)");
-        std::process::exit(1);
+    if check {
+        let mut failed = false;
+        if speedup < 0.9 {
+            eprintln!("FAIL: vectorized path is >10% slower than scalar ({speedup:.3}x)");
+            failed = true;
+        }
+        // Select-phase tripwire: the vectorized hash kernel plus the
+        // dense-identity fast path must never let selection fall behind
+        // the scalar reference by more than timing noise.
+        if select_speedup < 0.9 {
+            eprintln!(
+                "FAIL: vectorized select phase regressed >10% vs scalar ({select_speedup:.3}x)"
+            );
+            failed = true;
+        }
+        if failed {
+            std::process::exit(1);
+        }
     }
 }

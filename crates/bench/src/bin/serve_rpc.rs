@@ -13,7 +13,12 @@
 //! 3. **reload** — concurrent single-request clients while the model is
 //!    hot-swapped via `POST /v1/reload`: every response must be 2xx,
 //!    epochs must be monotone per connection, and every request issued
-//!    after the reload acknowledgment must be answered by the new epoch.
+//!    after the reload acknowledgment must be answered by the new epoch;
+//! 4. **quantized** — the same trained model frozen twice, as an f32 and
+//!    as an i16 fixed-point (`q16`) snapshot, scored engine-to-engine
+//!    (no socket in the way): batched examples/s and P@1 for both, plus
+//!    the snapshot byte sizes. `--check` fails if the quantized path is
+//!    inactive or its P@1 falls materially below f32.
 //!
 //! Emits machine-readable `BENCH_serve_rpc.json` (override with
 //! `--out PATH`).
@@ -289,6 +294,74 @@ fn run_reload_drill(
     }
 }
 
+#[derive(Debug, Clone, Copy)]
+struct QuantizedPhase {
+    f32_examples_per_s: f64,
+    q16_examples_per_s: f64,
+    f32_p_at_1: f64,
+    q16_p_at_1: f64,
+    f32_snapshot_bytes: usize,
+    q16_snapshot_bytes: usize,
+    q16_active: bool,
+}
+
+/// Engine-level f32-vs-quantized comparison over the same trained model:
+/// identical requests through `ServingEngine::predict_batch`, one engine
+/// per encoding. Engine-to-engine (no HTTP) so the measured delta is the
+/// scoring path, not socket overhead.
+fn run_quantized(
+    f32_bytes: &[u8],
+    q16_bytes: &[u8],
+    test: &slide_data::Dataset,
+    cfg: &BenchConfig,
+) -> QuantizedPhase {
+    use slide_serve::ServingEngine;
+    let options = ServeOptions::default().with_top_k(5);
+    let f_engine = ServingEngine::from_snapshot_bytes(f32_bytes, options).expect("f32 engine");
+    let q_engine = ServingEngine::from_snapshot_bytes(q16_bytes, options).expect("q16 engine");
+    let features: Vec<SparseVector> = test.iter().map(|ex| ex.features.clone()).collect();
+
+    let measure = |engine: &ServingEngine| -> (f64, f64) {
+        let mut hits = 0usize;
+        // Accuracy pass (also warms the engine's thread-local scratch).
+        for (chunk, exs) in features
+            .chunks(cfg.batch)
+            .zip(test.examples().chunks(cfg.batch))
+        {
+            for (p, ex) in engine.predict_batch(chunk).expect("batch").iter().zip(exs) {
+                if let Some(t) = p.topk.top1() {
+                    hits += ex.labels.binary_search(&t).is_ok() as usize;
+                }
+            }
+        }
+        let p_at_1 = hits as f64 / features.len() as f64;
+        // Throughput passes.
+        let mut examples = 0u64;
+        let t0 = Instant::now();
+        for _ in 0..cfg.batch_rounds {
+            for chunk in features.chunks(cfg.batch) {
+                engine.predict_batch(chunk).expect("batch");
+                examples += chunk.len() as u64;
+            }
+        }
+        (
+            examples as f64 / t0.elapsed().as_secs_f64().max(1e-12),
+            p_at_1,
+        )
+    };
+    let (f_eps, f_p1) = measure(&f_engine);
+    let (q_eps, q_p1) = measure(&q_engine);
+    QuantizedPhase {
+        f32_examples_per_s: f_eps,
+        q16_examples_per_s: q_eps,
+        f32_p_at_1: f_p1,
+        q16_p_at_1: q_p1,
+        f32_snapshot_bytes: f32_bytes.len(),
+        q16_snapshot_bytes: q16_bytes.len(),
+        q16_active: q_engine.quantized_active(),
+    }
+}
+
 fn json_num(v: f64) -> String {
     if v.is_finite() {
         format!("{v:.2}")
@@ -303,6 +376,7 @@ fn emit_json(
     single: &SinglePhase,
     batched: &BatchedPhase,
     reload: &ReloadPhase,
+    quant: &QuantizedPhase,
 ) {
     let mut out = String::new();
     out.push_str("{\n");
@@ -328,13 +402,24 @@ fn emit_json(
         json_num(batched.examples as f64 / batched.wall_s.max(1e-12)),
     ));
     out.push_str(&format!(
-        "  \"reload\": {{\"requests\": {}, \"pre_reload\": {}, \"post_reload\": {}, \"failures\": {}, \"wrong_epoch\": {}, \"ack_epoch\": {}}}\n",
+        "  \"reload\": {{\"requests\": {}, \"pre_reload\": {}, \"post_reload\": {}, \"failures\": {}, \"wrong_epoch\": {}, \"ack_epoch\": {}}},\n",
         reload.requests,
         reload.pre_reload,
         reload.post_reload,
         reload.failures,
         reload.wrong_epoch,
         reload.reload_ack_epoch,
+    ));
+    out.push_str(&format!(
+        "  \"quantized\": {{\"active\": {}, \"f32\": {{\"examples_per_s\": {}, \"p_at_1\": {:.4}, \"snapshot_bytes\": {}}}, \"q16\": {{\"examples_per_s\": {}, \"p_at_1\": {:.4}, \"snapshot_bytes\": {}}}, \"p_at_1_delta\": {:.4}}}\n",
+        quant.q16_active,
+        json_num(quant.f32_examples_per_s),
+        quant.f32_p_at_1,
+        quant.f32_snapshot_bytes,
+        json_num(quant.q16_examples_per_s),
+        quant.q16_p_at_1,
+        quant.q16_snapshot_bytes,
+        quant.q16_p_at_1 - quant.f32_p_at_1,
     ));
     out.push_str("}\n");
     std::fs::write(path, out).unwrap_or_else(|e| panic!("writing {path}: {e}"));
@@ -401,6 +486,10 @@ fn main() {
         .network()
         .save_snapshot(&path_a)
         .expect("snapshot A");
+    // Freeze model A both ways for the quantized phase (before the
+    // reload drill's extra training epoch mutates the network).
+    let f32_bytes = trainer.network().to_snapshot_bytes();
+    let q16_bytes = trainer.network().to_quantized_snapshot_bytes();
     trainer.train(&data.train, &TrainOptions::new(1).batch_size(64).seed(8));
     trainer
         .network()
@@ -427,6 +516,8 @@ fn main() {
     let batched = run_batched(addr, &inputs, &cfg);
     eprintln!("phase 3: hot-reload drill ...");
     let reload = run_reload_drill(addr, &inputs, &cfg, &path_b, &server);
+    eprintln!("phase 4: quantized vs f32 scoring ...");
+    let quant = run_quantized(&f32_bytes, &q16_bytes, &data.test, &cfg);
 
     let mut printer = TablePrinter::new(
         vec![
@@ -461,6 +552,24 @@ fn main() {
         format!("ack_epoch={}", reload.reload_ack_epoch),
         "-".to_string(),
     ]);
+    printer.row(vec![
+        "f32-score".to_string(),
+        "-".to_string(),
+        "-".to_string(),
+        format!("{:.0}", quant.f32_examples_per_s),
+        format!("P@1={:.4}", quant.f32_p_at_1),
+        format!("{} B", quant.f32_snapshot_bytes),
+        "-".to_string(),
+    ]);
+    printer.row(vec![
+        "q16-score".to_string(),
+        "-".to_string(),
+        "-".to_string(),
+        format!("{:.0}", quant.q16_examples_per_s),
+        format!("P@1={:.4}", quant.q16_p_at_1),
+        format!("{} B", quant.q16_snapshot_bytes),
+        format!("active={}", quant.q16_active),
+    ]);
     printer.print();
 
     let http = server.stats();
@@ -468,7 +577,15 @@ fn main() {
         "http: {} connections, {} requests, 2xx={} 4xx={} 5xx={}",
         http.connections, http.requests, http.responses_2xx, http.responses_4xx, http.responses_5xx
     );
-    emit_json(&out_path, &cfg, &single, &batched, &reload);
+    println!(
+        "quantized: {:.0} ex/s vs f32 {:.0} ex/s, P@1 {:.4} vs {:.4} (delta {:+.4})",
+        quant.q16_examples_per_s,
+        quant.f32_examples_per_s,
+        quant.q16_p_at_1,
+        quant.f32_p_at_1,
+        quant.q16_p_at_1 - quant.f32_p_at_1
+    );
+    emit_json(&out_path, &cfg, &single, &batched, &reload, &quant);
 
     server.shutdown();
     std::fs::remove_file(&path_a).ok();
@@ -494,9 +611,26 @@ fn main() {
             eprintln!("FAIL: reload never took effect");
             failed = true;
         }
+        if !quant.q16_active {
+            eprintln!("FAIL: quantized snapshot did not activate the fused i16 path");
+            failed = true;
+        }
+        // P@1 gate with smoke-granularity slack: the test set is small
+        // (one flipped answer moves P@1 by 1/test_size), so allow a few
+        // near-tie flips; the committed medium-scale run pins the
+        // <0.1pt claim.
+        if quant.q16_p_at_1 < quant.f32_p_at_1 - 0.02 {
+            eprintln!(
+                "FAIL: quantized P@1 {:.4} fell below f32 {:.4}",
+                quant.q16_p_at_1, quant.f32_p_at_1
+            );
+            failed = true;
+        }
         if failed {
             std::process::exit(1);
         }
-        eprintln!("check passed: zero failures, zero wrong-epoch answers");
+        eprintln!(
+            "check passed: zero failures, zero wrong-epoch answers, quantized P@1 within bound"
+        );
     }
 }

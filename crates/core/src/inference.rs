@@ -21,6 +21,7 @@ use slide_lsh::retrieve::{retrieve_union, QueryBudget};
 
 use crate::config::Activation;
 use crate::network::{Network, Workspace};
+use crate::quant::QuantizedRows;
 use crate::selector::{ActiveSet, NeuronSelector, SelectionContext, SelectorScratch};
 
 /// Inference-time neuron selection: deterministic LSH bucket-union
@@ -194,6 +195,62 @@ impl Network {
         S: NeuronSelector,
         B: std::borrow::Borrow<slide_data::SparseVector>,
     {
+        self.predict_topk_batch_impl(selector, ws, scratch, batch, outs, None)
+    }
+
+    /// [`Network::predict_topk_batch`] scoring the output layer through
+    /// its **quantized rows**: the fused phase runs
+    /// [`slide_kernels::dot_batch_q16`] over `qout`'s i16 codes instead
+    /// of gathering f32 weight rows, halving the bytes each candidate
+    /// row streams through the cache. Biases stay on the layer (f32).
+    ///
+    /// `qout` is typically the [`crate::snapshot::LoadedSnapshot::quantized`]
+    /// rows of a quantized snapshot; the loader dequantizes the same
+    /// codes into the network's f32 weights, so the per-example fallback
+    /// paths (no hidden layer, non-dense hidden basis, degenerate
+    /// retrieval) score identical values through the f32 kernels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch` and `outs` lengths differ or `qout`'s shape
+    /// does not match the output layer.
+    pub fn predict_topk_batch_quantized<S, B>(
+        &self,
+        selector: &S,
+        ws: &mut Workspace,
+        scratch: &mut BatchScratch,
+        batch: &[B],
+        outs: &mut [TopK],
+        qout: &QuantizedRows,
+    ) -> BatchReport
+    where
+        S: NeuronSelector,
+        B: std::borrow::Borrow<slide_data::SparseVector>,
+    {
+        let last = self.layers().len() - 1;
+        let out_layer = &self.layers()[last];
+        assert_eq!(qout.units(), out_layer.units(), "quantized units mismatch");
+        assert_eq!(
+            qout.fan_in(),
+            out_layer.fan_in(),
+            "quantized fan-in mismatch"
+        );
+        self.predict_topk_batch_impl(selector, ws, scratch, batch, outs, Some(qout))
+    }
+
+    fn predict_topk_batch_impl<S, B>(
+        &self,
+        selector: &S,
+        ws: &mut Workspace,
+        scratch: &mut BatchScratch,
+        batch: &[B],
+        outs: &mut [TopK],
+        qout: Option<&QuantizedRows>,
+    ) -> BatchReport
+    where
+        S: NeuronSelector,
+        B: std::borrow::Borrow<slide_data::SparseVector>,
+    {
         assert_eq!(batch.len(), outs.len(), "batch/outs length mismatch");
         let b = batch.len();
         if b == 0 {
@@ -266,21 +323,36 @@ impl Network {
         }
 
         // Phase 2: fused scoring of the union, candidate-major — one row
-        // pass per candidate covers every example.
+        // pass per candidate covers every example. Quantized rows stream
+        // i16 codes (half the bytes) through `dot_batch_q16`; f32 rows go
+        // through the gather kernel.
         let mode = self.config().kernel_mode;
         scratch.ids.clear();
         scratch.ids.extend(0..h as u32);
         scratch.z.clear();
         scratch.z.resize(scratch.union.len() * b, 0.0);
         for (ci, &c) in scratch.union.iter().enumerate() {
-            slide_kernels::gather_dot_batch(
-                out_layer.weights().row(c as usize),
-                &scratch.ids,
-                &scratch.hidden,
-                out_layer.biases().get(c as usize),
-                &mut scratch.z[ci * b..(ci + 1) * b],
-                mode,
-            );
+            let z = &mut scratch.z[ci * b..(ci + 1) * b];
+            let bias = out_layer.biases().get(c as usize);
+            match qout {
+                Some(q) => slide_kernels::dot_batch_q16(
+                    q.row(c as usize),
+                    q.scale(c as usize),
+                    h,
+                    &scratch.hidden,
+                    bias,
+                    z,
+                    mode,
+                ),
+                None => slide_kernels::gather_dot_batch(
+                    out_layer.weights().row(c as usize),
+                    &scratch.ids,
+                    &scratch.hidden,
+                    bias,
+                    z,
+                    mode,
+                ),
+            }
         }
 
         // Phase 3: per-example nonlinearity over its own candidates, then

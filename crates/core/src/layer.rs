@@ -97,12 +97,20 @@ pub struct Layer {
     b_m: HogwildArray,
     b_v: HogwildArray,
     pub(crate) lsh: Option<LayerLsh>,
+    /// The network's kernel mode, carried here so every hashing consumer
+    /// (table rebuilds, selection) dispatches identically.
+    kernel_mode: KernelMode,
 }
 
 impl Layer {
     /// Builds the layer with Glorot-uniform weights and, if configured,
     /// its LSH family and (initially built) hash tables.
-    pub(crate) fn new(fan_in: usize, config: &LayerConfig, rng: &mut Xoshiro256PlusPlus) -> Self {
+    pub(crate) fn new(
+        fan_in: usize,
+        config: &LayerConfig,
+        kernel_mode: KernelMode,
+        rng: &mut Xoshiro256PlusPlus,
+    ) -> Self {
         let units = config.units;
         let bound = (6.0 / (fan_in + units) as f64).sqrt() as f32;
         let mut values = vec![0.0f32; units * fan_in];
@@ -140,6 +148,7 @@ impl Layer {
             b_m: HogwildArray::zeroed(units),
             b_v: HogwildArray::zeroed(units),
             lsh: None,
+            kernel_mode,
         };
         layer.lsh = lsh;
         if layer.lsh.is_some() {
@@ -169,6 +178,13 @@ impl Layer {
     /// LSH state, if this layer is sampled.
     pub fn lsh(&self) -> Option<&LayerLsh> {
         self.lsh.as_ref()
+    }
+
+    /// The kernel mode this layer's hashing dispatches with (the
+    /// network-wide setting).
+    #[inline]
+    pub fn kernel_mode(&self) -> KernelMode {
+        self.kernel_mode
     }
 
     /// The weight matrix (`units × fan_in`).
@@ -310,6 +326,7 @@ impl Layer {
         let fan_in = self.fan_in;
         let weights = &self.weights;
         let family = lsh.family.as_ref();
+        let mode = self.kernel_mode;
 
         // All rebuild buffers come from the per-layer scratch (taken by
         // value to sidestep the simultaneous `family`/`tables` borrows),
@@ -356,7 +373,11 @@ impl Layer {
                             *r -= m;
                         }
                     }
-                    family.hash_dense(row_buf, out);
+                    // The same mode-aware entry point selection uses, so
+                    // the codes in the tables and the codes queries are
+                    // hashed to can never diverge (and for SimHash are
+                    // bit-identical across modes anyway).
+                    family.hash_dense_mode(row_buf, out, mode);
                 },
             );
 
@@ -444,7 +465,7 @@ mod tests {
             lsh,
         };
         let mut rng = Xoshiro256PlusPlus::seed_from_u64(1);
-        Layer::new(fan_in, &cfg, &mut rng)
+        Layer::new(fan_in, &cfg, KernelMode::Vectorized, &mut rng)
     }
 
     #[test]

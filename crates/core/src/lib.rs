@@ -29,7 +29,10 @@
 //!   [`inference::InferenceSelector`] retrieval and the in-place
 //!   [`inference::TopK`] reduction behind `Network::predict_topk`;
 //! * [`snapshot`] — versioned byte-format serialization of a trained
-//!   network (weights, biases, config), hash tables rebuilt on load;
+//!   network (weights, biases, config), hash tables rebuilt on load,
+//!   with an optional i16 fixed-point output-layer encoding;
+//! * [`quant`] — [`quant::QuantizedRows`], the decoded per-row-scaled
+//!   i16 output layer consumed by the fused quantized dot kernels;
 //! * [`baseline`] — the paper's comparison systems (full softmax and
 //!   static sampled softmax) as selectors + thin trainer aliases;
 //! * [`hogwild`] — relaxed-atomic shared parameter storage;
@@ -63,6 +66,7 @@ pub mod hogwild;
 pub mod inference;
 pub mod layer;
 pub mod network;
+pub mod quant;
 pub mod schedule;
 pub mod selector;
 pub mod snapshot;
@@ -74,7 +78,10 @@ pub use config::{Activation, FamilySpec, LayerConfig, LshLayerConfig, NetworkCon
 pub use error::{ConfigError, SlideError};
 pub use inference::{BatchReport, BatchScratch, InferenceSelector, TopK};
 pub use network::{Network, Workspace, WorkspacePool};
+pub use quant::QuantizedRows;
 pub use schedule::{RebuildSchedule, RebuildState};
-pub use selector::{ActiveSet, DenseSelector, LshSelector, NeuronSelector};
-pub use snapshot::SnapshotError;
+pub use selector::{
+    hash_layer_input, probe_tables, ActiveSet, DenseSelector, LshSelector, NeuronSelector,
+};
+pub use snapshot::{LoadedSnapshot, SnapshotError};
 pub use trainer::{Checkpoint, SlideTrainer, TrainOptions, TrainReport, Trainer};

@@ -179,7 +179,7 @@ impl Network {
         let mut layers = Vec::with_capacity(config.layers.len());
         let mut fan_in = config.input_dim;
         for layer_cfg in &config.layers {
-            layers.push(Layer::new(fan_in, layer_cfg, &mut rng));
+            layers.push(Layer::new(fan_in, layer_cfg, config.kernel_mode, &mut rng));
             fan_in = layer_cfg.units;
         }
         Ok(Self {

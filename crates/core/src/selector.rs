@@ -201,39 +201,75 @@ pub trait NeuronSelector: Send + Sync + std::fmt::Debug {
 /// features at layer 0, a sparse query rebuilt from the previous layer's
 /// `(ids, activations)` otherwise.
 ///
-/// With `dense_fast_path` set and a previous layer that ran fully dense
-/// in order, the activation slice *is* the dense input and is hashed via
-/// `hash_dense`, which iterates the hash function's own sparse structure
-/// instead of binary-searching per nonzero (~10× cheaper for SimHash
-/// over a dense hidden layer). The two paths agree up to floating-point
-/// tie-breaks, which differ per family (e.g. DWTA bins full of tied
-/// zeros), so training-time selection keeps the sparse path for exact
-/// behavior continuity and only the inference selector opts in.
-pub(crate) fn hash_layer_input(
+/// This is the **shared hashing entry point**: every code that later
+/// probes a layer's tables is produced here, through the same mode-aware
+/// `hash_*_mode` family methods `rebuild_tables` uses, with the mode
+/// taken from the layer — the vectorized kernel can never diverge from
+/// what the tables were built with.
+///
+/// When the previous layer ran fully dense in order, the activation
+/// slice *is* the dense input and can be hashed via the dense path,
+/// which for SimHash runs the blocked plane-per-lane kernel instead of
+/// a per-nonzero coefficient lookup (an order of magnitude cheaper).
+/// Training-time selection takes it automatically whenever the family
+/// guarantees bit-identical sparse/dense codes
+/// ([`slide_lsh::HashFamily::dense_exact`], true for SimHash); for
+/// families with value-dependent tie-breaks (DWTA bins full of tied
+/// zeros) only callers that pass `dense_fast_path` opt into the
+/// approximation (the inference selector does).
+pub fn hash_layer_input(
     lsh: &crate::layer::LayerLsh,
     ctx: &SelectionContext<'_>,
     scratch: &mut SelectorScratch,
     dense_fast_path: bool,
 ) {
+    let mode = ctx.layer.kernel_mode();
     let mut codes = std::mem::take(&mut scratch.codes[ctx.layer_index]);
     match ctx.prev {
-        None => lsh.family().hash_sparse(ctx.features, &mut codes),
+        None => lsh
+            .family()
+            .hash_sparse_mode(ctx.features, &mut codes, mode),
         Some((ids, acts)) => {
-            let dense_identity = dense_fast_path
+            let dense_identity = (dense_fast_path || lsh.family().dense_exact())
                 && ids.len() == ctx.layer.fan_in()
                 && ids.iter().enumerate().all(|(i, &id)| id as usize == i);
             if dense_identity {
-                lsh.family().hash_dense(acts, &mut codes);
+                lsh.family().hash_dense_mode(acts, &mut codes, mode);
             } else {
                 scratch
                     .query_pairs
                     .extend(ids.iter().copied().zip(acts.iter().copied()));
                 scratch.query.refill_from_pairs(&mut scratch.query_pairs);
-                lsh.family().hash_sparse(&scratch.query, &mut codes);
+                lsh.family()
+                    .hash_sparse_mode(&scratch.query, &mut codes, mode);
             }
         }
     }
     scratch.codes[ctx.layer_index] = codes;
+}
+
+/// Probes the layer's tables with the codes left by [`hash_layer_input`]
+/// and samples the active set with the layer's strategy — the second half
+/// of [`LshSelector::select`], public so instrumented callers (the
+/// `hot_path` bench's phase timer) can time hashing and probing
+/// separately without forking the selection logic.
+pub fn probe_tables(
+    lsh: &crate::layer::LayerLsh,
+    ctx: &SelectionContext<'_>,
+    scratch: &mut SelectorScratch,
+    active: &mut ActiveSet,
+) {
+    let sampler = scratch.samplers[ctx.layer_index]
+        .as_mut()
+        .expect("lsh layer has sampler scratch");
+    sample(
+        lsh.tables(),
+        &scratch.codes[ctx.layer_index],
+        lsh.strategy(),
+        sampler,
+        &mut scratch.rng,
+        active.as_vec_mut(),
+    );
 }
 
 /// SLIDE's selector: LSH adaptive sampling on layers carrying hash
@@ -258,17 +294,7 @@ impl NeuronSelector for LshSelector {
         };
         // Hash the layer input and sample from the tables (Alg. 2).
         hash_layer_input(lsh, ctx, scratch, false);
-        let sampler = scratch.samplers[ctx.layer_index]
-            .as_mut()
-            .expect("lsh layer has sampler scratch");
-        sample(
-            lsh.tables(),
-            &scratch.codes[ctx.layer_index],
-            lsh.strategy(),
-            sampler,
-            &mut scratch.rng,
-            active.as_vec_mut(),
-        );
+        probe_tables(lsh, ctx, scratch, active);
     }
 
     fn maintains_tables(&self) -> bool {

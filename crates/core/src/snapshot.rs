@@ -11,19 +11,31 @@
 //! deliberately not captured: a snapshot is a frozen inference artifact,
 //! not a training checkpoint.
 //!
-//! ## Format (version 1, little-endian)
+//! ## Format (version 2, little-endian)
 //!
 //! ```text
 //! magic   b"SLIDSNAP"                      8 bytes
-//! version u32 = 1
+//! version u32 = 2
 //! config  (see encode_config: dims, adam, per-layer LSH params)
-//! layers  per layer: weights len u64 + f32 bits, biases len u64 + f32 bits
+//! layers  per layer:
+//!           enc u8                         0 = f32, 1 = q16
+//!           enc 0: weights len u64 + f32 bits
+//!           enc 1: code count u64, per-row f32 scales (units of them),
+//!                  i16 codes (count of them, stored as u16 bits)
+//!           biases len u64 + f32 bits      (always f32)
 //! check   u64 FNV-1a over everything above
 //! ```
 //!
-//! All floats are stored as raw bit patterns, so a round trip is
-//! bit-identical — restored dense predictions equal the source network's
-//! exactly (pinned by `tests/serving.rs`).
+//! Version 1 (no per-layer `enc` tag; every layer f32) is still read.
+//! [`write_network`] emits version 2 with every layer f32 — a round trip
+//! is bit-identical, so restored dense predictions equal the source
+//! network's exactly (pinned by `tests/serving.rs`).
+//! [`write_network_quantized`] stores the *output layer* as i16
+//! fixed-point with per-row scales ([`QuantizedRows`]): the reader
+//! dequantizes into the network weights (so selection tables are built
+//! from the same values serving dots against) and also hands back the
+//! quantized rows for the fused [`slide_kernels::gather_dot_q16`] /
+//! [`slide_kernels::dot_batch_q16`] inference path.
 
 use std::io::{Read, Write};
 use std::path::Path;
@@ -35,10 +47,17 @@ use slide_lsh::sampling::SamplingStrategy;
 use crate::config::{Activation, FamilySpec, LayerConfig, LshLayerConfig, NetworkConfig};
 use crate::error::ConfigError;
 use crate::network::Network;
+use crate::quant::QuantizedRows;
 use crate::schedule::RebuildSchedule;
 
 const MAGIC: &[u8; 8] = b"SLIDSNAP";
-const VERSION: u32 = 1;
+const VERSION: u32 = 2;
+/// Oldest format version this build still reads.
+const MIN_VERSION: u32 = 1;
+
+/// Per-layer weight encoding tag (version ≥ 2).
+const ENC_F32: u8 = 0;
+const ENC_Q16: u8 = 1;
 
 /// Error restoring a snapshot.
 #[derive(Debug)]
@@ -101,6 +120,9 @@ impl Enc {
     fn u64(&mut self, v: u64) {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
+    fn i16(&mut self, v: i16) {
+        self.buf.extend_from_slice(&(v as u16).to_le_bytes());
+    }
     fn f32(&mut self, v: f32) {
         self.u32(v.to_bits());
     }
@@ -137,6 +159,9 @@ impl<'a> Dec<'a> {
     }
     fn u64(&mut self) -> Result<u64, SnapshotError> {
         Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    fn i16(&mut self) -> Result<i16, SnapshotError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()) as i16)
     }
     fn f32(&mut self) -> Result<f32, SnapshotError> {
         Ok(f32::from_bits(self.u32()?))
@@ -328,18 +353,42 @@ fn decode_config(d: &mut Dec<'_>) -> Result<NetworkConfig, SnapshotError> {
 // ---------------------------------------------------------------------
 // Public API.
 
-/// Serializes `network` (config + weights + biases) to the version-1 byte
-/// format.
-pub fn write_network(network: &Network) -> Vec<u8> {
+/// A restored snapshot: the network plus, when the snapshot stored the
+/// output layer as i16 fixed-point, the decoded [`QuantizedRows`] for the
+/// fused quantized inference path.
+#[derive(Debug)]
+pub struct LoadedSnapshot {
+    /// The restored network (quantized layers dequantized in place,
+    /// hash tables rebuilt).
+    pub network: Network,
+    /// The output layer's quantized rows, when the snapshot carried them.
+    pub quantized: Option<QuantizedRows>,
+}
+
+fn write_with(network: &Network, quantize_output: bool) -> Vec<u8> {
     let mut e = Enc::default();
     e.buf.extend_from_slice(MAGIC);
     e.u32(VERSION);
     encode_config(&mut e, network.config());
-    for layer in network.layers() {
-        let w = layer.weights().flat();
-        e.u64(w.len() as u64);
-        for i in 0..w.len() {
-            e.f32(w.get(i));
+    let last = network.layers().len() - 1;
+    for (li, layer) in network.layers().iter().enumerate() {
+        if quantize_output && li == last {
+            let q = QuantizedRows::from_layer(layer);
+            e.u8(ENC_Q16);
+            e.u64(q.codes().len() as u64);
+            for &s in q.scales() {
+                e.f32(s);
+            }
+            for &c in q.codes() {
+                e.i16(c);
+            }
+        } else {
+            let w = layer.weights().flat();
+            e.u8(ENC_F32);
+            e.u64(w.len() as u64);
+            for i in 0..w.len() {
+                e.f32(w.get(i));
+            }
         }
         let b = layer.biases();
         e.u64(b.len() as u64);
@@ -352,6 +401,20 @@ pub fn write_network(network: &Network) -> Vec<u8> {
     e.buf
 }
 
+/// Serializes `network` (config + weights + biases) to the version-2 byte
+/// format with every layer stored as exact f32.
+pub fn write_network(network: &Network) -> Vec<u8> {
+    write_with(network, false)
+}
+
+/// Serializes `network` with the *output layer* stored as i16 fixed-point
+/// rows with per-row scales ([`QuantizedRows`]) — roughly half the bytes
+/// of [`write_network`] when the output layer dominates. Hidden layers
+/// and all biases stay exact f32; training state is unaffected.
+pub fn write_network_quantized(network: &Network) -> Vec<u8> {
+    write_with(network, true)
+}
+
 /// Restores a [`Network`] from snapshot bytes: validates magic, version
 /// and checksum, rebuilds the network from the embedded config, copies
 /// the weights and biases in, and rebuilds every LSH layer's hash tables
@@ -360,17 +423,91 @@ pub fn read_network(bytes: &[u8]) -> Result<Network, SnapshotError> {
     read_network_with_centering(bytes, None)
 }
 
-/// [`read_network`] with the centering mode decided up front: when
-/// `center_rows` is `Some`, every LSH layer's
-/// [`LshLayerConfig::center_rows`] is overridden *before* the post-copy
-/// table rebuild, so the tables are built once in the requested geometry
-/// instead of being rebuilt again by a later
-/// [`Network::set_lsh_centering`] call. The serving engine loads
-/// snapshots through this path.
+/// [`read_network`] with the centering mode decided up front — discards
+/// any quantized rows; see [`read_snapshot_with_centering`] to keep them.
 pub fn read_network_with_centering(
     bytes: &[u8],
     center_rows: Option<bool>,
 ) -> Result<Network, SnapshotError> {
+    read_snapshot_with_centering(bytes, center_rows).map(|s| s.network)
+}
+
+/// Walks the per-layer parameter payload *by size only* and verifies it
+/// is exactly consistent with the config's dimensions, before any
+/// dimension-derived allocation happens. A corrupt/crafted header
+/// claiming units = 2^40 must fail here, not OOM in `Network::new`.
+///
+/// Version 1 layers are untagged f32. Version ≥ 2 layers start with an
+/// encoding tag byte that decides the section's size, so the walk reads
+/// each tag at its computed offset.
+fn validate_payload_size(
+    payload: &[u8],
+    start: usize,
+    version: u32,
+    config: &NetworkConfig,
+) -> Result<(), SnapshotError> {
+    let remaining = (payload.len() - start) as u128;
+    let mut offset: u128 = 0;
+    let mut fan_in = config.input_dim as u128;
+    for layer in &config.layers {
+        let units = layer.units as u128;
+        let weights = if version >= 2 {
+            let tag = *payload
+                .get(
+                    start
+                        + usize::try_from(offset).map_err(|_| {
+                            SnapshotError::Corrupt(
+                                "parameter payload size inconsistent with config",
+                            )
+                        })?,
+                )
+                .ok_or(SnapshotError::Corrupt(
+                    "parameter payload size inconsistent with config",
+                ))?;
+            match tag {
+                // tag + weights len + f32s
+                ENC_F32 => 1 + 8 + units * fan_in * 4,
+                // tag + code count + per-row f32 scales + i16 codes
+                ENC_Q16 => 1 + 8 + units * 4 + units * fan_in * 2,
+                _ => return Err(SnapshotError::Corrupt("layer encoding tag")),
+            }
+        } else {
+            // Untagged: weights len + f32s.
+            8 + units * fan_in * 4
+        };
+        // Biases: len + f32s, always.
+        offset += weights + 8 + units * 4;
+        if offset > remaining {
+            return Err(SnapshotError::Corrupt(
+                "parameter payload size inconsistent with config",
+            ));
+        }
+        fan_in = units;
+    }
+    if offset != remaining {
+        return Err(SnapshotError::Corrupt(
+            "parameter payload size inconsistent with config",
+        ));
+    }
+    Ok(())
+}
+
+/// Restores a network *and* any quantized output rows from snapshot
+/// bytes, with the centering mode decided up front: when `center_rows`
+/// is `Some`, every LSH layer's [`LshLayerConfig::center_rows`] is
+/// overridden *before* the post-copy table rebuild, so the tables are
+/// built once in the requested geometry instead of being rebuilt again
+/// by a later [`Network::set_lsh_centering`] call. The serving engine
+/// loads snapshots through this path.
+///
+/// Quantized layers are dequantized into the network's weights — hash
+/// tables are therefore built over exactly the values the quantized dot
+/// kernels reproduce — and the output layer's codes are returned in
+/// [`LoadedSnapshot::quantized`].
+pub fn read_snapshot_with_centering(
+    bytes: &[u8],
+    center_rows: Option<bool>,
+) -> Result<LoadedSnapshot, SnapshotError> {
     if bytes.len() < MAGIC.len() + 4 + 8 {
         return Err(SnapshotError::Corrupt("too short"));
     }
@@ -384,7 +521,7 @@ pub fn read_network_with_centering(
         return Err(SnapshotError::BadMagic);
     }
     let version = d.u32()?;
-    if version != VERSION {
+    if !(MIN_VERSION..=VERSION).contains(&version) {
         return Err(SnapshotError::UnsupportedVersion(version));
     }
     let mut config = decode_config(&mut d)?;
@@ -395,38 +532,61 @@ pub fn read_network_with_centering(
             }
         }
     }
-    // The parameter payload must actually be present before we allocate
-    // storage from file-supplied dimensions — a corrupt/crafted header
-    // claiming units = 2^40 must fail here, not OOM in Network::new.
-    {
-        let mut expected_bytes: u128 = 0;
-        let mut fan_in = config.input_dim as u128;
-        for layer in &config.layers {
-            let units = layer.units as u128;
-            // weights len + f32s, biases len + f32s.
-            expected_bytes += 8 + units * fan_in * 4 + 8 + units * 4;
-            fan_in = units;
-        }
-        let remaining = (payload.len() - d.pos) as u128;
-        if expected_bytes != remaining {
-            return Err(SnapshotError::Corrupt(
-                "parameter payload size inconsistent with config",
-            ));
-        }
-    }
+    validate_payload_size(payload, d.pos, version, &config)?;
     let mut network = Network::new(config)?;
+    let n_layers = network.layers().len();
+    let mut quantized: Option<QuantizedRows> = None;
     let mut values: Vec<f32> = Vec::new();
-    for layer in network.layers_mut() {
-        let n_w = d.usize()?;
-        if n_w != layer.weights().flat().len() {
-            return Err(SnapshotError::Corrupt("weight count mismatch"));
+    for (li, layer) in network.layers_mut().iter_mut().enumerate() {
+        let enc = if version >= 2 { d.u8()? } else { ENC_F32 };
+        match enc {
+            ENC_F32 => {
+                let n_w = d.usize()?;
+                if n_w != layer.weights().flat().len() {
+                    return Err(SnapshotError::Corrupt("weight count mismatch"));
+                }
+                values.clear();
+                values.reserve(n_w);
+                for _ in 0..n_w {
+                    values.push(d.f32()?);
+                }
+                layer.weights().flat().copy_from(&values);
+            }
+            ENC_Q16 => {
+                let count = d.usize()?;
+                let (units, fan_in) = (layer.units(), layer.fan_in());
+                if count != units * fan_in {
+                    return Err(SnapshotError::Corrupt("quantized code count mismatch"));
+                }
+                let mut scales = Vec::with_capacity(units);
+                for _ in 0..units {
+                    let s = d.f32()?;
+                    if !s.is_finite() || s < 0.0 {
+                        return Err(SnapshotError::Corrupt("quantized scale invalid"));
+                    }
+                    scales.push(s);
+                }
+                let mut codes = Vec::with_capacity(count);
+                for _ in 0..count {
+                    codes.push(d.i16()?);
+                }
+                let q = QuantizedRows::from_parts(units, fan_in, codes, scales);
+                // Dequantize into the layer so table rebuilds (and any
+                // f32 fallback path) see the same values the quantized
+                // kernels compute against.
+                values.resize(fan_in, 0.0);
+                for j in 0..units {
+                    q.dequantize_row(j, &mut values);
+                    for (i, &v) in values.iter().enumerate() {
+                        layer.weights().set(j, i, v);
+                    }
+                }
+                if li == n_layers - 1 {
+                    quantized = Some(q);
+                }
+            }
+            _ => return Err(SnapshotError::Corrupt("layer encoding tag")),
         }
-        values.clear();
-        values.reserve(n_w);
-        for _ in 0..n_w {
-            values.push(d.f32()?);
-        }
-        layer.weights().flat().copy_from(&values);
         let n_b = d.usize()?;
         if n_b != layer.biases().len() {
             return Err(SnapshotError::Corrupt("bias count mismatch"));
@@ -444,7 +604,7 @@ pub fn read_network_with_centering(
     if d.pos != payload.len() {
         return Err(SnapshotError::Corrupt("trailing bytes"));
     }
-    Ok(network)
+    Ok(LoadedSnapshot { network, quantized })
 }
 
 /// Writes a snapshot of `network` to `path`.
@@ -475,6 +635,12 @@ impl Network {
     /// Serializes this network to snapshot bytes ([`write_network`]).
     pub fn to_snapshot_bytes(&self) -> Vec<u8> {
         write_network(self)
+    }
+
+    /// Serializes this network with a quantized output layer
+    /// ([`write_network_quantized`]).
+    pub fn to_quantized_snapshot_bytes(&self) -> Vec<u8> {
+        write_network_quantized(self)
     }
 
     /// Restores a network from snapshot bytes ([`read_network`]).
@@ -716,13 +882,22 @@ mod tests {
                 Expect::BadMagic,
             ),
             (
-                "future version 2 (checksum fixed up)",
+                "future version 3 (checksum fixed up)",
                 Box::new(move |mut b: Vec<u8>| {
-                    b[8..12].copy_from_slice(&2u32.to_le_bytes());
+                    b[8..12].copy_from_slice(&3u32.to_le_bytes());
                     fix_checksum(&mut b);
                     b
                 }),
-                Expect::UnsupportedVersion(2),
+                Expect::UnsupportedVersion(3),
+            ),
+            (
+                "version 0 (checksum fixed up)",
+                Box::new(move |mut b: Vec<u8>| {
+                    b[8..12].copy_from_slice(&0u32.to_le_bytes());
+                    fix_checksum(&mut b);
+                    b
+                }),
+                Expect::UnsupportedVersion(0),
             ),
             (
                 "future version u32::MAX (checksum fixed up)",
@@ -746,6 +921,159 @@ mod tests {
                 (_, got) => panic!("case {name:?}: wrong outcome {got:?}"),
             }
         }
+    }
+
+    /// Emits `net` in the legacy version-1 layout: no per-layer encoding
+    /// tags, every layer f32. This is byte-for-byte what `write_network`
+    /// produced before version 2.
+    fn v1_bytes(net: &Network) -> Vec<u8> {
+        let mut e = Enc::default();
+        e.buf.extend_from_slice(MAGIC);
+        e.u32(1);
+        encode_config(&mut e, net.config());
+        for layer in net.layers() {
+            let w = layer.weights().flat();
+            e.u64(w.len() as u64);
+            for i in 0..w.len() {
+                e.f32(w.get(i));
+            }
+            let b = layer.biases();
+            e.u64(b.len() as u64);
+            for i in 0..b.len() {
+                e.f32(b.get(i));
+            }
+        }
+        let check = fnv1a(&e.buf);
+        e.u64(check);
+        e.buf
+    }
+
+    #[test]
+    fn legacy_v1_snapshots_still_load() {
+        let net = trained_network();
+        let loaded = read_snapshot_with_centering(&v1_bytes(&net), None).unwrap();
+        assert!(loaded.quantized.is_none());
+        assert_eq!(loaded.network.config(), net.config());
+        for (a, b) in net.layers().iter().zip(loaded.network.layers()) {
+            let (wa, wb) = (a.weights().flat(), b.weights().flat());
+            for i in 0..wa.len() {
+                assert_eq!(wa.get(i).to_bits(), wb.get(i).to_bits(), "weight {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn legacy_v1_corruption_still_detected() {
+        let mut bytes = v1_bytes(&trained_network());
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        assert!(matches!(
+            Network::from_snapshot_bytes(&bytes),
+            Err(SnapshotError::Corrupt("checksum mismatch"))
+        ));
+    }
+
+    #[test]
+    fn quantized_round_trip_bounds_error_and_returns_rows() {
+        let net = trained_network();
+        let bytes = net.to_quantized_snapshot_bytes();
+        let loaded = read_snapshot_with_centering(&bytes, None).unwrap();
+        let q = loaded.quantized.as_ref().expect("quantized rows present");
+        let out = &net.layers()[1];
+        assert_eq!(q.units(), out.units());
+        assert_eq!(q.fan_in(), out.fan_in());
+        // Hidden layer and all biases are exact.
+        let (ha, hb) = (
+            net.layers()[0].weights().flat(),
+            loaded.network.layers()[0].weights().flat(),
+        );
+        for i in 0..ha.len() {
+            assert_eq!(
+                ha.get(i).to_bits(),
+                hb.get(i).to_bits(),
+                "hidden weight {i}"
+            );
+        }
+        for (a, b) in net.layers().iter().zip(loaded.network.layers()) {
+            for i in 0..a.biases().len() {
+                assert_eq!(a.biases().get(i).to_bits(), b.biases().get(i).to_bits());
+            }
+        }
+        // Output rows are within half a quantization step, and the
+        // network's restored weights equal the dequantized codes exactly
+        // (tables and any f32 fallback see the same values).
+        let mut row = vec![0.0f32; out.fan_in()];
+        let mut deq = vec![0.0f32; out.fan_in()];
+        for j in 0..q.units() {
+            out.weights().read_row_into(j, &mut row);
+            q.dequantize_row(j, &mut deq);
+            // Half a quantization step, padded for f32 rounding in the
+            // encode (the reciprocal 32767/max is not exact).
+            let bound = q.scale(j) * 0.505 + 1e-12;
+            for i in 0..row.len() {
+                assert!((row[i] - deq[i]).abs() <= bound, "row {j} col {i}");
+                assert_eq!(
+                    loaded.network.layers()[1].weights().get(j, i).to_bits(),
+                    deq[i].to_bits(),
+                    "restored weight must equal dequantized code ({j},{i})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn quantized_snapshot_is_smaller() {
+        let net = trained_network();
+        let f32_len = net.to_snapshot_bytes().len();
+        let q_len = net.to_quantized_snapshot_bytes().len();
+        // The 60×12 output layer dominates this net; q16 halves its rows.
+        assert!(q_len < f32_len, "{q_len} vs {f32_len}");
+        let out_w_bytes = 60 * 12 * 4;
+        assert!(f32_len - q_len > out_w_bytes / 3, "{q_len} vs {f32_len}");
+    }
+
+    #[test]
+    fn quantized_corruption_and_bad_tags_detected() {
+        let net = trained_network();
+        let good = net.to_quantized_snapshot_bytes();
+        // Flipped code byte → checksum.
+        let mut bytes = good.clone();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        assert!(matches!(
+            read_snapshot_with_centering(&bytes, None),
+            Err(SnapshotError::Corrupt("checksum mismatch"))
+        ));
+        // Unknown encoding tag (checksum fixed up) → typed error from the
+        // payload-size walk, before any allocation.
+        let mut ce = Enc::default();
+        ce.buf.extend_from_slice(MAGIC);
+        ce.u32(VERSION);
+        encode_config(&mut ce, net.config());
+        let tag_pos = ce.buf.len();
+        assert_eq!(good[tag_pos], ENC_F32, "first layer is f32");
+        let mut bytes = good.clone();
+        bytes[tag_pos] = 7;
+        let n = bytes.len();
+        let check = fnv1a(&bytes[..n - 8]).to_le_bytes();
+        bytes[n - 8..].copy_from_slice(&check);
+        assert!(matches!(
+            read_snapshot_with_centering(&bytes, None),
+            Err(SnapshotError::Corrupt("layer encoding tag"))
+        ));
+        // Truncation inside the quantized section (own checksum) → size
+        // inconsistency.
+        let cut = good.len() - 100;
+        let mut bytes = good[..cut].to_vec();
+        let n = bytes.len();
+        let check = fnv1a(&bytes[..n - 8]).to_le_bytes();
+        bytes[n - 8..].copy_from_slice(&check);
+        assert!(matches!(
+            read_snapshot_with_centering(&bytes, None),
+            Err(SnapshotError::Corrupt(
+                "parameter payload size inconsistent with config"
+            ))
+        ));
     }
 
     #[test]

@@ -111,7 +111,7 @@ fn raw(cells: &[AtomicU32]) -> *mut f32 {
 
 #[cfg(target_arch = "x86_64")]
 #[inline]
-fn have_avx2_fma() -> bool {
+pub(crate) fn have_avx2_fma() -> bool {
     // `is_x86_feature_detected!` caches in an atomic; steady-state cost
     // is one relaxed load per call.
     std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma")

@@ -1,0 +1,644 @@
+//! Batched signed-projection hashing kernel (paper §3.2, §5.4).
+//!
+//! SimHash-style families evaluate `P = K × L` sparse hyperplanes with
+//! coefficients in `{+1, 0, −1}` against one input vector per selection
+//! event — the inner loop of both training-time neuron selection and
+//! `rebuild_tables`. The reference implementation walks each plane's
+//! nonzero index list; this module adds a blocked layout that computes
+//! **all planes at once** in register passes:
+//!
+//! * planes are packed eight per block, one plane per SIMD lane, with the
+//!   coefficients of every input index stored contiguously
+//!   (`packed[block][index][lane]`, one `i8` each);
+//! * projecting broadcasts one input value and fused-multiply-adds the
+//!   eight-lane coefficient column into eight running projections, so a
+//!   pass over the input advances eight planes together — AVX2/FMA when
+//!   the CPU has it, an unrolled portable loop otherwise.
+//!
+//! ## Exactness
+//!
+//! Unusually for a SIMD rewrite, every path here is **bit-identical**,
+//! not merely close:
+//!
+//! * multiplying by a coefficient of `±1.0` is exact, so
+//!   `fma(c, x, acc)` equals the reference's `acc + c·x` with no
+//!   double-rounding difference;
+//! * each lane accumulates its own plane's terms in ascending input-index
+//!   order — the same order as the scalar reference loop;
+//! * coefficient-zero terms contribute `±0.0`, which cannot change a
+//!   running sum except in the sign of an exactly-zero projection, and
+//!   `-0.0 + x == 0.0 + x` for every nonzero `x` while `+0.0 + -0.0`
+//!   rounds to `+0.0`; accumulators start at `+0.0`, so even raw
+//!   projections match bit-for-bit.
+//!
+//! The same argument covers the sparse path (skipping zero *input*
+//! values), so dense and sparse evaluation of the same vector agree
+//! exactly — the property `slide-lsh`'s proptests pin.
+
+use crate::ops::KernelMode;
+
+/// `P` sparse signed hyperplanes over `R^dim` in both a per-plane sparse
+/// form (the scalar reference, coefficient lookup) and a blocked
+/// plane-per-lane packed form (the vectorized kernel).
+///
+/// Build with [`SignedPlanesBuilder`]. Project with
+/// [`SignedPlanes::project_dense`] / [`SignedPlanes::project_sparse`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SignedPlanes {
+    dim: usize,
+    planes: usize,
+    /// `planes + 1` offsets into `idx`/`sign`.
+    offsets: Vec<usize>,
+    /// Nonzero coefficient indices, strictly ascending within a plane.
+    idx: Vec<u32>,
+    /// `±1` coefficient signs, parallel to `idx`.
+    sign: Vec<i8>,
+    /// Blocked layout: `ceil(planes / 8)` blocks of `dim × 8` coefficients;
+    /// block `b`, input index `i`, lane `l` (= plane `b·8 + l`) lives at
+    /// `packed[b·dim·8 + i·8 + l]`. Lanes past the last plane stay zero.
+    packed: Vec<i8>,
+}
+
+/// Incremental constructor for [`SignedPlanes`]: push each plane's sorted
+/// nonzero `(index, sign)` entries, then [`SignedPlanesBuilder::finish`].
+#[derive(Debug, Clone)]
+pub struct SignedPlanesBuilder {
+    dim: usize,
+    offsets: Vec<usize>,
+    idx: Vec<u32>,
+    sign: Vec<i8>,
+}
+
+impl SignedPlanesBuilder {
+    /// Starts a builder for planes over `R^dim`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim` is zero.
+    pub fn new(dim: usize) -> Self {
+        assert!(dim > 0, "dim must be positive");
+        Self {
+            dim,
+            offsets: vec![0],
+            idx: Vec::new(),
+            sign: Vec::new(),
+        }
+    }
+
+    /// Appends one plane given its nonzero entries in strictly ascending
+    /// index order; signs must be `+1` or `-1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an out-of-range index, a non-ascending index, or a sign
+    /// outside `{-1, +1}`.
+    pub fn push_plane<I: IntoIterator<Item = (u32, i8)>>(&mut self, entries: I) {
+        let start = self.idx.len();
+        for (i, s) in entries {
+            assert!(
+                (i as usize) < self.dim,
+                "plane index {i} out of range for dim {}",
+                self.dim
+            );
+            assert!(s == 1 || s == -1, "plane sign must be +1 or -1, got {s}");
+            if let Some(&prev) = self.idx[start..].last() {
+                assert!(i > prev, "plane indices must be strictly ascending");
+            }
+            self.idx.push(i);
+            self.sign.push(s);
+        }
+        self.offsets.push(self.idx.len());
+    }
+
+    /// Seals the builder, computing the packed blocked layout.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no plane was pushed.
+    pub fn finish(self) -> SignedPlanes {
+        let planes = self.offsets.len() - 1;
+        assert!(planes > 0, "at least one plane is required");
+        let nblocks = planes.div_ceil(8);
+        let mut packed = vec![0i8; nblocks * self.dim * 8];
+        for p in 0..planes {
+            let base = (p / 8) * self.dim * 8 + p % 8;
+            for e in self.offsets[p]..self.offsets[p + 1] {
+                packed[base + self.idx[e] as usize * 8] = self.sign[e];
+            }
+        }
+        SignedPlanes {
+            dim: self.dim,
+            planes,
+            offsets: self.offsets,
+            idx: self.idx,
+            sign: self.sign,
+            packed,
+        }
+    }
+}
+
+impl SignedPlanes {
+    /// Input dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of planes `P`.
+    pub fn planes(&self) -> usize {
+        self.planes
+    }
+
+    /// Plane `p`'s nonzero entries as parallel `(indices, signs)` slices.
+    pub fn plane_entries(&self, p: usize) -> (&[u32], &[i8]) {
+        let (lo, hi) = (self.offsets[p], self.offsets[p + 1]);
+        (&self.idx[lo..hi], &self.sign[lo..hi])
+    }
+
+    /// Coefficient of plane `p` at input index `i`: `+1.0`, `-1.0` or
+    /// `0.0`.
+    pub fn coeff(&self, p: usize, i: u32) -> f32 {
+        let (idx, sign) = self.plane_entries(p);
+        match idx.binary_search(&i) {
+            Ok(e) => sign[e] as f32,
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Projects a dense input onto every plane: `out[p] = plane_p · input`.
+    ///
+    /// `Scalar` walks each plane's sparse entries sequentially (the
+    /// reference); `Vectorized` runs the blocked plane-per-lane kernel.
+    /// Both orders produce bit-identical projections (see the module
+    /// docs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input.len() != dim` or `out.len() != planes`.
+    pub fn project_dense(&self, input: &[f32], out: &mut [f32], mode: KernelMode) {
+        assert_eq!(input.len(), self.dim, "project_dense: input length");
+        assert_eq!(out.len(), self.planes, "project_dense: output length");
+        match mode {
+            KernelMode::Scalar => {
+                for (p, o) in out.iter_mut().enumerate() {
+                    let (idx, sign) = self.plane_entries(p);
+                    let mut acc = 0.0f32;
+                    for (&i, &s) in idx.iter().zip(sign) {
+                        acc += s as f32 * input[i as usize];
+                    }
+                    *o = acc;
+                }
+            }
+            KernelMode::Vectorized => {
+                #[cfg(target_arch = "x86_64")]
+                if crate::fused::have_avx2_fma() {
+                    // SAFETY: AVX2+FMA presence checked; packed holds
+                    // ceil(planes/8) blocks of dim×8 coefficients.
+                    unsafe { avxh::project_dense(&self.packed, self.dim, self.planes, input, out) };
+                    return;
+                }
+                self.portable_dense(input, out);
+            }
+        }
+    }
+
+    /// Projects a sparse input given as parallel `(indices, values)`
+    /// slices with strictly ascending indices.
+    ///
+    /// `Scalar` is the reference per-plane loop over the input's nonzeros
+    /// with a coefficient lookup per term (the historical sparse path);
+    /// `Vectorized` feeds the nonzeros through the same blocked kernel as
+    /// the dense path. Projections agree bit-for-bit with each other and
+    /// with [`SignedPlanes::project_dense`] of the densified vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices' lengths differ, `out.len() != planes`, or an
+    /// index is out of range.
+    pub fn project_sparse(
+        &self,
+        indices: &[u32],
+        values: &[f32],
+        out: &mut [f32],
+        mode: KernelMode,
+    ) {
+        assert_eq!(indices.len(), values.len(), "project_sparse: input lengths");
+        assert_eq!(out.len(), self.planes, "project_sparse: output length");
+        if let Some(&max) = indices.last() {
+            assert!(
+                (max as usize) < self.dim,
+                "project_sparse: index {max} out of range for dim {}",
+                self.dim
+            );
+        }
+        match mode {
+            KernelMode::Scalar => {
+                for (p, o) in out.iter_mut().enumerate() {
+                    let mut acc = 0.0f32;
+                    for (&i, &v) in indices.iter().zip(values) {
+                        acc += self.coeff(p, i) * v;
+                    }
+                    *o = acc;
+                }
+            }
+            KernelMode::Vectorized => {
+                #[cfg(target_arch = "x86_64")]
+                if crate::fused::have_avx2_fma() {
+                    // SAFETY: AVX2+FMA presence checked; indices validated
+                    // against dim above (ascending => last is max).
+                    unsafe {
+                        avxh::project_sparse(
+                            &self.packed,
+                            self.dim,
+                            self.planes,
+                            indices,
+                            values,
+                            out,
+                        )
+                    };
+                    return;
+                }
+                self.portable_sparse(indices, values, out);
+            }
+        }
+    }
+
+    /// Portable blocked fallback: one 8-lane accumulator array per block,
+    /// same per-lane ascending-index order as the AVX path.
+    fn portable_dense(&self, input: &[f32], out: &mut [f32]) {
+        let nblocks = self.planes.div_ceil(8);
+        for b in 0..nblocks {
+            let base = b * self.dim * 8;
+            let mut acc = [0.0f32; 8];
+            for (i, &x) in input.iter().enumerate() {
+                let col = &self.packed[base + i * 8..base + i * 8 + 8];
+                for lane in 0..8 {
+                    acc[lane] += col[lane] as f32 * x;
+                }
+            }
+            let p0 = b * 8;
+            let n = (self.planes - p0).min(8);
+            out[p0..p0 + n].copy_from_slice(&acc[..n]);
+        }
+    }
+
+    fn portable_sparse(&self, indices: &[u32], values: &[f32], out: &mut [f32]) {
+        let nblocks = self.planes.div_ceil(8);
+        for b in 0..nblocks {
+            let base = b * self.dim * 8;
+            let mut acc = [0.0f32; 8];
+            for (&i, &x) in indices.iter().zip(values) {
+                let off = base + i as usize * 8;
+                let col = &self.packed[off..off + 8];
+                for lane in 0..8 {
+                    acc[lane] += col[lane] as f32 * x;
+                }
+            }
+            let p0 = b * 8;
+            let n = (self.planes - p0).min(8);
+            out[p0..p0 + n].copy_from_slice(&acc[..n]);
+        }
+    }
+}
+
+/// AVX2/FMA blocked projection (x86-64 only); callers check
+/// `have_avx2_fma()` first. Blocks are processed four at a time so four
+/// independent FMA chains hide the instruction latency while each lane
+/// still accumulates in strict ascending-index order.
+#[cfg(target_arch = "x86_64")]
+mod avxh {
+    use std::arch::x86_64::*;
+
+    /// Loads one 8-coefficient column (8 × i8) and widens it to `f32`
+    /// lanes; both conversions are exact for `{-1, 0, 1}`.
+    ///
+    /// # Safety
+    ///
+    /// Requires AVX2; `p` must point at 8 readable bytes.
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn column(p: *const i8) -> __m256 {
+        _mm256_cvtepi32_ps(_mm256_cvtepi8_epi32(_mm_loadl_epi64(p as *const __m128i)))
+    }
+
+    /// Stores a block group's accumulators, spilling a final partial
+    /// block through a stack buffer.
+    ///
+    /// # Safety
+    ///
+    /// Requires AVX2; `out.len() == planes`; blocks `b0..b0+G` exist.
+    #[target_feature(enable = "avx2")]
+    unsafe fn store<const G: usize>(acc: [__m256; G], b0: usize, planes: usize, out: &mut [f32]) {
+        for (g, a) in acc.iter().enumerate() {
+            let p0 = (b0 + g) * 8;
+            if planes - p0 >= 8 {
+                _mm256_storeu_ps(out.as_mut_ptr().add(p0), *a);
+            } else {
+                let mut tmp = [0.0f32; 8];
+                _mm256_storeu_ps(tmp.as_mut_ptr(), *a);
+                out[p0..planes].copy_from_slice(&tmp[..planes - p0]);
+            }
+        }
+    }
+
+    /// Projects `G` blocks (planes `b0·8 .. (b0+G)·8`) over a dense input.
+    ///
+    /// # Safety
+    ///
+    /// Requires AVX2+FMA; `packed` laid out as in `SignedPlanes`;
+    /// `input.len() == dim`; `out.len() == planes`.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    unsafe fn dense_group<const G: usize>(
+        packed: &[i8],
+        dim: usize,
+        b0: usize,
+        planes: usize,
+        input: &[f32],
+        out: &mut [f32],
+    ) {
+        let mut acc = [_mm256_setzero_ps(); G];
+        let bases: [*const i8; G] =
+            std::array::from_fn(|g| packed.as_ptr().add((b0 + g) * dim * 8));
+        for (i, &x) in input.iter().enumerate() {
+            let xv = _mm256_set1_ps(x);
+            for g in 0..G {
+                acc[g] = _mm256_fmadd_ps(column(bases[g].add(i * 8)), xv, acc[g]);
+            }
+        }
+        store(acc, b0, planes, out);
+    }
+
+    /// Projects `G` blocks over a sparse input's `(indices, values)`.
+    ///
+    /// # Safety
+    ///
+    /// As [`dense_group`], plus every index below `dim` and
+    /// `indices.len() == values.len()`.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    unsafe fn sparse_group<const G: usize>(
+        packed: &[i8],
+        dim: usize,
+        b0: usize,
+        planes: usize,
+        indices: &[u32],
+        values: &[f32],
+        out: &mut [f32],
+    ) {
+        let mut acc = [_mm256_setzero_ps(); G];
+        let bases: [*const i8; G] =
+            std::array::from_fn(|g| packed.as_ptr().add((b0 + g) * dim * 8));
+        for (&i, &x) in indices.iter().zip(values) {
+            let xv = _mm256_set1_ps(x);
+            for g in 0..G {
+                acc[g] = _mm256_fmadd_ps(column(bases[g].add(i as usize * 8)), xv, acc[g]);
+            }
+        }
+        store(acc, b0, planes, out);
+    }
+
+    /// # Safety
+    ///
+    /// Requires AVX2+FMA; `packed` laid out as in `SignedPlanes`;
+    /// `input.len() == dim`; `out.len() == planes`.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn project_dense(
+        packed: &[i8],
+        dim: usize,
+        planes: usize,
+        input: &[f32],
+        out: &mut [f32],
+    ) {
+        let nblocks = planes.div_ceil(8);
+        let mut b = 0;
+        while b < nblocks {
+            match nblocks - b {
+                1 => dense_group::<1>(packed, dim, b, planes, input, out),
+                2 => dense_group::<2>(packed, dim, b, planes, input, out),
+                3 => dense_group::<3>(packed, dim, b, planes, input, out),
+                _ => dense_group::<4>(packed, dim, b, planes, input, out),
+            }
+            b += (nblocks - b).min(4);
+        }
+    }
+
+    /// # Safety
+    ///
+    /// As [`project_dense`], with the sparse-input requirements of
+    /// [`sparse_group`].
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn project_sparse(
+        packed: &[i8],
+        dim: usize,
+        planes: usize,
+        indices: &[u32],
+        values: &[f32],
+        out: &mut [f32],
+    ) {
+        let nblocks = planes.div_ceil(8);
+        let mut b = 0;
+        while b < nblocks {
+            match nblocks - b {
+                1 => sparse_group::<1>(packed, dim, b, planes, indices, values, out),
+                2 => sparse_group::<2>(packed, dim, b, planes, indices, values, out),
+                3 => sparse_group::<3>(packed, dim, b, planes, indices, values, out),
+                _ => sparse_group::<4>(packed, dim, b, planes, indices, values, out),
+            }
+            b += (nblocks - b).min(4);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Deterministic xorshift for test data (no external RNG dep here).
+    struct TinyRng(u64);
+
+    impl TinyRng {
+        fn next(&mut self) -> u64 {
+            self.0 ^= self.0 << 13;
+            self.0 ^= self.0 >> 7;
+            self.0 ^= self.0 << 17;
+            self.0
+        }
+
+        fn f32(&mut self) -> f32 {
+            (self.next() >> 40) as f32 / (1u64 << 24) as f32 - 0.5
+        }
+    }
+
+    fn random_planes(dim: usize, planes: usize, seed: u64) -> SignedPlanes {
+        let mut rng = TinyRng(seed | 1);
+        let mut b = SignedPlanesBuilder::new(dim);
+        for _ in 0..planes {
+            let mut entries: Vec<(u32, i8)> = Vec::new();
+            for i in 0..dim as u32 {
+                if rng.next().is_multiple_of(3) {
+                    entries.push((i, if rng.next().is_multiple_of(2) { 1 } else { -1 }));
+                }
+            }
+            b.push_plane(entries);
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn builder_validates() {
+        let mut b = SignedPlanesBuilder::new(10);
+        b.push_plane([(1, 1), (3, -1), (9, 1)]);
+        b.push_plane([]); // empty plane is legal
+        let sp = b.finish();
+        assert_eq!(sp.dim(), 10);
+        assert_eq!(sp.planes(), 2);
+        assert_eq!(sp.plane_entries(0).0, &[1, 3, 9]);
+        assert_eq!(sp.plane_entries(0).1, &[1, -1, 1]);
+        assert_eq!(sp.plane_entries(1).0, &[] as &[u32]);
+        assert_eq!(sp.coeff(0, 3), -1.0);
+        assert_eq!(sp.coeff(0, 2), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly ascending")]
+    fn builder_rejects_unsorted() {
+        let mut b = SignedPlanesBuilder::new(10);
+        b.push_plane([(3, 1), (1, -1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn builder_rejects_out_of_range() {
+        let mut b = SignedPlanesBuilder::new(4);
+        b.push_plane([(4, 1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "sign")]
+    fn builder_rejects_bad_sign() {
+        let mut b = SignedPlanesBuilder::new(4);
+        b.push_plane([(0, 2)]);
+    }
+
+    #[test]
+    fn dense_modes_agree_exactly() {
+        // Partial last block (planes = 13) and a dim crossing several
+        // cache lines: Scalar and Vectorized must match to the bit.
+        for &(dim, planes, seed) in &[
+            (32usize, 13usize, 7u64),
+            (96, 8, 11),
+            (5, 1, 3),
+            (128, 72, 42),
+        ] {
+            let sp = random_planes(dim, planes, seed);
+            let mut rng = TinyRng(seed.wrapping_mul(0x9E37));
+            let input: Vec<f32> = (0..dim).map(|_| rng.f32()).collect();
+            let mut a = vec![0.0f32; planes];
+            let mut b = vec![1.0f32; planes];
+            sp.project_dense(&input, &mut a, KernelMode::Scalar);
+            sp.project_dense(&input, &mut b, KernelMode::Vectorized);
+            for (x, y) in a.iter().zip(&b) {
+                assert_eq!(x.to_bits(), y.to_bits(), "{x} vs {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn portable_fallback_matches_scalar_exactly() {
+        let sp = random_planes(48, 21, 5);
+        let mut rng = TinyRng(99);
+        let input: Vec<f32> = (0..48).map(|_| rng.f32()).collect();
+        let mut a = vec![0.0f32; 21];
+        let mut b = vec![0.0f32; 21];
+        sp.project_dense(&input, &mut a, KernelMode::Scalar);
+        sp.portable_dense(&input, &mut b);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+        let indices: Vec<u32> = (0..48u32).step_by(3).collect();
+        let values: Vec<f32> = indices.iter().map(|_| rng.f32()).collect();
+        sp.project_sparse(&indices, &values, &mut a, KernelMode::Scalar);
+        sp.portable_sparse(&indices, &values, &mut b);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    fn sparse_modes_agree_exactly() {
+        let sp = random_planes(64, 24, 17);
+        let mut rng = TinyRng(23);
+        let indices: Vec<u32> = (0..64u32)
+            .filter(|_| rng.next().is_multiple_of(4))
+            .collect();
+        let values: Vec<f32> = indices.iter().map(|_| rng.f32()).collect();
+        let mut a = vec![0.0f32; 24];
+        let mut b = vec![0.0f32; 24];
+        sp.project_sparse(&indices, &values, &mut a, KernelMode::Scalar);
+        sp.project_sparse(&indices, &values, &mut b, KernelMode::Vectorized);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    fn sparse_matches_densified_dense() {
+        let dim = 40;
+        let sp = random_planes(dim, 11, 29);
+        let mut rng = TinyRng(31);
+        let indices: Vec<u32> = (0..dim as u32)
+            .filter(|_| rng.next().is_multiple_of(3))
+            .collect();
+        let values: Vec<f32> = indices.iter().map(|_| rng.f32()).collect();
+        let mut dense = vec![0.0f32; dim];
+        for (&i, &v) in indices.iter().zip(&values) {
+            dense[i as usize] = v;
+        }
+        let mut a = vec![0.0f32; 11];
+        let mut b = vec![0.0f32; 11];
+        sp.project_sparse(&indices, &values, &mut a, KernelMode::Vectorized);
+        sp.project_dense(&dense, &mut b, KernelMode::Vectorized);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_dense_modes_bit_identical(
+            seed in 1u64..5000,
+            dim in 1usize..80,
+            planes in 1usize..40,
+        ) {
+            let sp = random_planes(dim, planes, seed);
+            let mut rng = TinyRng(seed.wrapping_mul(0xA5A5) | 1);
+            let input: Vec<f32> = (0..dim).map(|_| rng.f32() * 4.0).collect();
+            let mut a = vec![0.0f32; planes];
+            let mut b = vec![0.0f32; planes];
+            sp.project_dense(&input, &mut a, KernelMode::Scalar);
+            sp.project_dense(&input, &mut b, KernelMode::Vectorized);
+            for (x, y) in a.iter().zip(&b) {
+                prop_assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+
+        #[test]
+        fn prop_sparse_modes_bit_identical(
+            seed in 1u64..5000,
+            dim in 1usize..80,
+            planes in 1usize..40,
+        ) {
+            let sp = random_planes(dim, planes, seed);
+            let mut rng = TinyRng(seed.wrapping_mul(0x5A5A) | 1);
+            let indices: Vec<u32> =
+                (0..dim as u32).filter(|_| !rng.next().is_multiple_of(3)).collect();
+            let values: Vec<f32> = indices.iter().map(|_| rng.f32() * 4.0).collect();
+            let mut a = vec![0.0f32; planes];
+            let mut b = vec![0.0f32; planes];
+            sp.project_sparse(&indices, &values, &mut a, KernelMode::Scalar);
+            sp.project_sparse(&indices, &values, &mut b, KernelMode::Vectorized);
+            for (x, y) in a.iter().zip(&b) {
+                prop_assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+    }
+}

@@ -20,11 +20,22 @@
 //! (forward pre-activation), [`gather_dot_batch`] (batched serving) and
 //! [`adam_step_gather`] (backward's fused gather + error-signal + Adam
 //! sweep).
+//!
+//! The [`hash`] module holds the blocked signed-projection kernel behind
+//! SimHash-style LSH families ([`SignedPlanes`]), and [`quant`] the fused
+//! dequantize-dot kernels for i16 fixed-point serving rows
+//! ([`gather_dot_q16`], [`dot_batch_q16`]).
 
 pub mod aligned;
 pub mod fused;
+pub mod hash;
 pub mod ops;
+pub mod quant;
 
 pub use aligned::{AlignedVec, CachePadded, CACHE_LINE_BYTES};
 pub use fused::{adam_step_gather, gather_dot, gather_dot_batch};
-pub use ops::{adam_step, axpy, dot, relu_in_place, softmax_in_place, AdamParams, KernelMode};
+pub use hash::{SignedPlanes, SignedPlanesBuilder};
+pub use ops::{
+    adam_step, axpy, dispatched_isa, dot, relu_in_place, softmax_in_place, AdamParams, KernelMode,
+};
+pub use quant::{dot_batch_q16, gather_dot_q16, quantize_row};

@@ -37,6 +37,23 @@ impl std::fmt::Display for KernelMode {
     }
 }
 
+/// The instruction set the `Vectorized` kernels actually dispatch to on
+/// this machine: `"avx2+fma"` when runtime detection finds both,
+/// `"portable-unrolled"` otherwise; `Scalar` always reports `"scalar"`.
+/// Benchmarks record this so committed numbers are attributable to an ISA.
+pub fn dispatched_isa(mode: KernelMode) -> &'static str {
+    match mode {
+        KernelMode::Scalar => "scalar",
+        KernelMode::Vectorized => {
+            #[cfg(target_arch = "x86_64")]
+            if crate::fused::have_avx2_fma() {
+                return "avx2+fma";
+            }
+            "portable-unrolled"
+        }
+    }
+}
+
 /// Prefetches the cache line containing `ptr` (x86-64 only; a no-op
 /// elsewhere). Stands in for the paper's `PREFETCHT0`-based software
 /// pipeline.

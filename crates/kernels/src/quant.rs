@@ -1,0 +1,486 @@
+//! Fixed-point i16 row kernels for the frozen serving path.
+//!
+//! Training stays f32/HOGWILD; at snapshot time the wide output layer's
+//! rows can be quantized to 16-bit fixed point with one scale per row
+//! (`w ≈ scale · q`, `q ∈ [-32767, 32767]`), halving the bytes every
+//! candidate-scoring gather moves. These kernels fuse the dequantization
+//! into the dot product: the integer row is widened in registers and
+//! multiplied by the f32 activations, and the row scale is applied once
+//! to the final sum — `z = init + scale · Σᵢ q[idsᵢ] · valsᵢ`.
+//!
+//! Mirrors [`crate::fused`]: `Scalar` is the strict sequential reference,
+//! `Vectorized` dispatches to AVX2/FMA at runtime with an unrolled
+//! portable fallback. Quantized rows are immutable (serving only), so
+//! unlike `fused` there is no atomic-cell protocol here — plain `&[i16]`.
+
+use crate::ops::{prefetch_read, KernelMode};
+
+/// Quantizes one f32 row to i16, returning the per-row scale.
+///
+/// The scale is `max|row| / 32767` so the largest magnitude maps to the
+/// edge of the i16 range; an all-zero row gets scale `0.0`. Round-trip
+/// error per weight is at most `scale / 2` (plus a few ulps of f32
+/// rounding in the encode — the reciprocal `32767 / max` is not exact).
+///
+/// # Panics
+///
+/// Panics if the slice lengths differ or the row contains a non-finite
+/// value.
+pub fn quantize_row(row: &[f32], q: &mut [i16]) -> f32 {
+    assert_eq!(row.len(), q.len(), "quantize_row: length mismatch");
+    let mut max = 0.0f32;
+    for &w in row {
+        assert!(w.is_finite(), "quantize_row: non-finite weight {w}");
+        max = max.max(w.abs());
+    }
+    if max == 0.0 {
+        q.fill(0);
+        return 0.0;
+    }
+    let scale = max / 32767.0;
+    let inv = 32767.0 / max;
+    for (dst, &w) in q.iter_mut().zip(row) {
+        *dst = (w * inv).round().clamp(-32767.0, 32767.0) as i16;
+    }
+    scale
+}
+
+/// Fused dequantize-gather-dot against one quantized row:
+/// `init + scale · Σᵢ q[ids[i]] · vals[i]`.
+///
+/// The integer-to-float widening is exact (`|q| ≤ 32767 < 2²⁴`), so the
+/// only quantization error is the one introduced at encode time. As with
+/// [`crate::fused::gather_dot`], `Scalar` and `Vectorized` differ only in
+/// summation order.
+///
+/// # Panics
+///
+/// Panics if `ids` and `vals` lengths differ or an id indexes past the
+/// row.
+pub fn gather_dot_q16(
+    q: &[i16],
+    scale: f32,
+    ids: &[u32],
+    vals: &[f32],
+    init: f32,
+    mode: KernelMode,
+) -> f32 {
+    assert_eq!(ids.len(), vals.len(), "gather_dot_q16: length mismatch");
+    match mode {
+        KernelMode::Scalar => {
+            let mut acc = 0.0f32;
+            for (&id, &v) in ids.iter().zip(vals) {
+                acc += q[id as usize] as f32 * v;
+            }
+            init + scale * acc
+        }
+        KernelMode::Vectorized => {
+            for &id in ids {
+                assert!(
+                    (id as usize) < q.len(),
+                    "gather_dot_q16: id {id} out of range for row of {}",
+                    q.len()
+                );
+            }
+            let n = ids.len();
+            let qp = q.as_ptr();
+
+            #[cfg(target_arch = "x86_64")]
+            if n >= 16 && crate::fused::have_avx2_fma() {
+                // SAFETY: ids validated above; AVX2+FMA presence checked.
+                return init + scale * unsafe { avxq::gather_dot(qp, ids, vals) };
+            }
+
+            let mut acc = [0.0f32; 8];
+            let chunks = n / 8;
+            for c in 0..chunks {
+                let i = c * 8;
+                if i + 15 < n {
+                    prefetch_read(qp.wrapping_add(ids[i + 8] as usize));
+                }
+                for lane in 0..8 {
+                    // SAFETY: ids validated against q.len() above.
+                    acc[lane] += unsafe { *qp.add(ids[i + lane] as usize) } as f32 * vals[i + lane];
+                }
+            }
+            let mut z = acc.iter().sum::<f32>();
+            for i in chunks * 8..n {
+                // SAFETY: ids validated against q.len() above.
+                z += unsafe { *qp.add(ids[i] as usize) } as f32 * vals[i];
+            }
+            init + scale * z
+        }
+    }
+}
+
+/// Scores one quantized row against `out.len()` examples sharing the
+/// dense identity id list `0..n`:
+/// `out[e] = init + scale · Σᵢ q[i] · vals[e·n + i]`.
+///
+/// `vals` is example-major, exactly like
+/// [`crate::fused::gather_dot_batch`] — this is its drop-in quantized
+/// sibling for the batched serving scorer, moving half the row bytes.
+///
+/// # Panics
+///
+/// Panics if `n > q.len()` or `vals.len() != n * out.len()`.
+pub fn dot_batch_q16(
+    q: &[i16],
+    scale: f32,
+    n: usize,
+    vals: &[f32],
+    init: f32,
+    out: &mut [f32],
+    mode: KernelMode,
+) {
+    assert!(n <= q.len(), "dot_batch_q16: n exceeds row length");
+    assert_eq!(
+        vals.len(),
+        n * out.len(),
+        "dot_batch_q16: vals must hold n values per example"
+    );
+    match mode {
+        KernelMode::Scalar => {
+            for (e, o) in out.iter_mut().enumerate() {
+                let ex = &vals[e * n..(e + 1) * n];
+                let mut acc = 0.0f32;
+                for (i, &v) in ex.iter().enumerate() {
+                    acc += q[i] as f32 * v;
+                }
+                *o = init + scale * acc;
+            }
+        }
+        KernelMode::Vectorized => {
+            #[cfg(target_arch = "x86_64")]
+            if n >= 16 && crate::fused::have_avx2_fma() {
+                // SAFETY: n bounds-checked against the row; AVX2+FMA
+                // presence checked.
+                unsafe { avxq::dot_batch(q.as_ptr(), scale, n, vals, init, out) };
+                return;
+            }
+
+            for (e, o) in out.iter_mut().enumerate() {
+                let ex = &vals[e * n..(e + 1) * n];
+                let mut acc = [0.0f32; 4];
+                let chunks = n / 4;
+                for c in 0..chunks {
+                    let i = c * 4;
+                    for lane in 0..4 {
+                        acc[lane] += q[i + lane] as f32 * ex[i + lane];
+                    }
+                }
+                let mut z = acc.iter().sum::<f32>();
+                for i in chunks * 4..n {
+                    z += q[i] as f32 * ex[i];
+                }
+                *o = init + scale * z;
+            }
+        }
+    }
+}
+
+/// AVX2/FMA widening-dot kernels (x86-64 only). Eight i16 lanes are
+/// loaded per 128-bit read, widened to i32 then f32 — both exact — and
+/// FMA'd against the activations.
+#[cfg(target_arch = "x86_64")]
+mod avxq {
+    use std::arch::x86_64::*;
+
+    /// Horizontal sum of a 256-bit accumulator.
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn hsum(acc: __m256) -> f32 {
+        let hi = _mm256_extractf128_ps(acc, 1);
+        let lo = _mm256_castps256_ps128(acc);
+        let quad = _mm_add_ps(lo, hi);
+        let dual = _mm_add_ps(quad, _mm_movehl_ps(quad, quad));
+        let s = _mm_add_ss(dual, _mm_shuffle_ps(dual, dual, 0b01));
+        _mm_cvtss_f32(s)
+    }
+
+    /// Loads 8 consecutive i16 and widens to 8 f32 lanes (exact).
+    ///
+    /// # Safety
+    ///
+    /// Requires AVX2; `p` must point at 8 readable i16.
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn widen8(p: *const i16) -> __m256 {
+        _mm256_cvtepi32_ps(_mm256_cvtepi16_epi32(_mm_loadu_si128(p as *const __m128i)))
+    }
+
+    /// `Σᵢ q[ids[i]] · vals[i]` with per-lane scalar gathers of the i16
+    /// row (no 16-bit hardware gather exists) batched eight at a time.
+    ///
+    /// # Safety
+    ///
+    /// Requires AVX2+FMA; every id must index below the row length;
+    /// `ids.len() == vals.len()`.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn gather_dot(qp: *const i16, ids: &[u32], vals: &[f32]) -> f32 {
+        let n = ids.len();
+        let mut acc = _mm256_setzero_ps();
+        let chunks = n / 8;
+        for c in 0..chunks {
+            let i = c * 8;
+            let g = [
+                *qp.add(ids[i] as usize),
+                *qp.add(ids[i + 1] as usize),
+                *qp.add(ids[i + 2] as usize),
+                *qp.add(ids[i + 3] as usize),
+                *qp.add(ids[i + 4] as usize),
+                *qp.add(ids[i + 5] as usize),
+                *qp.add(ids[i + 6] as usize),
+                *qp.add(ids[i + 7] as usize),
+            ];
+            acc = _mm256_fmadd_ps(
+                widen8(g.as_ptr()),
+                _mm256_loadu_ps(vals.as_ptr().add(i)),
+                acc,
+            );
+        }
+        let mut z = hsum(acc);
+        for i in chunks * 8..n {
+            z += *qp.add(ids[i] as usize) as f32 * vals[i];
+        }
+        z
+    }
+
+    /// One contiguous quantized row against `out.len()` examples
+    /// (example-major `vals`), examples blocked eight at a time so each
+    /// widened row block is reused across eight FMA chains — the widen
+    /// (load + two converts) costs roughly triple an f32 row load, so it
+    /// needs wider amortization than [`crate::fused`]'s four-example
+    /// blocking to reach compute parity with the f32 kernel while moving
+    /// half the row bytes.
+    ///
+    /// # Safety
+    ///
+    /// Requires AVX2+FMA; the row must hold at least `n` elements;
+    /// `vals.len() == n * out.len()`.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn dot_batch(
+        qp: *const i16,
+        scale: f32,
+        n: usize,
+        vals: &[f32],
+        init: f32,
+        out: &mut [f32],
+    ) {
+        let b = out.len();
+        let chunks = n / 8;
+        let mut e = 0;
+        while e + 8 <= b {
+            let mut acc = [_mm256_setzero_ps(); 8];
+            let base = e * n;
+            for c in 0..chunks {
+                let i = c * 8;
+                let w8 = widen8(qp.add(i));
+                for (k, a) in acc.iter_mut().enumerate() {
+                    *a = _mm256_fmadd_ps(
+                        w8,
+                        _mm256_loadu_ps(vals.as_ptr().add(base + k * n + i)),
+                        *a,
+                    );
+                }
+            }
+            for (k, a) in acc.iter().enumerate() {
+                let mut z = hsum(*a);
+                for i in chunks * 8..n {
+                    z += *qp.add(i) as f32 * vals[base + k * n + i];
+                }
+                out[e + k] = init + scale * z;
+            }
+            e += 8;
+        }
+        while e < b {
+            let mut acc = _mm256_setzero_ps();
+            let base = e * n;
+            for c in 0..chunks {
+                let i = c * 8;
+                acc = _mm256_fmadd_ps(
+                    widen8(qp.add(i)),
+                    _mm256_loadu_ps(vals.as_ptr().add(base + i)),
+                    acc,
+                );
+            }
+            let mut z = hsum(acc);
+            for i in chunks * 8..n {
+                z += *qp.add(i) as f32 * vals[base + i];
+            }
+            out[e] = init + scale * z;
+            e += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    struct TinyRng(u64);
+
+    impl TinyRng {
+        fn next(&mut self) -> u64 {
+            self.0 ^= self.0 << 13;
+            self.0 ^= self.0 >> 7;
+            self.0 ^= self.0 << 17;
+            self.0
+        }
+
+        fn f32(&mut self) -> f32 {
+            (self.next() >> 40) as f32 / (1u64 << 24) as f32 - 0.5
+        }
+    }
+
+    #[test]
+    fn quantize_round_trip_error_bound() {
+        let mut rng = TinyRng(3);
+        let row: Vec<f32> = (0..257).map(|_| rng.f32() * 2.0).collect();
+        let mut q = vec![0i16; row.len()];
+        let scale = quantize_row(&row, &mut q);
+        for (&w, &qi) in row.iter().zip(&q) {
+            let back = qi as f32 * scale;
+            assert!(
+                (w - back).abs() <= scale * 0.5 + f32::EPSILON,
+                "{w} -> {back} (scale {scale})"
+            );
+        }
+    }
+
+    #[test]
+    fn quantize_zero_row() {
+        let row = [0.0f32; 9];
+        let mut q = [1i16; 9];
+        let scale = quantize_row(&row, &mut q);
+        assert_eq!(scale, 0.0);
+        assert!(q.iter().all(|&x| x == 0));
+    }
+
+    #[test]
+    fn quantize_saturates_at_extremes() {
+        let row = [3.0f32, -3.0, 1.5];
+        let mut q = [0i16; 3];
+        let scale = quantize_row(&row, &mut q);
+        assert_eq!(q[0], 32767);
+        assert_eq!(q[1], -32767);
+        assert!((scale - 3.0 / 32767.0).abs() < 1e-9);
+    }
+
+    fn setup(n: usize, seed: u64) -> (Vec<i16>, f32, Vec<u32>, Vec<f32>) {
+        let mut rng = TinyRng(seed | 1);
+        let row: Vec<f32> = (0..n).map(|_| rng.f32()).collect();
+        let mut q = vec![0i16; n];
+        let scale = quantize_row(&row, &mut q);
+        let ids: Vec<u32> = (0..n as u32).collect();
+        let vals: Vec<f32> = (0..n).map(|_| rng.f32()).collect();
+        (q, scale, ids, vals)
+    }
+
+    #[test]
+    fn gather_dot_modes_agree() {
+        for &n in &[3usize, 8, 16, 33, 129] {
+            let (q, scale, ids, vals) = setup(n, n as u64);
+            let a = gather_dot_q16(&q, scale, &ids, &vals, 0.25, KernelMode::Scalar);
+            let b = gather_dot_q16(&q, scale, &ids, &vals, 0.25, KernelMode::Vectorized);
+            assert!((a - b).abs() <= 1e-4 * (1.0 + a.abs()), "n={n}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn gather_dot_scattered_ids() {
+        let (q, scale, _, _) = setup(64, 9);
+        let ids: Vec<u32> = (0..64u32).rev().step_by(3).collect();
+        let mut rng = TinyRng(77);
+        let vals: Vec<f32> = ids.iter().map(|_| rng.f32()).collect();
+        let a = gather_dot_q16(&q, scale, &ids, &vals, -1.0, KernelMode::Scalar);
+        let b = gather_dot_q16(&q, scale, &ids, &vals, -1.0, KernelMode::Vectorized);
+        assert!((a - b).abs() <= 1e-4 * (1.0 + a.abs()));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn gather_dot_rejects_bad_id() {
+        let (q, scale, _, _) = setup(8, 1);
+        gather_dot_q16(&q, scale, &[8], &[1.0], 0.0, KernelMode::Vectorized);
+    }
+
+    #[test]
+    fn dot_batch_matches_per_example_gather() {
+        for &(n, b) in &[(24usize, 5usize), (64, 4), (16, 9), (7, 3)] {
+            let (q, scale, ids, _) = setup(n, (n + b) as u64);
+            let mut rng = TinyRng(13 + n as u64);
+            let vals: Vec<f32> = (0..n * b).map(|_| rng.f32()).collect();
+            let mut out = vec![0.0f32; b];
+            dot_batch_q16(&q, scale, n, &vals, 0.5, &mut out, KernelMode::Vectorized);
+            for e in 0..b {
+                let want = gather_dot_q16(
+                    &q,
+                    scale,
+                    &ids,
+                    &vals[e * n..(e + 1) * n],
+                    0.5,
+                    KernelMode::Scalar,
+                );
+                assert!(
+                    (out[e] - want).abs() <= 1e-4 * (1.0 + want.abs()),
+                    "n={n} e={e}: {} vs {want}",
+                    out[e]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn quantized_dot_tracks_f32_dot() {
+        // The fused dequantized score must stay within the analytic
+        // error bound of the exact f32 dot: |err| ≤ (scale/2)·Σ|v|.
+        let mut rng = TinyRng(21);
+        let n = 128;
+        let row: Vec<f32> = (0..n).map(|_| rng.f32()).collect();
+        let vals: Vec<f32> = (0..n).map(|_| rng.f32()).collect();
+        let mut q = vec![0i16; n];
+        let scale = quantize_row(&row, &mut q);
+        let ids: Vec<u32> = (0..n as u32).collect();
+        let exact: f32 = row.iter().zip(&vals).map(|(w, v)| w * v).sum();
+        let approx = gather_dot_q16(&q, scale, &ids, &vals, 0.0, KernelMode::Vectorized);
+        let bound = 0.5 * scale * vals.iter().map(|v| v.abs()).sum::<f32>() + 1e-4;
+        assert!(
+            (exact - approx).abs() <= bound,
+            "{exact} vs {approx} (bound {bound})"
+        );
+    }
+
+    proptest! {
+        #[test]
+        fn prop_modes_agree(
+            seed in 1u64..3000,
+            n in 1usize..200,
+            init in -2.0f32..2.0,
+        ) {
+            let (q, scale, ids, vals) = setup(n, seed);
+            let a = gather_dot_q16(&q, scale, &ids, &vals, init, KernelMode::Scalar);
+            let b = gather_dot_q16(&q, scale, &ids, &vals, init, KernelMode::Vectorized);
+            prop_assert!((a - b).abs() <= 1e-3 * (1.0 + a.abs()));
+        }
+
+        #[test]
+        fn prop_batch_modes_agree(
+            seed in 1u64..3000,
+            n in 1usize..80,
+            b in 1usize..12,
+        ) {
+            let (q, scale, _, _) = setup(n, seed);
+            let mut rng = TinyRng(seed.wrapping_mul(31) | 1);
+            let vals: Vec<f32> = (0..n * b).map(|_| rng.f32()).collect();
+            let mut s = vec![0.0f32; b];
+            let mut v = vec![0.0f32; b];
+            dot_batch_q16(&q, scale, n, &vals, 0.0, &mut s, KernelMode::Scalar);
+            dot_batch_q16(&q, scale, n, &vals, 0.0, &mut v, KernelMode::Vectorized);
+            for (x, y) in s.iter().zip(&v) {
+                prop_assert!((x - y).abs() <= 1e-3 * (1.0 + x.abs()));
+            }
+        }
+    }
+}

@@ -6,6 +6,7 @@
 //! row, a dense layer input) or a sparse vector (the raw input features).
 
 use slide_data::SparseVector;
+use slide_kernels::KernelMode;
 
 /// Identifies one of the four supported hash families.
 ///
@@ -86,6 +87,41 @@ pub trait HashFamily: Send + Sync {
     fn hash_sparse(&self, input: &SparseVector, out: &mut [u32]) {
         let dense = input.to_dense(self.dim());
         self.hash_dense(&dense, out);
+    }
+
+    /// Mode-aware [`HashFamily::hash_dense`] — **the** shared entry point
+    /// for every consumer that hashes rows or layer inputs (both table
+    /// rebuilds and per-example selection route through it), so a
+    /// vectorized kernel can never diverge from what the tables were
+    /// built with.
+    ///
+    /// The default ignores the mode and runs the scalar reference;
+    /// families with a vectorized kernel (SimHash) override it. Overrides
+    /// must produce codes bit-identical to `hash_dense` in every mode.
+    fn hash_dense_mode(&self, input: &[f32], out: &mut [u32], mode: KernelMode) {
+        let _ = mode;
+        self.hash_dense(input, out);
+    }
+
+    /// Mode-aware [`HashFamily::hash_sparse`]; same contract as
+    /// [`HashFamily::hash_dense_mode`].
+    fn hash_sparse_mode(&self, input: &SparseVector, out: &mut [u32], mode: KernelMode) {
+        let _ = mode;
+        self.hash_sparse(input, out);
+    }
+
+    /// Whether hashing a densified vector via `hash_dense*` yields codes
+    /// **bit-identical** to hashing the sparse original via
+    /// `hash_sparse*`.
+    ///
+    /// True for SimHash (±1 arithmetic is exact in every evaluation
+    /// order); false by default — e.g. DWTA's dense path scans all bin
+    /// coordinates while its sparse path only sees nonzeros, so bins full
+    /// of tied zeros break differently. Selection uses this to take the
+    /// cheap dense path on dense-identity layer inputs without changing
+    /// training behavior.
+    fn dense_exact(&self) -> bool {
+        false
     }
 }
 

@@ -4,8 +4,17 @@
 //! the code is the sign bit of the projection. Following the paper (and
 //! Li et al. 2006, "very sparse random projections") the planes are kept
 //! sparse — only a `sparsity` fraction of the `dim` components is nonzero —
-//! and stored as index lists split by sign, so projecting costs additions
-//! only, no multiplications.
+//! so projecting costs additions only, no multiplications.
+//!
+//! Plane storage and evaluation live in
+//! [`slide_kernels::SignedPlanes`]: a per-plane sorted entry list (the
+//! scalar reference and the coefficient lookup) plus a blocked
+//! plane-per-lane packed layout that computes all `K × L` projections in
+//! SIMD register passes. Because every coefficient is `±1`, the
+//! vectorized kernel is **bit-identical** to the scalar reference — the
+//! codes cannot depend on the dispatched ISA, which is what lets both
+//! table rebuilds and per-example selection use whichever is fastest
+//! (see `KernelMode` plumbing in [`HashFamily::hash_dense_mode`]).
 //!
 //! The module also implements the paper's §4.2(3) optimization: because
 //! backpropagation updates only the weights of *active* neurons, the
@@ -15,39 +24,20 @@
 
 use slide_data::rng::Rng;
 use slide_data::SparseVector;
+use slide_kernels::{KernelMode, SignedPlanes, SignedPlanesBuilder};
 
 use crate::family::{check_args, HashFamily, HashFamilyKind};
 
-/// One sparse signed random hyperplane.
-#[derive(Debug, Clone, PartialEq, Eq)]
-struct Plane {
-    /// Feature indices with coefficient +1 (sorted).
-    plus: Vec<u32>,
-    /// Feature indices with coefficient −1 (sorted).
-    minus: Vec<u32>,
-}
-
-impl Plane {
-    fn project_dense(&self, input: &[f32]) -> f32 {
-        let mut acc = 0.0f32;
-        for &i in &self.plus {
-            acc += input[i as usize];
-        }
-        for &i in &self.minus {
-            acc -= input[i as usize];
-        }
-        acc
-    }
-
-    /// Coefficient of feature `i`: +1, −1 or 0.
-    fn coeff(&self, i: u32) -> f32 {
-        if self.plus.binary_search(&i).is_ok() {
-            1.0
-        } else if self.minus.binary_search(&i).is_ok() {
-            -1.0
-        } else {
-            0.0
-        }
+/// Runs `f` on a zeroed projection buffer of `planes` floats, stack
+/// allocated for every realistic `K × L` (heap above 256 planes).
+fn with_projections<R>(planes: usize, f: impl FnOnce(&mut [f32]) -> R) -> R {
+    const STACK: usize = 256;
+    if planes <= STACK {
+        let mut buf = [0.0f32; STACK];
+        f(&mut buf[..planes])
+    } else {
+        let mut buf = vec![0.0f32; planes];
+        f(&mut buf)
     }
 }
 
@@ -69,7 +59,7 @@ pub struct SimHash {
     dim: usize,
     k: usize,
     l: usize,
-    planes: Vec<Plane>,
+    planes: SignedPlanes,
 }
 
 impl SimHash {
@@ -86,31 +76,29 @@ impl SimHash {
             "sparsity {sparsity} outside (0, 1]"
         );
         let nnz = ((dim as f64 * sparsity).ceil() as usize).clamp(1, dim);
-        let planes = (0..k * l)
-            .map(|_| {
-                let mut idx = rng.sample_distinct(dim, nnz);
-                idx.sort_unstable();
-                let mut plus = Vec::with_capacity(nnz / 2 + 1);
-                let mut minus = Vec::with_capacity(nnz / 2 + 1);
-                for i in idx {
-                    if rng.gen_bool(0.5) {
-                        plus.push(i as u32);
-                    } else {
-                        minus.push(i as u32);
-                    }
-                }
-                Plane { plus, minus }
-            })
-            .collect();
-        Self { dim, k, l, planes }
+        let mut builder = SignedPlanesBuilder::new(dim);
+        for _ in 0..k * l {
+            let mut idx = rng.sample_distinct(dim, nnz);
+            idx.sort_unstable();
+            builder.push_plane(idx.into_iter().map(|i| {
+                let sign: i8 = if rng.gen_bool(0.5) { 1 } else { -1 };
+                (i as u32, sign)
+            }));
+        }
+        Self {
+            dim,
+            k,
+            l,
+            planes: builder.finish(),
+        }
     }
 
-    /// Raw projections `w·x` for all planes (used by [`ProjectionState`]).
+    /// Raw projections `w·x` for all planes (used by [`ProjectionState`]);
+    /// the scalar reference order. Identical bits in every kernel mode —
+    /// see [`slide_kernels::SignedPlanes::project_dense`].
     pub fn project_dense(&self, input: &[f32], out: &mut [f32]) {
         check_args(self.dim, input.len(), self.num_codes(), out.len());
-        for (o, p) in out.iter_mut().zip(&self.planes) {
-            *o = p.project_dense(input);
-        }
+        self.planes.project_dense(input, out, KernelMode::Scalar);
     }
 
     /// Converts memoized projections into hash codes.
@@ -145,25 +133,32 @@ impl HashFamily for SimHash {
     }
 
     fn hash_dense(&self, input: &[f32], out: &mut [u32]) {
-        check_args(self.dim, input.len(), self.num_codes(), out.len());
-        for (o, p) in out.iter_mut().zip(&self.planes) {
-            *o = (p.project_dense(input) >= 0.0) as u32;
-        }
+        self.hash_dense_mode(input, out, KernelMode::Scalar);
     }
 
     fn hash_sparse(&self, input: &SparseVector, out: &mut [u32]) {
+        self.hash_sparse_mode(input, out, KernelMode::Scalar);
+    }
+
+    fn hash_dense_mode(&self, input: &[f32], out: &mut [u32], mode: KernelMode) {
+        check_args(self.dim, input.len(), self.num_codes(), out.len());
+        with_projections(self.num_codes(), |proj| {
+            self.planes.project_dense(input, proj, mode);
+            self.codes_from_projections(proj, out);
+        });
+    }
+
+    fn hash_sparse_mode(&self, input: &SparseVector, out: &mut [u32], mode: KernelMode) {
         assert_eq!(out.len(), self.num_codes(), "bad output buffer length");
-        // Native sparse path: for each plane accumulate only the input's
-        // nonzeros. Cost O(nnz · planes) with binary search per lookup;
-        // faster than densifying when nnz ≪ dim.
-        for (o, plane) in out.iter_mut().zip(&self.planes) {
-            let mut acc = 0.0f32;
-            for (i, v) in input.iter() {
-                debug_assert!((i as usize) < self.dim, "index {i} out of range");
-                acc += plane.coeff(i) * v;
-            }
-            *o = (acc >= 0.0) as u32;
-        }
+        with_projections(self.num_codes(), |proj| {
+            self.planes
+                .project_sparse(input.indices(), input.values(), proj, mode);
+            self.codes_from_projections(proj, out);
+        });
+    }
+
+    fn dense_exact(&self) -> bool {
+        true
     }
 }
 
@@ -187,9 +182,9 @@ impl ProjectionState {
     /// `proj += plane · Δw` for every plane, touching only the planes'
     /// coefficients at the delta's indices.
     pub fn apply_delta(&mut self, family: &SimHash, delta: &SparseVector) {
-        for (proj, plane) in self.projections.iter_mut().zip(&family.planes) {
+        for (p, proj) in self.projections.iter_mut().enumerate() {
             for (i, v) in delta.iter() {
-                *proj += plane.coeff(i) * v;
+                *proj += family.planes.coeff(p, i) * v;
             }
         }
     }
@@ -228,6 +223,7 @@ mod tests {
         assert_eq!(h.num_codes(), 15);
         assert_eq!(h.dim(), 100);
         assert_eq!(h.kind(), HashFamilyKind::SimHash);
+        assert!(h.dense_exact());
     }
 
     #[test]
@@ -328,6 +324,36 @@ mod tests {
     }
 
     #[test]
+    fn vectorized_dense_codes_bit_identical_to_scalar() {
+        // Also exercises > 256 planes (heap projection buffer).
+        for &(dim, k, l) in &[(64usize, 6usize, 12usize), (37, 3, 5), (128, 9, 31)] {
+            let h = SimHash::new(dim, k, l, 1.0 / 3.0, &mut rng(40 + dim as u64));
+            let mut r = rng(41 + dim as u64);
+            let v = random_vec(&mut r, dim);
+            let mut a = vec![0u32; h.num_codes()];
+            let mut b = vec![0u32; h.num_codes()];
+            h.hash_dense_mode(&v, &mut a, KernelMode::Scalar);
+            h.hash_dense_mode(&v, &mut b, KernelMode::Vectorized);
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn vectorized_sparse_codes_bit_identical_to_scalar() {
+        let h = SimHash::new(200, 5, 8, 1.0 / 3.0, &mut rng(50));
+        let mut r = rng(51);
+        let pairs: Vec<(u32, f32)> = (0..30)
+            .map(|_| (r.gen_range(0, 200) as u32, r.next_normal() as f32))
+            .collect();
+        let sv = SparseVector::from_pairs(pairs);
+        let mut a = vec![0u32; h.num_codes()];
+        let mut b = vec![0u32; h.num_codes()];
+        h.hash_sparse_mode(&sv, &mut a, KernelMode::Scalar);
+        h.hash_sparse_mode(&sv, &mut b, KernelMode::Vectorized);
+        assert_eq!(a, b);
+    }
+
+    #[test]
     fn projection_state_delta_matches_recompute() {
         let dim = 64;
         let h = SimHash::new(dim, 4, 8, 0.5, &mut rng(10));
@@ -383,6 +409,67 @@ mod tests {
             let mut codes = vec![0u32; h.num_codes()];
             h.hash_dense(&v, &mut codes);
             prop_assert!(codes.iter().all(|&c| c < h.code_range()));
+        }
+
+        /// SIMD codes pinned bit-identical to the scalar reference on
+        /// dense inputs (the rebuild path's row shape).
+        #[test]
+        fn prop_dense_mode_codes_bit_identical(
+            seed in 0u64..1000,
+            dim in 4usize..96,
+        ) {
+            let h = SimHash::new(dim, 3, 7, 1.0 / 3.0, &mut rng(seed));
+            let mut r = rng(seed ^ 0xABCD);
+            let v = random_vec(&mut r, dim);
+            let mut a = vec![0u32; h.num_codes()];
+            let mut b = vec![0u32; h.num_codes()];
+            h.hash_dense_mode(&v, &mut a, KernelMode::Scalar);
+            h.hash_dense_mode(&v, &mut b, KernelMode::Vectorized);
+            prop_assert_eq!(a, b);
+        }
+
+        /// SIMD codes pinned bit-identical on *centered* rows (the
+        /// mean-subtracted shape `rebuild_tables` hashes when row
+        /// centering is on): exercises negative-heavy, near-cancelling
+        /// inputs.
+        #[test]
+        fn prop_centered_row_codes_bit_identical(
+            seed in 0u64..1000,
+            dim in 8usize..64,
+        ) {
+            let h = SimHash::new(dim, 4, 6, 1.0 / 3.0, &mut rng(seed));
+            let mut r = rng(seed ^ 0x1234);
+            let mut v = random_vec(&mut r, dim);
+            let mean = v.iter().sum::<f32>() / dim as f32;
+            for x in v.iter_mut() {
+                *x -= mean;
+            }
+            let mut a = vec![0u32; h.num_codes()];
+            let mut b = vec![0u32; h.num_codes()];
+            h.hash_dense_mode(&v, &mut a, KernelMode::Scalar);
+            h.hash_dense_mode(&v, &mut b, KernelMode::Vectorized);
+            prop_assert_eq!(a, b);
+        }
+
+        /// SIMD sparse-path codes pinned bit-identical to the scalar
+        /// sparse reference, and to the dense path on the densified
+        /// vector (the `dense_exact` contract).
+        #[test]
+        fn prop_sparse_mode_codes_bit_identical(
+            seed in 0u64..1000,
+            pairs in proptest::collection::btree_map(0u32..60, -4.0f32..4.0, 1..14),
+        ) {
+            let h = SimHash::new(60, 3, 5, 1.0 / 3.0, &mut rng(seed));
+            let sv = SparseVector::from_pairs(pairs.into_iter());
+            let dense = sv.to_dense(60);
+            let mut scalar = vec![0u32; h.num_codes()];
+            let mut simd = vec![0u32; h.num_codes()];
+            let mut dense_simd = vec![0u32; h.num_codes()];
+            h.hash_sparse_mode(&sv, &mut scalar, KernelMode::Scalar);
+            h.hash_sparse_mode(&sv, &mut simd, KernelMode::Vectorized);
+            h.hash_dense_mode(&dense, &mut dense_simd, KernelMode::Vectorized);
+            prop_assert_eq!(&scalar, &simd);
+            prop_assert_eq!(&scalar, &dense_simd);
         }
     }
 }

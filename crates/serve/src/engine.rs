@@ -31,6 +31,13 @@ pub struct ServeOptions {
     /// Seed for the workspace pool's RNG streams (inference itself is
     /// deterministic; this only names the streams).
     pub seed: u64,
+    /// Score batches through the snapshot's quantized output rows when it
+    /// carries them (default on). The fused i16 path halves the weight
+    /// bytes each candidate row streams through the cache; disable to
+    /// force the f32 gather kernels on a quantized snapshot (the loader
+    /// dequantizes into the network, so both paths score the same
+    /// values). No effect on f32 snapshots.
+    pub use_quantized: bool,
 }
 
 impl Default for ServeOptions {
@@ -45,6 +52,7 @@ impl Default for ServeOptions {
             dense_fallback: true,
             center_rows: true,
             seed: 0x5E4E,
+            use_quantized: true,
         }
     }
 }
@@ -78,6 +86,13 @@ impl ServeOptions {
     /// construction (builder style).
     pub fn with_center_rows(mut self, enabled: bool) -> Self {
         self.center_rows = enabled;
+        self
+    }
+
+    /// Enables/disables batched scoring through quantized snapshot rows
+    /// (builder style).
+    pub fn with_use_quantized(mut self, enabled: bool) -> Self {
+        self.use_quantized = enabled;
         self
     }
 }
@@ -165,6 +180,11 @@ struct Counters {
 #[derive(Debug)]
 pub struct ServingEngine {
     network: Network,
+    /// The snapshot's i16 output rows, when it carried them and
+    /// [`ServeOptions::use_quantized`] kept them. Batched scoring runs
+    /// the fused `dot_batch_q16` path over these instead of gathering
+    /// f32 rows.
+    quantized: Option<slide_core::QuantizedRows>,
     selector: InferenceSelector,
     options: ServeOptions,
     pool: WorkspacePool,
@@ -174,14 +194,43 @@ pub struct ServingEngine {
 impl ServingEngine {
     /// Wraps an already-built (typically snapshot-restored) network,
     /// switching its tables to centered-row hashing unless
-    /// [`ServeOptions::center_rows`] is off.
-    pub fn new(mut network: Network, options: ServeOptions) -> Self {
+    /// [`ServeOptions::center_rows`] is off. No quantized rows: batches
+    /// score through the f32 gather kernels.
+    pub fn new(network: Network, options: ServeOptions) -> Self {
+        Self::with_quantized(network, None, options)
+    }
+
+    /// [`ServingEngine::new`] with the output layer's quantized rows
+    /// (typically [`slide_core::LoadedSnapshot::quantized`]) attached for
+    /// the fused i16 batch-scoring path. Ignored when
+    /// [`ServeOptions::use_quantized`] is off.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `quantized`'s shape does not match the network's output
+    /// layer.
+    pub fn with_quantized(
+        mut network: Network,
+        quantized: Option<slide_core::QuantizedRows>,
+        options: ServeOptions,
+    ) -> Self {
         assert!(options.top_k > 0, "top_k must be positive");
+        if let Some(q) = &quantized {
+            let last = network.layers().len() - 1;
+            let out = &network.layers()[last];
+            assert_eq!(q.units(), out.units(), "quantized units mismatch");
+            assert_eq!(q.fan_in(), out.fan_in(), "quantized fan-in mismatch");
+        }
         network.set_lsh_centering(options.center_rows);
         let selector =
             InferenceSelector::new(options.budget).with_dense_fallback(options.dense_fallback);
         Self {
             selector,
+            quantized: if options.use_quantized {
+                quantized
+            } else {
+                None
+            },
             pool: WorkspacePool::new(options.seed, true),
             counters: Counters::default(),
             network,
@@ -192,14 +241,21 @@ impl ServingEngine {
     /// Restores a network from snapshot bytes and wraps it. The desired
     /// centering mode is applied *during* the restore, so the tables are
     /// built once in the right geometry instead of rebuilt afterwards.
+    /// A quantized snapshot's output rows are kept for the fused i16
+    /// batch-scoring path (unless [`ServeOptions::use_quantized`] is
+    /// off).
     ///
     /// # Errors
     ///
     /// Returns [`ServeError::Core`] on a malformed snapshot.
     pub fn from_snapshot_bytes(bytes: &[u8], options: ServeOptions) -> Result<Self, ServeError> {
-        let network =
-            slide_core::snapshot::read_network_with_centering(bytes, Some(options.center_rows))?;
-        Ok(Self::new(network, options))
+        let loaded =
+            slide_core::snapshot::read_snapshot_with_centering(bytes, Some(options.center_rows))?;
+        Ok(Self::with_quantized(
+            loaded.network,
+            loaded.quantized,
+            options,
+        ))
     }
 
     /// Loads a snapshot file and wraps the restored network (centering
@@ -225,6 +281,11 @@ impl ServingEngine {
     /// The frozen network.
     pub fn network(&self) -> &Network {
         &self.network
+    }
+
+    /// Whether batched scoring runs over quantized i16 output rows.
+    pub fn quantized_active(&self) -> bool {
+        self.quantized.is_some()
     }
 
     /// The inference options.
@@ -409,9 +470,20 @@ impl ServingEngine {
         }
         let mut topks: Vec<TopK> = ks.iter().map(|&k| TopK::new(k)).collect();
         let t0 = Instant::now();
-        let report =
-            self.network
-                .predict_topk_batch(&self.selector, ws, scratch, features, &mut topks);
+        let report = match &self.quantized {
+            Some(q) => self.network.predict_topk_batch_quantized(
+                &self.selector,
+                ws,
+                scratch,
+                features,
+                &mut topks,
+                q,
+            ),
+            None => {
+                self.network
+                    .predict_topk_batch(&self.selector, ws, scratch, features, &mut topks)
+            }
+        };
         let latency = t0.elapsed() / features.len() as u32;
         let last = self.network.layers().len() - 1;
         let lsh_output = self.network.layers()[last].lsh().is_some();
@@ -551,6 +623,75 @@ mod tests {
                 restored.predict(&ex.features).unwrap().topk.top1()
             );
         }
+    }
+
+    #[test]
+    fn quantized_snapshot_activates_fused_path() {
+        let (direct, data) = tiny_engine(ServeOptions::default().with_top_k(3));
+        let qbytes = direct.network().to_quantized_snapshot_bytes();
+        let qengine =
+            ServingEngine::from_snapshot_bytes(&qbytes, ServeOptions::default().with_top_k(3))
+                .unwrap();
+        assert!(qengine.quantized_active());
+        // f32 snapshots never activate it; neither does opting out.
+        let fbytes = direct.network().to_snapshot_bytes();
+        let fengine = ServingEngine::from_snapshot_bytes(&fbytes, ServeOptions::default()).unwrap();
+        assert!(!fengine.quantized_active());
+        let opted_out = ServingEngine::from_snapshot_bytes(
+            &qbytes,
+            ServeOptions::default().with_use_quantized(false),
+        )
+        .unwrap();
+        assert!(!opted_out.quantized_active());
+        // The quantized batch path answers and counts like any other.
+        let features: Vec<_> = data
+            .test
+            .iter()
+            .take(8)
+            .map(|ex| ex.features.clone())
+            .collect();
+        let preds = qengine.predict_batch(&features).unwrap();
+        assert_eq!(preds.len(), 8);
+        assert!(preds.iter().all(|p| !p.topk.is_empty()));
+        assert_eq!(qengine.stats().requests, 8);
+    }
+
+    #[test]
+    fn quantized_and_f32_paths_agree_on_dequantized_weights() {
+        // Both engines load the SAME quantized bytes — identical network
+        // weights (the dequantized codes) — one scoring through i16, the
+        // other through the f32 gather kernels. Scores differ only in
+        // floating-point rounding, so rankings must agree essentially
+        // everywhere.
+        let (direct, data) = tiny_engine(ServeOptions::default().with_top_k(1));
+        let qbytes = direct.network().to_quantized_snapshot_bytes();
+        let q = ServingEngine::from_snapshot_bytes(&qbytes, ServeOptions::default().with_top_k(1))
+            .unwrap();
+        let f = ServingEngine::from_snapshot_bytes(
+            &qbytes,
+            ServeOptions::default()
+                .with_top_k(1)
+                .with_use_quantized(false),
+        )
+        .unwrap();
+        let features: Vec<_> = data
+            .test
+            .iter()
+            .take(30)
+            .map(|ex| ex.features.clone())
+            .collect();
+        let qp = q.predict_batch(&features).unwrap();
+        let fp = f.predict_batch(&features).unwrap();
+        let agree = qp
+            .iter()
+            .zip(&fp)
+            .filter(|(a, b)| a.topk.top1() == b.topk.top1())
+            .count();
+        assert!(
+            agree * 10 >= features.len() * 9,
+            "{agree}/{}",
+            features.len()
+        );
     }
 
     #[test]

@@ -281,3 +281,94 @@ fn batch_of_one_equals_single_prediction() {
         assert_eq!(batched[0].topk.top1(), single.topk.top1());
     }
 }
+
+#[test]
+fn quantized_snapshot_preserves_serving_accuracy() {
+    // The i16 fixed-point snapshot is a lossy-but-bounded compression of
+    // the output layer (error ≤ scale/2 per weight ≈ max|row|/65534).
+    // Engine-level P@1 over a trained network must survive it, and the
+    // quantized artifact itself must be materially smaller.
+    let (net, data) = trained_network(400, 2);
+    let f32_bytes = net.to_snapshot_bytes();
+    let q_bytes = net.to_quantized_snapshot_bytes();
+    // The saving target is the output layer (the part that dominates at
+    // extreme-classification scale): i16 codes + per-row scales must
+    // reclaim close to half its f32 weight bytes.
+    let out = net.layers().last().unwrap();
+    let out_w_bytes = out.units() * out.fan_in() * 4;
+    assert!(
+        f32_bytes.len() - q_bytes.len() > out_w_bytes * 2 / 5,
+        "quantized snapshot {} vs f32 {} (output layer {} bytes)",
+        q_bytes.len(),
+        f32_bytes.len(),
+        out_w_bytes
+    );
+
+    let options = ServeOptions::default().with_top_k(1);
+    let f_engine = ServingEngine::from_snapshot_bytes(&f32_bytes, options).unwrap();
+    let q_engine = ServingEngine::from_snapshot_bytes(&q_bytes, options).unwrap();
+    assert!(!f_engine.quantized_active());
+    assert!(q_engine.quantized_active());
+
+    let features: Vec<_> = data.test.iter().map(|ex| ex.features.clone()).collect();
+    let p1 = |engine: &ServingEngine| -> f64 {
+        let mut hits = 0usize;
+        for (preds, ex) in engine
+            .predict_batch(&features)
+            .unwrap()
+            .iter()
+            .zip(data.test.iter())
+        {
+            if let Some(t) = preds.topk.top1() {
+                hits += ex.labels.binary_search(&t).is_ok() as usize;
+            }
+        }
+        hits as f64 / features.len() as f64
+    };
+    let f_p1 = p1(&f_engine);
+    let q_p1 = p1(&q_engine);
+    // Smoke-scale test set (300 examples): one flipped answer moves P@1
+    // by 0.0033, so gate at a granularity-aware bound. The committed
+    // medium-scale bench pins the <0.1pt claim.
+    assert!(
+        q_p1 >= f_p1 - 0.02,
+        "quantized P@1 {q_p1:.4} fell below f32 P@1 {f_p1:.4}"
+    );
+}
+
+#[test]
+fn quantized_engine_matches_f32_engine_on_same_weights() {
+    // Loading the same quantized bytes with the fused path on and off
+    // scores identical (dequantized) weights through different kernels;
+    // top-1 answers must agree except on floating-point near-ties.
+    let (net, data) = trained_network(200, 2);
+    let q_bytes = net.to_quantized_snapshot_bytes();
+    let q_engine =
+        ServingEngine::from_snapshot_bytes(&q_bytes, ServeOptions::default().with_top_k(1))
+            .unwrap();
+    let f_engine = ServingEngine::from_snapshot_bytes(
+        &q_bytes,
+        ServeOptions::default()
+            .with_top_k(1)
+            .with_use_quantized(false),
+    )
+    .unwrap();
+    let features: Vec<_> = data
+        .test
+        .iter()
+        .take(100)
+        .map(|ex| ex.features.clone())
+        .collect();
+    let qp = q_engine.predict_batch(&features).unwrap();
+    let fp = f_engine.predict_batch(&features).unwrap();
+    let agree = qp
+        .iter()
+        .zip(&fp)
+        .filter(|(a, b)| a.topk.top1() == b.topk.top1())
+        .count();
+    assert!(
+        agree >= features.len() * 95 / 100,
+        "only {agree}/{} top-1 answers agree",
+        features.len()
+    );
+}
