@@ -4,11 +4,24 @@
 //! on a condvar and, on wakeup, *drain up to `max_batch` jobs in one
 //! critical section*. That aggregation is the point of micro-batching:
 //! under load, one lock acquisition and one wakeup amortize over a whole
-//! batch, and each worker streams its jobs through a workspace it checks
-//! out once for its lifetime (warm caches; the only per-request
-//! allocation is the k-slot result itself). Each caller receives its
-//! answer through a private channel, so requests complete independently —
-//! a batch is an execution detail, not an API contract.
+//! batch, and the drained jobs score through the fused batch kernels
+//! (each candidate weight row streams through the cache once for the
+//! whole batch). Each caller receives its answer through a private reply
+//! — a channel for in-process callers, a callback for the event-driven
+//! HTTP front-end — so requests complete independently: a batch is an
+//! execution detail, not an API contract.
+//!
+//! The server runs over either a pinned [`ServingEngine`]
+//! ([`BatchServer::start`]) or a hot-reloadable [`EngineHandle`]
+//! ([`BatchServer::over_handle`]). In handle mode each drain reads the
+//! `(engine, epoch)` pair **inside** the queue critical section, so the
+//! epoch a job is answered under is ordered by dequeue order — a
+//! connection that receives its responses in request order can never
+//! observe the model epoch move backwards.
+//!
+//! The queue is optionally bounded ([`BatchOptions::queue_cap`]): a full
+//! queue rejects new jobs with [`ServeError::Overloaded`] *before* they
+//! cost any compute, which the HTTP layer surfaces as `429 Retry-After`.
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -20,6 +33,16 @@ use slide_data::SparseVector;
 
 use crate::engine::{Prediction, ServingEngine};
 use crate::error::ServeError;
+use crate::handle::EngineHandle;
+
+/// The retry delay a full queue advertises, seconds. One second is a
+/// round trip through a worker drain with plenty of slack: a queue that
+/// stays full for longer is genuinely saturated, not just bursty.
+pub const RETRY_AFTER_SECS: u64 = 1;
+
+/// Number of coalesced-batch-size histogram buckets
+/// (`1, 2, 3-4, 5-8, 9-16, 17-32, 33+`).
+pub const BATCH_HIST_BUCKETS: usize = 7;
 
 /// Sizing for a [`BatchServer`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -28,6 +51,10 @@ pub struct BatchOptions {
     pub workers: usize,
     /// Maximum jobs one worker drains per wakeup.
     pub max_batch: usize,
+    /// Largest number of jobs the queue holds before new submissions are
+    /// rejected with [`ServeError::Overloaded`]. `usize::MAX` (the
+    /// default) means unbounded, preserving the blocking in-process API.
+    pub queue_cap: usize,
 }
 
 impl Default for BatchOptions {
@@ -35,6 +62,7 @@ impl Default for BatchOptions {
         Self {
             workers: 2,
             max_batch: 16,
+            queue_cap: usize::MAX,
         }
     }
 }
@@ -61,13 +89,46 @@ impl BatchOptions {
         self.max_batch = max_batch;
         self
     }
+
+    /// Bounds the admission queue (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `queue_cap == 0`.
+    pub fn with_queue_cap(mut self, queue_cap: usize) -> Self {
+        assert!(queue_cap > 0, "queue_cap must be positive");
+        self.queue_cap = queue_cap;
+        self
+    }
+}
+
+/// A completion callback: receives the result and the model epoch that
+/// answered (1 for a pinned-engine server). Runs on the worker thread —
+/// keep it cheap (the HTTP front-end just posts to an event-loop inbox).
+pub(crate) type ReplyCallback = Box<dyn FnOnce(Result<Prediction, ServeError>, u64) + Send>;
+
+enum Reply {
+    Channel(mpsc::Sender<Result<Prediction, ServeError>>),
+    Callback(ReplyCallback),
+}
+
+impl Reply {
+    fn send(self, result: Result<Prediction, ServeError>, epoch: u64) {
+        match self {
+            // A dropped handle just discards the answer.
+            Reply::Channel(tx) => {
+                tx.send(result).ok();
+            }
+            Reply::Callback(f) => f(result, epoch),
+        }
+    }
 }
 
 struct Job {
     features: SparseVector,
     k: usize,
     enqueued: Instant,
-    reply: mpsc::Sender<Result<Prediction, ServeError>>,
+    reply: Reply,
 }
 
 #[derive(Default)]
@@ -77,13 +138,47 @@ struct BatchCounters {
     batched_jobs: AtomicU64,
     largest_batch: AtomicU64,
     total_queue_ns: AtomicU64,
+    depth: AtomicU64,
+    rejected: AtomicU64,
+    hist: [AtomicU64; BATCH_HIST_BUCKETS],
+}
+
+fn hist_bucket(n: usize) -> usize {
+    match n {
+        0 | 1 => 0,
+        2 => 1,
+        3..=4 => 2,
+        5..=8 => 3,
+        9..=16 => 4,
+        17..=32 => 5,
+        _ => 6,
+    }
+}
+
+/// Where drains take their engine from.
+enum Source {
+    /// One engine for the server's lifetime.
+    Fixed(Arc<ServingEngine>),
+    /// Follow an [`EngineHandle`] — each drain answers with whatever
+    /// engine the handle holds at dequeue time.
+    Handle(Arc<EngineHandle>),
+}
+
+impl Source {
+    fn current(&self) -> (Arc<ServingEngine>, u64) {
+        match self {
+            Source::Fixed(e) => (Arc::clone(e), 1),
+            Source::Handle(h) => h.current(),
+        }
+    }
 }
 
 struct Shared {
-    engine: Arc<ServingEngine>,
+    source: Source,
     queue: Mutex<VecDeque<Job>>,
     available: Condvar,
     shutdown: AtomicBool,
+    queue_cap: usize,
     counters: BatchCounters,
 }
 
@@ -101,6 +196,14 @@ pub struct ServerStats {
     /// Mean time a request waited in the queue before a worker picked it
     /// up.
     pub mean_queue_wait: Duration,
+    /// Jobs currently waiting in the queue (gauge, sampled at the last
+    /// enqueue/drain).
+    pub queue_depth: u64,
+    /// Submissions rejected by the queue bound.
+    pub rejected: u64,
+    /// Drained-batch-size histogram over buckets
+    /// `1, 2, 3-4, 5-8, 9-16, 17-32, 33+`.
+    pub batch_hist: [u64; BATCH_HIST_BUCKETS],
 }
 
 /// Handle to one in-flight request; resolves to its [`Prediction`].
@@ -123,7 +226,8 @@ impl RequestHandle {
     }
 }
 
-/// A micro-batching server over a shared [`ServingEngine`].
+/// A micro-batching server over a shared [`ServingEngine`] (or a
+/// hot-reloadable [`EngineHandle`]).
 ///
 /// Submitting is non-blocking ([`BatchServer::submit`] returns a
 /// [`RequestHandle`]); [`BatchServer::predict`] is the blocking
@@ -143,15 +247,28 @@ impl std::fmt::Debug for BatchServer {
 }
 
 impl BatchServer {
-    /// Starts `options.workers` worker threads over `engine`.
+    /// Starts `options.workers` worker threads over a pinned `engine`.
     pub fn start(engine: Arc<ServingEngine>, options: BatchOptions) -> Self {
+        Self::start_with_source(Source::Fixed(engine), options)
+    }
+
+    /// Starts the worker pool over a hot-reloadable handle: each drain
+    /// answers with the handle's current engine, and replies carry the
+    /// epoch that actually answered.
+    pub fn over_handle(handle: Arc<EngineHandle>, options: BatchOptions) -> Self {
+        Self::start_with_source(Source::Handle(handle), options)
+    }
+
+    fn start_with_source(source: Source, options: BatchOptions) -> Self {
         assert!(options.workers > 0, "workers must be positive");
         assert!(options.max_batch > 0, "max_batch must be positive");
+        assert!(options.queue_cap > 0, "queue_cap must be positive");
         let shared = Arc::new(Shared {
-            engine,
+            source,
             queue: Mutex::new(VecDeque::new()),
             available: Condvar::new(),
             shutdown: AtomicBool::new(false),
+            queue_cap: options.queue_cap,
             counters: BatchCounters::default(),
         });
         let workers = (0..options.workers)
@@ -169,9 +286,10 @@ impl BatchServer {
     /// # Errors
     ///
     /// Returns [`ServeError::FeatureIndexOutOfRange`] if the request's
-    /// feature indices do not fit the network's input dimension.
+    /// feature indices do not fit the network's input dimension, or
+    /// [`ServeError::Overloaded`] if the queue bound is hit.
     pub fn submit(&self, features: SparseVector) -> Result<RequestHandle, ServeError> {
-        let k = self.shared.engine.default_top_k();
+        let k = self.engine().default_top_k();
         self.submit_k(features, k)
     }
 
@@ -181,26 +299,76 @@ impl BatchServer {
     ///
     /// Returns [`ServeError::InvalidTopK`] if `k == 0`, or
     /// [`ServeError::FeatureIndexOutOfRange`] on an out-of-range feature
-    /// index. Both checks run on the submitting thread, so a malformed
-    /// request is rejected before it can ever reach a worker.
+    /// index — both checked on the submitting thread, so a malformed
+    /// request is rejected before it can ever reach a worker — or
+    /// [`ServeError::Overloaded`] if the queue bound is hit.
     pub fn submit_k(&self, features: SparseVector, k: usize) -> Result<RequestHandle, ServeError> {
-        self.shared.engine.validate_request(&features, k)?;
+        self.engine().validate_request(&features, k)?;
         let (reply, rx) = mpsc::channel();
+        self.enqueue_all(vec![(features, k, Reply::Channel(reply))])?;
+        Ok(RequestHandle { rx })
+    }
+
+    /// Enqueues already-validated callback jobs, all or nothing: either
+    /// every job fits under the queue bound (one critical section, so
+    /// the jobs of one wire request stay contiguous in the queue) or the
+    /// whole set is rejected. Validation is the caller's job — the HTTP
+    /// layer validates against the current engine before building
+    /// callbacks (workers re-validate anyway; a model swapped mid-queue
+    /// answers with its own typed error).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Overloaded`] if the jobs do not fit; no job
+    /// was enqueued and no callback will run.
+    pub(crate) fn submit_callbacks(
+        &self,
+        jobs: Vec<(SparseVector, usize, ReplyCallback)>,
+    ) -> Result<(), ServeError> {
+        self.enqueue_all(
+            jobs.into_iter()
+                .map(|(f, k, cb)| (f, k, Reply::Callback(cb)))
+                .collect(),
+        )
+    }
+
+    fn enqueue_all(&self, jobs: Vec<(SparseVector, usize, Reply)>) -> Result<(), ServeError> {
+        let n = jobs.len();
         {
             let mut q = self
                 .shared
                 .queue
                 .lock()
                 .unwrap_or_else(std::sync::PoisonError::into_inner);
-            q.push_back(Job {
-                features,
-                k,
-                enqueued: Instant::now(),
-                reply,
-            });
+            if q.len() + n > self.shared.queue_cap {
+                self.shared
+                    .counters
+                    .rejected
+                    .fetch_add(n as u64, Ordering::Relaxed);
+                return Err(ServeError::Overloaded {
+                    retry_after_secs: RETRY_AFTER_SECS,
+                });
+            }
+            let enqueued = Instant::now();
+            for (features, k, reply) in jobs {
+                q.push_back(Job {
+                    features,
+                    k,
+                    enqueued,
+                    reply,
+                });
+            }
+            self.shared
+                .counters
+                .depth
+                .store(q.len() as u64, Ordering::Relaxed);
         }
-        self.shared.available.notify_one();
-        Ok(RequestHandle { rx })
+        if n > 1 {
+            self.shared.available.notify_all();
+        } else {
+            self.shared.available.notify_one();
+        }
+        Ok(())
     }
 
     /// Blocking request: enqueue, wait, return the prediction.
@@ -213,9 +381,10 @@ impl BatchServer {
         self.submit(features)?.wait()
     }
 
-    /// The engine behind this server.
-    pub fn engine(&self) -> &ServingEngine {
-        &self.shared.engine
+    /// The engine currently behind this server (in handle mode, the
+    /// handle's live engine at call time).
+    pub fn engine(&self) -> Arc<ServingEngine> {
+        self.shared.source.current().0
     }
 
     /// A snapshot of the batching statistics.
@@ -224,6 +393,10 @@ impl BatchServer {
         let requests = c.requests.load(Ordering::Relaxed);
         let batches = c.batches.load(Ordering::Relaxed);
         let batched = c.batched_jobs.load(Ordering::Relaxed);
+        let mut batch_hist = [0u64; BATCH_HIST_BUCKETS];
+        for (out, bucket) in batch_hist.iter_mut().zip(&c.hist) {
+            *out = bucket.load(Ordering::Relaxed);
+        }
         ServerStats {
             requests,
             batches,
@@ -239,7 +412,15 @@ impl BatchServer {
                     .checked_div(requests)
                     .unwrap_or(0),
             ),
+            queue_depth: c.depth.load(Ordering::Relaxed),
+            rejected: c.rejected.load(Ordering::Relaxed),
+            batch_hist,
         }
+    }
+
+    /// The configured queue bound (`usize::MAX` when unbounded).
+    pub fn queue_cap(&self) -> usize {
+        self.shared.queue_cap
     }
 
     /// Stops the workers after the queued jobs finish and joins them.
@@ -278,21 +459,21 @@ impl Drop for BatchServer {
 
 fn worker_loop(shared: &Shared, max_batch: usize) {
     let mut batch: Vec<Job> = Vec::with_capacity(max_batch);
-    // One workspace per worker for its whole lifetime: batched jobs
-    // stream through it back-to-back without touching the pool mutex.
-    let mut ws = shared.engine.checkout_workspace();
-    // Batched-scoring scratch, likewise worker-lifetime (hidden
-    // activations, candidate union, score matrix), plus the per-batch
-    // staging buffers — cleared and refilled each wakeup, so the hot
-    // loop's only steady-state allocation stays the k-slot result.
+    // Batched-scoring scratch is worker-lifetime (hidden activations,
+    // candidate union, score matrix — all engine-independent: cleared
+    // and refilled per drain), plus the per-batch staging buffers, so
+    // the hot loop's only steady-state allocation is the k-slot result.
     let mut scratch = slide_core::inference::BatchScratch::default();
-    let mut predictions: Vec<crate::engine::Prediction> = Vec::with_capacity(max_batch);
+    let mut predictions: Vec<Prediction> = Vec::with_capacity(max_batch);
     let mut feats: Vec<SparseVector> = Vec::with_capacity(max_batch);
     let mut ks: Vec<usize> = Vec::with_capacity(max_batch);
-    let mut replies: Vec<mpsc::Sender<Result<crate::engine::Prediction, ServeError>>> =
-        Vec::with_capacity(max_batch);
+    let mut replies: Vec<Reply> = Vec::with_capacity(max_batch);
     loop {
-        // Drain up to max_batch jobs in one critical section.
+        // Drain up to max_batch jobs — and read the (engine, epoch) pair
+        // — in one critical section. Drains are serialized by the queue
+        // mutex and the epoch only ever grows, so dequeue order implies
+        // epoch order: FIFO responses can never show an epoch rollback.
+        let (engine, epoch);
         {
             let mut q = shared
                 .queue
@@ -316,6 +497,13 @@ fn worker_loop(shared: &Shared, max_batch: usize) {
                     None => break,
                 }
             }
+            shared
+                .counters
+                .depth
+                .store(q.len() as u64, Ordering::Relaxed);
+            let (e, ep) = shared.source.current();
+            engine = e;
+            epoch = ep;
         }
 
         let c = &shared.counters;
@@ -324,10 +512,15 @@ fn worker_loop(shared: &Shared, max_batch: usize) {
             .fetch_add(batch.len() as u64, Ordering::Relaxed);
         c.largest_batch
             .fetch_max(batch.len() as u64, Ordering::Relaxed);
+        c.hist[hist_bucket(batch.len())].fetch_add(1, Ordering::Relaxed);
         for job in &batch {
             c.total_queue_ns
                 .fetch_add(job.enqueued.elapsed().as_nanos() as u64, Ordering::Relaxed);
         }
+        // The workspace is checked out per drain (it belongs to the
+        // drain's engine — in handle mode a reload swaps the pool too);
+        // one pool-mutex acquisition amortized over the whole batch.
+        let mut ws = engine.checkout_workspace();
         if batch.len() > 1 {
             // A real micro-batch: score it through the fused shared-union
             // path, which loads every candidate weight row once for the
@@ -341,39 +534,33 @@ fn worker_loop(shared: &Shared, max_batch: usize) {
                 replies.push(job.reply);
             }
             predictions.clear();
-            match shared.engine.predict_batch_in(
-                &mut ws,
-                &mut scratch,
-                &feats,
-                &ks,
-                &mut predictions,
-            ) {
+            match engine.predict_batch_in(&mut ws, &mut scratch, &feats, &ks, &mut predictions) {
                 Ok(()) => {
                     c.requests.fetch_add(feats.len() as u64, Ordering::Relaxed);
                     for (reply, prediction) in replies.drain(..).zip(predictions.drain(..)) {
-                        // A dropped handle just discards the answer.
-                        reply.send(Ok(prediction)).ok();
+                        reply.send(Ok(prediction), epoch);
                     }
                 }
                 Err(_) => {
                     // Jobs are validated at submit, so a batch-level
-                    // rejection should be unreachable; if it ever happens,
-                    // answer each job individually so every caller gets
-                    // its own typed result instead of a shared error.
+                    // rejection only happens when a hot reload swapped in
+                    // a model the queued jobs no longer fit; answer each
+                    // job individually so every caller gets its own typed
+                    // result instead of a shared error.
                     for ((features, k), reply) in
                         feats.drain(..).zip(ks.drain(..)).zip(replies.drain(..))
                     {
-                        let result = shared.engine.predict_in(&mut ws, &features, k);
+                        let result = engine.predict_in(&mut ws, &features, k);
                         c.requests.fetch_add(1, Ordering::Relaxed);
-                        reply.send(result).ok();
+                        reply.send(result, epoch);
                     }
                 }
             }
         } else {
             for job in batch.drain(..) {
-                let result = shared.engine.predict_in(&mut ws, &job.features, job.k);
+                let result = engine.predict_in(&mut ws, &job.features, job.k);
                 c.requests.fetch_add(1, Ordering::Relaxed);
-                job.reply.send(result).ok();
+                job.reply.send(result, epoch);
             }
         }
     }
@@ -420,29 +607,42 @@ mod tests {
         assert!(stats.batches >= 1);
         assert!(stats.mean_batch >= 1.0);
         assert!(stats.largest_batch >= 1);
+        // The histogram saw every drain.
+        assert_eq!(stats.batch_hist.iter().sum::<u64>(), stats.batches);
         server.shutdown();
     }
 
     #[test]
     fn batches_aggregate_under_backlog() {
-        // One slow worker and a pre-filled queue: the drains that happen
-        // after the backlog builds must pick up more than one job.
+        // A group enqueue lands all its jobs under ONE queue lock, so
+        // the single worker's next drain must pick them up together —
+        // deterministic coalescing, no timing luck required.
         let (server, data) = tiny_server(BatchOptions::default().with_workers(1).with_max_batch(8));
-        let handles: Vec<RequestHandle> = (0..64)
+        let (tx, rx) = std::sync::mpsc::channel();
+        let jobs: Vec<_> = (0..8)
             .map(|i| {
-                server
-                    .submit(data.test.examples()[i % data.test.len()].features.clone())
-                    .unwrap()
+                let tx = tx.clone();
+                let cb: ReplyCallback = Box::new(move |result, _epoch| {
+                    tx.send(result).ok();
+                });
+                (
+                    data.test.examples()[i % data.test.len()].features.clone(),
+                    3,
+                    cb,
+                )
             })
             .collect();
-        for h in handles {
-            h.wait().expect("answered");
+        server.submit_callbacks(jobs).unwrap();
+        for _ in 0..8 {
+            rx.recv().unwrap().expect("answered");
         }
         let stats = server.stats();
-        assert_eq!(stats.requests, 64);
-        // 64 jobs through max-batch-8 drains: at least one multi-job batch.
+        assert_eq!(stats.requests, 8);
+        // All 8 were queued atomically with max_batch 8: one fused drain.
         assert!(stats.largest_batch > 1, "no batching observed: {stats:?}");
         assert!(stats.largest_batch <= 8);
+        // Multi-job drains land in buckets past the first.
+        assert!(stats.batch_hist[1..].iter().sum::<u64>() >= 1);
     }
 
     #[test]
@@ -501,6 +701,90 @@ mod tests {
         // The pool is still healthy after rejections.
         let p = server.predict(data.test.examples()[0].features.clone());
         assert!(p.is_ok());
+    }
+
+    #[test]
+    fn bounded_queue_rejects_with_overloaded() {
+        // No workers can be zero, so saturate a 1-worker pool through a
+        // cap of 2 with callback jobs that are free to construct.
+        let (server, data) = tiny_server(
+            BatchOptions::default()
+                .with_workers(1)
+                .with_max_batch(4)
+                .with_queue_cap(2),
+        );
+        let ex = data.test.examples()[0].features.clone();
+        // Sequential fill without a draining race is not guaranteed (a
+        // worker may pop between pushes), so drive until a rejection is
+        // observed or the attempt budget proves the bound never fired.
+        let mut saw_reject = false;
+        let mut handles = Vec::new();
+        for _ in 0..2000 {
+            match server.submit(ex.clone()) {
+                Ok(h) => handles.push(h),
+                Err(ServeError::Overloaded { retry_after_secs }) => {
+                    assert_eq!(retry_after_secs, RETRY_AFTER_SECS);
+                    saw_reject = true;
+                    break;
+                }
+                Err(other) => panic!("unexpected {other:?}"),
+            }
+        }
+        assert!(saw_reject, "queue bound never rejected");
+        assert!(server.stats().rejected >= 1);
+        // Accepted jobs still answer.
+        for h in handles {
+            h.wait().unwrap();
+        }
+    }
+
+    #[test]
+    fn handle_mode_reports_the_epoch_that_answered() {
+        let data = generate(&SyntheticConfig::tiny().with_seed(8));
+        let config = NetworkConfig::builder(data.train.feature_dim(), data.train.label_dim())
+            .hidden(16)
+            .output_lsh(LshLayerConfig::simhash(3, 8))
+            .seed(9)
+            .build()
+            .unwrap();
+        let network = Network::new(config).unwrap();
+        let bytes = network.to_snapshot_bytes();
+        let handle = Arc::new(EngineHandle::new(ServingEngine::new(
+            network,
+            ServeOptions::default().with_top_k(3),
+        )));
+        let server = BatchServer::over_handle(Arc::clone(&handle), BatchOptions::default());
+
+        let (tx, rx) = mpsc::channel();
+        let tx2 = tx.clone();
+        server
+            .submit_callbacks(vec![(
+                data.test.examples()[0].features.clone(),
+                3,
+                Box::new(move |r, epoch| {
+                    tx.send((r.map(|p| p.topk.len()), epoch)).ok();
+                }),
+            )])
+            .unwrap();
+        let (r, epoch) = rx.recv_timeout(Duration::from_secs(30)).unwrap();
+        assert!(r.is_ok());
+        assert_eq!(epoch, 1);
+
+        // After a reload, new jobs answer under the new epoch.
+        handle.reload_from_bytes(&bytes).unwrap();
+        server
+            .submit_callbacks(vec![(
+                data.test.examples()[0].features.clone(),
+                3,
+                Box::new(move |r, epoch| {
+                    tx2.send((r.map(|p| p.topk.len()), epoch)).ok();
+                }),
+            )])
+            .unwrap();
+        let (r, epoch) = rx.recv_timeout(Duration::from_secs(30)).unwrap();
+        assert!(r.is_ok());
+        assert_eq!(epoch, 2);
+        server.shutdown();
     }
 
     #[test]

@@ -32,6 +32,16 @@ pub enum ClientError {
         /// Human-readable message from the error body.
         message: String,
     },
+    /// The service rejected the request with backpressure (`429`).
+    /// Distinct from [`ClientError::Api`] so callers can branch on
+    /// "wait and retry" without string-matching a code.
+    Overloaded {
+        /// Seconds the `Retry-After` header asked us to wait, when the
+        /// server sent one.
+        retry_after_secs: Option<u64>,
+        /// Human-readable message from the error body.
+        message: String,
+    },
 }
 
 impl std::fmt::Display for ClientError {
@@ -44,6 +54,13 @@ impl std::fmt::Display for ClientError {
                 code,
                 message,
             } => write!(f, "api error {status} ({code}): {message}"),
+            ClientError::Overloaded {
+                retry_after_secs,
+                message,
+            } => match retry_after_secs {
+                Some(secs) => write!(f, "overloaded: {message} (retry after {secs}s)"),
+                None => write!(f, "overloaded: {message}"),
+            },
         }
     }
 }
@@ -133,6 +150,17 @@ impl Client {
         body: Option<&str>,
         retry: bool,
     ) -> Result<(u16, String), ClientError> {
+        self.request_full(method, path, body, retry)
+            .map(|(status, body, _)| (status, body))
+    }
+
+    fn request_full(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+        retry: bool,
+    ) -> Result<(u16, String, Option<u64>), ClientError> {
         match self.try_request(method, path, body) {
             Ok(r) => Ok(r),
             Err(ClientError::Io(_)) | Err(ClientError::Protocol(_)) if retry => {
@@ -150,7 +178,7 @@ impl Client {
         method: &str,
         path: &str,
         body: Option<&str>,
-    ) -> Result<(u16, String), ClientError> {
+    ) -> Result<(u16, String, Option<u64>), ClientError> {
         if self.conn.is_none() {
             self.reconnect()?;
         }
@@ -159,11 +187,11 @@ impl Client {
             Self::roundtrip(conn, method, path, body)
         };
         match result {
-            Ok((status, body, keep_alive)) => {
+            Ok((status, body, keep_alive, retry_after)) => {
                 if !keep_alive {
                     self.conn = None;
                 }
-                Ok((status, body))
+                Ok((status, body, retry_after))
             }
             Err(e) => {
                 // A broken connection is stale state: drop it so the
@@ -179,7 +207,7 @@ impl Client {
         method: &str,
         path: &str,
         body: Option<&str>,
-    ) -> Result<(u16, String, bool), ClientError> {
+    ) -> Result<(u16, String, bool, Option<u64>), ClientError> {
         let body = body.unwrap_or("");
         let head = format!(
             "{method} {path} HTTP/1.1\r\nHost: slide\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: keep-alive\r\n\r\n",
@@ -206,6 +234,7 @@ impl Client {
             .map_err(|_| ClientError::Protocol(format!("bad status {status:?}")))?;
         let mut content_length = 0usize;
         let mut keep_alive = true;
+        let mut retry_after = None;
         loop {
             let header = read_line(&mut conn.reader)?;
             if header.is_empty() {
@@ -223,6 +252,8 @@ impl Client {
                         .map_err(|_| ClientError::Protocol("bad content-length".into()))?;
                 }
                 "connection" if value.eq_ignore_ascii_case("close") => keep_alive = false,
+                // Delta-seconds form only (the API never sends a date).
+                "retry-after" => retry_after = value.parse().ok(),
                 _ => {}
             }
         }
@@ -230,7 +261,7 @@ impl Client {
         conn.reader.read_exact(&mut body)?;
         let body = String::from_utf8(body)
             .map_err(|_| ClientError::Protocol("non-utf8 response body".into()))?;
-        Ok((status, body, keep_alive))
+        Ok((status, body, keep_alive, retry_after))
     }
 
     fn expect_2xx(
@@ -240,11 +271,17 @@ impl Client {
         body: Option<&str>,
         retry: bool,
     ) -> Result<String, ClientError> {
-        let (status, body) = self.request_with_retry(method, path, body, retry)?;
+        let (status, body, retry_after) = self.request_full(method, path, body, retry)?;
         if (200..300).contains(&status) {
             Ok(body)
         } else {
             let (code, message) = wire::decode_error_body(&body);
+            if status == 429 {
+                return Err(ClientError::Overloaded {
+                    retry_after_secs: retry_after,
+                    message,
+                });
+            }
             Err(ClientError::Api {
                 status,
                 code,
@@ -348,4 +385,78 @@ fn read_line(reader: &mut BufReader<TcpStream>) -> Result<String, ClientError> {
         line.pop();
     }
     Ok(line)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    /// A canned one-response-per-connection server: reads one request
+    /// head, writes the scripted response verbatim, closes.
+    fn scripted_server(responses: Vec<String>) -> SocketAddr {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        std::thread::spawn(move || {
+            for response in responses {
+                let (mut stream, _) = listener.accept().unwrap();
+                let mut reader = BufReader::new(stream.try_clone().unwrap());
+                loop {
+                    let mut line = String::new();
+                    if reader.read_line(&mut line).unwrap_or(0) == 0 || line.trim_end().is_empty() {
+                        break;
+                    }
+                }
+                stream.write_all(response.as_bytes()).unwrap();
+            }
+        });
+        addr
+    }
+
+    #[test]
+    fn a_429_maps_to_the_typed_overloaded_error() {
+        let body = "{\"error\":{\"code\":\"overloaded\",\"message\":\"queue full\"}}";
+        let addr = scripted_server(vec![format!(
+            "HTTP/1.1 429 Too Many Requests\r\nContent-Type: application/json\r\n\
+             Content-Length: {}\r\nConnection: keep-alive\r\nRetry-After: 7\r\n\r\n{}",
+            body.len(),
+            body
+        )]);
+        let mut client = Client::connect(addr).unwrap();
+        match client.healthz() {
+            Err(ClientError::Overloaded {
+                retry_after_secs,
+                message,
+            }) => {
+                assert_eq!(retry_after_secs, Some(7));
+                assert_eq!(message, "queue full");
+            }
+            other => panic!("expected Overloaded, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn connection_close_is_honored_and_the_next_request_reconnects() {
+        let first = "{\"api_version\":1,\"status\":\"ok\",\"epoch\":3}";
+        let second = "{\"api_version\":1,\"status\":\"ok\",\"epoch\":4}";
+        let addr = scripted_server(vec![
+            format!(
+                "HTTP/1.1 200 OK\r\nContent-Type: application/json\r\n\
+                 Content-Length: {}\r\nConnection: close\r\n\r\n{}",
+                first.len(),
+                first
+            ),
+            format!(
+                "HTTP/1.1 200 OK\r\nContent-Type: application/json\r\n\
+                 Content-Length: {}\r\nConnection: keep-alive\r\n\r\n{}",
+                second.len(),
+                second
+            ),
+        ]);
+        let mut client = Client::connect(addr).unwrap();
+        // First answer says close: the client must drop the connection
+        // and transparently dial a fresh one for the next request.
+        assert_eq!(client.healthz().unwrap().epoch, 3);
+        assert_eq!(client.healthz().unwrap().epoch, 4);
+    }
 }

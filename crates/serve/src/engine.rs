@@ -365,41 +365,50 @@ impl ServingEngine {
         self.pool.acquire(&self.network)
     }
 
-    /// Answers one request through a caller-held workspace. Validation
-    /// ([`ServingEngine::validate_request`]) runs first, so a malformed
-    /// request returns a typed error before any weight access.
+    /// Answers one request through a caller-held workspace, as a
+    /// batch-of-1 through [`ServingEngine::predict_batch_in`]. The whole
+    /// serving surface therefore has ONE scoring path: the fused batch
+    /// kernels accumulate each example in a fixed order independent of
+    /// batch size or composition, so a request answered alone is
+    /// bit-identical to the same request coalesced into a
+    /// cross-connection micro-batch (pinned by
+    /// `single_and_batched_predictions_are_bit_identical`).
+    ///
+    /// Validation ([`ServingEngine::validate_request`]) runs first, so a
+    /// malformed request returns a typed error before any weight access.
     pub(crate) fn predict_in(
         &self,
         ws: &mut slide_core::Workspace,
         features: &SparseVector,
         k: usize,
     ) -> Result<Prediction, ServeError> {
-        self.validate_request(features, k)?;
-        let mut topk = TopK::new(k);
-        let t0 = Instant::now();
-        self.network
-            .predict_topk(&self.selector, ws, features, &mut topk);
-        let latency = t0.elapsed();
-        self.record(latency);
-        // Observability for the sub-linear claim: an LSH output layer
-        // that ends up fully active means retrieval came back empty and
-        // the dense fallback (or a degenerate union) served the request.
-        let last = self.network.layers().len() - 1;
-        if self.network.layers()[last].lsh().is_some()
-            && ws.active_set(last).len() == self.network.output_dim()
-        {
-            self.counters
-                .dense_fallbacks
-                .fetch_add(1, Ordering::Relaxed);
+        // The scratch holds no network-specific state (cleared and
+        // refilled per call), so one per thread is shared across
+        // engines/epochs.
+        thread_local! {
+            static SCRATCH: std::cell::RefCell<BatchScratch> =
+                std::cell::RefCell::new(BatchScratch::default());
         }
-        Ok(Prediction { topk, latency })
+        let mut out = Vec::with_capacity(1);
+        SCRATCH.with(|scratch| {
+            self.predict_batch_in(
+                ws,
+                &mut scratch.borrow_mut(),
+                std::slice::from_ref(features),
+                &[k],
+                &mut out,
+            )
+        })?;
+        Ok(out.pop().expect("batch-of-1 yields one prediction"))
     }
 
     /// Answers a batch of requests with the configured `top_k` through
     /// the fused shared-union scoring path (each candidate weight row
-    /// streams through the cache once for the whole batch). Results match
-    /// per-request [`ServingEngine::predict`] up to floating-point
-    /// summation order — batching is an execution detail.
+    /// streams through the cache once for the whole batch). Results are
+    /// *bit-identical* to per-request [`ServingEngine::predict`] — the
+    /// kernels accumulate each example in a fixed order independent of
+    /// batch composition, and singles route through the same path as a
+    /// batch-of-1 — so batching is purely an execution detail.
     ///
     /// # Errors
     ///
@@ -692,6 +701,39 @@ mod tests {
             "{agree}/{}",
             features.len()
         );
+    }
+
+    #[test]
+    fn single_and_batched_predictions_are_bit_identical() {
+        // The cross-connection coalescing front-end relies on this: a
+        // single answered alone must equal the same single scored inside
+        // an arbitrary micro-batch, down to the score bits, in BOTH the
+        // f32 gather path and the fused i16 quantized path.
+        let (f32_engine, data) = tiny_engine(ServeOptions::default().with_top_k(3));
+        let qbytes = f32_engine.network().to_quantized_snapshot_bytes();
+        let q_engine =
+            ServingEngine::from_snapshot_bytes(&qbytes, ServeOptions::default().with_top_k(3))
+                .unwrap();
+        assert!(q_engine.quantized_active());
+        let features: Vec<_> = data
+            .test
+            .iter()
+            .take(16)
+            .map(|ex| ex.features.clone())
+            .collect();
+        for engine in [&f32_engine, &q_engine] {
+            let batched = engine.predict_batch(&features).unwrap();
+            for (f, b) in features.iter().zip(&batched) {
+                let single = engine.predict(f).unwrap();
+                let s_items = single.topk.items();
+                let b_items = b.topk.items();
+                assert_eq!(s_items.len(), b_items.len());
+                for (s, bb) in s_items.iter().zip(b_items) {
+                    assert_eq!(s.0, bb.0, "class mismatch");
+                    assert_eq!(s.1.to_bits(), bb.1.to_bits(), "score bits mismatch");
+                }
+            }
+        }
     }
 
     #[test]

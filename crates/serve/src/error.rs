@@ -62,6 +62,15 @@ pub enum ServeError {
         /// The configured limit, bytes.
         limit: usize,
     },
+    /// The bounded admission queue is full → HTTP 429 with a
+    /// `Retry-After` header. Backpressure, not failure: the request was
+    /// rejected before any compute and is safe to replay after the
+    /// advertised delay.
+    Overloaded {
+        /// How long the client should wait before retrying, seconds
+        /// (what the `Retry-After` header carries).
+        retry_after_secs: u64,
+    },
     /// The worker pool shut down (or a worker died) before answering →
     /// HTTP 503.
     ServerShutdown,
@@ -78,6 +87,7 @@ impl ServeError {
             ServeError::UnknownRoute { .. } => 404,
             ServeError::MethodNotAllowed { .. } => 405,
             ServeError::PayloadTooLarge { .. } => 413,
+            ServeError::Overloaded { .. } => 429,
             ServeError::ServerShutdown => 503,
         }
     }
@@ -92,6 +102,7 @@ impl ServeError {
             ServeError::UnknownRoute { .. } => "not_found",
             ServeError::MethodNotAllowed { .. } => "method_not_allowed",
             ServeError::PayloadTooLarge { .. } => "payload_too_large",
+            ServeError::Overloaded { .. } => "overloaded",
             ServeError::ServerShutdown => "server_shutdown",
         }
     }
@@ -119,6 +130,9 @@ impl fmt::Display for ServeError {
             }
             ServeError::PayloadTooLarge { limit } => {
                 write!(f, "request body exceeds the {limit}-byte limit")
+            }
+            ServeError::Overloaded { retry_after_secs } => {
+                write!(f, "admission queue full; retry after {retry_after_secs}s")
             }
             ServeError::ServerShutdown => write!(f, "server shut down before answering"),
         }
@@ -203,6 +217,13 @@ mod tests {
                 ServeError::PayloadTooLarge { limit: 1024 },
                 413,
                 "payload_too_large",
+            ),
+            (
+                ServeError::Overloaded {
+                    retry_after_secs: 1,
+                },
+                429,
+                "overloaded",
             ),
             (ServeError::ServerShutdown, 503, "server_shutdown"),
         ];

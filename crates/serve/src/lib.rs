@@ -20,11 +20,16 @@
 //! * [`handle::EngineHandle`] — epoch-counted atomic engine swapping:
 //!   snapshot hot-reload with zero request downtime (plus a file-watcher
 //!   poll loop);
-//! * [`http::HttpServer`] — a thread-per-connection `std::net` HTTP/1.1
-//!   front-end speaking the versioned [`wire`] protocol
-//!   (`POST /v1/predict`, `GET /healthz`, `GET /v1/stats`,
-//!   `POST /v1/reload`), with [`client::Client`] as its blocking
-//!   counterpart;
+//! * [`http::HttpServer`] — an event-driven HTTP/1.1 front-end on a
+//!   dependency-free epoll/poll readiness loop ([`net`]) with
+//!   per-connection incremental parsing ([`conn`]): every
+//!   `POST /v1/predict` feeds one shared admission queue draining
+//!   through the [`batch::BatchServer`], so concurrent singles from
+//!   *different connections* coalesce into fused batch row passes.
+//!   Speaks the versioned [`wire`] protocol (`POST /v1/predict`,
+//!   `GET /healthz`, `GET /v1/stats`, `POST /v1/reload`) with
+//!   backpressure (`429` + `Retry-After`), idle/slow-loris timeouts, and
+//!   graceful drain; [`client::Client`] is its blocking counterpart;
 //! * [`json`] — the hand-rolled, dependency-free JSON both sides parse
 //!   and print (floats cross the wire bit-exactly).
 //!
@@ -75,11 +80,13 @@
 
 pub mod batch;
 pub mod client;
+pub mod conn;
 pub mod engine;
 pub mod error;
 pub mod handle;
 pub mod http;
 pub mod json;
+pub mod net;
 pub mod wire;
 
 pub use batch::{BatchOptions, BatchServer, RequestHandle, ServerStats};

@@ -227,3 +227,104 @@ fn hot_reload_under_concurrent_load_is_downtime_free_and_bit_identical() {
     std::fs::remove_file(&path_a).ok();
     std::fs::remove_file(&path_b).ok();
 }
+
+#[test]
+fn coalesced_singles_batched_requests_and_direct_predict_are_bit_identical() {
+    // The admission queue fuses singles from different connections into
+    // shared batch passes. That optimization must be invisible in the
+    // answers: a single that rode a coalesced batch, the same input in
+    // an explicit HTTP batch, and `ServingEngine::predict` called
+    // directly must agree bit-for-bit.
+    let (bytes, data) = trained_snapshot(2);
+    let options = ServeOptions::default().with_top_k(3);
+    let direct = ServingEngine::from_snapshot_bytes(&bytes, options).unwrap();
+    let reference: Vec<Vec<(u32, f32)>> = data
+        .test
+        .iter()
+        .map(|ex| direct.predict(&ex.features).unwrap().topk.items().to_vec())
+        .collect();
+
+    let engine = ServingEngine::from_snapshot_bytes(&bytes, options).unwrap();
+    let handle = Arc::new(EngineHandle::new(engine));
+    let server =
+        HttpServer::serve(Arc::clone(&handle), "127.0.0.1:0", HttpOptions::default()).unwrap();
+    let addr = server.local_addr();
+
+    // Phase 1: concurrent keep-alive connections each firing singles.
+    // Every answer must match the direct reference bit-for-bit even
+    // when it was computed inside a fused cross-connection batch.
+    let data = Arc::new(data);
+    let reference = Arc::new(reference);
+    let clients: Vec<_> = (0..6)
+        .map(|t| {
+            let data = Arc::clone(&data);
+            let reference = Arc::clone(&reference);
+            std::thread::spawn(move || -> Result<(), String> {
+                let mut client = Client::connect(addr).map_err(|e| e.to_string())?;
+                for round in 0..4 {
+                    for (i, ex) in data.test.iter().enumerate() {
+                        let resp = client
+                            .predict(&ex.features, None)
+                            .map_err(|e| format!("thread {t} round {round}: {e}"))?;
+                        let p = &resp.predictions[0];
+                        let want = &reference[i];
+                        if p.classes.len() != want.len() {
+                            return Err(format!(
+                                "thread {t} input {i}: {} classes, want {}",
+                                p.classes.len(),
+                                want.len()
+                            ));
+                        }
+                        for ((&c, &s), &(wc, ws)) in
+                            p.classes.iter().zip(&p.scores).zip(want.iter())
+                        {
+                            if c != wc || s.to_bits() != ws.to_bits() {
+                                return Err(format!(
+                                    "thread {t} input {i}: coalesced single diverged: \
+                                     got class {c} score {s:?}, want {wc} {ws:?}"
+                                ));
+                            }
+                        }
+                    }
+                }
+                Ok(())
+            })
+        })
+        .collect();
+    for c in clients {
+        c.join().unwrap().unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    // The concurrency above must actually have exercised coalescing,
+    // otherwise phase 1 proved nothing about fused batches.
+    let b = server.batch_stats();
+    assert!(
+        b.largest_batch > 1,
+        "no cross-connection coalescing happened: {b:?}"
+    );
+
+    // Phase 2: the explicit HTTP batch form answers identically too.
+    let mut ops = Client::connect(addr).unwrap();
+    let batch: Vec<SparseVector> = data
+        .test
+        .iter()
+        .take(16)
+        .map(|ex| ex.features.clone())
+        .collect();
+    let wire_batch = ops.predict_batch(&batch, None).unwrap();
+    assert_eq!(wire_batch.predictions.len(), 16);
+    for (i, p) in wire_batch.predictions.iter().enumerate() {
+        let want = &reference[i];
+        assert_eq!(p.classes.len(), want.len());
+        for ((&c, &s), &(wc, ws)) in p.classes.iter().zip(&p.scores).zip(want.iter()) {
+            assert_eq!(c, wc, "batch input {i}");
+            assert_eq!(s.to_bits(), ws.to_bits(), "batch input {i}");
+        }
+    }
+
+    // Nothing failed anywhere in the run.
+    let stats = server.stats();
+    assert_eq!(stats.responses_4xx, 0, "{stats:?}");
+    assert_eq!(stats.responses_5xx, 0, "{stats:?}");
+    server.shutdown();
+}
