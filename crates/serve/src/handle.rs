@@ -44,6 +44,15 @@ pub struct EngineHandle {
     options: ServeOptions,
     reloads: AtomicU64,
     reload_failures: AtomicU64,
+    /// The epoch installed by the most recent successful swap — what the
+    /// handle keeps serving through any number of failed reloads.
+    last_good_epoch: AtomicU64,
+    /// Reload failures since the last successful swap; a successful
+    /// reload resets it. Readiness probes use this to distinguish "one
+    /// bad publish" from "persistently broken model pipeline".
+    consecutive_failures: AtomicU64,
+    /// Snapshot files the watcher moved aside after a failed load.
+    quarantined: AtomicU64,
 }
 
 impl std::fmt::Debug for EngineHandle {
@@ -68,6 +77,9 @@ impl EngineHandle {
             options,
             reloads: AtomicU64::new(0),
             reload_failures: AtomicU64::new(0),
+            last_good_epoch: AtomicU64::new(1),
+            consecutive_failures: AtomicU64::new(0),
+            quarantined: AtomicU64::new(0),
         }
     }
 
@@ -116,6 +128,23 @@ impl EngineHandle {
         self.reload_failures.load(Ordering::Relaxed)
     }
 
+    /// The epoch of the last *successful* swap — the engine that keeps
+    /// serving (and that the system "rolls back" to, by never leaving it)
+    /// while reloads fail.
+    pub fn last_good_epoch(&self) -> u64 {
+        self.last_good_epoch.load(Ordering::Acquire)
+    }
+
+    /// Reload failures since the last successful swap (0 when healthy).
+    pub fn consecutive_reload_failures(&self) -> u64 {
+        self.consecutive_failures.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot files the watcher quarantined after a failed load.
+    pub fn quarantined(&self) -> u64 {
+        self.quarantined.load(Ordering::Relaxed)
+    }
+
     /// Installs an already-built engine, returning the new epoch.
     pub fn swap(&self, engine: ServingEngine) -> u64 {
         let engine = Arc::new(engine);
@@ -127,7 +156,9 @@ impl EngineHandle {
         c.engine = engine;
         let epoch = c.epoch;
         self.epoch.store(epoch, Ordering::Release);
+        self.last_good_epoch.store(epoch, Ordering::Release);
         self.reloads.fetch_add(1, Ordering::Relaxed);
+        self.consecutive_failures.store(0, Ordering::Relaxed);
         epoch
     }
 
@@ -144,6 +175,7 @@ impl EngineHandle {
             Ok(engine) => Ok(self.swap(engine)),
             Err(e) => {
                 self.reload_failures.fetch_add(1, Ordering::Relaxed);
+                self.consecutive_failures.fetch_add(1, Ordering::Relaxed);
                 Err(e)
             }
         }
@@ -160,6 +192,7 @@ impl EngineHandle {
             Ok(engine) => Ok(self.swap(engine)),
             Err(e) => {
                 self.reload_failures.fetch_add(1, Ordering::Relaxed);
+                self.consecutive_failures.fetch_add(1, Ordering::Relaxed);
                 Err(e)
             }
         }
@@ -167,28 +200,78 @@ impl EngineHandle {
 
     /// Starts a background thread that polls `path`'s metadata every
     /// `interval` and hot-reloads when the file's modification time or
-    /// size changes. A missing file or a failed reload leaves the
-    /// current engine serving and is retried on the next tick (counted
-    /// in [`EngineHandle::reload_failures`] when the file existed but
-    /// did not load).
+    /// size changes. Publishers are expected to use the atomic
+    /// tmp+fsync+rename writer (`slide_core::snapshot::publish_bytes`),
+    /// so a poll can never observe a torn file.
+    ///
+    /// Failure handling: a missing file or a failed reload leaves the
+    /// current engine serving ([`EngineHandle::last_good_epoch`]). A file
+    /// that existed but did not load is counted in
+    /// [`EngineHandle::reload_failures`], quarantined (best-effort rename
+    /// to `<path>.quarantined`, counted in [`EngineHandle::quarantined`])
+    /// so the publisher's next atomic publish starts clean and operators
+    /// can inspect the bad bytes, and — if it somehow stays in place —
+    /// retried under capped exponential backoff
+    /// ([`MAX_WATCHER_BACKOFF_TICKS`]) instead of hammering every tick. A
+    /// *new* fingerprint (a republish) is always attempted promptly.
     pub fn spawn_watcher(self: &Arc<Self>, path: PathBuf, interval: Duration) -> SnapshotWatcher {
         let handle = Arc::clone(self);
         let stop = Arc::new(AtomicBool::new(false));
         let stop_flag = Arc::clone(&stop);
+        // The baseline fingerprint is taken synchronously, BEFORE the
+        // thread spawns: taken lazily on the watcher thread, a publish
+        // that lands between this call returning and the thread first
+        // being scheduled would be fingerprinted as "already attempted"
+        // and silently never loaded.
+        let baseline: Option<(SystemTime, u64)> = fingerprint(&path);
         let thread = std::thread::spawn(move || {
-            let mut last_seen: Option<(SystemTime, u64)> = fingerprint(&path);
+            // The fingerprint of the last load *attempt*, successful or
+            // not — a failed file is not retried until it changes or its
+            // backoff expires.
+            let mut last_attempted = baseline;
+            let mut failed_attempts: u32 = 0;
+            let mut skip_ticks: u32 = 0;
             while !stop_flag.load(Ordering::Relaxed) {
                 std::thread::sleep(interval);
                 if stop_flag.load(Ordering::Relaxed) {
                     break;
                 }
-                let seen = fingerprint(&path);
-                if seen.is_some() && seen != last_seen {
-                    // Reload failures keep last_seen updated so a bad
-                    // snapshot isn't re-tried every tick until it
-                    // changes again.
-                    handle.reload_from_file(&path).ok();
-                    last_seen = seen;
+                let Some(seen) = fingerprint(&path) else {
+                    continue;
+                };
+                if Some(seen) == last_attempted {
+                    if failed_attempts == 0 {
+                        continue;
+                    }
+                    // Unchanged bytes that already failed: honor the
+                    // backoff before retrying.
+                    if skip_ticks > 0 {
+                        skip_ticks -= 1;
+                        continue;
+                    }
+                }
+                last_attempted = Some(seen);
+                match handle.reload_from_file(&path) {
+                    Ok(_) => {
+                        failed_attempts = 0;
+                        skip_ticks = 0;
+                    }
+                    Err(_) => {
+                        failed_attempts = failed_attempts.saturating_add(1);
+                        skip_ticks = 1u32
+                            .checked_shl(failed_attempts.min(8))
+                            .unwrap_or(MAX_WATCHER_BACKOFF_TICKS)
+                            .min(MAX_WATCHER_BACKOFF_TICKS);
+                        let mut quarantine = path.clone().into_os_string();
+                        quarantine.push(".quarantined");
+                        if std::fs::rename(&path, PathBuf::from(quarantine)).is_ok() {
+                            handle.quarantined.fetch_add(1, Ordering::Relaxed);
+                            // The bad file is gone; the next fingerprint
+                            // at this path is a fresh publish.
+                            last_attempted = None;
+                            skip_ticks = 0;
+                        }
+                    }
                 }
             }
         });
@@ -198,6 +281,10 @@ impl EngineHandle {
         }
     }
 }
+
+/// Longest the watcher waits (in poll ticks) before retrying a snapshot
+/// file that repeatedly failed to load and could not be quarantined.
+pub const MAX_WATCHER_BACKOFF_TICKS: u32 = 32;
 
 fn fingerprint(path: &Path) -> Option<(SystemTime, u64)> {
     let meta = std::fs::metadata(path).ok()?;
@@ -238,6 +325,7 @@ mod tests {
     use slide_core::config::{LshLayerConfig, NetworkConfig};
     use slide_core::Network;
     use slide_data::synth::{generate, SyntheticConfig};
+    use slide_data::SparseVector;
 
     fn tiny_network(seed: u64) -> (Network, slide_data::synth::SyntheticData) {
         let data = generate(&SyntheticConfig::tiny().with_seed(2));
@@ -329,6 +417,128 @@ mod tests {
     }
 
     #[test]
+    fn failed_reload_tracks_last_good_and_consecutive_failures() {
+        let (a, _) = tiny_network(11);
+        let (b, _) = tiny_network(12);
+        let handle = EngineHandle::new(ServingEngine::new(a, ServeOptions::default()));
+        assert_eq!(handle.last_good_epoch(), 1);
+        for i in 1..=3u64 {
+            handle.reload_from_bytes(b"junk").unwrap_err();
+            assert_eq!(handle.consecutive_reload_failures(), i);
+            assert_eq!(handle.last_good_epoch(), 1, "still on the good engine");
+        }
+        // A good reload clears the streak and advances last-good.
+        handle.reload_from_bytes(&b.to_snapshot_bytes()).unwrap();
+        assert_eq!(handle.consecutive_reload_failures(), 0);
+        assert_eq!(handle.last_good_epoch(), 2);
+        assert_eq!(handle.reload_failures(), 3, "total failures are kept");
+    }
+
+    #[test]
+    fn watcher_quarantines_a_corrupt_publish_and_recovers_on_the_next_good_one() {
+        let (a, _) = tiny_network(13);
+        let (b, _) = tiny_network(14);
+        let dir = std::env::temp_dir().join(format!("slide_quarantine_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.slidesnap");
+        a.save_snapshot(&path).unwrap();
+
+        let handle =
+            Arc::new(EngineHandle::from_snapshot_file(&path, ServeOptions::default()).unwrap());
+        let watcher = handle.spawn_watcher(path.clone(), Duration::from_millis(10));
+
+        // Publish garbage (atomically, so the watcher sees a complete
+        // bad file, not a torn one).
+        std::thread::sleep(Duration::from_millis(30));
+        slide_core::snapshot::publish_bytes(&path, b"definitely not a snapshot").unwrap();
+
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while handle.reload_failures() == 0 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert!(handle.reload_failures() >= 1, "bad publish never attempted");
+        assert_eq!(handle.epoch(), 1, "bad publish must not advance the epoch");
+        assert_eq!(handle.last_good_epoch(), 1);
+
+        // The bad file was moved aside.
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while handle.quarantined() == 0 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert_eq!(handle.quarantined(), 1);
+        let mut qpath = path.clone().into_os_string();
+        qpath.push(".quarantined");
+        assert!(std::path::PathBuf::from(qpath).exists());
+
+        // The next good publish is picked up promptly.
+        b.save_snapshot(&path).unwrap();
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while handle.epoch() < 2 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        watcher.stop();
+        assert!(handle.epoch() >= 2, "good republish never loaded");
+        assert_eq!(handle.consecutive_reload_failures(), 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn watcher_never_installs_a_slow_non_atomic_write() {
+        // Regression for the mid-copy race: a publisher that streams the
+        // snapshot into place chunk by chunk (the pre-atomic-writer
+        // behavior) must never get a torn prefix installed as an engine.
+        let (a, _) = tiny_network(15);
+        let (b, _) = tiny_network(16);
+        let dir = std::env::temp_dir().join(format!("slide_torn_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.slidesnap");
+        a.save_snapshot(&path).unwrap();
+
+        let handle =
+            Arc::new(EngineHandle::from_snapshot_file(&path, ServeOptions::default()).unwrap());
+        let watcher = handle.spawn_watcher(path.clone(), Duration::from_millis(5));
+        std::thread::sleep(Duration::from_millis(20));
+
+        // Slow non-atomic rewrite: truncate, then dribble the bytes out
+        // over many poll intervals.
+        let bytes = b.to_snapshot_bytes();
+        {
+            use std::io::Write;
+            let mut f = std::fs::File::create(&path).unwrap();
+            for chunk in bytes.chunks(64.max(bytes.len() / 40)) {
+                f.write_all(chunk).unwrap();
+                f.flush().unwrap();
+                std::thread::sleep(Duration::from_millis(2));
+            }
+        }
+        std::thread::sleep(Duration::from_millis(100));
+        watcher.stop();
+        // Every mid-write observation must have been rejected: the epoch
+        // either stayed at 1 (torn reads failed; the finished file may
+        // have been quarantined mid-write) or reached exactly 2 (the
+        // watcher happened to only see the completed file). What can
+        // NEVER happen is an engine built from a torn prefix — the
+        // checksum rejects it — so any swap that did land serves the
+        // complete snapshot b.
+        if handle.epoch() > 1 {
+            let (engine, _) = handle.current();
+            assert_eq!(
+                engine.network().to_snapshot_bytes().len(),
+                bytes.len(),
+                "installed engine must come from the complete file"
+            );
+        } else {
+            assert_eq!(handle.last_good_epoch(), 1);
+            let (engine, _) = handle.current();
+            // Still serving the original snapshot a.
+            assert!(engine
+                .predict(&SparseVector::from_pairs([(0, 1.0)]))
+                .is_ok());
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
     fn watcher_reloads_when_the_file_changes() {
         let (a, _) = tiny_network(6);
         let (b, _) = tiny_network(7);
@@ -352,5 +562,40 @@ mod tests {
         watcher.stop();
         std::fs::remove_file(&path).ok();
         assert!(handle.epoch() >= 2, "watcher never picked up the rewrite");
+    }
+
+    /// Regression: the baseline fingerprint must be taken synchronously
+    /// by `spawn_watcher`, not lazily on the watcher thread. Taken
+    /// lazily, a publish landing between `spawn_watcher` returning and
+    /// the thread's first schedule gets fingerprinted as "already
+    /// attempted" and is silently never loaded — so publishing
+    /// *immediately* after spawn must still reload.
+    #[test]
+    fn watcher_sees_a_publish_landing_immediately_after_spawn() {
+        let (a, _) = tiny_network(6);
+        let (b, _) = tiny_network(7);
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!(
+            "slide_watch_races_{}.slidesnap",
+            std::process::id()
+        ));
+        a.save_snapshot(&path).unwrap();
+
+        let handle =
+            Arc::new(EngineHandle::from_snapshot_file(&path, ServeOptions::default()).unwrap());
+        let watcher = handle.spawn_watcher(path.clone(), Duration::from_millis(20));
+        // No sleep: race the watcher thread's startup on purpose.
+        b.save_snapshot(&path).unwrap();
+
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while handle.epoch() < 2 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        watcher.stop();
+        std::fs::remove_file(&path).ok();
+        assert!(
+            handle.epoch() >= 2,
+            "a publish racing the watcher's startup was never loaded"
+        );
     }
 }

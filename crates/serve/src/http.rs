@@ -29,6 +29,9 @@
 //!
 //! * `POST /v1/predict` — single or batch sparse inputs;
 //! * `GET  /healthz`    — liveness + current model epoch;
+//! * `GET  /readyz`     — readiness: `503` while draining or after
+//!   [`READY_MAX_RELOAD_FAILURES`] consecutive snapshot-reload failures
+//!   (the last-good engine still answers; routing should look away);
 //! * `GET  /v1/stats`   — engine, reload, transport, and admission-queue
 //!   counters (queue depth, coalesced-batch histogram, 429/timeout
 //!   counts);
@@ -43,10 +46,13 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
-use crate::batch::{BatchOptions, BatchServer, ReplyCallback, ServerStats, RETRY_AFTER_SECS};
+use crate::batch::{
+    BatchOptions, BatchServer, DegradeOptions, ReplyCallback, ServerStats, RETRY_AFTER_SECS,
+};
 use crate::conn::{ParseStatus, ParsedRequest, RequestParser};
 use crate::engine::Prediction;
 use crate::error::ServeError;
+use crate::fault::FaultPlan;
 use crate::handle::EngineHandle;
 use crate::json;
 use crate::net::{raw_fd, Event, Poller, WakeReceiver, Waker};
@@ -81,6 +87,11 @@ pub struct HttpOptions {
     /// How long shutdown waits for in-flight requests to finish before
     /// force-closing connections.
     pub drain_timeout: Duration,
+    /// Load-adaptive degradation policy for the admission queue
+    /// (disabled by default — see [`DegradeOptions`]). When a request is
+    /// answered under a shrunken budget, the response carries an
+    /// `X-Slide-Degraded` header with the level.
+    pub degrade: DegradeOptions,
 }
 
 impl Default for HttpOptions {
@@ -95,9 +106,16 @@ impl Default for HttpOptions {
             max_batch: 32,
             queue_capacity: 1024,
             drain_timeout: Duration::from_secs(5),
+            degrade: DegradeOptions::default(),
         }
     }
 }
+
+/// Consecutive snapshot-reload failures after which `/readyz` reports
+/// not-ready: the serving engine is still the last-good model (requests
+/// keep answering), but an operator's rollout should stop routing new
+/// traffic here until a good snapshot lands.
+pub const READY_MAX_RELOAD_FAILURES: u64 = 3;
 
 /// Most responses one connection may have in flight (pipelining bound);
 /// past it, the loop stops reading from that connection until responses
@@ -229,19 +247,48 @@ impl HttpServer {
         addr: A,
         options: HttpOptions,
     ) -> std::io::Result<Self> {
+        Self::serve_inner(handle, addr, options, None)
+    }
+
+    /// [`HttpServer::serve`] with a fault-injection plan wired into the
+    /// worker pool and snapshot publisher, for chaos drills. The plan is
+    /// inert (single relaxed load per drain) until armed.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`HttpServer::serve`].
+    pub fn serve_with_faults<A: ToSocketAddrs>(
+        handle: Arc<EngineHandle>,
+        addr: A,
+        options: HttpOptions,
+        faults: Arc<FaultPlan>,
+    ) -> std::io::Result<Self> {
+        Self::serve_inner(handle, addr, options, Some(faults))
+    }
+
+    fn serve_inner<A: ToSocketAddrs>(
+        handle: Arc<EngineHandle>,
+        addr: A,
+        options: HttpOptions,
+        faults: Option<Arc<FaultPlan>>,
+    ) -> std::io::Result<Self> {
         assert!(options.event_loops > 0, "event_loops must be positive");
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         // Best-effort: the 10K-connection target needs the fd budget.
         // The listener + loops + wakers cost a handful on top.
         crate::net::raise_nofile_limit(options.max_connections as u64 + 64).ok();
-        let batch = Arc::new(BatchServer::over_handle(
-            Arc::clone(&handle),
-            BatchOptions::default()
-                .with_workers(options.workers)
-                .with_max_batch(options.max_batch)
-                .with_queue_cap(options.queue_capacity),
-        ));
+        let batch_options = BatchOptions::default()
+            .with_workers(options.workers)
+            .with_max_batch(options.max_batch)
+            .with_queue_cap(options.queue_capacity)
+            .with_degrade(options.degrade);
+        let batch = Arc::new(match faults {
+            Some(plan) => {
+                BatchServer::over_handle_with_faults(Arc::clone(&handle), batch_options, plan)
+            }
+            None => BatchServer::over_handle(Arc::clone(&handle), batch_options),
+        });
         let shared = Arc::new(Shared {
             handle,
             options,
@@ -406,6 +453,7 @@ fn reject_connection(counters: &Counters, mut stream: TcpStream) {
         &wire::encode_error_body(&e),
         false,
         Some(RETRY_AFTER_SECS),
+        0,
     );
     stream.set_write_timeout(Some(Duration::from_secs(1))).ok();
     stream.write_all(&bytes).ok();
@@ -812,6 +860,7 @@ impl Conn {
             &wire::encode_error_body(e),
             false,
             retry_after(e),
+            0,
         );
         self.pending.push_back(Slot::Ready {
             bytes,
@@ -826,7 +875,7 @@ impl Conn {
     /// Queues a normal (route-level) response; route errors keep the
     /// connection alive — only transport-level failures close it.
     fn push_response(&mut self, ctx: &LoopCtx, status: u16, body: &str, keep_alive: bool) {
-        let bytes = render_response(&ctx.shared.counters, status, body, keep_alive, None);
+        let bytes = render_response(&ctx.shared.counters, status, body, keep_alive, None, 0);
         self.pending.push_back(Slot::Ready {
             bytes,
             keep_alive,
@@ -841,6 +890,7 @@ impl Conn {
             &wire::encode_error_body(e),
             keep_alive,
             retry_after(e),
+            0,
         );
         self.pending.push_back(Slot::Ready {
             bytes,
@@ -864,20 +914,49 @@ impl Conn {
                 );
                 self.push_response(ctx, 200, &body, keep_alive);
             }
+            ("GET", "/readyz") => {
+                // Readiness is routing advice, distinct from /healthz
+                // liveness: a draining server and one whose snapshot
+                // source keeps failing both still *answer* (last-good
+                // engine), but should stop receiving new traffic.
+                let draining = ctx.shared.shutdown.load(Ordering::SeqCst);
+                let failures = ctx.shared.handle.consecutive_reload_failures();
+                let reason = if draining {
+                    Some("draining")
+                } else if failures >= READY_MAX_RELOAD_FAILURES {
+                    Some("reload_failures")
+                } else {
+                    None
+                };
+                let ready = reason.is_none();
+                let body = format!(
+                    "{{\"api_version\":{},\"ready\":{},\"epoch\":{},\
+                     \"consecutive_reload_failures\":{}{}}}",
+                    wire::API_VERSION,
+                    ready,
+                    ctx.shared.handle.epoch(),
+                    failures,
+                    reason
+                        .map(|r| format!(",\"reason\":\"{r}\""))
+                        .unwrap_or_default(),
+                );
+                self.push_response(ctx, if ready { 200 } else { 503 }, &body, keep_alive);
+            }
             ("GET", "/v1/stats") => {
                 let body = stats_body(&ctx.shared, &ctx.batch);
                 self.push_response(ctx, 200, &body, keep_alive);
             }
             ("POST", "/v1/predict") => self.dispatch_predict(&req.body, keep_alive, ctx),
             ("POST", "/v1/reload") => self.dispatch_reload(&req.body, keep_alive, ctx),
-            (_, "/healthz" | "/v1/stats" | "/v1/predict" | "/v1/reload") => self.push_err(
-                ctx,
-                &ServeError::MethodNotAllowed {
-                    method: req.method,
-                    path: req.path,
-                },
-                keep_alive,
-            ),
+            (_, "/healthz" | "/readyz" | "/v1/stats" | "/v1/predict" | "/v1/reload") => self
+                .push_err(
+                    ctx,
+                    &ServeError::MethodNotAllowed {
+                        method: req.method,
+                        path: req.path,
+                    },
+                    keep_alive,
+                ),
             _ => self.push_err(
                 ctx,
                 &ServeError::UnknownRoute { path: req.path },
@@ -1035,7 +1114,16 @@ impl Conn {
                     )
                 }
             };
-            let bytes = render_response(&ctx.shared.counters, status, &body, keep_alive, None);
+            // Advisory header: the level *now*, which is the level that
+            // answered (or raced within one drain of it).
+            let bytes = render_response(
+                &ctx.shared.counters,
+                status,
+                &body,
+                keep_alive,
+                None,
+                ctx.batch.degradation_level(),
+            );
             self.pending[i] = Slot::Ready {
                 bytes,
                 keep_alive,
@@ -1075,7 +1163,7 @@ impl Conn {
                 ),
                 Err(e) => (e.http_status(), wire::encode_error_body(&e)),
             };
-            let bytes = render_response(&ctx.shared.counters, status, &body, keep_alive, None);
+            let bytes = render_response(&ctx.shared.counters, status, &body, keep_alive, None, 0);
             self.pending[i] = Slot::Ready {
                 bytes,
                 keep_alive,
@@ -1223,13 +1311,16 @@ fn reason(status: u16) -> &'static str {
 }
 
 /// Renders one response (head + body in one buffer → one write syscall
-/// per response with TCP_NODELAY on) and counts it.
+/// per response with TCP_NODELAY on) and counts it. A nonzero
+/// `degraded` level adds an `X-Slide-Degraded` header so clients can
+/// tell a full-budget answer from a load-shedding one.
 fn render_response(
     counters: &Counters,
     status: u16,
     body: &str,
     keep_alive: bool,
     retry_after_secs: Option<u64>,
+    degraded: u32,
 ) -> Vec<u8> {
     match status / 100 {
         2 => counters.responses_2xx.fetch_add(1, Ordering::Relaxed),
@@ -1248,6 +1339,9 @@ fn render_response(
     );
     if let Some(secs) = retry_after_secs {
         response.push_str(&format!("Retry-After: {secs}\r\n"));
+    }
+    if degraded > 0 {
+        response.push_str(&format!("X-Slide-Degraded: {degraded}\r\n"));
     }
     response.push_str("\r\n");
     response.push_str(body);
@@ -1270,19 +1364,27 @@ fn stats_body(shared: &Shared, batch: &BatchServer) -> String {
     format!(
         concat!(
             "{{\"api_version\":{},\"epoch\":{},\"reloads\":{},\"reload_failures\":{},",
+            "\"last_good_epoch\":{},\"consecutive_reload_failures\":{},",
+            "\"quarantined_snapshots\":{},",
             "\"engine\":{{\"requests\":{},\"mean_latency_us\":{:.1},\"max_latency_us\":{:.1},",
             "\"dense_fallbacks\":{}}},",
             "\"http\":{{\"connections\":{},\"current_connections\":{},\"requests\":{},",
             "\"responses_2xx\":{},\"responses_4xx\":{},\"responses_5xx\":{},",
             "\"responses_429\":{},\"timeouts\":{}}},",
             "\"batch\":{{\"queue_depth\":{},\"queue_capacity\":{},\"rejected\":{},",
-            "\"requests\":{},\"batches\":{},\"mean_batch\":{:.3},\"largest_batch\":{},",
-            "\"mean_queue_wait_us\":{:.1},\"batch_hist\":{}}}}}"
+            "\"shed\":{},\"requests\":{},\"batches\":{},\"mean_batch\":{:.3},",
+            "\"largest_batch\":{},\"mean_queue_wait_us\":{:.1},",
+            "\"worker_panics\":{},\"worker_respawns\":{},",
+            "\"degradation_level\":{},\"degraded_requests\":{},",
+            "\"batch_hist\":{}}}}}"
         ),
         wire::API_VERSION,
         epoch,
         shared.handle.reloads(),
         shared.handle.reload_failures(),
+        shared.handle.last_good_epoch(),
+        shared.handle.consecutive_reload_failures(),
+        shared.handle.quarantined(),
         e.requests,
         e.mean_latency().as_secs_f64() * 1e6,
         Duration::from_nanos(e.max_latency_ns).as_secs_f64() * 1e6,
@@ -1298,11 +1400,16 @@ fn stats_body(shared: &Shared, batch: &BatchServer) -> String {
         b.queue_depth,
         shared.options.queue_capacity,
         b.rejected,
+        b.shed,
         b.requests,
         b.batches,
         b.mean_batch,
         b.largest_batch,
         b.mean_queue_wait.as_secs_f64() * 1e6,
+        b.worker_panics,
+        b.worker_respawns,
+        b.degradation_level,
+        b.degraded_requests,
         hist,
     )
 }
@@ -1660,6 +1767,86 @@ mod tests {
         assert!(server.stats().timeouts >= 1);
         assert_eq!(server.stats().current_connections, 0);
         server.shutdown();
+    }
+
+    #[test]
+    fn readyz_flips_not_ready_after_reload_failures_and_recovers() {
+        let (server, _) = tiny_server();
+        let mut client = Client::connect(server.local_addr()).unwrap();
+
+        // Healthy server: ready.
+        assert!(client.readyz().unwrap());
+
+        // Drive consecutive reload failures past the readiness bound.
+        for _ in 0..READY_MAX_RELOAD_FAILURES {
+            let (status, _) = client
+                .request(
+                    "POST",
+                    "/v1/reload",
+                    Some("{\"path\":\"/nonexistent/model.slidesnap\"}"),
+                )
+                .unwrap();
+            assert_eq!(status, 500);
+        }
+        assert!(!client.readyz().unwrap(), "3 consecutive failures");
+        let (status, _, body) = {
+            // Raw request to check the body shape of the 503.
+            let stream = TcpStream::connect(server.local_addr()).unwrap();
+            let mut writer = stream.try_clone().unwrap();
+            let mut reader = std::io::BufReader::new(stream);
+            writer.write_all(b"GET /readyz HTTP/1.1\r\n\r\n").unwrap();
+            read_response(&mut reader).unwrap()
+        };
+        assert_eq!(status, 503);
+        assert!(body.contains("\"reason\":\"reload_failures\""), "{body}");
+
+        // /healthz stays liveness: still 200 with the old epoch, and
+        // predict still answers from the last-good engine.
+        let health = client.healthz().unwrap();
+        assert_eq!(health.epoch, 1);
+
+        // A good snapshot publishes; reloading it restores readiness.
+        let dir = std::env::temp_dir().join(format!("slide-readyz-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.slidesnap");
+        let bytes = server.handle().engine().network().to_snapshot_bytes();
+        slide_core::snapshot::publish_bytes(&path, &bytes).unwrap();
+        let (status, _) = client
+            .request(
+                "POST",
+                "/v1/reload",
+                Some(&format!("{{\"path\":\"{}\"}}", path.display())),
+            )
+            .unwrap();
+        assert_eq!(status, 200);
+        assert!(client.readyz().unwrap(), "good reload resets the streak");
+
+        // Wrong method on the new route: 405, not 404.
+        let (status, _) = client.request("POST", "/readyz", None).unwrap();
+        assert_eq!(status, 405);
+
+        // The new fault-tolerance stats fields are on the wire.
+        let stats = client.stats_json().unwrap();
+        assert_eq!(
+            stats
+                .get("consecutive_reload_failures")
+                .and_then(json::Json::as_u64),
+            Some(0)
+        );
+        assert_eq!(
+            stats.get("last_good_epoch").and_then(json::Json::as_u64),
+            Some(2)
+        );
+        assert!(stats
+            .get("batch")
+            .and_then(|b| b.get("worker_panics"))
+            .is_some());
+        assert!(stats
+            .get("batch")
+            .and_then(|b| b.get("degradation_level"))
+            .is_some());
+        server.shutdown();
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

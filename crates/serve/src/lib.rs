@@ -27,9 +27,14 @@
 //!   through the [`batch::BatchServer`], so concurrent singles from
 //!   *different connections* coalesce into fused batch row passes.
 //!   Speaks the versioned [`wire`] protocol (`POST /v1/predict`,
-//!   `GET /healthz`, `GET /v1/stats`, `POST /v1/reload`) with
-//!   backpressure (`429` + `Retry-After`), idle/slow-loris timeouts, and
-//!   graceful drain; [`client::Client`] is its blocking counterpart;
+//!   `GET /healthz`, `GET /readyz`, `GET /v1/stats`, `POST /v1/reload`)
+//!   with backpressure (`429` + `Retry-After`), idle/slow-loris
+//!   timeouts, and graceful drain; [`client::Client`] is its blocking
+//!   counterpart (with an opt-in [`RetryPolicy`] for backoff on `429`);
+//! * [`fault`] — a runtime fault-injection switchboard ([`FaultPlan`])
+//!   the chaos drills use to prove the recovery paths: panic-isolated
+//!   supervised workers, snapshot quarantine + last-good rollback, and
+//!   load-adaptive query-budget degradation ([`DegradeOptions`]);
 //! * [`json`] — the hand-rolled, dependency-free JSON both sides parse
 //!   and print (floats cross the wire bit-exactly).
 //!
@@ -83,16 +88,18 @@ pub mod client;
 pub mod conn;
 pub mod engine;
 pub mod error;
+pub mod fault;
 pub mod handle;
 pub mod http;
 pub mod json;
 pub mod net;
 pub mod wire;
 
-pub use batch::{BatchOptions, BatchServer, RequestHandle, ServerStats};
-pub use client::{Client, ClientError, Health};
+pub use batch::{BatchOptions, BatchServer, DegradeOptions, RequestHandle, ServerStats};
+pub use client::{Client, ClientError, Health, RetryPolicy};
 pub use engine::{EngineStats, Prediction, ServeOptions, ServingEngine};
 pub use error::ServeError;
+pub use fault::{FaultPlan, PublishFault};
 pub use handle::{EngineHandle, SnapshotWatcher};
 pub use http::{HttpOptions, HttpServer, HttpStats};
 pub use wire::{PredictRequest, PredictResponse, WirePrediction, API_VERSION};

@@ -80,7 +80,7 @@ pub mod prelude {
         table::{LshTables, TableConfig},
     };
     pub use slide_serve::{
-        BatchOptions, BatchServer, EngineHandle, HttpOptions, HttpServer, ServeError, ServeOptions,
-        ServingEngine,
+        BatchOptions, BatchServer, DegradeOptions, EngineHandle, FaultPlan, HttpOptions,
+        HttpServer, RetryPolicy, ServeError, ServeOptions, ServingEngine, SnapshotWatcher,
     };
 }

@@ -328,3 +328,50 @@ fn coalesced_singles_batched_requests_and_direct_predict_are_bit_identical() {
     assert_eq!(stats.responses_5xx, 0, "{stats:?}");
     server.shutdown();
 }
+
+/// `/readyz` is routing advice layered over `/healthz` liveness: a
+/// server whose snapshot source keeps failing goes not-ready while its
+/// last-good engine keeps answering, and recovers with the next good
+/// reload.
+#[test]
+fn readyz_tracks_reload_health_while_healthz_stays_liveness() {
+    let (bytes, data) = trained_snapshot(1);
+    let options = ServeOptions::default().with_top_k(3);
+    let handle = Arc::new(EngineHandle::new(
+        ServingEngine::from_snapshot_bytes(&bytes, options).unwrap(),
+    ));
+    let server =
+        HttpServer::serve(Arc::clone(&handle), "127.0.0.1:0", HttpOptions::default()).unwrap();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    assert!(client.readyz().unwrap());
+
+    // Three consecutive reload failures trip readiness.
+    for _ in 0..3 {
+        let (status, _) = client
+            .request("POST", "/v1/reload", Some("{\"path\":\"/nope.slidesnap\"}"))
+            .unwrap();
+        assert_eq!(status, 500);
+    }
+    assert!(!client.readyz().unwrap());
+    // Liveness and serving are untouched.
+    assert_eq!(client.healthz().unwrap().epoch, 1);
+    let ex = &data.test.examples()[0];
+    assert!(client.predict(&ex.features, None).is_ok());
+
+    // A good reload resets the failure streak and readiness.
+    let path = std::env::temp_dir().join(format!("slide_readyz_{}.slidesnap", std::process::id()));
+    slide::core::snapshot::publish_bytes(&path, &bytes).unwrap();
+    let (status, _) = client
+        .request(
+            "POST",
+            "/v1/reload",
+            Some(&format!("{{\"path\":\"{}\"}}", path.display())),
+        )
+        .unwrap();
+    assert_eq!(status, 200);
+    assert!(client.readyz().unwrap());
+    assert_eq!(handle.consecutive_reload_failures(), 0);
+    assert_eq!(handle.last_good_epoch(), 2);
+    server.shutdown();
+    std::fs::remove_file(&path).ok();
+}
