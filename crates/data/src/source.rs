@@ -141,9 +141,12 @@ mod mm {
         len: usize,
     }
 
-    // The mapping is read-only and owned: sharing &MmapRegion across
-    // threads is sharing &[u8].
+    // SAFETY: the region exclusively owns its mapping and the pages are
+    // PROT_READ, so moving it to another thread moves plain immutable
+    // bytes.
     unsafe impl Send for MmapRegion {}
+    // SAFETY: the mapping is read-only for its whole lifetime; sharing
+    // &MmapRegion across threads is sharing &[u8].
     unsafe impl Sync for MmapRegion {}
 
     impl MmapRegion {

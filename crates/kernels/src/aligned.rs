@@ -37,6 +37,8 @@ pub struct AlignedVec {
 
 // SAFETY: AlignedVec owns its allocation exclusively, like Vec<f32>.
 unsafe impl Send for AlignedVec {}
+// SAFETY: shared access is read-only (mutation requires &mut self), so
+// &AlignedVec across threads is as safe as &[f32].
 unsafe impl Sync for AlignedVec {}
 
 impl AlignedVec {

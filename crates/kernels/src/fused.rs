@@ -446,6 +446,10 @@ mod avx {
     use crate::ops::AdamParams;
 
     /// Horizontal sum of a 256-bit accumulator.
+    ///
+    /// # Safety
+    ///
+    /// Requires AVX2 (register-only shuffles, touches no memory).
     #[inline]
     #[target_feature(enable = "avx2")]
     unsafe fn hsum(acc: __m256) -> f32 {

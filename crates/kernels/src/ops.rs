@@ -102,8 +102,8 @@ pub fn dot(a: &[f32], b: &[f32], mode: KernelMode) -> f32 {
             for c in 0..chunks {
                 let i = c * 8;
                 if i + 64 < a.len() {
-                    prefetch_read(unsafe { a.as_ptr().add(i + 64) });
-                    prefetch_read(unsafe { b.as_ptr().add(i + 64) });
+                    prefetch_read(a.as_ptr().wrapping_add(i + 64));
+                    prefetch_read(b.as_ptr().wrapping_add(i + 64));
                 }
                 for lane in 0..8 {
                     acc[lane] += a[i + lane] * b[i + lane];
@@ -136,7 +136,7 @@ pub fn axpy(alpha: f32, x: &[f32], y: &mut [f32], mode: KernelMode) {
             for c in 0..chunks {
                 let i = c * 8;
                 if i + 64 < x.len() {
-                    prefetch_read(unsafe { x.as_ptr().add(i + 64) });
+                    prefetch_read(x.as_ptr().wrapping_add(i + 64));
                 }
                 for lane in 0..8 {
                     y[i + lane] += alpha * x[i + lane];

@@ -187,6 +187,10 @@ mod avxq {
     use std::arch::x86_64::*;
 
     /// Horizontal sum of a 256-bit accumulator.
+    ///
+    /// # Safety
+    ///
+    /// Requires AVX2 (register-only shuffles, touches no memory).
     #[inline]
     #[target_feature(enable = "avx2")]
     unsafe fn hsum(acc: __m256) -> f32 {

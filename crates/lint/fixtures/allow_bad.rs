@@ -1,0 +1,18 @@
+//! Fixture: malformed `lint:allow` directives. Each one earns an
+//! `allow-syntax` diagnostic AND fails to suppress the finding under
+//! it.
+
+pub fn f(x: Option<u8>) -> u8 {
+    // lint:allow(no-panic-paths)
+    x.unwrap()
+}
+
+pub fn g(x: Option<u8>) -> u8 {
+    // lint:allow(not-a-rule): the rule id does not exist.
+    x.unwrap()
+}
+
+pub fn h(x: Option<u8>) -> u8 {
+    // lint:allow(wire-doc-sync): not allowable inline.
+    x.unwrap()
+}

@@ -1,0 +1,12 @@
+//! Fixture: well-formed directives in both positions — standalone
+//! (covers the next code line) and trailing (covers its own line).
+
+pub fn f(x: Option<u8>) -> u8 {
+    // lint:allow(no-panic-paths): x is Some by construction — the
+    // caller checked is_some() one frame up.
+    x.unwrap()
+}
+
+pub fn g(x: Option<u8>) -> u8 {
+    x.unwrap() // lint:allow(no-panic-paths): checked by the caller.
+}

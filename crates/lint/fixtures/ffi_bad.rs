@@ -1,0 +1,11 @@
+//! Fixture: a raw binding outside the designated FFI modules. The
+//! `unsafe` call itself is justified, so only `ffi-confinement` fires.
+
+extern "C" {
+    fn getpid() -> i32;
+}
+
+pub fn pid() -> i32 {
+    // SAFETY: getpid has no preconditions and cannot fail.
+    unsafe { getpid() }
+}

@@ -1,0 +1,6 @@
+//! Fixture: no raw bindings; syscalls go through the safe wrappers
+//! exported by the designated modules.
+
+pub fn pid() -> i32 {
+    crate::net::pid()
+}

@@ -1,0 +1,13 @@
+//! Fixture: names the HOGWILD atomic row surface. A violation when
+//! linted under any path other than hogwild.rs / fused.rs; clean when
+//! linted as one of the two protocol-defining modules.
+
+use std::sync::atomic::AtomicU32;
+
+pub fn poke(rows: &[AtomicU32]) {
+    let _cells = rows;
+}
+
+pub fn steal(table: &crate::Table) {
+    let _rows = table.as_atomics();
+}

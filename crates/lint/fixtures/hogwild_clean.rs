@@ -1,0 +1,12 @@
+//! Fixture: an ordinary `AtomicU32` counter is not the weight-row
+//! surface — only the slice form and the row accessors are confined.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+
+pub struct Counters {
+    pub drops: AtomicU32,
+}
+
+pub fn bump(c: &Counters) {
+    c.drops.fetch_add(1, Ordering::Relaxed);
+}

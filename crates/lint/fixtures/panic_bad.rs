@@ -1,0 +1,10 @@
+//! Fixture: panicking constructs on a serve request path — an
+//! `unwrap()` call and an unconditional panic macro.
+
+pub fn parse(buf: &[u8]) -> usize {
+    let head = std::str::from_utf8(buf).unwrap();
+    match head.len() {
+        0 => unreachable!("empty heads filtered earlier"),
+        n => n,
+    }
+}

@@ -1,0 +1,23 @@
+//! Fixture: the clean shapes for a request path — typed errors,
+//! justified invariants, asserts, and test-module exemption.
+
+pub fn parse(buf: &[u8]) -> Result<usize, ServeError> {
+    let head = std::str::from_utf8(buf).map_err(|_| ServeError::BadRequest)?;
+    assert!(head.len() < MAX_HEAD, "parser invariant");
+    Ok(head.len())
+}
+
+pub fn first(xs: &[u8]) -> u8 {
+    // lint:allow(no-panic-paths): xs is nonempty — parse rejected
+    // empty buffers above.
+    xs.first().copied().unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_unwrap() {
+        super::parse(b"GET /").unwrap();
+        panic!("even this is fine in tests");
+    }
+}

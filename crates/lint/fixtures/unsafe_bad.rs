@@ -1,0 +1,9 @@
+//! Fixture: `unsafe` with no adjacent justification. The SAFETY note
+//! below is separated from the block by a blank line, which breaks
+//! adjacency — a stale comment three screens up justifies nothing.
+
+pub fn read(p: *const u8) -> u8 {
+    // SAFETY: this comment is too far away to count.
+
+    unsafe { *p }
+}

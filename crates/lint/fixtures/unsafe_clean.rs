@@ -1,0 +1,21 @@
+//! Fixture: justified `unsafe` in every accepted form.
+
+pub fn read(p: *const u8) -> u8 {
+    // SAFETY: caller contract — p is valid for reads.
+    unsafe { *p }
+}
+
+pub fn read_trailing(p: *const u8) -> u8 {
+    unsafe { *p } // SAFETY: p validated by the caller.
+}
+
+/// Reads one byte.
+///
+/// # Safety
+///
+/// `p` must be valid for reads.
+#[inline]
+pub unsafe fn read_raw(p: *const u8) -> u8 {
+    // SAFETY: guaranteed by this fn's own `# Safety` contract.
+    unsafe { *p }
+}

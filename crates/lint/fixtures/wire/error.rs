@@ -1,0 +1,22 @@
+//! Fixture: a miniature ServeError surface for the wire-doc-sync rule.
+
+pub enum ServeError {
+    BadRequest,
+    Overloaded,
+}
+
+impl ServeError {
+    pub fn http_status(&self) -> u16 {
+        match self {
+            ServeError::BadRequest => 400,
+            ServeError::Overloaded => 503,
+        }
+    }
+
+    pub fn code(&self) -> &'static str {
+        match self {
+            ServeError::BadRequest => "bad_request",
+            ServeError::Overloaded => "overloaded",
+        }
+    }
+}

@@ -1,0 +1,17 @@
+//! Fixture: a miniature router for the wire-doc-sync rule.
+
+fn route(method: &str, path: &str) {
+    match (method, path) {
+        ("POST", "/v1/predict") => predict(),
+        ("GET", "/healthz") => health(),
+        (_, "/v1/predict" | "/healthz") => method_not_allowed(),
+        _ => not_found(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    fn not_a_route() {
+        client.request("GET", "/nope");
+    }
+}

@@ -1,0 +1,444 @@
+//! A small Rust lexer — just enough of the language to run token-level
+//! rule passes without ever mistaking a comment or string literal for
+//! code.
+//!
+//! The hard cases the rules depend on getting right:
+//!
+//! * **raw strings** (`r"…"`, `r#"…"#`, any hash depth) and raw byte
+//!   strings, so a fixture or test string containing `unsafe {` never
+//!   reads as the keyword;
+//! * **nested block comments** (`/* /* */ */`), which Rust permits and
+//!   a naive scanner unbalances;
+//! * **char literals vs lifetimes** (`'a'` is a char, `'a` in `&'a str`
+//!   is a lifetime, `b'x'` is a byte literal) — a lexer that treats
+//!   every `'` as a string opener swallows the rest of the file;
+//! * **doc comments** (`///`, `//!`, `/** */`) — comments like any
+//!   other, but their text participates in the `# Safety` convention
+//!   [`crate::rules`] accepts for `unsafe fn`.
+//!
+//! Everything else (numbers, idents, punctuation) is tokenized loosely:
+//! the rules only match identifier spellings, string contents, and a
+//! couple of two-character operators (`::`, `=>`), so fidelity beyond
+//! that buys nothing.
+
+/// What a [`Token`] is.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (including raw identifiers, spelled
+    /// without the `r#` prefix).
+    Ident(String),
+    /// Any string literal (plain, raw, byte, raw byte); carries the
+    /// *contents* (escapes left unprocessed — the rules only compare
+    /// short literal strings like `"C"` and route paths).
+    Str(String),
+    /// A char or byte-char literal (`'a'`, `b'\n'`).
+    Char,
+    /// A lifetime or loop label (`'a`, `'static`, `'outer`).
+    Lifetime,
+    /// A numeric literal, kept as written.
+    Num(String),
+    /// A comment (line or block, doc or not); carries the full text
+    /// including the delimiters.
+    Comment(String),
+    /// `::`
+    PathSep,
+    /// `=>`
+    FatArrow,
+    /// Any other single character of punctuation.
+    Punct(char),
+}
+
+/// One lexed token with its 1-based source position.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// What the token is (and its text, where the rules need it).
+    pub kind: TokenKind,
+    /// 1-based line of the token's first character.
+    pub line: usize,
+    /// 1-based line of the token's last character (differs from
+    /// `line` only for block comments and multi-line strings).
+    pub end_line: usize,
+}
+
+impl Token {
+    /// The identifier text, if this token is an identifier.
+    pub fn ident(&self) -> Option<&str> {
+        match &self.kind {
+            TokenKind::Ident(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The comment text, if this token is a comment.
+    pub fn comment(&self) -> Option<&str> {
+        match &self.kind {
+            TokenKind::Comment(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Tokenizes `src`. Unterminated strings/comments lex as one token
+/// running to end-of-file rather than an error: the linter's job is to
+/// scan code that already compiles, so recovery precision is wasted on
+/// input rustc would reject anyway.
+pub fn lex(src: &str) -> Vec<Token> {
+    Lexer {
+        chars: src.chars().collect(),
+        pos: 0,
+        line: 1,
+        tokens: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: usize,
+    tokens: Vec<Token>,
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied();
+        if let Some(c) = c {
+            self.pos += 1;
+            if c == '\n' {
+                self.line += 1;
+            }
+        }
+        c
+    }
+
+    fn push(&mut self, kind: TokenKind, start_line: usize) {
+        self.tokens.push(Token {
+            kind,
+            line: start_line,
+            end_line: self.line,
+        });
+    }
+
+    fn run(mut self) -> Vec<Token> {
+        while let Some(c) = self.peek(0) {
+            let start = self.line;
+            match c {
+                c if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(start),
+                '/' if self.peek(1) == Some('*') => self.block_comment(start),
+                '"' => self.string(start),
+                'r' if self.raw_string_ahead(0) => self.raw_string(start),
+                'b' if self.peek(1) == Some('"') => {
+                    self.bump();
+                    self.string(start);
+                }
+                'b' if self.peek(1) == Some('\'') => {
+                    self.bump();
+                    self.char_or_lifetime(start);
+                }
+                'b' if self.peek(1) == Some('r') && self.raw_string_ahead(1) => {
+                    self.bump();
+                    self.raw_string(start);
+                }
+                '\'' => self.char_or_lifetime(start),
+                c if c.is_ascii_alphabetic() || c == '_' => self.ident(start),
+                c if c.is_ascii_digit() => self.number(start),
+                ':' if self.peek(1) == Some(':') => {
+                    self.bump();
+                    self.bump();
+                    self.push(TokenKind::PathSep, start);
+                }
+                '=' if self.peek(1) == Some('>') => {
+                    self.bump();
+                    self.bump();
+                    self.push(TokenKind::FatArrow, start);
+                }
+                c => {
+                    self.bump();
+                    self.push(TokenKind::Punct(c), start);
+                }
+            }
+        }
+        self.tokens
+    }
+
+    /// Is `r` at `pos + offset` the start of a raw string (`r"` or
+    /// `r##…#"`), as opposed to a raw identifier (`r#match`)?
+    fn raw_string_ahead(&self, offset: usize) -> bool {
+        debug_assert!(matches!(self.peek(offset), Some('r')));
+        let mut i = offset + 1;
+        while self.peek(i) == Some('#') {
+            i += 1;
+        }
+        // `r"` or `r#…#"` opens a raw string; `r#ident` has an ident
+        // char after the hashes and is a raw identifier instead.
+        self.peek(i) == Some('"')
+    }
+
+    fn line_comment(&mut self, start: usize) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.push(TokenKind::Comment(text), start);
+    }
+
+    fn block_comment(&mut self, start: usize) {
+        let mut text = String::new();
+        let mut depth = 0usize;
+        while let Some(c) = self.peek(0) {
+            if c == '/' && self.peek(1) == Some('*') {
+                depth += 1;
+                text.push_str("/*");
+                self.bump();
+                self.bump();
+            } else if c == '*' && self.peek(1) == Some('/') {
+                depth -= 1;
+                text.push_str("*/");
+                self.bump();
+                self.bump();
+                if depth == 0 {
+                    break;
+                }
+            } else {
+                text.push(c);
+                self.bump();
+            }
+        }
+        self.push(TokenKind::Comment(text), start);
+    }
+
+    fn string(&mut self, start: usize) {
+        self.bump(); // opening quote
+        let mut text = String::new();
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    // Keep the escape verbatim; never let an escaped
+                    // quote close the literal.
+                    text.push(c);
+                    if let Some(e) = self.bump() {
+                        text.push(e);
+                    }
+                }
+                '"' => break,
+                c => text.push(c),
+            }
+        }
+        self.push(TokenKind::Str(text), start);
+    }
+
+    /// Lexes `r"…"` / `r##"…"##` starting at the `r` (after any `b`).
+    fn raw_string(&mut self, start: usize) {
+        self.bump(); // the r
+        let mut hashes = 0usize;
+        while self.peek(0) == Some('#') {
+            hashes += 1;
+            self.bump();
+        }
+        self.bump(); // opening quote
+        let mut text = String::new();
+        'scan: while let Some(c) = self.bump() {
+            if c == '"' {
+                // Close only on `"` followed by the same number of #s.
+                for i in 0..hashes {
+                    if self.peek(i) != Some('#') {
+                        text.push('"');
+                        continue 'scan;
+                    }
+                }
+                for _ in 0..hashes {
+                    self.bump();
+                }
+                break;
+            }
+            text.push(c);
+        }
+        self.push(TokenKind::Str(text), start);
+    }
+
+    /// Disambiguates `'a'` (char) from `'a` (lifetime) after a `'`.
+    fn char_or_lifetime(&mut self, start: usize) {
+        self.bump(); // the '
+        match self.peek(0) {
+            // `'\n'`, `'\u{1F600}'` — escapes are always char literals.
+            Some('\\') => {
+                self.bump();
+                self.bump(); // the escaped char (enough for \', \\, \n, and the u of \u)
+                while let Some(c) = self.bump() {
+                    if c == '\'' {
+                        break;
+                    }
+                }
+                self.push(TokenKind::Char, start);
+            }
+            // `'a'` — one char then a closing quote.
+            Some(_) if self.peek(1) == Some('\'') => {
+                self.bump();
+                self.bump();
+                self.push(TokenKind::Char, start);
+            }
+            // `'a`, `'static`, `'outer` — a lifetime or label.
+            _ => {
+                while let Some(c) = self.peek(0) {
+                    if c.is_ascii_alphanumeric() || c == '_' {
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                self.push(TokenKind::Lifetime, start);
+            }
+        }
+    }
+
+    fn ident(&mut self, start: usize) {
+        let mut text = String::new();
+        // Raw identifier: `r#match` — skip the prefix, keep the name.
+        if self.peek(0) == Some('r') && self.peek(1) == Some('#') {
+            self.bump();
+            self.bump();
+        }
+        while let Some(c) = self.peek(0) {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push(TokenKind::Ident(text), start);
+    }
+
+    fn number(&mut self, start: usize) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                text.push(c);
+                self.bump();
+            } else if c == '.' && self.peek(1).is_some_and(|d| d.is_ascii_digit()) {
+                // `0.5` continues the number; `1..n` does not.
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push(TokenKind::Num(text), start);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .into_iter()
+            .filter_map(|t| match t.kind {
+                TokenKind::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// The table the satellite task asks for: each row is (source,
+    /// what must NOT lex as an `unsafe` identifier / what must).
+    #[test]
+    fn edge_case_table() {
+        let cases: &[(&str, usize)] = &[
+            // (source, how many `unsafe` IDENT tokens must come out)
+            (r##"let s = "unsafe { body }";"##, 0),
+            (r###"let s = r#"unsafe { body }"#;"###, 0),
+            (r###"let s = r##"nested "# unsafe"##;"###, 0),
+            (r##"let s = b"unsafe";"##, 0),
+            ("// unsafe in a line comment\nlet x = 1;", 0),
+            ("/* unsafe in a block */ let x = 1;", 0),
+            (
+                "/* outer /* unsafe nested */ still comment */ let x = 1;",
+                0,
+            ),
+            ("/// doc about unsafe\nfn f() {}", 0),
+            ("unsafe { do_it() }", 1),
+            ("pub unsafe fn f() {}", 1),
+            ("unsafe impl Send for T {}", 1),
+            // char vs lifetime: the tick must not swallow the keyword
+            ("fn f<'a>(x: &'a str) { unsafe { g(x) } }", 1),
+            ("let c = 'u'; unsafe { f(c) }", 1),
+            ("let c = '\\''; unsafe { f(c) }", 1),
+            ("let c = b'x'; unsafe { f(c) }", 1),
+            ("'outer: loop { unsafe { f() } }", 1),
+            // a string ending right before real code
+            (r##"let s = "x"; unsafe { f(s) }"##, 1),
+        ];
+        for (src, want) in cases {
+            let got = idents(src).iter().filter(|s| *s == "unsafe").count();
+            assert_eq!(got, *want, "source: {src}");
+        }
+    }
+
+    #[test]
+    fn line_numbers_track_multiline_tokens() {
+        let src = "fn a() {}\n/* one\ntwo\nthree */\nfn b() {}";
+        let toks = lex(src);
+        let comment = toks
+            .iter()
+            .find(|t| matches!(t.kind, TokenKind::Comment(_)))
+            .unwrap();
+        assert_eq!((comment.line, comment.end_line), (2, 4));
+        let b = toks.iter().find(|t| t.ident() == Some("b")).unwrap();
+        assert_eq!(b.line, 5);
+    }
+
+    #[test]
+    fn raw_identifiers_are_idents_not_strings() {
+        let toks = lex("let r#match = r#\"raw\"#;");
+        assert!(toks.iter().any(|t| t.ident() == Some("match")));
+        assert!(toks
+            .iter()
+            .any(|t| matches!(&t.kind, TokenKind::Str(s) if s == "raw")));
+    }
+
+    #[test]
+    fn string_contents_and_escapes() {
+        let toks = lex(r##"route("GET", "/v1/predict"); let q = "he said \"hi\"";"##);
+        let strs: Vec<_> = toks
+            .iter()
+            .filter_map(|t| match &t.kind {
+                TokenKind::Str(s) => Some(s.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(strs, ["GET", "/v1/predict", r#"he said \"hi\""#]);
+    }
+
+    #[test]
+    fn two_char_operators() {
+        let toks = lex("ServeError::BadRequest { .. } => 400,");
+        assert!(toks.iter().any(|t| t.kind == TokenKind::PathSep));
+        assert!(toks.iter().any(|t| t.kind == TokenKind::FatArrow));
+    }
+
+    #[test]
+    fn numbers_do_not_eat_ranges() {
+        let toks = lex("for i in 1..5 { let x = 2.5; }");
+        let nums: Vec<_> = toks
+            .iter()
+            .filter_map(|t| match &t.kind {
+                TokenKind::Num(s) => Some(s.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(nums, ["1", "5", "2.5"]);
+    }
+}

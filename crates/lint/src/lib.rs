@@ -1,0 +1,105 @@
+//! `slide-lint` — dependency-free static analysis for this workspace's
+//! hand-rolled invariants.
+//!
+//! The repo's core trick (Chen et al., MLSys'20) is *deliberately racy*
+//! HOGWILD updates implemented as a documented bit-level slice protocol
+//! over `&[AtomicU32]` rows, plus AVX2 intrinsics and direct
+//! `extern "C"` epoll/mmap bindings — exactly the code where an
+//! undisciplined edit introduces UB or a real data race that no test
+//! reliably catches. These invariants used to live in ARCHITECTURE.md
+//! as tribal knowledge; this crate machine-checks them in CI.
+//!
+//! Built in the workspace's no-crates idiom (like the hand-rolled JSON
+//! parser in `slide-serve`): a small Rust lexer ([`lexer`]) that gets
+//! raw strings, nested block comments, and char-vs-lifetime ticks
+//! right, feeding token-level rule passes ([`rules`]) plus one
+//! cross-file contract check ([`wire`]). See [`rules::RULES`] for the
+//! rule table and the `// lint:allow(<rule>): <reason>` escape hatch.
+//!
+//! Run it as `cargo run -p slide-lint -- --check` from the workspace
+//! root; the fixture suite under `fixtures/` pins that every rule
+//! catches its seeded violation and passes its clean twin.
+
+pub mod lexer;
+pub mod rules;
+pub mod wire;
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+pub use rules::{lint_file, Diagnostic, RULES};
+pub use wire::check_wire_contract;
+
+/// The three files the `wire-doc-sync` rule compares.
+pub const WIRE_FILES: [&str; 3] = [
+    "crates/serve/src/error.rs",
+    "crates/serve/src/http.rs",
+    "docs/wire-v1.md",
+];
+
+/// Lints every `.rs` file under `root` (skipping build output, VCS
+/// internals, and this crate's own seeded-violation fixtures), then
+/// runs the cross-file wire-contract check if the three normative
+/// files are present. Diagnostics come back sorted by file/line.
+///
+/// # Errors
+///
+/// Returns any I/O error from walking or reading the tree.
+pub fn lint_workspace(root: &Path) -> std::io::Result<Vec<Diagnostic>> {
+    let mut files = Vec::new();
+    collect_rs_files(root, root, &mut files)?;
+    files.sort();
+
+    let mut diags = Vec::new();
+    for rel in &files {
+        let src = fs::read_to_string(root.join(rel))?;
+        diags.extend(lint_file(&rel.replace('\\', "/"), &src));
+    }
+
+    let wire_paths: Vec<PathBuf> = WIRE_FILES.iter().map(|f| root.join(f)).collect();
+    if wire_paths.iter().all(|p| p.is_file()) {
+        let error_src = fs::read_to_string(&wire_paths[0])?;
+        let http_src = fs::read_to_string(&wire_paths[1])?;
+        let doc_src = fs::read_to_string(&wire_paths[2])?;
+        diags.extend(check_wire_contract(
+            WIRE_FILES[0],
+            &error_src,
+            WIRE_FILES[1],
+            &http_src,
+            WIRE_FILES[2],
+            &doc_src,
+        ));
+    }
+
+    diags.sort_by(|a, b| (a.file.clone(), a.line, a.rule).cmp(&(b.file.clone(), b.line, b.rule)));
+    Ok(diags)
+}
+
+fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<String>) -> std::io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            // Build output, VCS state, and the lint crate's seeded
+            // violations (which exist to be caught by the self-tests,
+            // not the workspace scan).
+            if name == "target" || name.starts_with('.') {
+                continue;
+            }
+            if name == "fixtures" && dir.ends_with("crates/lint") {
+                continue;
+            }
+            collect_rs_files(root, &path, out)?;
+        } else if name.ends_with(".rs") {
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .to_string_lossy()
+                .replace('\\', "/");
+            out.push(rel);
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,87 @@
+//! The `slide-lint` CLI.
+//!
+//! ```text
+//! slide-lint [--check] [--root <dir>]   lint the workspace (default .)
+//! slide-lint --list-rules               print the rule table
+//! ```
+//!
+//! Exit status: 0 when clean, 1 when any diagnostic fires, 2 on usage
+//! or I/O errors. `--check` is the CI spelling; it is also the default
+//! behavior, so an interactive run and the CI gate can never disagree.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--check" => {} // CI spelling of the default behavior
+            "--list-rules" => {
+                for (id, summary) in slide_lint::RULES {
+                    println!("{id}\n    {summary}\n");
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--root" => match args.next() {
+                Some(dir) => root = PathBuf::from(dir),
+                None => {
+                    eprintln!("slide-lint: --root needs a directory");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!(
+                    "slide-lint: static analysis for this workspace's unsafe, \
+                     HOGWILD, FFI, panic-path, and wire-contract invariants\n\n\
+                     usage: slide-lint [--check] [--root <dir>] [--list-rules]\n\n\
+                     Suppress a finding inline with\n\
+                     `// lint:allow(<rule-id>): <reason>` (reason mandatory)."
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("slide-lint: unknown argument `{other}` (try --help)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    // Convenience: when invoked from a subdirectory (e.g. via
+    // `cargo run -p slide-lint` inside a crate), walk up to the
+    // workspace root so relative rule paths line up.
+    if root == Path::new(".") {
+        let mut cur = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+        loop {
+            if cur.join("Cargo.toml").is_file() && cur.join("crates").is_dir() {
+                root = cur;
+                break;
+            }
+            if !cur.pop() {
+                break;
+            }
+        }
+    }
+
+    match slide_lint::lint_workspace(&root) {
+        Ok(diags) if diags.is_empty() => {
+            println!(
+                "slide-lint: workspace clean ({} rules)",
+                slide_lint::RULES.len()
+            );
+            ExitCode::SUCCESS
+        }
+        Ok(diags) => {
+            for d in &diags {
+                println!("{d}");
+            }
+            println!("slide-lint: {} violation(s)", diags.len());
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("slide-lint: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

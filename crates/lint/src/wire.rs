@@ -1,0 +1,464 @@
+//! Rule `wire-doc-sync`: `docs/wire-v1.md` is the public contract, and
+//! contract drift must be a CI failure, not a code-review hope.
+//!
+//! Two tables are compared, in both directions:
+//!
+//! * the **error surface** — every `(HTTP status, code)` pair from
+//!   `ServeError::http_status()` / `ServeError::code()` in
+//!   `crates/serve/src/error.rs` versus the `| status | code | … |`
+//!   rows of the doc's Errors table;
+//! * the **endpoint list** — every `("METHOD", "/path") =>` routing arm
+//!   in `crates/serve/src/http.rs` versus the doc's
+//!   ``### `METHOD /path` `` headings.
+//!
+//! The code side is parsed from tokens (comments and test modules are
+//! invisible), so the extraction does not break when the files are
+//! reformatted — only when the actual surface changes.
+
+use std::collections::BTreeMap;
+
+use crate::lexer::{lex, Token, TokenKind};
+use crate::rules::Diagnostic;
+
+const RULE: &str = "wire-doc-sync";
+
+/// Compares the error-surface and endpoint tables in the three
+/// normative files. `error_src`/`http_src` are the contents of
+/// `crates/serve/src/error.rs` and `http.rs`; `doc_src` is
+/// `docs/wire-v1.md`. Paths are only used for diagnostics.
+pub fn check_wire_contract(
+    error_path: &str,
+    error_src: &str,
+    http_path: &str,
+    http_src: &str,
+    doc_path: &str,
+    doc_src: &str,
+) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+
+    // --- error surface ------------------------------------------------
+    let code_pairs = error_surface(error_src, &mut |msg| {
+        diags.push(Diagnostic {
+            rule: RULE,
+            file: error_path.to_string(),
+            line: 1,
+            message: msg,
+        })
+    });
+    let doc_pairs = doc_error_table(doc_src);
+    if doc_pairs.is_empty() {
+        diags.push(Diagnostic {
+            rule: RULE,
+            file: doc_path.to_string(),
+            line: 1,
+            message: "no `| status | code | … |` error table found under the doc's \
+                      Errors section"
+                .into(),
+        });
+    }
+    for ((status, code), line) in &code_pairs {
+        if !doc_pairs.contains_key(&(*status, code.clone())) {
+            diags.push(Diagnostic {
+                rule: RULE,
+                file: error_path.to_string(),
+                line: *line,
+                message: format!(
+                    "ServeError maps to {status} `{code}`, which {doc_path}'s \
+                     error table does not document"
+                ),
+            });
+        }
+    }
+    for ((status, code), line) in &doc_pairs {
+        if !code_pairs.contains_key(&(*status, code.clone())) {
+            diags.push(Diagnostic {
+                rule: RULE,
+                file: doc_path.to_string(),
+                line: *line,
+                message: format!(
+                    "doc documents {status} `{code}`, which ServeError in \
+                     {error_path} does not produce"
+                ),
+            });
+        }
+    }
+
+    // --- endpoint list ------------------------------------------------
+    let code_routes = http_routes(http_src);
+    if code_routes.is_empty() {
+        diags.push(Diagnostic {
+            rule: RULE,
+            file: http_path.to_string(),
+            line: 1,
+            message: "no (\"METHOD\", \"/path\") => routing arms found".into(),
+        });
+    }
+    let doc_routes = doc_endpoints(doc_src);
+    for ((method, route), line) in &code_routes {
+        if !doc_routes.contains_key(&(method.clone(), route.clone())) {
+            diags.push(Diagnostic {
+                rule: RULE,
+                file: http_path.to_string(),
+                line: *line,
+                message: format!(
+                    "route `{method} {route}` is served but has no \
+                     `### \\`{method} {route}\\`` section in {doc_path}"
+                ),
+            });
+        }
+    }
+    for ((method, route), line) in &doc_routes {
+        if !code_routes.contains_key(&(method.clone(), route.clone())) {
+            diags.push(Diagnostic {
+                rule: RULE,
+                file: doc_path.to_string(),
+                line: *line,
+                message: format!(
+                    "doc describes endpoint `{method} {route}`, which {http_path} \
+                     does not route"
+                ),
+            });
+        }
+    }
+
+    diags
+}
+
+/// `(status, code) -> line` pairs from `ServeError`'s two mapping fns.
+///
+/// `code()` arms associate each variant with its wire code string;
+/// `http_status()` arms (which may `|`-combine variants) associate each
+/// with a status. The join of the two is the error surface.
+fn error_surface(src: &str, on_error: &mut dyn FnMut(String)) -> BTreeMap<(u16, String), usize> {
+    let tokens = lex(src);
+    let codes = match_arms(&tokens, "code");
+    let statuses = match_arms(&tokens, "http_status");
+    if codes.is_empty() {
+        on_error("could not parse `fn code()` match arms".into());
+    }
+    if statuses.is_empty() {
+        on_error("could not parse `fn http_status()` match arms".into());
+    }
+    let mut out = BTreeMap::new();
+    for (variant, (code, line)) in &codes {
+        match statuses.get(variant) {
+            Some((status, _)) => match status.parse::<u16>() {
+                Ok(s) => {
+                    out.insert((s, code.clone()), *line);
+                }
+                Err(_) => on_error(format!(
+                    "variant {variant}: http_status arm `{status}` is not a number"
+                )),
+            },
+            None => on_error(format!(
+                "variant {variant} has a code() arm but no http_status() arm"
+            )),
+        }
+    }
+    for variant in statuses.keys() {
+        if !codes.contains_key(variant) {
+            on_error(format!(
+                "variant {variant} has an http_status() arm but no code() arm"
+            ));
+        }
+    }
+    out
+}
+
+/// Parses the match arms of `fn <name>` in `ServeError`'s impl:
+/// `ServeError::Variant { .. } | ServeError::Other { .. } => literal`.
+/// Returns variant → (literal text, line of the arm's literal).
+fn match_arms(tokens: &[Token], fn_name: &str) -> BTreeMap<String, (String, usize)> {
+    let mut out = BTreeMap::new();
+    // Locate `fn <name>` and the extent of its body by brace depth.
+    let mut i = 0;
+    let start = loop {
+        if i + 1 >= tokens.len() {
+            return out;
+        }
+        if tokens[i].ident() == Some("fn") && tokens[i + 1].ident() == Some(fn_name) {
+            break i;
+        }
+        i += 1;
+    };
+    let mut depth = 0usize;
+    let mut entered = false;
+    let mut pending: Vec<String> = Vec::new();
+    let mut j = start;
+    while j < tokens.len() {
+        match &tokens[j].kind {
+            TokenKind::Punct('{') => {
+                depth += 1;
+                entered = true;
+            }
+            TokenKind::Punct('}') => {
+                depth -= 1;
+                if entered && depth == 0 {
+                    break;
+                }
+            }
+            TokenKind::Ident(id)
+                if id == "ServeError"
+                    && tokens.get(j + 1).map(|t| &t.kind) == Some(&TokenKind::PathSep) =>
+            {
+                if let Some(v) = tokens.get(j + 2).and_then(|t| t.ident()) {
+                    pending.push(v.to_string());
+                    j += 2;
+                }
+            }
+            TokenKind::FatArrow => {
+                if let Some(t) = tokens.get(j + 1) {
+                    let lit = match &t.kind {
+                        TokenKind::Num(n) => Some(n.clone()),
+                        TokenKind::Str(s) => Some(s.clone()),
+                        _ => None,
+                    };
+                    if let Some(lit) = lit {
+                        for v in pending.drain(..) {
+                            out.insert(v, (lit.clone(), t.line));
+                        }
+                    } else {
+                        pending.clear();
+                    }
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    out
+}
+
+/// `("METHOD", "/path") =>` arms before the test module in http.rs.
+fn http_routes(src: &str) -> BTreeMap<(String, String), usize> {
+    let tokens = lex(src);
+    let cfg_test = first_cfg_test_line(&tokens);
+    let mut out = BTreeMap::new();
+    for w in tokens.windows(6) {
+        if cfg_test.is_some_and(|l| w[0].line >= l) {
+            break;
+        }
+        let (
+            TokenKind::Punct('('),
+            TokenKind::Str(method),
+            TokenKind::Punct(','),
+            TokenKind::Str(path),
+            TokenKind::Punct(')'),
+            TokenKind::FatArrow,
+        ) = (
+            &w[0].kind, &w[1].kind, &w[2].kind, &w[3].kind, &w[4].kind, &w[5].kind,
+        )
+        else {
+            continue;
+        };
+        // A routing arm, not a fallthrough pattern or a call: the
+        // method is an HTTP verb and the path is absolute.
+        if method.chars().all(|c| c.is_ascii_uppercase()) && path.starts_with('/') {
+            out.entry((method.clone(), path.clone()))
+                .or_insert(w[1].line);
+        }
+    }
+    out
+}
+
+fn first_cfg_test_line(tokens: &[Token]) -> Option<usize> {
+    tokens.windows(6).find_map(|w| {
+        (w[0].kind == TokenKind::Punct('#')
+            && w[1].kind == TokenKind::Punct('[')
+            && w[2].ident() == Some("cfg")
+            && w[3].kind == TokenKind::Punct('(')
+            && w[4].ident() == Some("test")
+            && w[5].kind == TokenKind::Punct(')'))
+        .then_some(w[0].line)
+    })
+}
+
+/// Rows of the doc's error table: `| 400 | `bad_request` | … |`.
+fn doc_error_table(doc: &str) -> BTreeMap<(u16, String), usize> {
+    let mut out = BTreeMap::new();
+    for (i, line) in doc.lines().enumerate() {
+        let trimmed = line.trim();
+        if !trimmed.starts_with('|') {
+            continue;
+        }
+        let cells: Vec<&str> = trimmed
+            .trim_matches('|')
+            .split('|')
+            .map(str::trim)
+            .collect();
+        if cells.len() < 2 {
+            continue;
+        }
+        let Ok(status) = cells[0].parse::<u16>() else {
+            continue;
+        };
+        let code = cells[1].trim_matches('`');
+        if code.is_empty() || code.contains(' ') {
+            continue;
+        }
+        out.entry((status, code.to_string())).or_insert(i + 1);
+    }
+    out
+}
+
+/// Endpoint headings: ``### `METHOD /path` ``.
+fn doc_endpoints(doc: &str) -> BTreeMap<(String, String), usize> {
+    let mut out = BTreeMap::new();
+    for (i, line) in doc.lines().enumerate() {
+        let Some(rest) = line.trim().strip_prefix("###") else {
+            continue;
+        };
+        let rest = rest.trim();
+        let Some(inner) = rest.strip_prefix('`').and_then(|r| r.strip_suffix('`')) else {
+            continue;
+        };
+        let mut parts = inner.split_whitespace();
+        let (Some(method), Some(path), None) = (parts.next(), parts.next(), parts.next()) else {
+            continue;
+        };
+        if method.chars().all(|c| c.is_ascii_uppercase()) && path.starts_with('/') {
+            out.entry((method.to_string(), path.to_string()))
+                .or_insert(i + 1);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ERROR_RS: &str = r#"
+impl ServeError {
+    pub fn http_status(&self) -> u16 {
+        match self {
+            ServeError::BadRequest { .. } => 400,
+            ServeError::UnknownRoute { .. } | ServeError::Gone { .. } => 404,
+            ServeError::ServerShutdown => 503,
+        }
+    }
+    pub fn code(&self) -> &'static str {
+        match self {
+            ServeError::BadRequest { .. } => "bad_request",
+            ServeError::UnknownRoute { .. } => "not_found",
+            ServeError::Gone { .. } => "gone",
+            ServeError::ServerShutdown => "server_shutdown",
+        }
+    }
+}
+"#;
+
+    const HTTP_RS: &str = r#"
+fn route(&self) {
+    match (method, path) {
+        ("GET", "/healthz") => a(),
+        ("POST", "/v1/predict") => b(),
+        (_, "/healthz" | "/v1/predict") => method_not_allowed(),
+        _ => not_found(),
+    }
+}
+#[cfg(test)]
+mod tests {
+    fn t() { client.request("GET", "/nope") => x; }
+}
+"#;
+
+    const DOC: &str = r#"
+### `POST /v1/predict`
+
+body
+
+### `GET /healthz`
+
+## Errors
+
+| HTTP status | `code` | When |
+|---|---|---|
+| 400 | `bad_request` | bad json |
+| 404 | `not_found` | no route |
+| 404 | `gone` | used to exist |
+| 503 | `server_shutdown` | pool died |
+"#;
+
+    fn check(error: &str, http: &str, doc: &str) -> Vec<Diagnostic> {
+        check_wire_contract("error.rs", error, "http.rs", http, "wire.md", doc)
+    }
+
+    #[test]
+    fn in_sync_trio_passes() {
+        assert_eq!(check(ERROR_RS, HTTP_RS, DOC), Vec::new());
+    }
+
+    #[test]
+    fn missing_doc_row_is_drift() {
+        let doc = DOC.replace("| 404 | `gone` | used to exist |\n", "");
+        let d = check(ERROR_RS, HTTP_RS, &doc);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].file, "error.rs");
+        assert!(d[0].message.contains("gone"), "{}", d[0].message);
+    }
+
+    #[test]
+    fn stale_doc_row_is_drift() {
+        let doc = DOC.replace(
+            "| 503 | `server_shutdown` |",
+            "| 503 | `server_shutdown` |\n| 418 | `teapot` |",
+        );
+        let d = check(ERROR_RS, HTTP_RS, &doc);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].file, "wire.md");
+        assert!(d[0].message.contains("teapot"));
+    }
+
+    #[test]
+    fn wrong_status_for_code_is_drift_both_ways() {
+        let doc = DOC.replace("| 400 | `bad_request` |", "| 422 | `bad_request` |");
+        let d = check(ERROR_RS, HTTP_RS, &doc);
+        // (400, bad_request) undocumented AND (422, bad_request) stale.
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn unrouted_doc_endpoint_is_drift() {
+        let doc = format!("{DOC}\n### `POST /v1/reload`\n");
+        let d = check(ERROR_RS, HTTP_RS, &doc);
+        assert_eq!(d.len(), 1);
+        assert!(d[0].message.contains("/v1/reload"));
+        assert_eq!(d[0].file, "wire.md");
+    }
+
+    #[test]
+    fn undocumented_route_is_drift() {
+        let http = HTTP_RS.replace(
+            "(\"POST\", \"/v1/predict\") => b(),",
+            "(\"POST\", \"/v1/predict\") => b(),\n        (\"GET\", \"/v1/secret\") => c(),",
+        );
+        let d = check(ERROR_RS, &http, DOC);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].file, "http.rs");
+        assert!(d[0].message.contains("/v1/secret"));
+    }
+
+    #[test]
+    fn fallthrough_arms_and_test_calls_are_not_routes() {
+        let routes = http_routes(HTTP_RS);
+        assert_eq!(routes.len(), 2);
+        assert!(!routes.keys().any(|(_, p)| p == "/nope"));
+    }
+
+    #[test]
+    fn or_combined_status_arms_fan_out() {
+        let surface = error_surface(ERROR_RS, &mut |e| panic!("{e}"));
+        assert_eq!(surface.len(), 4);
+        assert!(surface.contains_key(&(404, "gone".into())));
+        assert!(surface.contains_key(&(404, "not_found".into())));
+    }
+
+    #[test]
+    fn variant_without_both_arms_is_reported() {
+        let broken = ERROR_RS.replace("ServeError::Gone { .. } => \"gone\",\n", "");
+        let mut errs = Vec::new();
+        error_surface(&broken, &mut |e| errs.push(e));
+        assert!(errs.iter().any(|e| e.contains("Gone")), "{errs:?}");
+    }
+}

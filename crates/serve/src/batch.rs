@@ -889,6 +889,9 @@ fn worker_loop(shared: &Shared, max_batch: usize) -> WorkerExit {
         predictions.clear();
         let scored = std::panic::catch_unwind(AssertUnwindSafe(|| {
             if injected_panic {
+                // lint:allow(no-panic-paths): deliberate fault injection for
+                // the panic-isolation tests, caught by the surrounding
+                // catch_unwind.
                 panic!("injected worker panic");
             }
             match &degraded_selector {

@@ -436,6 +436,8 @@ impl ServingEngine {
                 selector,
             )
         })?;
+        // lint:allow(no-panic-paths): predict_batch_in_with pushes exactly
+        // one prediction per input on Ok, and it was given one input.
         Ok(out.pop().expect("batch-of-1 yields one prediction"))
     }
 

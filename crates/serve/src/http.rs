@@ -1092,6 +1092,9 @@ impl Conn {
         }
         if let Some(i) = complete_at {
             let Slot::Predict(p) = &mut self.pending[i] else {
+                // lint:allow(no-panic-paths): complete_at was set inside a
+                // Slot::Predict match just above; this re-match exists only
+                // for the borrow checker.
                 unreachable!("complete_at points at the matched predict slot");
             };
             // Re-check shutdown: a response finishing during drain
@@ -1100,18 +1103,24 @@ impl Conn {
             let (status, body) = match p.error.take() {
                 Some(e) => (e.http_status(), wire::encode_error_body(&e)),
                 None => {
-                    let predictions: Vec<Prediction> = p
-                        .predictions
-                        .iter_mut()
-                        .map(|slot| slot.take().expect("all jobs answered"))
-                        .collect();
-                    (
-                        200,
-                        wire::encode_predict_response(&wire::response_from_predictions(
-                            p.epoch,
-                            &predictions,
-                        )),
-                    )
+                    // Every job reported Ok, so every slot should be
+                    // filled; if one is missing anyway, answer a typed
+                    // 500 rather than panic the event loop.
+                    let predictions: Option<Vec<Prediction>> =
+                        p.predictions.iter_mut().map(|slot| slot.take()).collect();
+                    match predictions {
+                        Some(predictions) => (
+                            200,
+                            wire::encode_predict_response(&wire::response_from_predictions(
+                                p.epoch,
+                                &predictions,
+                            )),
+                        ),
+                        None => {
+                            let e = ServeError::WorkerPanicked;
+                            (e.http_status(), wire::encode_error_body(&e))
+                        }
+                    }
                 }
             };
             // Advisory header: the level *now*, which is the level that
@@ -1150,6 +1159,9 @@ impl Conn {
         }
         if let Some(i) = complete_at {
             let Slot::Reload { keep_alive, .. } = self.pending[i] else {
+                // lint:allow(no-panic-paths): complete_at was set inside a
+                // Slot::Reload match just above; this re-match exists only
+                // for the borrow checker.
                 unreachable!("complete_at points at the matched reload slot");
             };
             let keep_alive = keep_alive && !ctx.shared.shutdown.load(Ordering::SeqCst);
@@ -1215,6 +1227,9 @@ impl Conn {
                     error_close,
                 }) = self.pending.pop_front()
                 else {
+                    // lint:allow(no-panic-paths): the matches! guard on the
+                    // front slot succeeded one line up; pop_front returns
+                    // that same slot.
                     unreachable!("front matched Ready");
                 };
                 self.out = bytes;
