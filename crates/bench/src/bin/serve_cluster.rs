@@ -1,0 +1,499 @@
+//! **Sharded scatter-gather benchmark**: a trained model's output layer
+//! sliced into `n` shard servers behind a [`slide_serve::Router`], each
+//! shard count measured against the single full box — latency,
+//! throughput, and *bit-identity* of every merged answer.
+//!
+//! Per shard count (1×, then 2× smoke / 4× 16× at scale):
+//!
+//! 1. **slice** — `slice_snapshot` splits the frozen snapshot into `n`
+//!    contiguous-neuron-range slices; each becomes its own
+//!    `ServingEngine` (`from_slice_bytes`) behind its own localhost
+//!    `HttpServer`;
+//! 2. **single** — one keep-alive client, sequential `POST /v1/predict`
+//!    through the router: p50/p99 latency and req/s, with every merged
+//!    answer compared against the direct full engine's — the classes
+//!    AND the score bits must match exactly (raw-z scoring makes shard
+//!    answers independent of the candidate split, the `TopK` merge
+//!    reproduces single-box tie-breaking);
+//! 3. **batched** — wire batches through the router: merged examples/s.
+//!
+//! `--check` fails on any non-2xx response, any merged answer that is
+//! not bit-identical to the single box, or router overhead past the
+//! gate (`p50_router ≤ p50_single_box × (10 + 3·shards)` — generous,
+//! because every hop here is a localhost socket and the absolute
+//! latencies are tens of microseconds).
+//!
+//! Emits machine-readable `BENCH_serve_cluster.json` (override with
+//! `--out PATH`).
+//!
+//! ```sh
+//! cargo run -p slide-bench --release --bin serve_cluster -- [smoke|medium|full] [--csv] [--out PATH] [--check]
+//! # CI smoke drill:
+//! cargo run -p slide-bench --release --bin serve_cluster -- --smoke --check
+//! ```
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use slide_bench::{Scale, TablePrinter};
+use slide_core::config::{LshLayerConfig, NetworkConfig};
+use slide_core::trainer::{SlideTrainer, TrainOptions};
+use slide_data::synth::{generate, SyntheticConfig};
+use slide_data::SparseVector;
+use slide_serve::http::{HttpOptions, HttpServer};
+use slide_serve::{
+    Client, EngineHandle, Router, RouterOptions, ServeOptions, ServingEngine, WirePrediction,
+};
+
+struct BenchConfig {
+    scale: Scale,
+    features: usize,
+    labels: usize,
+    hidden: usize,
+    train_size: usize,
+    epochs: usize,
+    /// Shard counts measured (each gets its own cluster).
+    shard_counts: Vec<usize>,
+    /// Sequential router requests in the single phase.
+    single_requests: usize,
+    /// Wire batch size in the batched phase.
+    batch: usize,
+    /// Batch requests in the batched phase.
+    batch_rounds: usize,
+}
+
+impl BenchConfig {
+    fn for_scale(scale: Scale) -> Self {
+        match scale {
+            Scale::Smoke => Self {
+                scale,
+                features: 200,
+                labels: 128,
+                hidden: 24,
+                train_size: 500,
+                epochs: 1,
+                shard_counts: vec![1, 2],
+                single_requests: 100,
+                batch: 8,
+                batch_rounds: 12,
+            },
+            Scale::Medium => Self {
+                scale,
+                features: 600,
+                labels: 512,
+                hidden: 48,
+                train_size: 1_500,
+                epochs: 2,
+                shard_counts: vec![1, 4, 16],
+                single_requests: 400,
+                batch: 16,
+                batch_rounds: 30,
+            },
+            Scale::Full => Self {
+                scale,
+                features: 2_000,
+                labels: 4_096,
+                hidden: 96,
+                train_size: 6_000,
+                epochs: 2,
+                shard_counts: vec![1, 4, 16],
+                single_requests: 1_000,
+                batch: 32,
+                batch_rounds: 60,
+            },
+        }
+    }
+}
+
+/// Every engine in the bench — the full reference box and all shard
+/// engines — runs with dense fallback OFF: a full engine falling back
+/// to dense scoring would score neurons no shard retrieves, and the
+/// bit-identity claim is about the LSH retrieval path.
+fn serve_options() -> ServeOptions {
+    ServeOptions::default()
+        .with_top_k(5)
+        .with_dense_fallback(false)
+}
+
+#[derive(Debug, Clone, Copy)]
+struct SinglePhase {
+    requests: u64,
+    wall_s: f64,
+    p50_us: f64,
+    p99_us: f64,
+    failures: u64,
+    mismatches: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct ClusterResult {
+    shards: usize,
+    single: SinglePhase,
+    batched_examples: u64,
+    batched_wall_s: f64,
+    batched_mismatches: u64,
+}
+
+fn percentile(sorted_us: &[f64], p: f64) -> f64 {
+    if sorted_us.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_us.len() - 1) as f64 * p).round() as usize;
+    sorted_us[idx]
+}
+
+/// One prediction compared bit-for-bit against the reference: same
+/// classes in the same order, and every score's f32 bits equal (the
+/// wire's shortest-round-trip float formatting makes served scores
+/// decode to the exact in-process bits).
+fn matches_reference(got: &WirePrediction, want: &[(u32, f32)]) -> bool {
+    got.classes.len() == want.len()
+        && got
+            .classes
+            .iter()
+            .zip(&got.scores)
+            .zip(want)
+            .all(|((&c, &s), &(wc, ws))| c == wc && s.to_bits() == ws.to_bits())
+}
+
+fn run_single(
+    addr: std::net::SocketAddr,
+    inputs: &[SparseVector],
+    reference: &[Vec<(u32, f32)>],
+    n: usize,
+) -> SinglePhase {
+    let mut client = Client::connect(addr).expect("connect router");
+    let mut lat_us: Vec<f64> = Vec::with_capacity(n);
+    let mut failures = 0u64;
+    let mut mismatches = 0u64;
+    let t0 = Instant::now();
+    for i in 0..n {
+        let idx = i % inputs.len();
+        let r0 = Instant::now();
+        match client.predict(&inputs[idx], None) {
+            Ok(resp) => {
+                lat_us.push(r0.elapsed().as_secs_f64() * 1e6);
+                let ok = resp.predictions.len() == 1
+                    && matches_reference(&resp.predictions[0], &reference[idx]);
+                mismatches += (!ok) as u64;
+            }
+            Err(_) => failures += 1,
+        }
+    }
+    let wall_s = t0.elapsed().as_secs_f64();
+    lat_us.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    SinglePhase {
+        requests: n as u64,
+        wall_s,
+        p50_us: percentile(&lat_us, 0.50),
+        p99_us: percentile(&lat_us, 0.99),
+        failures,
+        mismatches,
+    }
+}
+
+fn run_batched(
+    addr: std::net::SocketAddr,
+    inputs: &[SparseVector],
+    reference: &[Vec<(u32, f32)>],
+    cfg: &BenchConfig,
+) -> (u64, f64, u64) {
+    let mut client = Client::connect(addr).expect("connect router");
+    let mut examples = 0u64;
+    let mut mismatches = 0u64;
+    let t0 = Instant::now();
+    for r in 0..cfg.batch_rounds {
+        let start = (r * cfg.batch) % inputs.len();
+        let idxs: Vec<usize> = (0..cfg.batch).map(|j| (start + j) % inputs.len()).collect();
+        let chunk: Vec<SparseVector> = idxs.iter().map(|&i| inputs[i].clone()).collect();
+        let resp = client.predict_batch(&chunk, None).expect("batch predict");
+        assert_eq!(resp.predictions.len(), cfg.batch);
+        for (p, &i) in resp.predictions.iter().zip(&idxs) {
+            mismatches += (!matches_reference(p, &reference[i])) as u64;
+        }
+        examples += cfg.batch as u64;
+    }
+    (examples, t0.elapsed().as_secs_f64(), mismatches)
+}
+
+/// Brings up `n` shard servers over the snapshot's slices plus a router
+/// fronting them.
+fn start_cluster(bytes: &[u8], n: usize) -> (Vec<HttpServer>, Router) {
+    let slices = slide_core::snapshot::slice_snapshot(bytes, n).expect("slice snapshot");
+    let mut servers = Vec::with_capacity(n);
+    let mut addrs = Vec::with_capacity(n);
+    for s in &slices {
+        let engine = ServingEngine::from_slice_bytes(s, serve_options()).expect("shard engine");
+        let handle = Arc::new(EngineHandle::new(engine));
+        let server =
+            HttpServer::serve(handle, "127.0.0.1:0", HttpOptions::default()).expect("bind shard");
+        addrs.push(server.local_addr());
+        servers.push(server);
+    }
+    let router = Router::serve(
+        "127.0.0.1:0",
+        addrs,
+        RouterOptions::default().with_top_k(serve_options().top_k),
+    )
+    .expect("bind router");
+    (servers, router)
+}
+
+fn json_num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.2}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn emit_json(path: &str, cfg: &BenchConfig, baseline: &SinglePhase, clusters: &[ClusterResult]) {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"bench\": \"serve_cluster\",\n");
+    out.push_str(&format!("  \"scale\": \"{}\",\n", cfg.scale));
+    out.push_str("  \"api_version\": 1,\n");
+    out.push_str(&format!(
+        "  \"config\": {{\"features\": {}, \"labels\": {}, \"hidden\": {}, \"batch\": {}}},\n",
+        cfg.features, cfg.labels, cfg.hidden, cfg.batch
+    ));
+    out.push_str(&format!(
+        "  \"single_box\": {{\"requests\": {}, \"requests_per_s\": {}, \"p50_us\": {}, \"p99_us\": {}}},\n",
+        baseline.requests,
+        json_num(baseline.requests as f64 / baseline.wall_s.max(1e-12)),
+        json_num(baseline.p50_us),
+        json_num(baseline.p99_us),
+    ));
+    out.push_str("  \"clusters\": [\n");
+    for (i, c) in clusters.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"shards\": {}, \"requests\": {}, \"requests_per_s\": {}, \"p50_us\": {}, \"p99_us\": {}, \"overhead_x\": {}, \"batched_examples_per_s\": {}, \"failures\": {}, \"mismatches\": {}}}{}\n",
+            c.shards,
+            c.single.requests,
+            json_num(c.single.requests as f64 / c.single.wall_s.max(1e-12)),
+            json_num(c.single.p50_us),
+            json_num(c.single.p99_us),
+            json_num(c.single.p50_us / baseline.p50_us.max(1e-12)),
+            json_num(c.batched_examples as f64 / c.batched_wall_s.max(1e-12)),
+            c.single.failures,
+            c.single.mismatches + c.batched_mismatches,
+            if i + 1 < clusters.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    std::fs::write(path, out).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+    eprintln!("wrote {path}");
+}
+
+fn main() {
+    let mut scale = Scale::Smoke;
+    let mut csv = false;
+    let mut check = false;
+    let mut out_path = String::from("BENCH_serve_cluster.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--csv" => csv = true,
+            "--smoke" => scale = Scale::Smoke,
+            "--check" => check = true,
+            "--out" => out_path = args.next().expect("--out requires a path"),
+            other => {
+                scale = Scale::parse(other).unwrap_or_else(|| {
+                    panic!(
+                        "unknown argument {other:?}; expected smoke|medium|full, --smoke, --csv, --check, --out PATH"
+                    )
+                });
+            }
+        }
+    }
+    let cfg = BenchConfig::for_scale(scale);
+    eprintln!(
+        "serve_cluster {scale}: {} classes x {} features, shard counts {:?}",
+        cfg.labels, cfg.features, cfg.shard_counts
+    );
+
+    // Train and freeze the model. Bucket capacity == labels so no FIFO
+    // eviction ever fires: overflow survivors can differ between a
+    // global insert order and per-shard insert orders, and the claim
+    // under test is exact equality.
+    let mut synth = SyntheticConfig::delicious_like(Scale::Smoke).with_seed(0x5CA7);
+    synth.feature_dim = cfg.features;
+    synth.label_dim = cfg.labels;
+    synth.train_size = cfg.train_size;
+    synth.test_size = 256;
+    let data = generate(&synth);
+    let net_config = NetworkConfig::builder(data.train.feature_dim(), data.train.label_dim())
+        .hidden(cfg.hidden)
+        .output_lsh(LshLayerConfig::simhash(4, 16).with_tables(10, cfg.labels))
+        .learning_rate(2e-3)
+        .seed(0xC157)
+        .build()
+        .expect("valid config");
+    let mut trainer = SlideTrainer::new(net_config).expect("valid network");
+    trainer.train(
+        &data.train,
+        &TrainOptions::new(cfg.epochs).batch_size(64).seed(7),
+    );
+    let bytes = trainer.network().to_snapshot_bytes();
+
+    let inputs: Vec<SparseVector> = data.test.iter().map(|ex| ex.features.clone()).collect();
+
+    // The reference answers: the full engine scored directly, no socket
+    // in the way. Every merged router answer must reproduce these to
+    // the bit.
+    let full = ServingEngine::from_snapshot_bytes(&bytes, serve_options()).expect("full engine");
+    let reference: Vec<Vec<(u32, f32)>> = inputs
+        .iter()
+        .map(|f| {
+            full.predict(f)
+                .expect("reference predict")
+                .topk
+                .items()
+                .to_vec()
+        })
+        .collect();
+
+    // Overhead baseline: the same full engine behind ONE HttpServer,
+    // no router hop.
+    eprintln!("baseline: single box over HTTP ...");
+    let base_handle = Arc::new(EngineHandle::new(
+        ServingEngine::from_snapshot_bytes(&bytes, serve_options()).expect("baseline engine"),
+    ));
+    let base_server = HttpServer::serve(base_handle, "127.0.0.1:0", HttpOptions::default())
+        .expect("bind baseline");
+    let baseline = run_single(
+        base_server.local_addr(),
+        &inputs,
+        &reference,
+        cfg.single_requests,
+    );
+    base_server.shutdown();
+
+    let mut clusters: Vec<ClusterResult> = Vec::new();
+    for &n in &cfg.shard_counts {
+        eprintln!("cluster {n}x: slicing, serving, fanning ...");
+        let (servers, router) = start_cluster(&bytes, n);
+        let single = run_single(
+            router.local_addr(),
+            &inputs,
+            &reference,
+            cfg.single_requests,
+        );
+        let (batched_examples, batched_wall_s, batched_mismatches) =
+            run_batched(router.local_addr(), &inputs, &reference, &cfg);
+        let stats = router.stats();
+        router.shutdown();
+        for s in servers {
+            s.shutdown();
+        }
+        eprintln!(
+            "  {n}x: p50 {:.0}us p99 {:.0}us, {} merged, {} shard errors, mismatches {}",
+            single.p50_us,
+            single.p99_us,
+            stats.merged,
+            stats.shard_errors,
+            single.mismatches + batched_mismatches
+        );
+        clusters.push(ClusterResult {
+            shards: n,
+            single,
+            batched_examples,
+            batched_wall_s,
+            batched_mismatches,
+        });
+    }
+
+    let mut printer = TablePrinter::new(
+        vec![
+            "cluster",
+            "requests",
+            "req/s",
+            "p50_us",
+            "p99_us",
+            "overhead",
+            "batch ex/s",
+            "mismatch",
+        ],
+        csv,
+    );
+    printer.row(vec![
+        "single-box".to_string(),
+        baseline.requests.to_string(),
+        format!(
+            "{:.0}",
+            baseline.requests as f64 / baseline.wall_s.max(1e-12)
+        ),
+        format!("{:.1}", baseline.p50_us),
+        format!("{:.1}", baseline.p99_us),
+        "1.00x".to_string(),
+        "-".to_string(),
+        baseline.mismatches.to_string(),
+    ]);
+    for c in &clusters {
+        printer.row(vec![
+            format!("{}x-shard", c.shards),
+            c.single.requests.to_string(),
+            format!(
+                "{:.0}",
+                c.single.requests as f64 / c.single.wall_s.max(1e-12)
+            ),
+            format!("{:.1}", c.single.p50_us),
+            format!("{:.1}", c.single.p99_us),
+            format!("{:.2}x", c.single.p50_us / baseline.p50_us.max(1e-12)),
+            format!(
+                "{:.0}",
+                c.batched_examples as f64 / c.batched_wall_s.max(1e-12)
+            ),
+            (c.single.mismatches + c.batched_mismatches).to_string(),
+        ]);
+    }
+    printer.print();
+
+    emit_json(&out_path, &cfg, &baseline, &clusters);
+
+    if check {
+        let mut failed = false;
+        if baseline.failures > 0 || baseline.mismatches > 0 {
+            eprintln!(
+                "FAIL: single-box baseline unhealthy ({} failures, {} mismatches)",
+                baseline.failures, baseline.mismatches
+            );
+            failed = true;
+        }
+        for c in &clusters {
+            if c.single.failures > 0 {
+                eprintln!(
+                    "FAIL: {}x cluster saw {} non-2xx answers",
+                    c.shards, c.single.failures
+                );
+                failed = true;
+            }
+            let mism = c.single.mismatches + c.batched_mismatches;
+            if mism > 0 {
+                eprintln!(
+                    "FAIL: {}x cluster merged {} answers not bit-identical to the single box",
+                    c.shards, mism
+                );
+                failed = true;
+            }
+            // Generous localhost gate: fan-out + merge costs a few extra
+            // socket round-trips, but must stay within the same order of
+            // magnitude and scale sub-linearly in shard count.
+            let bound = baseline.p50_us.max(1.0) * (10.0 + 3.0 * c.shards as f64);
+            if c.single.p50_us > bound {
+                eprintln!(
+                    "FAIL: {}x router p50 {:.0}us exceeds the overhead gate {:.0}us",
+                    c.shards, c.single.p50_us, bound
+                );
+                failed = true;
+            }
+        }
+        if failed {
+            std::process::exit(1);
+        }
+        eprintln!(
+            "check passed: every merged answer bit-identical to the single box across {:?} shards, overhead within gate",
+            cfg.shard_counts
+        );
+    }
+}

@@ -19,7 +19,6 @@
 
 use slide_lsh::retrieve::{retrieve_union, QueryBudget};
 
-use crate::config::Activation;
 use crate::network::{Network, Workspace};
 use crate::quant::QuantizedRows;
 use crate::selector::{ActiveSet, NeuronSelector, SelectionContext, SelectorScratch};
@@ -131,8 +130,6 @@ pub struct BatchScratch {
     epoch: u64,
     /// Pre-activations, candidate-major (`union × batch`).
     z: Vec<f32>,
-    /// Per-example activation buffer for the nonlinearity.
-    probs: Vec<f32>,
     /// Examples whose retrieval degenerated to the whole output layer;
     /// they are routed through per-example scoring instead of inflating
     /// the shared union.
@@ -165,9 +162,13 @@ impl Network {
     /// whole batch instead of once per example.
     ///
     /// Every example's top-k is still reduced over its **own** candidate
-    /// set (softmax normalization included), so results match per-example
-    /// [`Network::predict_topk`] up to floating-point summation order of
-    /// the gather. Batching is an execution detail, not a semantic one.
+    /// set, scored as **raw pre-softmax logits** (the serving wire
+    /// contract). Softmax is strictly monotone per example, so rankings
+    /// match post-activation reduction exactly — but unlike softmax
+    /// probabilities, a class's raw logit does not depend on which other
+    /// candidates were retrieved, which is what lets a sharded deployment
+    /// merge per-shard top-k results bit-identically to one engine.
+    /// Batching is an execution detail, not a semantic one.
     ///
     /// Requires a dense hidden basis (every hidden layer fully active in
     /// id order — true for [`InferenceSelector`] and
@@ -355,32 +356,56 @@ impl Network {
             }
         }
 
-        // Phase 3: per-example nonlinearity over its own candidates, then
-        // the in-place top-k reduction.
+        // Phase 3: per-example top-k reduction over its own candidates'
+        // raw pre-activations. No nonlinearity: serving scores are the
+        // raw logits (softmax is monotone per example, so rankings are
+        // unchanged, and raw logits — unlike softmax probabilities — do
+        // not depend on the candidate set, so shards merge exactly).
         for (e, out) in outs.iter_mut().enumerate() {
             let own = &scratch.cands[scratch.cand_offsets[e]..scratch.cand_offsets[e + 1]];
-            scratch.probs.clear();
-            for &c in own {
-                scratch
-                    .probs
-                    .push(scratch.z[scratch.uidx[c as usize] as usize * b + e]);
-            }
-            match out_layer.activation() {
-                Activation::Relu => slide_kernels::relu_in_place(&mut scratch.probs, mode),
-                Activation::Softmax => slide_kernels::softmax_in_place(&mut scratch.probs, mode),
-            }
             out.reset(out.k());
-            for (&c, &p) in own.iter().zip(&scratch.probs) {
-                out.offer(c, p);
+            for &c in own {
+                out.offer(c, scratch.z[scratch.uidx[c as usize] as usize * b + e]);
             }
             out.finish();
         }
 
-        // Degenerate-retrieval examples run the ordinary per-example path
-        // (their fused-phase reduction above was a no-op).
+        // Degenerate-retrieval examples score every class through the
+        // SAME fused kernels at batch-of-1 against their own hidden row.
+        // The batch kernels accumulate each example independently of
+        // batch size, so a shard whose slice of the layer degenerates
+        // while the single-box reference does not still produces the
+        // exact score bits the reference computed in its fused phase.
         for &e in &scratch.dense {
             let e = e as usize;
-            self.predict_topk(selector, ws, batch[e].borrow(), &mut outs[e]);
+            let hidden = &scratch.hidden[e * h..(e + 1) * h];
+            let out = &mut outs[e];
+            out.reset(out.k());
+            let mut z1 = [0.0f32; 1];
+            for c in 0..units {
+                let bias = out_layer.biases().get(c);
+                match qout {
+                    Some(q) => slide_kernels::dot_batch_q16(
+                        q.row(c),
+                        q.scale(c),
+                        h,
+                        hidden,
+                        bias,
+                        &mut z1,
+                        mode,
+                    ),
+                    None => slide_kernels::gather_dot_batch(
+                        out_layer.weights().row(c),
+                        &scratch.ids,
+                        hidden,
+                        bias,
+                        &mut z1,
+                        mode,
+                    ),
+                }
+                out.offer(c as u32, z1[0]);
+            }
+            out.finish();
         }
         BatchReport {
             shared: true,
@@ -389,6 +414,11 @@ impl Network {
         }
     }
 
+    /// Per-example serving fallback (no hidden layer, or a selector left
+    /// the hidden basis non-dense): runs the forward prefix and output
+    /// selection as usual, then scores each active class's **raw logit**
+    /// directly — the same score definition as the fused path, so which
+    /// path a deployment lands on never changes the wire contract.
     fn predict_topk_batch_fallback<S, B>(
         &self,
         selector: &S,
@@ -402,12 +432,30 @@ impl Network {
     {
         let last = self.layers().len() - 1;
         let units = self.output_dim();
+        let out_layer = &self.layers()[last];
+        let mode = self.config().kernel_mode;
         let mut dense_examples = 0usize;
         for (x, out) in batch.iter().zip(outs.iter_mut()) {
-            self.predict_topk(selector, ws, x.borrow(), out);
-            if ws.active_set(last).len() == units {
+            let x = x.borrow();
+            self.forward_prefix(last, selector, ws, x, None);
+            self.select_layer(last, selector, ws, x, None);
+            let active = ws.active_set(last);
+            if active.len() == units {
                 dense_examples += 1;
             }
+            out.reset(out.k());
+            if last == 0 {
+                for &c in active.ids() {
+                    out.offer(c, out_layer.neuron_z(c, x.indices(), x.values(), mode));
+                }
+            } else {
+                let prev_ids = ws.active_set(last - 1).ids();
+                let prev_vals = ws.activations(last - 1);
+                for &c in active.ids() {
+                    out.offer(c, out_layer.neuron_z(c, prev_ids, prev_vals, mode));
+                }
+            }
+            out.finish();
         }
         BatchReport {
             shared: false,
@@ -512,6 +560,26 @@ impl TopK {
     pub fn is_empty(&self) -> bool {
         self.items.is_empty()
     }
+
+    /// Shifts every kept class id by `offset` — how a shard serving the
+    /// neuron range `[offset, offset + units)` of a partitioned output
+    /// layer maps its local ids into the global class space before its
+    /// results leave the process.
+    pub fn offset_ids(&mut self, offset: u32) {
+        for item in &mut self.items {
+            item.0 += offset;
+        }
+    }
+
+    /// The kept `(class, score-bits)` pairs — the exact form bit-identity
+    /// tests and the cluster bench compare, since two `f32`s are "the
+    /// same answer" here only when their bit patterns match.
+    pub fn to_bits(&self) -> Vec<(u32, u32)> {
+        self.items
+            .iter()
+            .map(|&(id, s)| (id, s.to_bits()))
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -577,5 +645,74 @@ mod tests {
         assert!(s.dense_fallback());
         let s = s.with_dense_fallback(false);
         assert!(!s.dense_fallback());
+    }
+
+    #[test]
+    fn offset_ids_maps_into_global_class_space() {
+        let mut t = TopK::new(2);
+        t.offer(0, 0.5);
+        t.offer(3, 0.9);
+        t.finish();
+        t.offset_ids(100);
+        assert_eq!(t.items(), &[(103, 0.9), (100, 0.5)]);
+    }
+
+    use proptest::prelude::*;
+
+    proptest! {
+        /// The scatter-gather reduction's load-bearing invariant: for ANY
+        /// contiguous partition of the class space into shards, merging
+        /// the per-shard `TopK` results — in ANY shard arrival order —
+        /// equals one global `TopK` over the union, down to the score
+        /// bits. Holds because `beats` is a strict total order (ties
+        /// break on ascending id), so the reduction is order-insensitive,
+        /// and every global top-k element is necessarily in its own
+        /// shard's top-k. Scores are drawn from a tiny set to force heavy
+        /// ties.
+        #[test]
+        fn prop_sharded_topk_merge_equals_global(
+            n in 1usize..6,
+            k in 1usize..8,
+            items in proptest::collection::btree_map(0u32..64, 0u32..4, 1..40),
+        ) {
+            let items: Vec<(u32, f32)> = items
+                .into_iter()
+                .map(|(id, lvl)| (id, lvl as f32 * 0.5 - 1.0))
+                .collect();
+            let mut global = TopK::new(k);
+            for &(id, s) in &items {
+                global.offer(id, s);
+            }
+            global.finish();
+
+            // Contiguous shard ranges over the 64-wide id space.
+            let mut shards: Vec<TopK> = Vec::new();
+            for s in 0..n {
+                let (lo, hi) = (s as u32 * 64 / n as u32, (s as u32 + 1) * 64 / n as u32);
+                let mut t = TopK::new(k);
+                for &(id, score) in items.iter().filter(|&&(id, _)| id >= lo && id < hi) {
+                    t.offer(id, score);
+                }
+                t.finish();
+                shards.push(t);
+            }
+
+            // Merge forward and reversed: arrival order must not matter.
+            for reversed in [false, true] {
+                let mut merged = TopK::new(k);
+                let order: Vec<&TopK> = if reversed {
+                    shards.iter().rev().collect()
+                } else {
+                    shards.iter().collect()
+                };
+                for shard in order {
+                    for &(id, s) in shard.items() {
+                        merged.offer(id, s);
+                    }
+                }
+                merged.finish();
+                prop_assert_eq!(merged.to_bits(), global.to_bits());
+            }
+        }
     }
 }

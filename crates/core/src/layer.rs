@@ -39,6 +39,13 @@ pub struct LayerLsh {
     pub(crate) strategy: SamplingStrategy,
     pub(crate) rebuild: RebuildState,
     pub(crate) centered: bool,
+    /// When set, centered rebuilds subtract THIS vector instead of the
+    /// mean of the layer's own rows. A snapshot *slice* restores only a
+    /// shard's rows, so its local mean would diverge from the full
+    /// layer's; the slice carries the full layer's center and installs it
+    /// here, keeping shard-side hashing bit-identical to the unsharded
+    /// engine's.
+    pub(crate) center_override: Option<Vec<f32>>,
     rebuild_count: u64,
     rng_base: Xoshiro256PlusPlus,
     scratch: RebuildScratch,
@@ -111,11 +118,32 @@ impl Layer {
         kernel_mode: KernelMode,
         rng: &mut Xoshiro256PlusPlus,
     ) -> Self {
+        Self::new_with_init_draws(fan_in, config, kernel_mode, rng, config.units)
+    }
+
+    /// [`Layer::new`] advancing `rng` as if the layer had `init_units`
+    /// neurons: the full `init_units × fan_in` Glorot draws happen (the
+    /// surplus is discarded) before the hash family is built. A snapshot
+    /// *slice* restores only a shard's rows of a wider layer; its family
+    /// and `rng_base` must be seeded from the same RNG position as the
+    /// full network's or its hash codes would diverge. The initial
+    /// weights are irrelevant — the slice payload overwrites them.
+    pub(crate) fn new_with_init_draws(
+        fan_in: usize,
+        config: &LayerConfig,
+        kernel_mode: KernelMode,
+        rng: &mut Xoshiro256PlusPlus,
+        init_units: usize,
+    ) -> Self {
         let units = config.units;
-        let bound = (6.0 / (fan_in + units) as f64).sqrt() as f32;
+        assert!(init_units >= units, "init_units below layer units");
+        let bound = (6.0 / (fan_in + init_units) as f64).sqrt() as f32;
         let mut values = vec![0.0f32; units * fan_in];
         for v in &mut values {
             *v = (rng.next_f32() * 2.0 - 1.0) * bound;
+        }
+        for _ in units * fan_in..init_units * fan_in {
+            rng.next_f32();
         }
         let weights = HogwildMatrix::from_values(units, fan_in, &values);
         let biases = HogwildArray::zeroed(units);
@@ -132,6 +160,7 @@ impl Layer {
                 strategy,
                 rebuild: cfg.rebuild.start(),
                 centered: cfg.center_rows,
+                center_override: None,
                 rebuild_count: 0,
                 rng_base: Xoshiro256PlusPlus::seed_from_u64(rng.next_u64()),
                 scratch: RebuildScratch::default(),
@@ -341,19 +370,23 @@ impl Layer {
         // score ranking unchanged for any query.
         scratch.mean.clear();
         if lsh.centered {
-            scratch.mean_acc.clear();
-            scratch.mean_acc.resize(fan_in, 0.0);
-            scratch.row.clear();
-            scratch.row.resize(fan_in, 0.0);
-            for j in 0..units {
-                weights.read_row_into(j, &mut scratch.row);
-                for (a, &r) in scratch.mean_acc.iter_mut().zip(&scratch.row) {
-                    *a += r as f64;
+            if let Some(center) = &lsh.center_override {
+                scratch.mean.extend_from_slice(center);
+            } else {
+                scratch.mean_acc.clear();
+                scratch.mean_acc.resize(fan_in, 0.0);
+                scratch.row.clear();
+                scratch.row.resize(fan_in, 0.0);
+                for j in 0..units {
+                    weights.read_row_into(j, &mut scratch.row);
+                    for (a, &r) in scratch.mean_acc.iter_mut().zip(&scratch.row) {
+                        *a += r as f64;
+                    }
                 }
+                scratch
+                    .mean
+                    .extend(scratch.mean_acc.iter().map(|&a| (a / units as f64) as f32));
             }
-            scratch
-                .mean
-                .extend(scratch.mean_acc.iter().map(|&a| (a / units as f64) as f32));
         }
         let mean = &scratch.mean;
 
@@ -407,6 +440,69 @@ impl Layer {
     pub(crate) fn set_centered(&mut self, on: bool) {
         if let Some(lsh) = self.lsh.as_mut() {
             lsh.centered = on;
+        }
+    }
+
+    /// Installs (or clears) the fixed centering vector centered rebuilds
+    /// subtract instead of the layer's own row mean (see
+    /// [`LayerLsh::center_override`]). The caller must rebuild the tables
+    /// for it to take effect. No-op for dense layers.
+    pub(crate) fn set_center_override(&mut self, center: Option<Vec<f32>>) {
+        if let Some(lsh) = self.lsh.as_mut() {
+            lsh.center_override = center;
+        }
+    }
+
+    /// Hashes the weight rows of neurons `lo..hi` into `out`
+    /// (`(hi − lo) × num_codes`), reproducing [`Layer::rebuild_tables`]'s
+    /// codes exactly: the same serial `f64` column-mean over **all**
+    /// `units` rows when centering (or the center override), the same
+    /// mode-aware `hash_dense_mode` entry point. This is how the sharded
+    /// selector and slice-restored shard engines build per-range tables
+    /// whose codes are bit-identical to the unsharded rebuild's.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the layer has no LSH state or `lo..hi` is out of range.
+    pub(crate) fn hash_row_range(&self, lo: usize, hi: usize, out: &mut Vec<u32>) {
+        let lsh = self
+            .lsh
+            .as_ref()
+            .expect("hash_row_range requires an LSH layer");
+        assert!(lo <= hi && hi <= self.units, "row range out of bounds");
+        let num_codes = lsh.family.num_codes();
+        let mode = self.kernel_mode;
+        let mut mean: Vec<f32> = Vec::new();
+        if lsh.centered {
+            if let Some(center) = &lsh.center_override {
+                mean.extend_from_slice(center);
+            } else {
+                let mut acc = vec![0.0f64; self.fan_in];
+                let mut row = vec![0.0f32; self.fan_in];
+                for j in 0..self.units {
+                    self.weights.read_row_into(j, &mut row);
+                    for (a, &r) in acc.iter_mut().zip(&row) {
+                        *a += r as f64;
+                    }
+                }
+                mean.extend(acc.iter().map(|&a| (a / self.units as f64) as f32));
+            }
+        }
+        out.clear();
+        out.resize((hi - lo) * num_codes, 0);
+        let mut row_buf = vec![0.0f32; self.fan_in];
+        for (i, j) in (lo..hi).enumerate() {
+            self.weights.read_row_into(j, &mut row_buf);
+            if !mean.is_empty() {
+                for (r, &m) in row_buf.iter_mut().zip(&mean) {
+                    *r -= m;
+                }
+            }
+            lsh.family.hash_dense_mode(
+                &row_buf,
+                &mut out[i * num_codes..(i + 1) * num_codes],
+                mode,
+            );
         }
     }
 

@@ -82,6 +82,9 @@ pub use quant::QuantizedRows;
 pub use schedule::{RebuildSchedule, RebuildState};
 pub use selector::{
     hash_layer_input, probe_tables, ActiveSet, DenseSelector, LshSelector, NeuronSelector,
+    ShardedSelector,
 };
-pub use snapshot::{LoadedSnapshot, SnapshotError};
+pub use snapshot::{
+    assemble_slices, read_slice, slice_snapshot, LoadedSlice, LoadedSnapshot, SnapshotError,
+};
 pub use trainer::{Checkpoint, SlideTrainer, TrainOptions, TrainReport, Trainer};

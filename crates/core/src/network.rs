@@ -189,6 +189,44 @@ impl Network {
         })
     }
 
+    /// [`Network::new`] for a snapshot *slice*: the output layer in
+    /// `config` holds only a shard's `hi − lo` neurons, but the RNG is
+    /// advanced as if it had `init_output_units` (the full network's
+    /// output width), so the hash families — drawn *after* each layer's
+    /// weight init — land at exactly the positions the full network drew
+    /// them from. Without this the shard's codes would diverge from the
+    /// unsharded engine's and scatter-gather bit-identity would be lost.
+    pub(crate) fn new_output_sliced(
+        config: NetworkConfig,
+        init_output_units: usize,
+    ) -> Result<Self, ConfigError> {
+        config.validate()?;
+        let mut rng = slide_data::rng::Xoshiro256PlusPlus::seed_from_u64(config.seed);
+        let mut layers = Vec::with_capacity(config.layers.len());
+        let mut fan_in = config.input_dim;
+        let last = config.layers.len() - 1;
+        for (li, layer_cfg) in config.layers.iter().enumerate() {
+            let init_units = if li == last {
+                init_output_units
+            } else {
+                layer_cfg.units
+            };
+            layers.push(Layer::new_with_init_draws(
+                fan_in,
+                layer_cfg,
+                config.kernel_mode,
+                &mut rng,
+                init_units,
+            ));
+            fan_in = layer_cfg.units;
+        }
+        Ok(Self {
+            config,
+            layers,
+            step: AtomicU64::new(0),
+        })
+    }
+
     /// The configuration.
     pub fn config(&self) -> &NetworkConfig {
         &self.config

@@ -46,6 +46,7 @@ use slide_lsh::sampling::SamplingStrategy;
 
 use crate::config::{Activation, FamilySpec, LayerConfig, LshLayerConfig, NetworkConfig};
 use crate::error::ConfigError;
+use crate::layer::Layer;
 use crate::network::Network;
 use crate::quant::QuantizedRows;
 use crate::schedule::RebuildSchedule;
@@ -72,6 +73,10 @@ pub enum SnapshotError {
     Corrupt(&'static str),
     /// The embedded configuration failed validation.
     Config(ConfigError),
+    /// A snapshot-slice operation failed: invalid shard count or neuron
+    /// range, or a slice set that does not reassemble into one snapshot
+    /// (gaps, overlaps, mismatched origins).
+    Slice(&'static str),
 }
 
 impl std::fmt::Display for SnapshotError {
@@ -84,6 +89,7 @@ impl std::fmt::Display for SnapshotError {
             }
             SnapshotError::Corrupt(what) => write!(f, "corrupt snapshot: {what}"),
             SnapshotError::Config(e) => write!(f, "snapshot config invalid: {e}"),
+            SnapshotError::Slice(what) => write!(f, "snapshot slice: {what}"),
         }
     }
 }
@@ -538,65 +544,10 @@ pub fn read_snapshot_with_centering(
     let mut quantized: Option<QuantizedRows> = None;
     let mut values: Vec<f32> = Vec::new();
     for (li, layer) in network.layers_mut().iter_mut().enumerate() {
-        let enc = if version >= 2 { d.u8()? } else { ENC_F32 };
-        match enc {
-            ENC_F32 => {
-                let n_w = d.usize()?;
-                if n_w != layer.weights().flat().len() {
-                    return Err(SnapshotError::Corrupt("weight count mismatch"));
-                }
-                values.clear();
-                values.reserve(n_w);
-                for _ in 0..n_w {
-                    values.push(d.f32()?);
-                }
-                layer.weights().flat().copy_from(&values);
-            }
-            ENC_Q16 => {
-                let count = d.usize()?;
-                let (units, fan_in) = (layer.units(), layer.fan_in());
-                if count != units * fan_in {
-                    return Err(SnapshotError::Corrupt("quantized code count mismatch"));
-                }
-                let mut scales = Vec::with_capacity(units);
-                for _ in 0..units {
-                    let s = d.f32()?;
-                    if !s.is_finite() || s < 0.0 {
-                        return Err(SnapshotError::Corrupt("quantized scale invalid"));
-                    }
-                    scales.push(s);
-                }
-                let mut codes = Vec::with_capacity(count);
-                for _ in 0..count {
-                    codes.push(d.i16()?);
-                }
-                let q = QuantizedRows::from_parts(units, fan_in, codes, scales);
-                // Dequantize into the layer so table rebuilds (and any
-                // f32 fallback path) see the same values the quantized
-                // kernels compute against.
-                values.resize(fan_in, 0.0);
-                for j in 0..units {
-                    q.dequantize_row(j, &mut values);
-                    for (i, &v) in values.iter().enumerate() {
-                        layer.weights().set(j, i, v);
-                    }
-                }
-                if li == n_layers - 1 {
-                    quantized = Some(q);
-                }
-            }
-            _ => return Err(SnapshotError::Corrupt("layer encoding tag")),
+        let q = decode_layer_params(&mut d, version, layer, &mut values)?;
+        if li == n_layers - 1 {
+            quantized = q;
         }
-        let n_b = d.usize()?;
-        if n_b != layer.biases().len() {
-            return Err(SnapshotError::Corrupt("bias count mismatch"));
-        }
-        values.clear();
-        values.reserve(n_b);
-        for _ in 0..n_b {
-            values.push(d.f32()?);
-        }
-        layer.biases().copy_from(&values);
         // Bucket contents are a function of the weights: re-hash now that
         // the trained weights are in place.
         layer.rebuild_tables();
@@ -605,6 +556,656 @@ pub fn read_snapshot_with_centering(
         return Err(SnapshotError::Corrupt("trailing bytes"));
     }
     Ok(LoadedSnapshot { network, quantized })
+}
+
+/// Decodes one layer's parameter section (weights + biases) from `d`
+/// into `layer`, dequantizing q16 rows into the weight matrix (so table
+/// rebuilds and the f32 fallback see exactly the values the quantized
+/// kernels compute against). Returns the decoded [`QuantizedRows`] when
+/// the section was q16. Does **not** rebuild the layer's tables.
+fn decode_layer_params(
+    d: &mut Dec<'_>,
+    version: u32,
+    layer: &mut Layer,
+    values: &mut Vec<f32>,
+) -> Result<Option<QuantizedRows>, SnapshotError> {
+    let mut quantized: Option<QuantizedRows> = None;
+    let enc = if version >= 2 { d.u8()? } else { ENC_F32 };
+    match enc {
+        ENC_F32 => {
+            let n_w = d.usize()?;
+            if n_w != layer.weights().flat().len() {
+                return Err(SnapshotError::Corrupt("weight count mismatch"));
+            }
+            values.clear();
+            values.reserve(n_w);
+            for _ in 0..n_w {
+                values.push(d.f32()?);
+            }
+            layer.weights().flat().copy_from(values);
+        }
+        ENC_Q16 => {
+            let count = d.usize()?;
+            let (units, fan_in) = (layer.units(), layer.fan_in());
+            if count != units * fan_in {
+                return Err(SnapshotError::Corrupt("quantized code count mismatch"));
+            }
+            let mut scales = Vec::with_capacity(units);
+            for _ in 0..units {
+                let s = d.f32()?;
+                if !s.is_finite() || s < 0.0 {
+                    return Err(SnapshotError::Corrupt("quantized scale invalid"));
+                }
+                scales.push(s);
+            }
+            let mut codes = Vec::with_capacity(count);
+            for _ in 0..count {
+                codes.push(d.i16()?);
+            }
+            let q = QuantizedRows::from_parts(units, fan_in, codes, scales);
+            values.resize(fan_in, 0.0);
+            for j in 0..units {
+                q.dequantize_row(j, values);
+                for (i, &v) in values.iter().enumerate() {
+                    layer.weights().set(j, i, v);
+                }
+            }
+            quantized = Some(q);
+        }
+        _ => return Err(SnapshotError::Corrupt("layer encoding tag")),
+    }
+    let n_b = d.usize()?;
+    if n_b != layer.biases().len() {
+        return Err(SnapshotError::Corrupt("bias count mismatch"));
+    }
+    values.clear();
+    values.reserve(n_b);
+    for _ in 0..n_b {
+        values.push(d.f32()?);
+    }
+    layer.biases().copy_from(values);
+    Ok(quantized)
+}
+
+// ---------------------------------------------------------------------
+// Snapshot slices: scatter a snapshot's output layer across shards.
+//
+// A *slice* is a v2-compatible section of a full snapshot carrying one
+// shard's contiguous output-neuron range — its weight rows (f32 or q16
+// with per-row scales) and biases — plus everything a shard engine needs
+// to reproduce the unsharded engine's behaviour bit-for-bit: the full
+// network's config and hidden layers verbatim, and the full output
+// layer's centering vector (a shard cannot recompute the mean of rows it
+// does not hold). `slice_snapshot` produces the slices,
+// `assemble_slices` reassembles the original bytes exactly, and
+// `read_slice` restores a shard-sized network whose hash family, tables
+// and scores match the full network's over the shard's range.
+
+/// Slice container magic.
+const SLICE_MAGIC: &[u8; 8] = b"SLIDSLCE";
+/// Slice container format version.
+const SLICE_VERSION: u32 = 1;
+
+/// A full snapshot parsed down to section offsets (checksum and payload
+/// sizes already verified).
+struct FullParts<'a> {
+    version: u32,
+    config: NetworkConfig,
+    /// The snapshot bytes minus the trailing checksum.
+    payload: &'a [u8],
+    /// Offset of the output layer's parameter section in `payload`.
+    out_start: usize,
+    /// The output layer's fan-in (last hidden width, or the input dim).
+    out_fan_in: usize,
+}
+
+/// Byte size of one layer's parameter section. `tag` is the section's
+/// first byte for version ≥ 2 (ignored for version 1).
+fn layer_section_size(
+    tag: Option<u8>,
+    version: u32,
+    units: usize,
+    fan_in: usize,
+) -> Result<usize, SnapshotError> {
+    let weights = if version >= 2 {
+        match tag.ok_or(SnapshotError::Corrupt("truncated"))? {
+            ENC_F32 => 1 + 8 + units * fan_in * 4,
+            ENC_Q16 => 1 + 8 + units * 4 + units * fan_in * 2,
+            _ => return Err(SnapshotError::Corrupt("layer encoding tag")),
+        }
+    } else {
+        8 + units * fan_in * 4
+    };
+    Ok(weights + 8 + units * 4)
+}
+
+/// Walks the non-output layer sections starting at `start`, returning
+/// the offset of the output section and the output layer's fan-in.
+fn walk_hidden_sections(
+    bytes: &[u8],
+    start: usize,
+    version: u32,
+    config: &NetworkConfig,
+) -> Result<(usize, usize), SnapshotError> {
+    let mut off = start;
+    let mut fan_in = config.input_dim;
+    for layer in &config.layers[..config.layers.len() - 1] {
+        let size = layer_section_size(bytes.get(off).copied(), version, layer.units, fan_in)?;
+        off = off
+            .checked_add(size)
+            .filter(|&o| o <= bytes.len())
+            .ok_or(SnapshotError::Corrupt("truncated"))?;
+        fan_in = layer.units;
+    }
+    Ok((off, fan_in))
+}
+
+fn parse_full(bytes: &[u8]) -> Result<FullParts<'_>, SnapshotError> {
+    if bytes.len() < MAGIC.len() + 4 + 8 {
+        return Err(SnapshotError::Corrupt("too short"));
+    }
+    let (payload, check_bytes) = bytes.split_at(bytes.len() - 8);
+    let stored = u64::from_le_bytes(check_bytes.try_into().unwrap());
+    if fnv1a(payload) != stored {
+        return Err(SnapshotError::Corrupt("checksum mismatch"));
+    }
+    let mut d = Dec::new(payload);
+    if d.take(MAGIC.len())? != MAGIC {
+        return Err(SnapshotError::BadMagic);
+    }
+    let version = d.u32()?;
+    if !(MIN_VERSION..=VERSION).contains(&version) {
+        return Err(SnapshotError::UnsupportedVersion(version));
+    }
+    let config = decode_config(&mut d)?;
+    if config.layers.is_empty() {
+        return Err(SnapshotError::Corrupt("no layers"));
+    }
+    validate_payload_size(payload, d.pos, version, &config)?;
+    let (out_start, out_fan_in) = walk_hidden_sections(payload, d.pos, version, &config)?;
+    Ok(FullParts {
+        version,
+        config,
+        payload,
+        out_start,
+        out_fan_in,
+    })
+}
+
+/// Offsets of the output section's pieces within a parsed snapshot.
+struct OutSection {
+    enc: u8,
+    /// Offset of the per-row f32 scales (q16 only; 0 for f32).
+    scales: usize,
+    /// Offset of the weight value array (f32 bits, or i16 codes).
+    rows: usize,
+    /// Offset of the bias f32 array (past its length prefix).
+    biases: usize,
+}
+
+fn out_section(parts: &FullParts<'_>) -> Result<OutSection, SnapshotError> {
+    let out = &parts.config.layers[parts.config.layers.len() - 1];
+    let (units, fan_in) = (out.units, parts.out_fan_in);
+    let off = parts.out_start;
+    if parts.version >= 2 {
+        match parts.payload[off] {
+            ENC_F32 => Ok(OutSection {
+                enc: ENC_F32,
+                scales: 0,
+                rows: off + 9,
+                biases: off + 9 + units * fan_in * 4 + 8,
+            }),
+            ENC_Q16 => {
+                let scales = off + 9;
+                let rows = scales + units * 4;
+                Ok(OutSection {
+                    enc: ENC_Q16,
+                    scales,
+                    rows,
+                    biases: rows + units * fan_in * 2 + 8,
+                })
+            }
+            _ => Err(SnapshotError::Corrupt("layer encoding tag")),
+        }
+    } else {
+        Ok(OutSection {
+            enc: ENC_F32,
+            scales: 0,
+            rows: off + 8,
+            biases: off + 8 + units * fan_in * 4 + 8,
+        })
+    }
+}
+
+/// Reads f32 number `i` from a little-endian byte array.
+fn f32_at(bytes: &[u8], i: usize) -> f32 {
+    let p = i * 4;
+    f32::from_bits(u32::from_le_bytes([
+        bytes[p],
+        bytes[p + 1],
+        bytes[p + 2],
+        bytes[p + 3],
+    ]))
+}
+
+/// The full output layer's centering vector — the serial f64 column mean
+/// over **all** rows, exactly as `Layer::rebuild_tables` computes it
+/// after the full snapshot load (q16 rows dequantized first, like the
+/// reader does). Empty when the output layer has no LSH config.
+fn output_center(parts: &FullParts<'_>, sec: &OutSection) -> Result<Vec<f32>, SnapshotError> {
+    let out = &parts.config.layers[parts.config.layers.len() - 1];
+    if out.lsh.is_none() {
+        return Ok(Vec::new());
+    }
+    let (units, fan_in) = (out.units, parts.out_fan_in);
+    let payload = parts.payload;
+    let mut acc = vec![0.0f64; fan_in];
+    if sec.enc == ENC_Q16 {
+        let mut scales = Vec::with_capacity(units);
+        for j in 0..units {
+            let s = f32_at(&payload[sec.scales..], j);
+            if !s.is_finite() || s < 0.0 {
+                return Err(SnapshotError::Corrupt("quantized scale invalid"));
+            }
+            scales.push(s);
+        }
+        let mut codes = Vec::with_capacity(units * fan_in);
+        for i in 0..units * fan_in {
+            let p = sec.rows + i * 2;
+            codes.push(u16::from_le_bytes([payload[p], payload[p + 1]]) as i16);
+        }
+        let q = QuantizedRows::from_parts(units, fan_in, codes, scales);
+        let mut row = vec![0.0f32; fan_in];
+        for j in 0..units {
+            q.dequantize_row(j, &mut row);
+            for (a, &r) in acc.iter_mut().zip(&row) {
+                *a += r as f64;
+            }
+        }
+    } else {
+        for j in 0..units {
+            for (i, a) in acc.iter_mut().enumerate() {
+                *a += f32_at(&payload[sec.rows..], j * fan_in + i) as f64;
+            }
+        }
+    }
+    Ok(acc.iter().map(|&a| (a / units as f64) as f32).collect())
+}
+
+/// Splits a full snapshot into `num_shards` self-contained slices, shard
+/// `s` carrying output neurons `s·units/n .. (s+1)·units/n`. The slices
+/// reassemble byte-identically via [`assemble_slices`] and each loads as
+/// a shard engine via [`read_slice`].
+///
+/// # Errors
+///
+/// Any full-snapshot validation error, plus [`SnapshotError::Slice`] for
+/// a zero shard count or more shards than output neurons.
+pub fn slice_snapshot(bytes: &[u8], num_shards: usize) -> Result<Vec<Vec<u8>>, SnapshotError> {
+    if num_shards == 0 {
+        return Err(SnapshotError::Slice("num_shards must be positive"));
+    }
+    let parts = parse_full(bytes)?;
+    let units = parts.config.layers[parts.config.layers.len() - 1].units;
+    if num_shards > units {
+        return Err(SnapshotError::Slice("more shards than output neurons"));
+    }
+    let sec = out_section(&parts)?;
+    let center = output_center(&parts, &sec)?;
+    let fan_in = parts.out_fan_in;
+    let payload = parts.payload;
+    let mut slices = Vec::with_capacity(num_shards);
+    for s in 0..num_shards {
+        let lo = s * units / num_shards;
+        let hi = (s + 1) * units / num_shards;
+        let mut e = Enc::default();
+        e.buf.extend_from_slice(SLICE_MAGIC);
+        e.u32(SLICE_VERSION);
+        e.u32(parts.version);
+        e.u64(lo as u64);
+        e.u64(hi as u64);
+        e.u64(units as u64);
+        e.u64(parts.out_start as u64);
+        e.buf.extend_from_slice(&payload[..parts.out_start]);
+        e.u64(center.len() as u64);
+        for &c in &center {
+            e.f32(c);
+        }
+        e.u8(sec.enc);
+        if sec.enc == ENC_Q16 {
+            e.buf
+                .extend_from_slice(&payload[sec.scales + lo * 4..sec.scales + hi * 4]);
+            e.buf.extend_from_slice(
+                &payload[sec.rows + lo * fan_in * 2..sec.rows + hi * fan_in * 2],
+            );
+        } else {
+            e.buf.extend_from_slice(
+                &payload[sec.rows + lo * fan_in * 4..sec.rows + hi * fan_in * 4],
+            );
+        }
+        e.buf
+            .extend_from_slice(&payload[sec.biases + lo * 4..sec.biases + hi * 4]);
+        let check = fnv1a(&e.buf);
+        e.u64(check);
+        slices.push(e.buf);
+    }
+    Ok(slices)
+}
+
+/// A parsed slice, borrowing section byte ranges from the input.
+struct SlicePart<'a> {
+    snap_version: u32,
+    lo: usize,
+    hi: usize,
+    total: usize,
+    /// The original snapshot's bytes up to the output section: magic,
+    /// version, config and every non-output layer section, verbatim.
+    prefix: &'a [u8],
+    out_fan_in: usize,
+    /// The full output layer's centering vector (f32 bits; may be empty).
+    center: &'a [u8],
+    enc: u8,
+    /// Per-row f32 scales (q16 only; empty for f32).
+    scales: &'a [u8],
+    /// Weight rows: f32 bits, or i16 codes for q16.
+    rows: &'a [u8],
+    /// Bias f32 bits.
+    biases: &'a [u8],
+}
+
+fn parse_slice(bytes: &[u8]) -> Result<SlicePart<'_>, SnapshotError> {
+    if bytes.len() < SLICE_MAGIC.len() + 4 + 4 + 8 * 4 + 8 {
+        return Err(SnapshotError::Corrupt("too short"));
+    }
+    let (payload, check_bytes) = bytes.split_at(bytes.len() - 8);
+    let stored = u64::from_le_bytes(check_bytes.try_into().unwrap());
+    if fnv1a(payload) != stored {
+        return Err(SnapshotError::Corrupt("checksum mismatch"));
+    }
+    let mut d = Dec::new(payload);
+    if d.take(SLICE_MAGIC.len())? != SLICE_MAGIC {
+        return Err(SnapshotError::BadMagic);
+    }
+    let slice_version = d.u32()?;
+    if slice_version != SLICE_VERSION {
+        return Err(SnapshotError::UnsupportedVersion(slice_version));
+    }
+    let snap_version = d.u32()?;
+    if !(MIN_VERSION..=VERSION).contains(&snap_version) {
+        return Err(SnapshotError::UnsupportedVersion(snap_version));
+    }
+    let lo = d.usize()?;
+    let hi = d.usize()?;
+    let total = d.usize()?;
+    if !(lo < hi && hi <= total) {
+        return Err(SnapshotError::Slice("invalid neuron range"));
+    }
+    let prefix_len = d.usize()?;
+    let prefix = d.take(prefix_len)?;
+    let mut pd = Dec::new(prefix);
+    if pd.take(MAGIC.len())? != MAGIC {
+        return Err(SnapshotError::Corrupt("embedded snapshot magic"));
+    }
+    if pd.u32()? != snap_version {
+        return Err(SnapshotError::Corrupt("embedded snapshot version"));
+    }
+    let config = decode_config(&mut pd)?;
+    if config.layers.is_empty() {
+        return Err(SnapshotError::Corrupt("no layers"));
+    }
+    let (prefix_end, out_fan_in) = walk_hidden_sections(prefix, pd.pos, snap_version, &config)?;
+    if prefix_end != prefix.len() {
+        return Err(SnapshotError::Corrupt("prefix size inconsistent"));
+    }
+    if config.layers[config.layers.len() - 1].units != total {
+        return Err(SnapshotError::Slice("total differs from embedded config"));
+    }
+    let center_len = d.usize()?;
+    if center_len != 0 && center_len != out_fan_in {
+        return Err(SnapshotError::Corrupt("center length"));
+    }
+    let center = d.take(
+        center_len
+            .checked_mul(4)
+            .ok_or(SnapshotError::Corrupt("size overflow"))?,
+    )?;
+    let enc = d.u8()?;
+    if snap_version < 2 && enc != ENC_F32 {
+        return Err(SnapshotError::Corrupt("layer encoding tag"));
+    }
+    let n = hi - lo;
+    let row_count = n
+        .checked_mul(out_fan_in)
+        .ok_or(SnapshotError::Corrupt("size overflow"))?;
+    let (scales, rows) = match enc {
+        ENC_F32 => {
+            let rows = d.take(
+                row_count
+                    .checked_mul(4)
+                    .ok_or(SnapshotError::Corrupt("size overflow"))?,
+            )?;
+            (&[][..], rows)
+        }
+        ENC_Q16 => {
+            let scales = d.take(n * 4)?;
+            let rows = d.take(
+                row_count
+                    .checked_mul(2)
+                    .ok_or(SnapshotError::Corrupt("size overflow"))?,
+            )?;
+            (scales, rows)
+        }
+        _ => return Err(SnapshotError::Corrupt("layer encoding tag")),
+    };
+    let biases = d.take(n * 4)?;
+    if d.pos != payload.len() {
+        return Err(SnapshotError::Corrupt("trailing bytes"));
+    }
+    Ok(SlicePart {
+        snap_version,
+        lo,
+        hi,
+        total,
+        prefix,
+        out_fan_in,
+        center,
+        enc,
+        scales,
+        rows,
+        biases,
+    })
+}
+
+/// Reassembles slices produced by [`slice_snapshot`] into the original
+/// full snapshot, **byte-identical** to the input `slice_snapshot` was
+/// given. Order-insensitive.
+///
+/// # Errors
+///
+/// [`SnapshotError::Slice`] when the set does not partition one
+/// snapshot's output layer: slices from different snapshots, overlapping
+/// or gapped ranges, or incomplete coverage. Individual malformed slices
+/// yield the usual typed errors ([`SnapshotError::Corrupt`] etc.).
+pub fn assemble_slices(slices: &[Vec<u8>]) -> Result<Vec<u8>, SnapshotError> {
+    if slices.is_empty() {
+        return Err(SnapshotError::Slice("no slices"));
+    }
+    let mut parts = Vec::with_capacity(slices.len());
+    for s in slices {
+        parts.push(parse_slice(s)?);
+    }
+    for i in 1..parts.len() {
+        if parts[i].prefix != parts[0].prefix
+            || parts[i].snap_version != parts[0].snap_version
+            || parts[i].total != parts[0].total
+            || parts[i].enc != parts[0].enc
+            || parts[i].center != parts[0].center
+        {
+            return Err(SnapshotError::Slice("slices come from different snapshots"));
+        }
+    }
+    parts.sort_by_key(|p| p.lo);
+    let mut expect = 0usize;
+    for p in &parts {
+        if p.lo > expect {
+            return Err(SnapshotError::Slice("gap between slices"));
+        }
+        if p.lo < expect {
+            return Err(SnapshotError::Slice("overlapping slices"));
+        }
+        expect = p.hi;
+    }
+    if expect != parts[0].total {
+        return Err(SnapshotError::Slice("slices do not cover the output layer"));
+    }
+    let (total, fan_in) = (parts[0].total, parts[0].out_fan_in);
+    let mut e = Enc::default();
+    e.buf.extend_from_slice(parts[0].prefix);
+    if parts[0].snap_version >= 2 {
+        e.u8(parts[0].enc);
+    }
+    e.u64((total * fan_in) as u64);
+    if parts[0].enc == ENC_Q16 {
+        for p in &parts {
+            e.buf.extend_from_slice(p.scales);
+        }
+    }
+    for p in &parts {
+        e.buf.extend_from_slice(p.rows);
+    }
+    e.u64(total as u64);
+    for p in &parts {
+        e.buf.extend_from_slice(p.biases);
+    }
+    let check = fnv1a(&e.buf);
+    e.u64(check);
+    Ok(e.buf)
+}
+
+/// A restored snapshot slice: a network whose output layer holds only
+/// neurons `lo..hi` of a `total`-wide original, hashing and scoring
+/// bit-identically to the full network over that range.
+#[derive(Debug)]
+pub struct LoadedSlice {
+    /// The shard network (plus its quantized rows for q16 slices).
+    pub snapshot: LoadedSnapshot,
+    /// First global output-neuron id this shard holds.
+    pub lo: usize,
+    /// One past the last global output-neuron id this shard holds.
+    pub hi: usize,
+    /// The original network's output width.
+    pub total: usize,
+}
+
+/// Restores a shard network from slice bytes. `center_rows` overrides
+/// every LSH layer's centering mode up front, exactly like
+/// [`read_snapshot_with_centering`] — and the output layer additionally
+/// gets the *full* layer's centering vector installed (carried by the
+/// slice), so centered hashing subtracts the same mean the unsharded
+/// engine computes. The output layer's sampling budget is clamped to the
+/// shard's width; serving-path retrieval does not consult it.
+///
+/// # Errors
+///
+/// Typed [`SnapshotError`]s for malformed bytes, plus the embedded
+/// config's validation errors.
+pub fn read_slice(bytes: &[u8], center_rows: Option<bool>) -> Result<LoadedSlice, SnapshotError> {
+    let part = parse_slice(bytes)?;
+    let mut pd = Dec::new(part.prefix);
+    pd.take(MAGIC.len())?;
+    pd.u32()?;
+    let mut config = decode_config(&mut pd)?;
+    let params_start = pd.pos;
+    if let Some(center) = center_rows {
+        for layer in &mut config.layers {
+            if let Some(lsh) = &mut layer.lsh {
+                lsh.center_rows = center;
+            }
+        }
+    }
+    let n = part.hi - part.lo;
+    let fan_in = part.out_fan_in;
+    let last_idx = config.layers.len() - 1;
+    config.layers[last_idx].units = n;
+    if let Some(lsh) = &mut config.layers[last_idx].lsh {
+        lsh.strategy = match lsh.strategy {
+            SamplingStrategy::Vanilla { budget } => SamplingStrategy::Vanilla {
+                budget: budget.min(n),
+            },
+            SamplingStrategy::TopK { budget } => SamplingStrategy::TopK {
+                budget: budget.min(n),
+            },
+            other => other,
+        };
+    }
+    let mut network = Network::new_output_sliced(config, part.total)?;
+    let mut values: Vec<f32> = Vec::new();
+    let mut d = Dec::new(part.prefix);
+    d.pos = params_start;
+    for li in 0..last_idx {
+        let layer = &mut network.layers_mut()[li];
+        decode_layer_params(&mut d, part.snap_version, layer, &mut values)?;
+        layer.rebuild_tables();
+    }
+    if d.pos != part.prefix.len() {
+        return Err(SnapshotError::Corrupt("prefix size inconsistent"));
+    }
+    let mut quantized: Option<QuantizedRows> = None;
+    {
+        let out = &mut network.layers_mut()[last_idx];
+        if part.center.is_empty() {
+            out.set_center_override(None);
+        } else {
+            let mut center = Vec::with_capacity(fan_in);
+            for i in 0..fan_in {
+                center.push(f32_at(part.center, i));
+            }
+            out.set_center_override(Some(center));
+        }
+        if part.enc == ENC_Q16 {
+            let mut scales = Vec::with_capacity(n);
+            for j in 0..n {
+                let s = f32_at(part.scales, j);
+                if !s.is_finite() || s < 0.0 {
+                    return Err(SnapshotError::Corrupt("quantized scale invalid"));
+                }
+                scales.push(s);
+            }
+            let mut codes = Vec::with_capacity(n * fan_in);
+            for i in 0..n * fan_in {
+                let p = i * 2;
+                codes.push(u16::from_le_bytes([part.rows[p], part.rows[p + 1]]) as i16);
+            }
+            let q = QuantizedRows::from_parts(n, fan_in, codes, scales);
+            values.resize(fan_in, 0.0);
+            for j in 0..n {
+                q.dequantize_row(j, &mut values);
+                for (i, &v) in values.iter().enumerate() {
+                    out.weights().set(j, i, v);
+                }
+            }
+            quantized = Some(q);
+        } else {
+            values.clear();
+            values.reserve(n * fan_in);
+            for i in 0..n * fan_in {
+                values.push(f32_at(part.rows, i));
+            }
+            out.weights().flat().copy_from(&values);
+        }
+        values.clear();
+        for j in 0..n {
+            values.push(f32_at(part.biases, j));
+        }
+        out.biases().copy_from(&values);
+        out.rebuild_tables();
+    }
+    Ok(LoadedSlice {
+        snapshot: LoadedSnapshot { network, quantized },
+        lo: part.lo,
+        hi: part.hi,
+        total: part.total,
+    })
 }
 
 /// Atomically publishes `bytes` at `path`: the bytes are written to a
@@ -1170,6 +1771,214 @@ mod tests {
             Err(SnapshotError::Corrupt(
                 "parameter payload size inconsistent with config"
             ))
+        ));
+    }
+
+    /// A network with *centered* output-row hashing, so slice tests
+    /// exercise the carried centering vector, not just the rows.
+    fn centered_network() -> Network {
+        let cfg = NetworkConfig::builder(32, 60)
+            .hidden(12)
+            .output_lsh(
+                LshLayerConfig::simhash(3, 6)
+                    .with_strategy(SamplingStrategy::TopK { budget: 20 })
+                    .with_centered_rows(true),
+            )
+            .seed(123)
+            .build()
+            .unwrap();
+        let net = Network::new(cfg).unwrap();
+        net.layers()[0].weights().set(2, 9, -0.75);
+        net.layers()[1].weights().set(41, 3, 2.5);
+        net.layers()[1].biases().set(17, 0.25);
+        net
+    }
+
+    #[test]
+    fn slices_reassemble_byte_identically() {
+        let net = centered_network();
+        for (label, bytes) in [
+            ("f32", net.to_snapshot_bytes()),
+            ("q16", net.to_quantized_snapshot_bytes()),
+            ("v1", v1_bytes(&net)),
+        ] {
+            for n in [1usize, 2, 3, 7] {
+                let slices = slice_snapshot(&bytes, n).unwrap();
+                assert_eq!(slices.len(), n, "{label}/{n}");
+                let back = assemble_slices(&slices).unwrap();
+                assert_eq!(back, bytes, "{label}/{n} reassembly not byte-identical");
+                // Order-insensitive: reversed input reassembles too.
+                let mut rev = slices.clone();
+                rev.reverse();
+                assert_eq!(
+                    assemble_slices(&rev).unwrap(),
+                    bytes,
+                    "{label}/{n} reversed"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn slice_restores_shard_rows_center_and_codes_bit_identically() {
+        let net = centered_network();
+        for bytes in [net.to_snapshot_bytes(), net.to_quantized_snapshot_bytes()] {
+            let full = read_snapshot_with_centering(&bytes, Some(true)).unwrap();
+            let full_out = &full.network.layers()[1];
+            let (units, fan_in) = (full_out.units(), full_out.fan_in());
+            let slices = slice_snapshot(&bytes, 3).unwrap();
+            let mut covered = 0usize;
+            for slice in &slices {
+                let loaded = read_slice(slice, Some(true)).unwrap();
+                let (lo, hi) = (loaded.lo, loaded.hi);
+                assert_eq!(loaded.total, units);
+                covered += hi - lo;
+                let shard_out = &loaded.snapshot.network.layers()[1];
+                assert_eq!(shard_out.units(), hi - lo);
+                // Rows and biases equal the full layer's, bit for bit.
+                for j in 0..hi - lo {
+                    for i in 0..fan_in {
+                        assert_eq!(
+                            shard_out.weights().get(j, i).to_bits(),
+                            full_out.weights().get(lo + j, i).to_bits(),
+                            "row {j} col {i}"
+                        );
+                    }
+                    assert_eq!(
+                        shard_out.biases().get(j).to_bits(),
+                        full_out.biases().get(lo + j).to_bits()
+                    );
+                }
+                // Hidden layer identical.
+                let (ha, hb) = (
+                    full.network.layers()[0].weights().flat(),
+                    loaded.snapshot.network.layers()[0].weights().flat(),
+                );
+                for i in 0..ha.len() {
+                    assert_eq!(ha.get(i).to_bits(), hb.get(i).to_bits());
+                }
+                // The shard's hash codes for its rows equal the full
+                // layer's for the same global rows: same family draws,
+                // same centering vector.
+                let mut full_codes = Vec::new();
+                let mut shard_codes = Vec::new();
+                full_out.hash_row_range(lo, hi, &mut full_codes);
+                shard_out.hash_row_range(0, hi - lo, &mut shard_codes);
+                assert_eq!(full_codes, shard_codes, "codes diverged for {lo}..{hi}");
+                // Quantized slices return the shard's rows.
+                match (&full.quantized, &loaded.snapshot.quantized) {
+                    (None, None) => {}
+                    (Some(fq), Some(sq)) => {
+                        assert_eq!(sq.units(), hi - lo);
+                        for j in 0..hi - lo {
+                            assert_eq!(sq.scale(j).to_bits(), fq.scale(lo + j).to_bits());
+                            assert_eq!(sq.row(j), fq.row(lo + j));
+                        }
+                    }
+                    other => panic!("quantization mismatch: {other:?}"),
+                }
+            }
+            assert_eq!(covered, units, "shards must partition the output layer");
+        }
+    }
+
+    #[test]
+    fn malformed_slice_sets_return_matching_typed_errors() {
+        let net = centered_network();
+        let bytes = net.to_snapshot_bytes();
+        let other = trained_network().to_snapshot_bytes();
+        // Table-driven: (case, mutated slice set) → expected typed error.
+        type Mutate = Box<dyn Fn(Vec<Vec<u8>>) -> Vec<Vec<u8>>>;
+        enum Expect {
+            Slice(&'static str),
+            Corrupt,
+        }
+        let other_slices = slice_snapshot(&other, 3).unwrap();
+        let cases: Vec<(&'static str, Mutate, Expect)> = vec![
+            (
+                "empty set",
+                Box::new(|_| Vec::new()),
+                Expect::Slice("no slices"),
+            ),
+            (
+                "gap (middle slice dropped)",
+                Box::new(|mut s: Vec<Vec<u8>>| {
+                    s.remove(1);
+                    s
+                }),
+                Expect::Slice("gap between slices"),
+            ),
+            (
+                "missing tail",
+                Box::new(|mut s: Vec<Vec<u8>>| {
+                    s.pop();
+                    s
+                }),
+                Expect::Slice("slices do not cover the output layer"),
+            ),
+            (
+                "overlap (slice duplicated)",
+                Box::new(|mut s: Vec<Vec<u8>>| {
+                    let dup = s[1].clone();
+                    s.push(dup);
+                    s
+                }),
+                Expect::Slice("overlapping slices"),
+            ),
+            (
+                "slice from a different snapshot",
+                Box::new(move |mut s: Vec<Vec<u8>>| {
+                    s[1] = other_slices[1].clone();
+                    s
+                }),
+                Expect::Slice("slices come from different snapshots"),
+            ),
+            (
+                "truncated slice",
+                Box::new(|mut s: Vec<Vec<u8>>| {
+                    let n = s[0].len();
+                    s[0].truncate(n - 10);
+                    s
+                }),
+                Expect::Corrupt,
+            ),
+            (
+                "corrupted slice byte",
+                Box::new(|mut s: Vec<Vec<u8>>| {
+                    let mid = s[2].len() / 2;
+                    s[2][mid] ^= 0xFF;
+                    s
+                }),
+                Expect::Corrupt,
+            ),
+        ];
+        for (name, mutate, expect) in cases {
+            let slices = mutate(slice_snapshot(&bytes, 3).unwrap());
+            let got = assemble_slices(&slices);
+            match (expect, got) {
+                (Expect::Slice(want), Err(SnapshotError::Slice(what))) if what == want => {}
+                (Expect::Corrupt, Err(SnapshotError::Corrupt(_))) => {}
+                (_, got) => panic!("case {name:?}: wrong outcome {got:?}"),
+            }
+        }
+        // Degenerate shard counts are typed errors, not panics.
+        assert!(matches!(
+            slice_snapshot(&bytes, 0),
+            Err(SnapshotError::Slice("num_shards must be positive"))
+        ));
+        assert!(matches!(
+            slice_snapshot(&bytes, 61),
+            Err(SnapshotError::Slice("more shards than output neurons"))
+        ));
+        // A slice is not a snapshot, and vice versa.
+        let slices = slice_snapshot(&bytes, 2).unwrap();
+        assert!(matches!(
+            Network::from_snapshot_bytes(&slices[0]),
+            Err(SnapshotError::BadMagic)
+        ));
+        assert!(matches!(
+            read_slice(&bytes, None),
+            Err(SnapshotError::BadMagic)
         ));
     }
 

@@ -189,6 +189,18 @@ pub struct ServingEngine {
     options: ServeOptions,
     pool: WorkspacePool,
     counters: Counters,
+    /// Global class id of this engine's first output neuron. Non-zero
+    /// only for engines loaded from a snapshot *slice*
+    /// ([`ServingEngine::from_slice_bytes`]): the network scores local
+    /// neurons `0..units`, and every returned class id is offset into the
+    /// global space so a scatter-gather router can merge shard answers
+    /// directly.
+    class_offset: u32,
+    /// The class-id space requests are validated against — the full
+    /// model's output width, even when this engine holds only a slice of
+    /// it (a shard must accept the same `k` range the unsharded engine
+    /// does, then return its best `min(k, units)` rows).
+    total_classes: usize,
 }
 
 impl ServingEngine {
@@ -224,6 +236,7 @@ impl ServingEngine {
         network.set_lsh_centering(options.center_rows);
         let selector =
             InferenceSelector::new(options.budget).with_dense_fallback(options.dense_fallback);
+        let total_classes = network.output_dim();
         Self {
             selector,
             quantized: if options.use_quantized {
@@ -235,6 +248,8 @@ impl ServingEngine {
             counters: Counters::default(),
             network,
             options,
+            class_offset: 0,
+            total_classes,
         }
     }
 
@@ -256,6 +271,28 @@ impl ServingEngine {
             loaded.quantized,
             options,
         ))
+    }
+
+    /// Restores a *shard* engine from snapshot-slice bytes
+    /// (`slide_core::snapshot::slice_snapshot`): a network holding only
+    /// the slice's contiguous output-neuron range, scoring those rows
+    /// bit-identically to the full engine — same hash family, same
+    /// centering vector (carried by the slice), same weight bits — with
+    /// every returned class id offset back into the global space.
+    /// Requests are still validated against the *full* model's class
+    /// count, so a scatter-gather router can fan the same request to
+    /// every shard and merge the answers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Core`] on malformed slice bytes.
+    pub fn from_slice_bytes(bytes: &[u8], options: ServeOptions) -> Result<Self, ServeError> {
+        let loaded = slide_core::snapshot::read_slice(bytes, Some(options.center_rows))?;
+        let mut engine =
+            Self::with_quantized(loaded.snapshot.network, loaded.snapshot.quantized, options);
+        engine.class_offset = loaded.lo as u32;
+        engine.total_classes = loaded.total;
+        Ok(engine)
     }
 
     /// Loads a snapshot file and wraps the restored network (centering
@@ -303,14 +340,26 @@ impl ServingEngine {
         self.predict_k(features, self.default_top_k())
     }
 
-    /// The configured `top_k`, clamped to this model's output dimension.
+    /// The configured `top_k`, clamped to this model's class count.
     /// The clamp happens per use, not at construction, so the pristine
     /// [`ServeOptions`] carried across hot reloads keeps the operator's
     /// configured value — a later, wider model serves the full `top_k`
     /// again. Wire-supplied `k` overrides are validated strictly instead
     /// (see [`ServingEngine::validate_request`]).
     pub fn default_top_k(&self) -> usize {
-        self.options.top_k.min(self.output_dim())
+        self.options.top_k.min(self.total_classes)
+    }
+
+    /// Global class id of this engine's first output neuron (non-zero
+    /// only for slice-loaded shard engines).
+    pub fn class_offset(&self) -> u32 {
+        self.class_offset
+    }
+
+    /// The class-id space requests are validated against: the full
+    /// model's output width, even for a slice-loaded shard engine.
+    pub fn total_classes(&self) -> usize {
+        self.total_classes
     }
 
     /// Answers one request with an explicit `k`.
@@ -358,17 +407,20 @@ impl ServingEngine {
     }
 
     /// Validates one request against the engine: `k` positive and at
-    /// most the output dimension (`TopK` preallocates `k` slots — a
-    /// wire-supplied `k` must not be able to demand an arbitrary
-    /// allocation), every feature index inside the input dimension. Runs
-    /// before any weight access — an unchecked out-of-range index would
-    /// read another neuron's weights or index past the weight array
-    /// inside the forward pass.
+    /// most the *full model's* class count (`TopK` preallocates `k`
+    /// slots — a wire-supplied `k` must not be able to demand an
+    /// arbitrary allocation), every feature index inside the input
+    /// dimension. Runs before any weight access — an unchecked
+    /// out-of-range index would read another neuron's weights or index
+    /// past the weight array inside the forward pass. Slice-loaded shard
+    /// engines validate against `total_classes`, not their local width,
+    /// so every shard accepts exactly the requests the full engine
+    /// would.
     pub fn validate_request(&self, features: &SparseVector, k: usize) -> Result<(), ServeError> {
-        if k == 0 || k > self.output_dim() {
+        if k == 0 || k > self.total_classes {
             return Err(ServeError::InvalidTopK {
                 k,
-                max: self.output_dim(),
+                max: self.total_classes,
             });
         }
         let needed = features.min_dim();
@@ -530,7 +582,12 @@ impl ServingEngine {
         for (f, &k) in features.iter().zip(ks) {
             self.validate_request(f.borrow(), k)?;
         }
-        let mut topks: Vec<TopK> = ks.iter().map(|&k| TopK::new(k)).collect();
+        // A shard engine holds fewer neurons than `total_classes`; its
+        // local reduction can only ever keep `output_dim` entries, so
+        // clamp the preallocation (the router merges shard lists back up
+        // to the requested k).
+        let dim = self.network.output_dim();
+        let mut topks: Vec<TopK> = ks.iter().map(|&k| TopK::new(k.min(dim))).collect();
         let t0 = Instant::now();
         let report = match &self.quantized {
             Some(q) => self
@@ -543,7 +600,10 @@ impl ServingEngine {
         let latency = t0.elapsed() / features.len() as u32;
         let last = self.network.layers().len() - 1;
         let lsh_output = self.network.layers()[last].lsh().is_some();
-        for topk in topks {
+        for mut topk in topks {
+            if self.class_offset != 0 {
+                topk.offset_ids(self.class_offset);
+            }
             self.record(latency);
             out.push(Prediction { topk, latency });
         }
@@ -678,6 +738,60 @@ mod tests {
                 direct.predict(&ex.features).unwrap().topk.top1(),
                 restored.predict(&ex.features).unwrap().topk.top1()
             );
+        }
+    }
+
+    #[test]
+    fn slice_engines_merge_bit_identically_to_the_full_engine() {
+        // Scatter-gather's foundation: slice one snapshot into shard
+        // engines, fan a request to all of them, merge the globally
+        // offset per-shard answers — classes AND score bits must equal
+        // the single full engine's. Dense fallback stays off on every
+        // engine: the full engine falling back would score neurons no
+        // shard retrieves.
+        let (direct, data) = tiny_engine(ServeOptions::default());
+        let opts = ServeOptions::default()
+            .with_top_k(3)
+            .with_dense_fallback(false);
+        for bytes in [
+            direct.network().to_snapshot_bytes(),
+            direct.network().to_quantized_snapshot_bytes(),
+        ] {
+            let full = ServingEngine::from_snapshot_bytes(&bytes, opts).unwrap();
+            let slices = slide_core::snapshot::slice_snapshot(&bytes, 3).unwrap();
+            let shards: Vec<ServingEngine> = slices
+                .iter()
+                .map(|s| ServingEngine::from_slice_bytes(s, opts).unwrap())
+                .collect();
+            let mut offset = 0usize;
+            for shard in &shards {
+                assert_eq!(shard.class_offset() as usize, offset);
+                assert_eq!(shard.total_classes(), full.output_dim());
+                assert_eq!(shard.default_top_k(), full.default_top_k());
+                offset += shard.output_dim();
+            }
+            assert_eq!(offset, full.output_dim());
+            for ex in data.test.iter().take(20) {
+                let want = full.predict(&ex.features).unwrap().topk;
+                let mut merged = TopK::new(3);
+                for shard in &shards {
+                    let p = shard.predict(&ex.features).unwrap();
+                    for &(id, score) in p.topk.items() {
+                        // Ids already lifted into the global space.
+                        assert!((id as usize) < full.output_dim());
+                        merged.offer(id, score);
+                    }
+                }
+                merged.finish();
+                assert_eq!(merged.to_bits(), want.to_bits());
+            }
+            // Shards validate k against the FULL width, not their own.
+            let f = &data.test.examples()[0].features;
+            assert!(shards[0].predict_k(f, full.output_dim()).is_ok());
+            assert!(matches!(
+                shards[0].predict_k(f, full.output_dim() + 1),
+                Err(ServeError::InvalidTopK { .. })
+            ));
         }
     }
 

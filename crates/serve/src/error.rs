@@ -79,6 +79,21 @@ pub enum ServeError {
     /// answer instead of a hung reply channel, and the supervisor
     /// respawns the worker, so the request is safe to retry immediately.
     WorkerPanicked,
+    /// A scatter-gather router could not reach (or got a server-side
+    /// failure from) one of its shard back-ends → HTTP 503. A partial
+    /// merge would silently drop that shard's classes, so the router
+    /// refuses to answer; the request is safe to replay once the shard
+    /// is back (`GET /readyz` on the router tracks that).
+    ShardUnavailable {
+        /// Zero-based index of the unreachable shard in the router's
+        /// configured back-end list.
+        shard: usize,
+    },
+    /// The scatter-gather merge deadline elapsed before every shard
+    /// answered → HTTP 504. The slowest shard bounds the merged answer;
+    /// the router gives up rather than hold the client past the
+    /// configured `merge_timeout`.
+    MergeTimeout,
 }
 
 impl ServeError {
@@ -95,6 +110,8 @@ impl ServeError {
             ServeError::Overloaded { .. } => 429,
             ServeError::ServerShutdown => 503,
             ServeError::WorkerPanicked => 500,
+            ServeError::ShardUnavailable { .. } => 503,
+            ServeError::MergeTimeout => 504,
         }
     }
 
@@ -111,6 +128,8 @@ impl ServeError {
             ServeError::Overloaded { .. } => "overloaded",
             ServeError::ServerShutdown => "server_shutdown",
             ServeError::WorkerPanicked => "worker_panicked",
+            ServeError::ShardUnavailable { .. } => "shard_unavailable",
+            ServeError::MergeTimeout => "merge_timeout",
         }
     }
 }
@@ -144,6 +163,15 @@ impl fmt::Display for ServeError {
             ServeError::ServerShutdown => write!(f, "server shut down before answering"),
             ServeError::WorkerPanicked => {
                 write!(f, "worker panicked while answering; the pool respawned it")
+            }
+            ServeError::ShardUnavailable { shard } => {
+                write!(
+                    f,
+                    "shard {shard} unavailable; merged answer would be partial"
+                )
+            }
+            ServeError::MergeTimeout => {
+                write!(f, "merge deadline elapsed before every shard answered")
             }
         }
     }
@@ -237,6 +265,12 @@ mod tests {
             ),
             (ServeError::ServerShutdown, 503, "server_shutdown"),
             (ServeError::WorkerPanicked, 500, "worker_panicked"),
+            (
+                ServeError::ShardUnavailable { shard: 2 },
+                503,
+                "shard_unavailable",
+            ),
+            (ServeError::MergeTimeout, 504, "merge_timeout"),
         ];
         for (e, status, code) in cases {
             assert_eq!(e.http_status(), status, "{e}");

@@ -1310,7 +1310,7 @@ fn retry_after(e: &ServeError) -> Option<u64> {
     }
 }
 
-fn reason(status: u16) -> &'static str {
+pub(crate) fn reason(status: u16) -> &'static str {
     match status {
         200 => "OK",
         400 => "Bad Request",
@@ -1321,6 +1321,7 @@ fn reason(status: u16) -> &'static str {
         429 => "Too Many Requests",
         500 => "Internal Server Error",
         503 => "Service Unavailable",
+        504 => "Gateway Timeout",
         _ => "Unknown",
     }
 }

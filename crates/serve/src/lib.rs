@@ -31,6 +31,13 @@
 //!   with backpressure (`429` + `Retry-After`), idle/slow-loris
 //!   timeouts, and graceful drain; [`client::Client`] is its blocking
 //!   counterpart (with an opt-in [`RetryPolicy`] for backoff on `429`);
+//! * [`router::Router`] — scatter-gather serving over *sliced* output
+//!   layers (`slide_core::snapshot::slice_snapshot`): each shard server
+//!   holds one contiguous neuron range, the router fans every
+//!   `POST /v1/predict` across the fleet and merges the per-shard top-k
+//!   lists into an answer bit-identical to one full box's, failing
+//!   typed (`503 shard_unavailable` / `504 merge_timeout`) rather than
+//!   merging partially;
 //! * [`fault`] — a runtime fault-injection switchboard ([`FaultPlan`])
 //!   the chaos drills use to prove the recovery paths: panic-isolated
 //!   supervised workers, snapshot quarantine + last-good rollback, and
@@ -93,6 +100,7 @@ pub mod handle;
 pub mod http;
 pub mod json;
 pub mod net;
+pub mod router;
 pub mod wire;
 
 pub use batch::{BatchOptions, BatchServer, DegradeOptions, RequestHandle, ServerStats};
@@ -102,4 +110,5 @@ pub use error::ServeError;
 pub use fault::{FaultPlan, PublishFault};
 pub use handle::{EngineHandle, SnapshotWatcher};
 pub use http::{HttpOptions, HttpServer, HttpStats};
+pub use router::{Router, RouterOptions, RouterStats};
 pub use wire::{PredictRequest, PredictResponse, WirePrediction, API_VERSION};

@@ -1,0 +1,804 @@
+//! Scatter-gather routing over sharded serving back-ends.
+//!
+//! A large output layer can be *sliced* into contiguous neuron ranges
+//! ([`slide_core::snapshot::slice_snapshot`]), each range served by its
+//! own [`crate::ServingEngine`] behind its own [`crate::http::HttpServer`]
+//! — each shard scores only its own rows and answers with globally
+//! offset class ids. The [`Router`] is the thin front door that makes
+//! the fleet look like one box: every `POST /v1/predict` fans out to
+//! all shards over keep-alive connections, the per-shard top-k lists
+//! merge through the same [`TopK`] reduction the engine uses (so
+//! tie-breaking matches to the bit), and the merged answer equals the
+//! single full engine's — classes *and* score bits.
+//!
+//! Failure policy is all-or-nothing: a partial merge would silently
+//! drop one shard's classes, so an unreachable (or 5xx) shard turns the
+//! whole request into a typed `503 shard_unavailable`, and a shard
+//! slower than [`RouterOptions::merge_timeout`] into `504
+//! merge_timeout`. A shard's own `4xx` (bad request, invalid `top_k`)
+//! is relayed verbatim — shard engines validate against the *full*
+//! model's class count, so their rejections read exactly like a single
+//! box's.
+//!
+//! Endpoints mirror the single-box server's: `POST /v1/predict`,
+//! `GET /healthz` (min epoch over reachable shards), `GET /readyz`
+//! (ready only when *every* shard is), `GET /v1/stats` (router-role
+//! counters). [`crate::client::Client`] speaks to a router unchanged.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use slide_core::TopK;
+
+use crate::client::{Client, ClientError};
+use crate::engine::ServeOptions;
+use crate::error::ServeError;
+use crate::http::reason;
+use crate::wire::{self, PredictResponse, WirePrediction};
+
+/// Tuning for a [`Router`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RouterOptions {
+    /// Classes per merged answer when the request carries no `top_k`.
+    /// Must match the shard engines' [`ServeOptions::top_k`] for merged
+    /// defaults to equal a single box's.
+    pub top_k: usize,
+    /// Deadline for any single shard's answer within one fan-out.
+    /// Scatter is parallel, so the slowest shard bounds the merge; past
+    /// this the request fails typed `504 merge_timeout`.
+    pub merge_timeout: Duration,
+    /// Idle keep-alive window per client connection before the router
+    /// closes it.
+    pub idle_timeout: Duration,
+    /// Largest accepted request body, bytes (`413` past it).
+    pub max_body_bytes: usize,
+}
+
+impl Default for RouterOptions {
+    fn default() -> Self {
+        Self {
+            top_k: ServeOptions::default().top_k,
+            merge_timeout: Duration::from_secs(5),
+            idle_timeout: Duration::from_secs(30),
+            max_body_bytes: 4 << 20,
+        }
+    }
+}
+
+impl RouterOptions {
+    /// Sets the default merged `top_k` (builder style).
+    pub fn with_top_k(mut self, top_k: usize) -> Self {
+        self.top_k = top_k;
+        self
+    }
+
+    /// Sets the per-shard merge deadline (builder style).
+    pub fn with_merge_timeout(mut self, timeout: Duration) -> Self {
+        self.merge_timeout = timeout;
+        self
+    }
+
+    /// Sets the idle keep-alive window (builder style).
+    pub fn with_idle_timeout(mut self, timeout: Duration) -> Self {
+        self.idle_timeout = timeout;
+        self
+    }
+}
+
+/// Monotonic counters a router exports through `GET /v1/stats`.
+#[derive(Debug, Default)]
+struct Counters {
+    requests: AtomicU64,
+    merged: AtomicU64,
+    shard_errors: AtomicU64,
+    responses_2xx: AtomicU64,
+    responses_4xx: AtomicU64,
+    responses_5xx: AtomicU64,
+}
+
+/// A point-in-time copy of a router's counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RouterStats {
+    /// Requests accepted (any endpoint).
+    pub requests: u64,
+    /// `POST /v1/predict` fan-outs that merged successfully.
+    pub merged: u64,
+    /// Shard round-trips that failed (transport, timeout, or 5xx).
+    pub shard_errors: u64,
+    /// Responses by status class.
+    pub responses_2xx: u64,
+    /// 4xx responses (router-typed or relayed from a shard).
+    pub responses_4xx: u64,
+    /// 5xx responses (including `503 shard_unavailable` and
+    /// `504 merge_timeout`).
+    pub responses_5xx: u64,
+}
+
+struct Shared {
+    shards: Vec<SocketAddr>,
+    options: RouterOptions,
+    shutdown: AtomicBool,
+    counters: Counters,
+}
+
+/// The scatter-gather front door over a fleet of shard servers.
+///
+/// Accepts on a bound address, one blocking handler thread per client
+/// connection; each handler keeps its own pool of keep-alive shard
+/// connections, so a busy client re-uses warm sockets end to end.
+pub struct Router {
+    local_addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for Router {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Router")
+            .field("local_addr", &self.local_addr)
+            .field("shards", &self.shared.shards)
+            .finish()
+    }
+}
+
+impl Router {
+    /// Binds `addr` and serves scatter-gather over `shards` until
+    /// [`Router::shutdown`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the bind error, or `InvalidInput` for an empty shard
+    /// list (a router with nothing behind it could never answer).
+    pub fn serve<A: ToSocketAddrs>(
+        addr: A,
+        shards: Vec<SocketAddr>,
+        options: RouterOptions,
+    ) -> std::io::Result<Self> {
+        if shards.is_empty() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "router needs at least one shard",
+            ));
+        }
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            shards,
+            options,
+            shutdown: AtomicBool::new(false),
+            counters: Counters::default(),
+        });
+        let accept_shared = Arc::clone(&shared);
+        let accept_thread = std::thread::Builder::new()
+            .name("slide-router-accept".into())
+            .spawn(move || accept_loop(&listener, &accept_shared))?;
+        Ok(Self {
+            local_addr,
+            shared,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The shard back-ends this router fans over.
+    pub fn shards(&self) -> &[SocketAddr] {
+        &self.shared.shards
+    }
+
+    /// A snapshot of the router's counters.
+    pub fn stats(&self) -> RouterStats {
+        let c = &self.shared.counters;
+        RouterStats {
+            requests: c.requests.load(Ordering::Relaxed),
+            merged: c.merged.load(Ordering::Relaxed),
+            shard_errors: c.shard_errors.load(Ordering::Relaxed),
+            responses_2xx: c.responses_2xx.load(Ordering::Relaxed),
+            responses_4xx: c.responses_4xx.load(Ordering::Relaxed),
+            responses_5xx: c.responses_5xx.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Stops accepting and joins the accept thread. Handler threads for
+    /// already-open connections finish their in-flight request and exit
+    /// when the client disconnects or the idle window lapses.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        // Unblock the accept() with a throwaway dial.
+        TcpStream::connect(self.local_addr).ok();
+        if let Some(t) = self.accept_thread.take() {
+            t.join().ok();
+        }
+    }
+}
+
+impl Drop for Router {
+    fn drop(&mut self) {
+        if self.accept_thread.is_some() {
+            self.stop();
+        }
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    loop {
+        let Ok((stream, _)) = listener.accept() else {
+            if shared.shutdown.load(Ordering::SeqCst) {
+                return;
+            }
+            continue;
+        };
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let conn_shared = Arc::clone(shared);
+        std::thread::Builder::new()
+            .name("slide-router-conn".into())
+            .spawn(move || handle_connection(stream, &conn_shared))
+            .ok();
+    }
+}
+
+// ---------------------------------------------------------------------
+// Per-connection request loop.
+
+struct ParsedReq {
+    method: String,
+    path: String,
+    body: String,
+    keep_alive: bool,
+}
+
+enum ReadOutcome {
+    /// Clean close, garbage head, or idle timeout: drop the connection.
+    Closed,
+    /// A parsed request.
+    Req(ParsedReq),
+    /// Head declared a body past the limit.
+    TooLarge,
+}
+
+fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
+    stream.set_nodelay(true).ok();
+    stream
+        .set_read_timeout(Some(shared.options.idle_timeout))
+        .ok();
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = stream;
+    // Lazily dialed, per-connection keep-alive shard clients: slot `i`
+    // talks to shard `i` and survives across this connection's requests.
+    let mut clients: Vec<Option<Client>> = shared.shards.iter().map(|_| None).collect();
+    loop {
+        match read_request(&mut reader, shared.options.max_body_bytes) {
+            ReadOutcome::Closed => return,
+            ReadOutcome::TooLarge => {
+                let e = ServeError::PayloadTooLarge {
+                    limit: shared.options.max_body_bytes,
+                };
+                respond(
+                    shared,
+                    &mut writer,
+                    e.http_status(),
+                    &wire::encode_error_body(&e),
+                    false,
+                );
+                return;
+            }
+            ReadOutcome::Req(req) => {
+                let keep_alive = req.keep_alive && !shared.shutdown.load(Ordering::SeqCst);
+                let (status, body) = dispatch(shared, &mut clients, &req);
+                if !respond(shared, &mut writer, status, &body, keep_alive) || !keep_alive {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+fn read_request(reader: &mut BufReader<TcpStream>, max_body: usize) -> ReadOutcome {
+    let Some(request_line) = read_line(reader) else {
+        return ReadOutcome::Closed;
+    };
+    let mut parts = request_line.split_whitespace();
+    let (Some(method), Some(path), Some(version)) = (parts.next(), parts.next(), parts.next())
+    else {
+        return ReadOutcome::Closed;
+    };
+    if !version.starts_with("HTTP/1.") {
+        return ReadOutcome::Closed;
+    }
+    let mut content_length = 0usize;
+    let mut keep_alive = true;
+    loop {
+        let Some(header) = read_line(reader) else {
+            return ReadOutcome::Closed;
+        };
+        if header.is_empty() {
+            break;
+        }
+        let Some((name, value)) = header.split_once(':') else {
+            return ReadOutcome::Closed;
+        };
+        let name = name.trim().to_ascii_lowercase();
+        let value = value.trim();
+        match name.as_str() {
+            "content-length" => {
+                let Ok(n) = value.parse::<usize>() else {
+                    return ReadOutcome::Closed;
+                };
+                content_length = n;
+            }
+            "connection" if value.eq_ignore_ascii_case("close") => keep_alive = false,
+            _ => {}
+        }
+    }
+    if content_length > max_body {
+        return ReadOutcome::TooLarge;
+    }
+    let mut body = vec![0u8; content_length];
+    if reader.read_exact(&mut body).is_err() {
+        return ReadOutcome::Closed;
+    }
+    let Ok(body) = String::from_utf8(body) else {
+        return ReadOutcome::Closed;
+    };
+    ReadOutcome::Req(ParsedReq {
+        method: method.to_string(),
+        path: path.to_string(),
+        body,
+        keep_alive,
+    })
+}
+
+fn read_line(reader: &mut BufReader<TcpStream>) -> Option<String> {
+    let mut line = String::new();
+    match reader.read_line(&mut line) {
+        Ok(0) | Err(_) => None,
+        Ok(_) => {
+            while line.ends_with('\n') || line.ends_with('\r') {
+                line.pop();
+            }
+            Some(line)
+        }
+    }
+}
+
+/// Writes one response; `false` means the socket broke.
+fn respond(
+    shared: &Shared,
+    writer: &mut TcpStream,
+    status: u16,
+    body: &str,
+    keep_alive: bool,
+) -> bool {
+    match status / 100 {
+        2 => &shared.counters.responses_2xx,
+        4 => &shared.counters.responses_4xx,
+        _ => &shared.counters.responses_5xx,
+    }
+    .fetch_add(1, Ordering::Relaxed);
+    let head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+        status,
+        reason(status),
+        body.len(),
+        if keep_alive { "keep-alive" } else { "close" }
+    );
+    writer.write_all(head.as_bytes()).is_ok()
+        && writer.write_all(body.as_bytes()).is_ok()
+        && writer.flush().is_ok()
+}
+
+// ---------------------------------------------------------------------
+// Routing.
+
+fn dispatch(shared: &Shared, clients: &mut [Option<Client>], req: &ParsedReq) -> (u16, String) {
+    shared.counters.requests.fetch_add(1, Ordering::Relaxed);
+    let path = req.path.split('?').next().unwrap_or("");
+    match (req.method.as_str(), path) {
+        ("POST", "/v1/predict") => predict(shared, clients, &req.body),
+        ("GET", "/healthz") => healthz(shared, clients),
+        ("GET", "/readyz") => readyz(shared, clients),
+        ("GET", "/v1/stats") => (200, stats_body(shared)),
+        (_, "/healthz" | "/readyz" | "/v1/stats" | "/v1/predict") => error_response(
+            shared,
+            &ServeError::MethodNotAllowed {
+                method: req.method.clone(),
+                path: req.path.clone(),
+            },
+        ),
+        _ => error_response(
+            shared,
+            &ServeError::UnknownRoute {
+                path: req.path.clone(),
+            },
+        ),
+    }
+}
+
+fn error_response(shared: &Shared, e: &ServeError) -> (u16, String) {
+    if matches!(
+        e,
+        ServeError::ShardUnavailable { .. } | ServeError::MergeTimeout
+    ) {
+        shared.counters.shard_errors.fetch_add(1, Ordering::Relaxed);
+    }
+    (e.http_status(), wire::encode_error_body(e))
+}
+
+// ---------------------------------------------------------------------
+// Shard fan-out.
+
+enum ShardReply {
+    Answer(u16, String),
+    TimedOut,
+    Unreachable,
+}
+
+/// One blocking shard round-trip through this connection's keep-alive
+/// slot, dialing on first use (and re-dialing after a transport error,
+/// which `Client` surfaces by dropping its broken connection).
+fn shard_roundtrip(
+    slot: &mut Option<Client>,
+    addr: SocketAddr,
+    timeout: Duration,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> ShardReply {
+    if slot.is_none() {
+        match Client::connect(addr) {
+            Ok(c) => *slot = Some(c.with_read_timeout(timeout)),
+            Err(_) => return ShardReply::Unreachable,
+        }
+    }
+    let Some(client) = slot.as_mut() else {
+        return ShardReply::Unreachable;
+    };
+    match client.request(method, path, body) {
+        Ok((status, body)) => ShardReply::Answer(status, body),
+        Err(ClientError::Io(e))
+            if matches!(
+                e.kind(),
+                std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+            ) =>
+        {
+            // The connection's read stream is now mid-response garbage;
+            // force a fresh dial next time.
+            *slot = None;
+            ShardReply::TimedOut
+        }
+        Err(_) => {
+            *slot = None;
+            ShardReply::Unreachable
+        }
+    }
+}
+
+/// Fans one request over every shard in parallel (one scoped thread per
+/// shard, each through its own keep-alive slot) and collects the
+/// replies in shard order.
+fn scatter(
+    shared: &Shared,
+    clients: &mut [Option<Client>],
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> Vec<ShardReply> {
+    let timeout = shared.options.merge_timeout;
+    std::thread::scope(|s| {
+        let handles: Vec<_> = clients
+            .iter_mut()
+            .zip(&shared.shards)
+            .map(|(slot, &addr)| {
+                s.spawn(move || shard_roundtrip(slot, addr, timeout, method, path, body))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or(ShardReply::Unreachable))
+            .collect()
+    })
+}
+
+// ---------------------------------------------------------------------
+// Endpoints.
+
+fn predict(shared: &Shared, clients: &mut [Option<Client>], body: &str) -> (u16, String) {
+    // Decode locally first so malformed bodies die here with the same
+    // typed 400 a single box gives, without burning a fan-out.
+    let req = match wire::decode_predict_request(body) {
+        Ok(r) => r,
+        Err(e) => return error_response(shared, &e),
+    };
+    let replies = scatter(shared, clients, "POST", "/v1/predict", Some(body));
+    // All-or-nothing gather: relay a shard's own 4xx verbatim (its
+    // validation is the full model's), refuse to merge around any
+    // missing or failed shard.
+    let mut bodies: Vec<&str> = Vec::with_capacity(replies.len());
+    for (i, reply) in replies.iter().enumerate() {
+        match reply {
+            ShardReply::Answer(status, shard_body) => {
+                if (400..500).contains(status) {
+                    return (*status, shard_body.clone());
+                }
+                if !(200..300).contains(status) {
+                    return error_response(shared, &ServeError::ShardUnavailable { shard: i });
+                }
+                bodies.push(shard_body);
+            }
+            ShardReply::TimedOut => return error_response(shared, &ServeError::MergeTimeout),
+            ShardReply::Unreachable => {
+                return error_response(shared, &ServeError::ShardUnavailable { shard: i })
+            }
+        }
+    }
+    let mut shard_resps: Vec<PredictResponse> = Vec::with_capacity(bodies.len());
+    for (i, b) in bodies.iter().enumerate() {
+        match wire::decode_predict_response(b) {
+            Ok(r) if r.predictions.len() == req.inputs.len() => shard_resps.push(r),
+            // A 2xx that does not parse (or answers the wrong batch
+            // size) is a broken shard, not a client error.
+            _ => return error_response(shared, &ServeError::ShardUnavailable { shard: i }),
+        }
+    }
+    // Every shard accepted the request, so `k` passed the full-width
+    // validation and bounds this preallocation.
+    let k = req.top_k.unwrap_or(shared.options.top_k);
+    let mut epoch = u64::MAX;
+    let mut merged: Vec<TopK> = req.inputs.iter().map(|_| TopK::new(k)).collect();
+    let mut latencies = vec![0u64; req.inputs.len()];
+    for resp in &shard_resps {
+        epoch = epoch.min(resp.epoch);
+        for (j, p) in resp.predictions.iter().enumerate() {
+            for (&class, &score) in p.classes.iter().zip(&p.scores) {
+                merged[j].offer(class, score);
+            }
+            // The fan-out's critical path is its slowest shard.
+            latencies[j] = latencies[j].max(p.latency_us);
+        }
+    }
+    let predictions = merged
+        .iter_mut()
+        .zip(&latencies)
+        .map(|(t, &latency_us)| {
+            t.finish();
+            let items = t.items();
+            WirePrediction {
+                classes: items.iter().map(|&(c, _)| c).collect(),
+                scores: items.iter().map(|&(_, s)| s).collect(),
+                latency_us,
+            }
+        })
+        .collect();
+    shared.counters.merged.fetch_add(1, Ordering::Relaxed);
+    let resp = PredictResponse { epoch, predictions };
+    (200, wire::encode_predict_response(&resp))
+}
+
+fn healthz(shared: &Shared, clients: &mut [Option<Client>]) -> (u16, String) {
+    // Liveness: the router itself answers as long as it runs; the epoch
+    // reported is the fleet's trailing edge (the smallest epoch any
+    // reachable shard serves), 0 when no shard is reachable.
+    let replies = scatter(shared, clients, "GET", "/healthz", None);
+    let mut epoch: Option<u64> = None;
+    for reply in &replies {
+        if let ShardReply::Answer(status, body) = reply {
+            if (200..300).contains(status) {
+                if let Ok(v) = crate::json::parse(body) {
+                    if let Some(e) = v.get("epoch").and_then(crate::json::Json::as_u64) {
+                        epoch = Some(epoch.map_or(e, |cur| cur.min(e)));
+                    }
+                }
+            }
+        }
+    }
+    let body = format!(
+        "{{\"api_version\":{},\"status\":\"ok\",\"epoch\":{}}}",
+        wire::API_VERSION,
+        epoch.unwrap_or(0)
+    );
+    (200, body)
+}
+
+fn readyz(shared: &Shared, clients: &mut [Option<Client>]) -> (u16, String) {
+    // Readiness is strict: a merged answer needs EVERY shard, so one
+    // not-ready (or unreachable) shard makes the whole router not
+    // ready, typed with the shard index so operators know where to
+    // look.
+    let replies = scatter(shared, clients, "GET", "/readyz", None);
+    for (i, reply) in replies.iter().enumerate() {
+        let ready = matches!(reply, ShardReply::Answer(status, _) if (200..300).contains(status));
+        if !ready {
+            return error_response(shared, &ServeError::ShardUnavailable { shard: i });
+        }
+    }
+    let body = format!(
+        "{{\"api_version\":{},\"ready\":true,\"shards\":{}}}",
+        wire::API_VERSION,
+        shared.shards.len()
+    );
+    (200, body)
+}
+
+fn stats_body(shared: &Shared) -> String {
+    let c = &shared.counters;
+    format!(
+        "{{\"api_version\":{},\"role\":\"router\",\"shards\":{},\"requests\":{},\
+         \"merged\":{},\"shard_errors\":{},\"responses_2xx\":{},\"responses_4xx\":{},\
+         \"responses_5xx\":{}}}",
+        wire::API_VERSION,
+        shared.shards.len(),
+        c.requests.load(Ordering::Relaxed),
+        c.merged.load(Ordering::Relaxed),
+        c.shard_errors.load(Ordering::Relaxed),
+        c.responses_2xx.load(Ordering::Relaxed),
+        c.responses_4xx.load(Ordering::Relaxed),
+        c.responses_5xx.load(Ordering::Relaxed),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    use slide_core::config::{LshLayerConfig, NetworkConfig};
+    use slide_core::Network;
+    use slide_data::synth::{generate, SyntheticConfig, SyntheticData};
+
+    use crate::http::{HttpOptions, HttpServer};
+    use crate::{EngineHandle, ServingEngine};
+
+    fn tiny_snapshot() -> (Vec<u8>, SyntheticData) {
+        let data = generate(&SyntheticConfig::tiny().with_seed(4));
+        let config = NetworkConfig::builder(data.train.feature_dim(), data.train.label_dim())
+            .hidden(16)
+            .output_lsh(LshLayerConfig::simhash(3, 8))
+            .seed(5)
+            .build()
+            .unwrap();
+        let network = Network::new(config).unwrap();
+        (network.to_snapshot_bytes(), data)
+    }
+
+    fn shard_opts() -> ServeOptions {
+        ServeOptions::default()
+            .with_top_k(3)
+            .with_dense_fallback(false)
+    }
+
+    /// Slices `bytes` `n` ways and brings up one HttpServer per shard
+    /// plus a router over them.
+    fn cluster(bytes: &[u8], n: usize) -> (Vec<HttpServer>, Router) {
+        let slices = slide_core::snapshot::slice_snapshot(bytes, n).unwrap();
+        let mut servers = Vec::new();
+        let mut addrs = Vec::new();
+        for s in &slices {
+            let engine = ServingEngine::from_slice_bytes(s, shard_opts()).unwrap();
+            let handle = Arc::new(EngineHandle::new(engine));
+            let server = HttpServer::serve(handle, "127.0.0.1:0", HttpOptions::default()).unwrap();
+            addrs.push(server.local_addr());
+            servers.push(server);
+        }
+        let router =
+            Router::serve("127.0.0.1:0", addrs, RouterOptions::default().with_top_k(3)).unwrap();
+        (servers, router)
+    }
+
+    #[test]
+    fn merged_answers_equal_the_single_box_bit_for_bit() {
+        let (bytes, data) = tiny_snapshot();
+        let single = ServingEngine::from_snapshot_bytes(&bytes, shard_opts()).unwrap();
+        for n in [1usize, 3] {
+            let (servers, router) = cluster(&bytes, n);
+            let mut client = Client::connect(router.local_addr()).unwrap();
+            for ex in data.test.iter().take(12) {
+                let want = single.predict(&ex.features).unwrap();
+                let got = client.predict(&ex.features, None).unwrap();
+                assert_eq!(got.predictions.len(), 1);
+                let p = &got.predictions[0];
+                let want_items = want.topk.items();
+                assert_eq!(
+                    p.classes,
+                    want_items.iter().map(|&(c, _)| c).collect::<Vec<_>>()
+                );
+                let want_bits: Vec<u32> = want_items.iter().map(|&(_, s)| s.to_bits()).collect();
+                let got_bits: Vec<u32> = p.scores.iter().map(|s| s.to_bits()).collect();
+                assert_eq!(
+                    got_bits, want_bits,
+                    "scores must survive the wire bit-exactly"
+                );
+            }
+            assert!(router.stats().merged >= 12);
+            drop(client);
+            router.shutdown();
+            for s in servers {
+                s.shutdown();
+            }
+        }
+    }
+
+    #[test]
+    fn router_endpoints_and_typed_errors() {
+        let (bytes, data) = tiny_snapshot();
+        let (servers, router) = cluster(&bytes, 2);
+        let mut client = Client::connect(router.local_addr()).unwrap();
+        // healthz / readyz / stats all answer.
+        assert_eq!(client.healthz().unwrap().epoch, 1);
+        assert!(client.readyz().unwrap());
+        let stats = client.stats_json().unwrap();
+        assert_eq!(
+            stats.get("role").and_then(crate::json::Json::as_str),
+            Some("router")
+        );
+        assert_eq!(
+            stats.get("shards").and_then(crate::json::Json::as_u64),
+            Some(2)
+        );
+        // A shard's 4xx relays verbatim: k too large for the FULL model.
+        let total = data.train.label_dim();
+        match client.predict(&data.test.examples()[0].features, Some(total + 1)) {
+            Err(ClientError::Api { status, code, .. }) => {
+                assert_eq!(status, 422);
+                assert_eq!(code, "invalid_top_k");
+            }
+            other => panic!("expected relayed 422, got {other:?}"),
+        }
+        // Malformed body dies at the router with the typed 400.
+        let (status, body) = client
+            .request("POST", "/v1/predict", Some("{\"nope\":1}"))
+            .unwrap();
+        assert_eq!(status, 400);
+        assert_eq!(wire::decode_error_body(&body).0, "bad_request");
+        // Unknown route and wrong method.
+        let (status, _) = client.request("GET", "/nope", None).unwrap();
+        assert_eq!(status, 404);
+        let (status, body) = client.request("DELETE", "/v1/predict", None).unwrap();
+        assert_eq!(status, 405);
+        assert_eq!(wire::decode_error_body(&body).0, "method_not_allowed");
+        drop(client);
+        router.shutdown();
+        for s in servers {
+            s.shutdown();
+        }
+    }
+
+    #[test]
+    fn dead_shard_turns_predict_into_shard_unavailable() {
+        let (bytes, data) = tiny_snapshot();
+        let (mut servers, router) = cluster(&bytes, 2);
+        // Kill shard 1; its address now refuses connections.
+        servers.remove(1).shutdown();
+        let mut client = Client::connect(router.local_addr()).unwrap();
+        match client.predict(&data.test.examples()[0].features, None) {
+            Err(ClientError::Api { status, code, .. }) => {
+                assert_eq!(status, 503);
+                assert_eq!(code, "shard_unavailable");
+            }
+            other => panic!("expected 503 shard_unavailable, got {other:?}"),
+        }
+        // readyz reflects the outage; healthz stays alive.
+        assert!(!client.readyz().unwrap());
+        assert_eq!(client.healthz().unwrap().epoch, 1);
+        assert!(router.stats().shard_errors >= 1);
+        drop(client);
+        router.shutdown();
+        for s in servers {
+            s.shutdown();
+        }
+    }
+}

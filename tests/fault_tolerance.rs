@@ -9,13 +9,17 @@
 //!    the worker, and the pool then serves flawlessly;
 //! 3. the stepwise-degraded [`QueryBudget`] trades accuracy for latency
 //!    *boundedly*: level 0 is the identity, and each deeper level's P@1
-//!    stays within a per-level tolerance of the full budget.
+//!    stays within a per-level tolerance of the full budget;
+//! 4. losing a shard behind the scatter-gather [`Router`] — whether a
+//!    worker panic mid-load or the whole process — answers a typed
+//!    `503 shard_unavailable` (never a partial merge), flips `/readyz`,
+//!    and a restarted shard rejoins with bit-identical answers.
 
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use slide::prelude::*;
-use slide::serve::{Client, ClientError, PublishFault};
+use slide::serve::{Client, ClientError, PublishFault, Router, RouterOptions};
 
 fn trained_snapshot(epochs: usize) -> (Vec<u8>, slide::data::synth::SyntheticData) {
     let mut synth = SyntheticConfig::tiny().with_seed(97);
@@ -171,6 +175,159 @@ fn worker_panic_answers_typed_500_over_http_and_self_heals() {
     );
     assert_eq!(server.batch_stats().worker_panics, 2);
     server.shutdown();
+}
+
+/// Losing a shard must never produce a silently partial merge: a
+/// FaultPlan-injected worker panic on one shard mid-load surfaces at the
+/// router as a typed `503 shard_unavailable`, a hard-killed shard does
+/// the same and flips `/readyz`, and restarting the shard on its old
+/// address restores answers bit-identical to the pre-kill reference.
+#[test]
+fn shard_death_is_typed_and_rejoin_restores_bit_identical_answers() {
+    let (bytes, data) = trained_snapshot(1);
+    // Bit-identity across the merge needs raw scores that do not depend
+    // on which candidates a shard happened to score, so the dense safety
+    // net stays off — exactly how the cluster bench deploys.
+    let options = ServeOptions::default()
+        .with_top_k(3)
+        .with_dense_fallback(false);
+    let slices = slide::core::snapshot::slice_snapshot(&bytes, 3).unwrap();
+
+    let mut handles = Vec::new();
+    let mut plans = Vec::new();
+    let mut servers = Vec::new();
+    for slice in &slices {
+        let engine = ServingEngine::from_slice_bytes(slice, options).unwrap();
+        let handle = Arc::new(EngineHandle::new(engine));
+        let plan = Arc::new(FaultPlan::new());
+        let server = HttpServer::serve_with_faults(
+            Arc::clone(&handle),
+            "127.0.0.1:0",
+            HttpOptions::default(),
+            Arc::clone(&plan),
+        )
+        .unwrap();
+        handles.push(handle);
+        plans.push(plan);
+        servers.push(Some(server));
+    }
+    let shard_addrs: Vec<_> = servers
+        .iter()
+        .map(|s| s.as_ref().unwrap().local_addr())
+        .collect();
+    let router = Router::serve(
+        "127.0.0.1:0",
+        shard_addrs.clone(),
+        RouterOptions::default().with_top_k(3),
+    )
+    .unwrap();
+    let mut client = Client::connect(router.local_addr()).unwrap();
+    assert!(client.readyz().unwrap(), "fresh cluster must be ready");
+
+    // Pre-kill reference: merged answers for a fixed probe set, pinned
+    // down to the score bits.
+    let probes: Vec<&SparseVector> = data.test.iter().take(12).map(|ex| &ex.features).collect();
+    let reference: Vec<(Vec<u32>, Vec<u32>)> = probes
+        .iter()
+        .map(|features| {
+            let p = client
+                .predict(features, None)
+                .unwrap()
+                .predictions
+                .remove(0);
+            (p.classes, p.scores.iter().map(|s| s.to_bits()).collect())
+        })
+        .collect();
+
+    // Phase 1 — FaultPlan worker panic on shard 1 mid-load: the shard's
+    // typed 500 must reach the caller as the router's typed 503 (the
+    // merge is all-or-nothing), and the shard then self-heals.
+    plans[1].inject_worker_panics(1);
+    let mut typed = 0u64;
+    let mut i = 0usize;
+    while plans[1].panics_pending() > 0 && i < 1_000 {
+        let ex = &data.test.examples()[i % data.test.len()];
+        i += 1;
+        match client.predict(&ex.features, None) {
+            Ok(_) => {}
+            Err(ClientError::Api { status, code, .. }) => {
+                assert_eq!((status, code.as_str()), (503, "shard_unavailable"));
+                typed += 1;
+            }
+            Err(e) => panic!("unexpected failure under an injected shard panic: {e}"),
+        }
+    }
+    assert_eq!(typed, 1, "the injected shard panic answers one typed 503");
+    assert_eq!(plans[1].panics_fired(), 1);
+    assert!(
+        wait_until(Duration::from_secs(10), || {
+            client
+                .predict(&data.test.examples()[0].features, None)
+                .is_ok()
+        }),
+        "cluster never healed after the shard's worker respawned"
+    );
+
+    // Phase 2 — kill the whole shard process. Every predict is a typed
+    // 503 (never a partial answer), readiness reflects the hole, and
+    // liveness stays up for the surviving shards.
+    servers[1].take().unwrap().shutdown();
+    let mut saw_unavailable = false;
+    for _ in 0..5 {
+        match client.predict(probes[0], None) {
+            Err(ClientError::Api { status, code, .. }) => {
+                assert_eq!((status, code.as_str()), (503, "shard_unavailable"));
+                saw_unavailable = true;
+            }
+            Ok(_) => panic!("a merged answer appeared while a shard was dead"),
+            Err(e) => panic!("untyped failure with a dead shard: {e}"),
+        }
+    }
+    assert!(saw_unavailable);
+    assert!(
+        !client.readyz().unwrap(),
+        "readyz must flip with a shard down"
+    );
+    assert_eq!(client.healthz().unwrap().epoch, 1, "survivors stay live");
+
+    // Phase 3 — restart the shard on its old address (the listener may
+    // linger in TIME_WAIT briefly) and require bit-identical recovery.
+    let rejoined = {
+        let handle = Arc::clone(&handles[1]);
+        let addr = shard_addrs[1];
+        let t0 = Instant::now();
+        loop {
+            match HttpServer::serve(Arc::clone(&handle), addr, HttpOptions::default()) {
+                Ok(server) => break server,
+                Err(e) if t0.elapsed() < Duration::from_secs(10) => {
+                    std::thread::sleep(Duration::from_millis(50));
+                    let _ = e;
+                }
+                Err(e) => panic!("shard could not rebind {addr}: {e}"),
+            }
+        }
+    };
+    assert!(
+        wait_until(Duration::from_secs(10), || client.readyz().unwrap_or(false)),
+        "cluster never became ready after the shard rejoined"
+    );
+    for (features, (classes, score_bits)) in probes.iter().zip(&reference) {
+        let p = client
+            .predict(features, None)
+            .unwrap()
+            .predictions
+            .remove(0);
+        assert_eq!(&p.classes, classes, "recovered classes differ");
+        let got_bits: Vec<u32> = p.scores.iter().map(|s| s.to_bits()).collect();
+        assert_eq!(&got_bits, score_bits, "recovered score bits differ");
+    }
+    assert!(router.stats().shard_errors >= 1);
+
+    rejoined.shutdown();
+    for server in servers.into_iter().flatten() {
+        server.shutdown();
+    }
+    router.shutdown();
 }
 
 /// Table-driven: the degraded budget's accuracy loss is bounded per
